@@ -1,0 +1,38 @@
+"""Shared plumbing for the experiment benchmarks.
+
+Each ``bench_eN_*.py`` regenerates one experiment of DESIGN.md's index:
+it builds the workload, runs the system, prints the experiment's table
+(visible with ``pytest benchmarks/ --benchmark-only -s``) and writes it
+to ``benchmarks/results/<experiment>.txt`` so the numbers survive the
+run.  ``EXPERIMENTS.md`` is written from those files.
+
+The pytest-benchmark fixture times the experiment's *core computation*
+(classification loop, evolution phase, mining pass, ...) while the
+table-building runs once outside the timer.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+from repro.metrics.report import Table
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(tables, name: str) -> None:
+    """Print the experiment tables and persist them under results/."""
+    if isinstance(tables, Table):
+        tables = [tables]
+    rendered = "\n\n".join(table.render() for table in tables)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(rendered + "\n")
+    print()
+    print(rendered)
+
+
+def fmt(value: float, digits: int = 3) -> str:
+    return f"{value:.{digits}f}"

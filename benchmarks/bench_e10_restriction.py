@@ -1,0 +1,99 @@
+"""E10 — restriction of operators in the old window (Section 4.1).
+
+A mostly-conforming stream (old window) whose valid instances use the
+DTD more narrowly than declared: every ``z*`` position receives at
+least one ``z``, optional parts are always present, one OR branch is
+never taken.  Evolution must keep declarations but tighten operators —
+the paper's "restriction of operators" — and the restricted DTD must
+still cover the stream.
+
+Reported: each restriction applied (old model -> new model), plus
+quality before/after.  Expected shape: coverage stays 1.0 while the
+declared language volume shrinks (a strictly tighter schema).
+
+The benchmark times one restriction pass over the recorded aggregates.
+"""
+
+from benchmarks._harness import emit, fmt
+from repro.core.evolution import EvolutionConfig, evolve_dtd
+from repro.core.extended_dtd import ExtendedDTD
+from repro.core.recorder import Recorder
+from repro.core.restriction import restrict_operators
+from repro.dtd.parser import parse_dtd
+from repro.dtd.serializer import serialize_content_model
+from repro.generators.documents import DocumentGenerator
+from repro.metrics.quality import assess
+from repro.metrics.report import Table
+
+# a deliberately loose DTD
+_LOOSE = """
+<!ELEMENT log (session*)>
+<!ELEMENT session (user?, action*, (ok | error))>
+<!ELEMENT user (#PCDATA)>
+<!ELEMENT action (#PCDATA)>
+<!ELEMENT ok EMPTY>
+<!ELEMENT error EMPTY>
+"""
+
+
+def _narrow_documents(count):
+    """Documents that use the loose DTD narrowly: sessions always carry a
+    user and at least one action, and never end in an error."""
+    narrow = parse_dtd(
+        """
+        <!ELEMENT log (session+)>
+        <!ELEMENT session (user, action+, ok)>
+        <!ELEMENT user (#PCDATA)>
+        <!ELEMENT action (#PCDATA)>
+        <!ELEMENT ok EMPTY>
+        """,
+        name="narrow",
+    )
+    return DocumentGenerator(narrow, seed=17).generate_many(count)
+
+
+def test_e10_restriction(benchmark):
+    loose = parse_dtd(_LOOSE, name="log")
+    documents = _narrow_documents(30)
+
+    extended = ExtendedDTD(loose)
+    recorder = Recorder(extended)
+    for document in documents:
+        recorder.record(document)
+
+    config = EvolutionConfig(psi=0.2, min_valid_for_restriction=5)
+    result = evolve_dtd(extended, config)
+
+    table = Table(
+        "E10: operator restrictions applied in the old window",
+        ["element", "old model", "restricted model"],
+    )
+    for action in result.actions:
+        if action.action == "restricted":
+            table.add_row(
+                [
+                    action.name,
+                    serialize_content_model(action.old_model),
+                    serialize_content_model(action.new_model),
+                ]
+            )
+
+    before = assess(loose, documents)
+    after = assess(result.new_dtd, documents)
+    quality = Table(
+        "E10 quality: tighter schema, unchanged coverage",
+        ["dtd", "coverage", "similarity", "language volume (len<=4)"],
+    )
+    quality.add_row(["loose", fmt(before.coverage), fmt(before.mean_similarity), before.language_volume])
+    quality.add_row(["restricted", fmt(after.coverage), fmt(after.mean_similarity), after.language_volume])
+    emit([table, quality], "e10_restriction")
+
+    record = extended.records["session"]
+    benchmark(restrict_operators, loose["session"].content, record, 5)
+
+    restricted_actions = [a for a in result.actions if a.action == "restricted"]
+    assert restricted_actions, "the narrow stream must trigger restrictions"
+    assert after.coverage == 1.0
+    assert after.language_volume <= before.language_volume
+    rendered = serialize_content_model(result.new_dtd["session"].content)
+    assert "error" not in rendered  # the never-taken OR branch is gone

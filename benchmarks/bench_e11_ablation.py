@@ -1,0 +1,136 @@
+"""E11 — ablation of the design choices DESIGN.md calls out.
+
+Four variants of the evolution phase run on the same drifting catalog
+workload (plus the Figure-3 workload for the policy ablations, whose
+effect is crispest there):
+
+- **full**          — the complete system;
+- **no-or-policies**— policies 4–7 and 11 disabled: no OR-extraction,
+  alternatives can only be force-bound (expected: lower coverage or
+  badly over-general models on exclusive-alternative data);
+- **no-groups**     — Policy 1 falls through to its no-repetition case
+  (co-repetition groups ignored; expected: the (b, c)* structure of
+  Figure 5 is lost);
+- **no-rewriting**  — the simplification rules skipped (expected: same
+  language, bigger DTDs — conciseness suffers);
+- **no-mining**     — rules mined from an empty transaction set so no
+  policy with a rule condition fires; the force-bind fallback does all
+  the work (expected: much weaker structure).
+
+The benchmark times the full variant (reference point for overheads).
+"""
+
+from benchmarks._harness import emit, fmt
+from repro.core.evolution import EvolutionConfig, evolve_dtd
+from repro.core.extended_dtd import ExtendedDTD
+from repro.core.policies import default_policies
+from repro.core.recorder import Recorder
+from repro.core.structure_builder import build_structure
+from repro.dtd.serializer import serialize_content_model
+from repro.generators.documents import AddDrift, CompositeDrift, DropDrift
+from repro.generators.scenarios import catalog_scenario, figure3_dtd, figure3_workload
+from repro.metrics.quality import assess
+from repro.metrics.report import Table
+from repro.mining.rules import RuleSet
+
+
+def _figure3_record():
+    extended = ExtendedDTD(figure3_dtd())
+    recorder = Recorder(extended)
+    for document in figure3_workload(10, 10, seed=42):
+        recorder.record(document)
+    return extended.records["a"]
+
+
+def _variant_models(record):
+    """The rebuilt declaration for element a under each ablation."""
+    full = build_structure(record)
+
+    or_numbers = {4, 5, 6, 7, 11}
+    no_or = build_structure(
+        record,
+        policies=[p for p in default_policies() if p.number not in or_numbers],
+    )
+
+    stripped = _without_groups(record)
+    no_groups = build_structure(stripped)
+
+    no_rewriting = build_structure(record, apply_rewriting=False)
+
+    empty_rules = RuleSet([])
+    no_mining = build_structure(record, rules=empty_rules)
+
+    return {
+        "full": full,
+        "no-or-policies": no_or,
+        "no-groups": no_groups,
+        "no-rewriting": no_rewriting,
+        "no-mining": no_mining,
+    }
+
+
+def _without_groups(record):
+    from repro.core.extended_dtd import ElementRecord
+
+    clone = ElementRecord(record.name)
+    clone.valid_count = record.valid_count
+    clone.invalid_count = record.invalid_count
+    clone.labels = dict(record.labels)
+    clone.sequences = record.sequences.copy()
+    clone.label_stats = record.label_stats
+    clone.text_count = record.text_count
+    clone.empty_count = record.empty_count
+    # groups deliberately left empty
+    return clone
+
+
+def test_e11_ablation(benchmark):
+    record = _figure3_record()
+    models = _variant_models(record)
+
+    structure_table = Table(
+        "E11a: rebuilt declaration for Figure 3's element a, per ablation",
+        ["variant", "model", "size"],
+    )
+    for name, model in models.items():
+        structure_table.add_row(
+            [name, serialize_content_model(model), model.size()]
+        )
+
+    # quality ablation on a realistic stream
+    dtd, make_documents = catalog_scenario()
+    drift = CompositeDrift(
+        [AddDrift(0.25, new_tags=["rating"], seed=1), DropDrift(0.12, seed=2)]
+    )
+    documents = drift.apply_many(make_documents(40, seed=8))
+    extended = ExtendedDTD(dtd)
+    recorder = Recorder(extended)
+    for document in documents:
+        recorder.record(document)
+
+    quality_table = Table(
+        "E11b: end-to-end quality per ablation (drifting catalog)",
+        ["variant", "coverage", "similarity", "dtd size"],
+    )
+    base_config = EvolutionConfig(psi=0.12, mu=0.05)
+    variants = {
+        "full": dict(),
+        "no-restriction": dict(restrict_in_old_window=False),
+    }
+    for name, overrides in variants.items():
+        config = base_config._replace(**overrides)
+        evolved = evolve_dtd(extended, config).new_dtd
+        report = assess(evolved, documents)
+        quality_table.add_row(
+            [name, fmt(report.coverage), fmt(report.mean_similarity), report.conciseness]
+        )
+    emit([structure_table, quality_table], "e11_ablation")
+
+    benchmark(build_structure, record)
+
+    # shape assertions
+    assert "|" in serialize_content_model(models["full"])        # OR found
+    assert "|" not in serialize_content_model(models["no-or-policies"])
+    assert "(b, c)" in serialize_content_model(models["full"])   # group found
+    assert "(b, c)*" not in serialize_content_model(models["no-groups"])
+    assert models["no-rewriting"].size() >= models["full"].size()

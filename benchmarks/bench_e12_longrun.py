@@ -1,0 +1,140 @@
+"""E12 — longitudinal run: a source living through six drift eras.
+
+The closest thing to the "figure over time" a longitudinal evaluation
+would plot: an XMark-style auction source processes 360 documents in
+six eras whose structure drifts progressively (new elements arrive,
+optional parts vanish, operators get violated, and one era later the
+drift becomes the norm).  The source evolves autonomously through the
+check phase.
+
+Reported per era: evolutions so far, repository size, and the quality
+of the *current* DTD against that era's documents — the series should
+show similarity dipping when a new drift era starts and recovering
+after the next evolution (the adaptive sawtooth), with the repository
+draining after evolutions.
+
+The benchmark times the processing of one era (classification +
+recording + any evolutions) — the sustained ingest cost.
+"""
+
+from benchmarks._harness import emit, fmt
+from repro.core.engine import XMLSource
+from repro.core.evolution import EvolutionConfig
+from repro.generators.documents import (
+    AddDrift,
+    CompositeDrift,
+    DocumentGenerator,
+    DropDrift,
+    OperatorDrift,
+)
+from repro.generators.scenarios import auction_scenario
+from repro.metrics.quality import assess
+from repro.metrics.report import Table
+
+ERA_SIZE = 60
+
+
+def _eras(dtd):
+    """Six eras of 60 documents with a progressing drift story."""
+    generator = DocumentGenerator(dtd, seed=77)
+    plans = [
+        ("steady", CompositeDrift([])),
+        ("steady2", CompositeDrift([])),
+        (
+            "new tags",
+            AddDrift(0.25, new_tags=["shipping", "payment"], seed=1),
+        ),
+        (
+            "new + miss",
+            CompositeDrift(
+                [
+                    AddDrift(0.3, new_tags=["shipping", "payment"], seed=2),
+                    DropDrift(0.12, seed=3),
+                ]
+            ),
+        ),
+        (
+            "entrenched",
+            CompositeDrift(
+                [
+                    AddDrift(0.35, new_tags=["shipping", "payment"], seed=4),
+                    DropDrift(0.12, seed=5),
+                ]
+            ),
+        ),
+        (
+            "operators",
+            CompositeDrift(
+                [
+                    AddDrift(0.3, new_tags=["shipping", "payment"], seed=6),
+                    OperatorDrift(0.15, seed=7),
+                ]
+            ),
+        ),
+    ]
+    return [
+        (label, drift.apply_many(generator.generate_many(ERA_SIZE)))
+        for label, drift in plans
+    ]
+
+
+def _fresh_source(dtd):
+    return XMLSource(
+        [dtd.copy()],
+        EvolutionConfig(
+            sigma=0.3, tau=0.08, psi=0.15, mu=0.05, min_documents=40,
+            min_valid_for_restriction=10,
+        ),
+    )
+
+
+def test_e12_longrun(benchmark):
+    dtd, _make = auction_scenario()
+    eras = _eras(dtd)
+    source = _fresh_source(dtd)
+
+    table = Table(
+        "E12: six-era longitudinal run (XMark-style auction source, "
+        f"{ERA_SIZE} docs/era)",
+        [
+            "era", "drift",
+            "evolutions", "repository",
+            "era coverage", "era similarity", "dtd size",
+        ],
+    )
+    series = []
+    for index, (label, documents) in enumerate(eras, start=1):
+        for document in documents:
+            source.process(document)
+        current = source.dtd(dtd.name)
+        report = assess(current, documents, volume_length=4)
+        series.append((label, source.evolution_count, report))
+        table.add_row(
+            [
+                index, label,
+                source.evolution_count, len(source.repository),
+                fmt(report.coverage), fmt(report.mean_similarity),
+                report.conciseness,
+            ]
+        )
+    emit(table, "e12_longrun")
+
+    # the sustained ingest cost of one steady era on a warm source
+    warm = _fresh_source(dtd)
+    steady_documents = eras[0][1]
+
+    def ingest_era():
+        for document in steady_documents:
+            warm.process(document)
+
+    benchmark.pedantic(ingest_era, rounds=3, iterations=1)
+
+    # shape: the source must have evolved at least once, and quality in
+    # the entrenched drift era (after adaptation) must beat the first
+    # drifted era measured against its then-stale schema
+    labels = [label for label, _count, _report in series]
+    first_drift = series[labels.index("new tags")][2]
+    entrenched = series[labels.index("entrenched")][2]
+    assert series[-1][1] >= 1
+    assert entrenched.mean_similarity >= first_drift.mean_similarity - 0.02
+    assert len(source.repository) < 3 * ERA_SIZE

@@ -1,0 +1,62 @@
+"""E2 — Figure 3 / Example 2: the extended DTD after recording D1/D2.
+
+Regenerates the content of the extended DTD sketched in Figure 3(c):
+the label set found for ``a``, the ``{b, c}`` co-repetition group, and
+the repeatable+optional evidence for ``d``.  The benchmark times the
+recording of the whole 20-document workload (classification evaluations
+included — this is the paper's "first step + second step" cost).
+"""
+
+from benchmarks._harness import emit
+from repro.core.extended_dtd import ExtendedDTD
+from repro.core.recorder import Recorder
+from repro.generators.scenarios import figure3_dtd, figure3_workload
+from repro.metrics.report import Table
+
+
+def _record_workload():
+    extended = ExtendedDTD(figure3_dtd())
+    recorder = Recorder(extended)
+    for document in figure3_workload(10, 10, seed=42):
+        recorder.record(document)
+    return extended
+
+
+def test_e2_figure3(benchmark):
+    extended = benchmark(_record_workload)
+
+    record = extended.records["a"]
+    table = Table(
+        "E2 (paper Figure 3 / Example 2): extended DTD for element a",
+        ["fact", "recorded value"],
+    )
+    table.add_row(["labels found (Label)", ", ".join(record.ordered_labels())])
+    table.add_row(["non-valid instances", record.invalid_count])
+    table.add_row(["valid instances", record.valid_count])
+    table.add_row(
+        [
+            "sequences (tag sets)",
+            "; ".join(
+                "{" + ",".join(sorted(sequence)) + "} x" + str(count)
+                for sequence, count in sorted(
+                    record.sequences.items(), key=lambda kv: sorted(kv[0])
+                )
+            ),
+        ]
+    )
+    table.add_row(
+        ["{b,c} co-repetition observations", record.co_repetition_count(frozenset("bc"))]
+    )
+    table.add_row(
+        ["d repeatable", record.label_stats["d"].is_ever_repeated]
+    )
+    table.add_row(
+        ["d optional", any("d" not in s for s in record.sequences)]
+    )
+    table.add_row(["storage cells (aggregate)", extended.storage_cells()])
+    emit(table, "e2_figure3")
+
+    assert set(record.labels) == {"b", "c", "d", "e"}
+    assert record.co_repetition_count(frozenset("bc")) > 0
+    assert record.label_stats["d"].is_ever_repeated
+    assert any("d" not in sequence for sequence in record.sequences)

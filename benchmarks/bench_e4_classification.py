@@ -1,0 +1,91 @@
+"""E4 — flexible vs boolean classification across sigma.
+
+The paper's Section 1 claim: validator-based classification "would lead
+to reject a large amount of documents"; the similarity-based classifier
+ranks in [0, 1] and accepts at a tunable threshold sigma.
+
+Workload: three realistic DTDs; a mixed stream of valid documents and
+documents at three drift intensities.  Reported per sigma: acceptance
+rate of the flexible classifier, its accuracy (accepted documents
+assigned to their true source DTD), and the (sigma-independent)
+validator acceptance for contrast.
+
+Expected shape: validator acceptance equals the valid fraction only;
+flexible acceptance decreases monotonically with sigma and dominates
+the validator at any sigma < 1; accuracy stays high because similarity
+ranks the true DTD first even for drifted documents.
+"""
+
+from benchmarks._harness import emit, fmt
+from repro.baselines.validator_classifier import ValidatorClassifier
+from repro.classification.classifier import Classifier
+from repro.generators.documents import AddDrift, CompositeDrift, DocumentGenerator, DropDrift
+from repro.generators.scenarios import (
+    bibliography_scenario,
+    catalog_scenario,
+    newsfeed_scenario,
+)
+from repro.metrics.report import Table
+
+SIGMAS = [0.3, 0.5, 0.7, 0.9]
+
+
+def _workload():
+    """(document, true DTD name) pairs: per DTD, 10 valid + 10 per drift level."""
+    labelled = []
+    for scenario in (catalog_scenario, bibliography_scenario, newsfeed_scenario):
+        dtd, make_documents = scenario()
+        valid = make_documents(10, seed=1)
+        mild = CompositeDrift(
+            [AddDrift(0.1, seed=2), DropDrift(0.05, seed=3)]
+        ).apply_many(make_documents(10, seed=4))
+        heavy = CompositeDrift(
+            [AddDrift(0.45, seed=5), DropDrift(0.25, seed=6)]
+        ).apply_many(make_documents(10, seed=7))
+        for document in valid + mild + heavy:
+            labelled.append((document, dtd.name))
+    return labelled
+
+
+def test_e4_classification(benchmark):
+    dtds = [catalog_scenario()[0], bibliography_scenario()[0], newsfeed_scenario()[0]]
+    labelled = _workload()
+    documents = [document for document, _name in labelled]
+
+    validator_rate = ValidatorClassifier(dtds).acceptance_rate(documents)
+
+    classifier = Classifier(dtds, threshold=0.5)
+
+    def classify_all():
+        return [classifier.rank(document) for document in documents]
+
+    rankings = benchmark(classify_all)
+
+    table = Table(
+        "E4: classification acceptance and accuracy vs sigma "
+        f"({len(documents)} documents, 3 DTDs)",
+        ["sigma", "flexible acceptance", "accuracy among accepted", "validator acceptance"],
+    )
+    for sigma in SIGMAS:
+        accepted = 0
+        correct = 0
+        for (document, true_name), ranking in zip(labelled, rankings):
+            best_name, best_similarity = ranking[0]
+            if best_similarity >= sigma:
+                accepted += 1
+                if best_name == true_name:
+                    correct += 1
+        acceptance = accepted / len(documents)
+        accuracy = correct / accepted if accepted else 0.0
+        table.add_row([sigma, fmt(acceptance), fmt(accuracy), fmt(validator_rate)])
+    emit(table, "e4_classification")
+
+    acceptances = []
+    for sigma in SIGMAS:
+        rate = sum(
+            1 for ranking in rankings if ranking[0][1] >= sigma
+        ) / len(documents)
+        acceptances.append(rate)
+    # monotone in sigma, and the flexible classifier dominates the validator
+    assert all(a >= b for a, b in zip(acceptances, acceptances[1:]))
+    assert acceptances[0] > validator_rate

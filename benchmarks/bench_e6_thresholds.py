@@ -1,0 +1,127 @@
+"""E6 — threshold sensitivity: psi (windows), mu (support), tau (trigger).
+
+Three sweeps over the same mixed-drift catalog workload:
+
+- **psi** decides window placement per element (Section 4.1): small psi
+  pushes elements into the misc window (OR-merged, general but bigger
+  DTDs); large psi sharpens into old/new windows (crisper rebuilds).
+- **mu** filters non-representative sequences before mining
+  (Section 4.2): higher mu ignores outliers, keeping rebuilt models
+  tighter at some coverage cost.
+- **tau** gates the check phase (Section 2): lower tau evolves more
+  often (precision) at a higher evolution-count cost — the paper's
+  frequency/precision/cost trade-off.
+
+The benchmark times a full evolution at the middle psi.
+"""
+
+from benchmarks._harness import emit, fmt
+from repro.core.engine import XMLSource
+from repro.core.evolution import EvolutionConfig, evolve_dtd
+from repro.core.extended_dtd import ExtendedDTD
+from repro.core.recorder import Recorder
+from repro.core.windows import classify_window
+from repro.generators.documents import AddDrift, CompositeDrift, DropDrift
+from repro.generators.scenarios import catalog_scenario
+from repro.metrics.quality import assess
+from repro.metrics.report import Table
+
+PSIS = [0.05, 0.2, 0.35, 0.5]
+MUS = [0.0, 0.1, 0.3]
+TAUS = [0.02, 0.1, 0.3]
+
+
+def _workload(dtd, make_documents):
+    drift = CompositeDrift(
+        [DropDrift(0.12, seed=1), AddDrift(0.2, new_tags=["rating"], seed=2)]
+    )
+    return drift.apply_many(make_documents(40, seed=21))
+
+
+def _recorded(dtd, documents):
+    extended = ExtendedDTD(dtd)
+    recorder = Recorder(extended)
+    for document in documents:
+        recorder.record(document)
+    return extended
+
+
+def test_e6_thresholds(benchmark):
+    dtd, make_documents = catalog_scenario()
+    documents = _workload(dtd, make_documents)
+    extended = _recorded(dtd, documents)
+
+    # --- psi sweep -----------------------------------------------------
+    psi_table = Table(
+        "E6a: window threshold psi — window mix and resulting quality",
+        ["psi", "old", "misc", "new", "coverage", "similarity", "dtd size"],
+    )
+    for psi in PSIS:
+        windows = {"old": 0, "misc": 0, "new": 0}
+        for record in extended.records.values():
+            if record.instance_count:
+                windows[classify_window(record.invalidity_ratio, psi).value] += 1
+        evolved = evolve_dtd(extended, EvolutionConfig(psi=psi, mu=0.05)).new_dtd
+        report = assess(evolved, documents)
+        psi_table.add_row(
+            [
+                psi,
+                windows["old"], windows["misc"], windows["new"],
+                fmt(report.coverage), fmt(report.mean_similarity),
+                report.conciseness,
+            ]
+        )
+
+    # --- mu sweep --------------------------------------------------------
+    mu_table = Table(
+        "E6b: sequence support mu — rebuilt-model tightness",
+        ["mu", "coverage", "similarity", "dtd size", "language volume"],
+    )
+    for mu in MUS:
+        # psi=0.05 forces misc-window rebuilds so mu actually gates mining
+        evolved = evolve_dtd(extended, EvolutionConfig(psi=0.05, mu=mu)).new_dtd
+        report = assess(evolved, documents)
+        mu_table.add_row(
+            [
+                mu,
+                fmt(report.coverage), fmt(report.mean_similarity),
+                report.conciseness, report.language_volume,
+            ]
+        )
+
+    # --- tau sweep ---------------------------------------------------------
+    tau_table = Table(
+        "E6c: activation threshold tau — evolution frequency vs final quality",
+        ["tau", "evolutions", "final coverage", "final similarity"],
+    )
+    for tau in TAUS:
+        source = XMLSource(
+            [dtd.copy()],
+            EvolutionConfig(sigma=0.3, tau=tau, psi=0.3, mu=0.05, min_documents=10),
+        )
+        for document in documents:
+            source.process(document)
+        report = assess(source.dtd(dtd.name), documents)
+        tau_table.add_row(
+            [
+                tau,
+                source.evolution_count,
+                fmt(report.coverage),
+                fmt(report.mean_similarity),
+            ]
+        )
+
+    benchmark(evolve_dtd, extended, EvolutionConfig(psi=0.2, mu=0.05))
+    emit([psi_table, mu_table, tau_table], "e6_thresholds")
+
+    # shape checks: lower tau never evolves less often
+    counts = []
+    for tau in TAUS:
+        source = XMLSource(
+            [dtd.copy()],
+            EvolutionConfig(sigma=0.3, tau=tau, psi=0.3, mu=0.05, min_documents=10),
+        )
+        for document in documents:
+            source.process(document)
+        counts.append(source.evolution_count)
+    assert all(a >= b for a, b in zip(counts, counts[1:]))

@@ -1,0 +1,100 @@
+"""E8 — the storage/time trade-off of the recording phase (Sections 2–3).
+
+The paper's design claim: "Such an approach results in a faster
+evolution phase, even though it requires some storage space" — and the
+stored information is aggregate, so it must *not* grow linearly with
+document count (unlike a naive evolver that stores documents).
+
+Sweep the stream length N and report: recording time per document,
+evolution time (should be independent of N up to aggregate size),
+extended-DTD storage cells vs the naive evolver's stored cells.
+
+The benchmark times recording of one document into an already-warm
+extended DTD (the steady-state per-document cost).
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks._harness import emit, fmt
+from repro.baselines.naive_evolution import NaiveEvolver
+from repro.core.evolution import EvolutionConfig, evolve_dtd
+from repro.core.extended_dtd import ExtendedDTD
+from repro.core.recorder import Recorder
+from repro.generators.documents import AddDrift, CompositeDrift, DropDrift
+from repro.generators.scenarios import catalog_scenario
+from repro.metrics.report import Table
+
+SIZES = [50, 100, 200, 400]
+CONFIG = EvolutionConfig(psi=0.3, mu=0.05)
+
+
+def _documents(dtd, make_documents, count):
+    drift = CompositeDrift(
+        [AddDrift(0.15, new_tags=["rating"], seed=3), DropDrift(0.08, seed=4)]
+    )
+    return drift.apply_many(make_documents(count, seed=33))
+
+
+def test_e8_scalability(benchmark):
+    dtd, make_documents = catalog_scenario()
+
+    table = Table(
+        "E8: recording/evolution cost and storage vs stream length",
+        [
+            "N docs",
+            "record ms/doc",
+            "evolve ms",
+            "extended-DTD cells",
+            "naive stored cells",
+            "cells ratio",
+        ],
+    )
+    rows = []
+    for count in SIZES:
+        documents = _documents(dtd, make_documents, count)
+        extended = ExtendedDTD(dtd)
+        recorder = Recorder(extended)
+        naive = NaiveEvolver(initial_dtd=dtd)
+
+        start = time.perf_counter()
+        for document in documents:
+            recorder.record(document)
+        record_ms = (time.perf_counter() - start) * 1000 / count
+
+        start = time.perf_counter()
+        evolve_dtd(extended, CONFIG)
+        evolve_ms = (time.perf_counter() - start) * 1000
+
+        naive.add_many(documents)
+        extended_cells = extended.storage_cells()
+        naive_cells = naive.storage_cells()
+        rows.append((count, extended_cells, naive_cells, evolve_ms))
+        table.add_row(
+            [
+                count,
+                fmt(record_ms, 2),
+                fmt(evolve_ms, 1),
+                extended_cells,
+                naive_cells,
+                fmt(naive_cells / extended_cells, 1),
+            ]
+        )
+    emit(table, "e8_scalability")
+
+    # steady-state per-document recording cost
+    warm_extended = ExtendedDTD(dtd)
+    warm_recorder = Recorder(warm_extended)
+    documents = _documents(dtd, make_documents, 50)
+    for document in documents:
+        warm_recorder.record(document)
+    benchmark(warm_recorder.record, documents[0])
+
+    # shape: naive storage grows linearly; aggregate storage sub-linearly
+    (n0, cells0, naive0, _e0), (n3, cells3, naive3, _e3) = rows[0], rows[-1]
+    assert naive3 / naive0 > 6  # ~8x documents -> ~8x stored cells
+    assert cells3 / cells0 < naive3 / naive0  # aggregates grow slower
+    # evolution reads aggregates only: cost must not scale with N
+    evolve_times = [row[3] for row in rows]
+    assert max(evolve_times) < 40 * max(1.0, min(evolve_times))

@@ -1,0 +1,72 @@
+"""Micro-benchmarks: substrate throughput tracking.
+
+Not an experiment — a performance dashboard for the substrates every
+experiment sits on (parsing, validation, similarity, mining, policy
+cascade), so regressions show up as benchmark deltas rather than as
+mysteriously slow experiments.
+"""
+
+import pytest
+
+from repro.core.structure_builder import build_structure
+from repro.dtd.automaton import ContentAutomaton, Validator
+from repro.dtd.parser import parse_content_model, parse_dtd
+from repro.generators.documents import DocumentGenerator
+from repro.generators.scenarios import auction_scenario, figure3_workload, figure3_dtd
+from repro.mining.rules import mine_evolution_rules
+from repro.similarity.matcher import StructureMatcher
+from repro.xmltree.parser import parse_document
+from repro.xmltree.serializer import serialize_document
+from tests.test_policies import make_context
+
+_AUCTION_DTD, _MAKE = auction_scenario()
+_DOCUMENT = DocumentGenerator(_AUCTION_DTD, seed=3).generate()
+_XML = serialize_document(_DOCUMENT)
+
+
+def test_micro_parse(benchmark):
+    result = benchmark(parse_document, _XML)
+    assert result.root.tag == "site"
+
+
+def test_micro_serialize(benchmark):
+    result = benchmark(serialize_document, _DOCUMENT)
+    assert result.startswith("<?xml")
+
+
+def test_micro_validate(benchmark):
+    validator = Validator(_AUCTION_DTD)
+    assert benchmark(validator.is_valid, _DOCUMENT)
+
+
+def test_micro_similarity(benchmark):
+    matcher = StructureMatcher(_AUCTION_DTD)
+
+    def run():
+        value = matcher.document_similarity(_DOCUMENT.root)
+        matcher.clear_cache()
+        return value
+
+    assert benchmark(run) == 1.0
+
+
+def test_micro_automaton_accepts(benchmark):
+    automaton = ContentAutomaton(parse_content_model("((a, b)*, (c | d))"))
+    word = ["a", "b"] * 20 + ["c"]
+    assert benchmark(automaton.accepts, word)
+
+
+def test_micro_mining(benchmark):
+    sequences = [frozenset("bcd"), frozenset("bce")] * 25
+    rules = benchmark(mine_evolution_rules, sequences, "bcde", 0.05)
+    assert rules.mutually_exclusive("d", "e")
+
+
+def test_micro_policy_cascade(benchmark):
+    instances = [["b", "c"] * m + ["d"] for m in (1, 2, 3)] + [
+        ["b", "c"] * m + ["e"] for m in (1, 2)
+    ]
+    record = make_context(instances).record
+
+    model = benchmark(build_structure, record)
+    assert model.label == "AND"

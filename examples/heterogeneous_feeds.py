@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Heterogeneous feeds: one source, several DTDs, a repository.
+
+The Web setting of the paper: documents of different kinds arrive at a
+single source holding a *set* of DTDs.  Each document is classified to
+its best DTD by structural similarity (threshold sigma); documents no
+DTD describes land in the repository; when a DTD evolves, the
+repository is re-classified and documents are recovered.
+
+The script compares the flexible classifier against the rigid
+validator-based baseline the paper argues against, then shows the
+repository-recovery loop in action.
+
+Run:  python examples/heterogeneous_feeds.py
+"""
+
+import random
+
+from repro import EvolutionConfig, XMLSource, serialize_dtd
+from repro.baselines.validator_classifier import ValidatorClassifier
+from repro.generators.documents import AddDrift, DocumentGenerator
+from repro.generators.scenarios import (
+    bibliography_scenario,
+    catalog_scenario,
+    newsfeed_scenario,
+)
+from repro.metrics.report import Table
+
+catalog_dtd, _ = catalog_scenario()
+biblio_dtd, _ = bibliography_scenario()
+feed_dtd, _ = newsfeed_scenario()
+dtds = [catalog_dtd, biblio_dtd, feed_dtd]
+
+# Build a mixed stream: valid documents of all three kinds plus drifted
+# bibliography entries that acquire "doi" and "abstract" elements.
+rng = random.Random(3)
+stream = []
+stream += DocumentGenerator(catalog_dtd, seed=1).generate_many(20)
+stream += DocumentGenerator(feed_dtd, seed=2).generate_many(20)
+base_biblio = DocumentGenerator(biblio_dtd, seed=3).generate_many(40)
+stream += AddDrift(0.5, new_tags=["doi", "abstract"], seed=4).apply_many(base_biblio)
+rng.shuffle(stream)
+
+# 1. Rigid baseline: accept only *valid* documents.
+rigid = ValidatorClassifier(dtds)
+rigid_rate = rigid.acceptance_rate(stream)
+
+# 2. Flexible source with evolution.
+source = XMLSource(
+    dtds,
+    EvolutionConfig(sigma=0.55, tau=0.05, psi=0.25, mu=0.05, min_documents=25),
+)
+accepted = 0
+for document in stream:
+    outcome = source.process(document)
+    if outcome.dtd_name is not None:
+        accepted += 1
+
+table = Table(
+    "Classification of an 80-document heterogeneous stream",
+    ["classifier", "accepted", "rate"],
+)
+table.add_row(["validator (boolean)", int(rigid_rate * len(stream)), f"{rigid_rate:.2f}"])
+table.add_row(
+    [
+        "similarity + evolution",
+        accepted + sum(e.recovered_from_repository for e in source.evolution_log),
+        f"{(accepted + sum(e.recovered_from_repository for e in source.evolution_log)) / len(stream):.2f}",
+    ]
+)
+table.print()
+
+print(f"repository still holding : {len(source.repository)} documents")
+print(f"evolutions run           : {source.evolution_count}")
+for event in source.evolution_log:
+    print(
+        f"  {event.dtd_name}: score {event.activation_score:.3f}, "
+        f"recovered {event.recovered_from_repository} documents"
+    )
+print()
+print("— Evolved bibliography DTD —")
+print(serialize_dtd(source.dtd("bibliography")))

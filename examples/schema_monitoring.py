@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Schema monitoring: inspect the recording structures and tune thresholds.
+
+A DBA-facing view of the machinery: stream documents with ``auto_evolve``
+off, inspect the extended DTD (invalidity ratios, labels, groups, the
+windows each element would fall into for several psi values), then run
+the evolution manually and diff the DTD.
+
+Run:  python examples/schema_monitoring.py
+"""
+
+from repro import EvolutionConfig, XMLSource, serialize_dtd
+from repro.core.windows import classify_window
+from repro.dtd.serializer import serialize_content_model
+from repro.generators.documents import AddDrift, DocumentGenerator, DropDrift
+from repro.generators.scenarios import newsfeed_scenario
+from repro.metrics.report import Table
+
+dtd, _make = newsfeed_scenario()
+source = XMLSource(
+    [dtd],
+    EvolutionConfig(sigma=0.3, tau=0.05, psi=0.25, mu=0.05),
+    auto_evolve=False,  # we drive the check/evolution phases by hand
+)
+
+# Feed a drifting stream: items gain an "author" element, channels
+# sometimes lose their language.
+base = DocumentGenerator(dtd, seed=9).generate_many(40)
+stream = AddDrift(0.3, new_tags=["author"], seed=1).apply_many(base)
+stream = DropDrift(0.08, seed=2).apply_many(stream)
+for document in stream:
+    source.process(document)
+
+extended = source.extended_dtd("newsfeed")
+print(f"documents recorded : {extended.document_count}")
+print(f"activation score   : {extended.activation_score:.3f}  "
+      f"(evolution fires when score > tau)")
+print()
+
+table = Table(
+    "Per-element recording state and window placement",
+    ["element", "valid", "invalid", "I(e)", "labels seen",
+     "psi=0.1", "psi=0.25", "psi=0.4"],
+)
+for name in source.dtd("newsfeed").element_names():
+    record = extended.records.get(name)
+    if record is None or record.instance_count == 0:
+        continue
+    ratio = record.invalidity_ratio
+    table.add_row(
+        [
+            name,
+            record.valid_count,
+            record.invalid_count,
+            f"{ratio:.2f}",
+            ",".join(record.ordered_labels()) or "-",
+            classify_window(ratio, 0.1).value,
+            classify_window(ratio, 0.25).value,
+            classify_window(ratio, 0.4).value,
+        ]
+    )
+table.print()
+
+print("— Manual evolution —")
+event = source.evolve_now("newsfeed")
+changes = Table(
+    "Element actions",
+    ["element", "window", "action", "old model", "new model"],
+)
+for action in event.result.actions:
+    if action.action == "kept":
+        continue
+    changes.add_row(
+        [
+            action.name,
+            action.window.value if action.window else "-",
+            action.action,
+            serialize_content_model(action.old_model) if action.old_model else "-",
+            serialize_content_model(action.new_model) if action.new_model else "-",
+        ]
+    )
+changes.print()
+
+print("— Evolved DTD —")
+print(serialize_dtd(source.dtd("newsfeed")))

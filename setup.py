@@ -1,0 +1,23 @@
+"""Setuptools entry point.
+
+A ``setup.py`` is kept (and ``[build-system]`` deliberately omitted from
+``pyproject.toml``) so that ``pip install -e .`` works in fully offline
+environments where the ``wheel`` package is unavailable: pip then falls
+back to the legacy ``setup.py develop`` code path, which needs neither
+network access nor a wheel build.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of Bertino et al., 'Evolving a Set of DTDs According "
+        "to a Dynamic Set of XML Documents' (EDBT 2002 Workshops)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    entry_points={"console_scripts": ["dtdevolve = repro.cli:main"]},
+)

@@ -1,0 +1,22 @@
+"""Baselines the paper compares against (Sections 1 and 5).
+
+- :mod:`repro.baselines.validator_classifier` — the "very rigid"
+  validator-based classification with a boolean answer (Section 1);
+- :mod:`repro.baselines.xtract` — from-scratch DTD inference in the
+  spirit of XTRACT [3] (candidate generation → factoring → MDL choice),
+  the non-incremental structure-extraction family of Section 5;
+- :mod:`repro.baselines.naive_evolution` — full re-inference over every
+  document seen so far: what one must do *without* the paper's
+  recording phase (stores all documents, re-reads them per trigger).
+"""
+
+from repro.baselines.validator_classifier import ValidatorClassifier
+from repro.baselines.xtract import infer_dtd, infer_content_model
+from repro.baselines.naive_evolution import NaiveEvolver
+
+__all__ = [
+    "ValidatorClassifier",
+    "infer_dtd",
+    "infer_content_model",
+    "NaiveEvolver",
+]

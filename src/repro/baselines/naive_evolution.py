@@ -1,0 +1,60 @@
+"""Naive (non-incremental) evolution: full re-inference per trigger.
+
+Section 5: "those approaches work by examining a set of documents at a
+time, and extracting the schema from these documents. [...] Our
+approach, by contrast, is incremental."
+
+This comparator is what a source must do without the paper's recording
+phase: keep *every* classified document and, whenever the schema should
+be refreshed, re-read all of them and re-infer the DTD from scratch
+(here with the XTRACT-style baseline).  Experiments E7/E8 compare its
+per-trigger cost and storage footprint against the incremental engine,
+whose evolution reads only extended-DTD aggregates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.baselines.xtract import infer_dtd
+from repro.dtd.dtd import DTD
+from repro.xmltree.document import Document
+
+
+class NaiveEvolver:
+    """Stores all documents; re-infers the whole DTD on demand."""
+
+    def __init__(self, initial_dtd: Optional[DTD] = None, name: str = "naive"):
+        self.name = name
+        self.dtd = initial_dtd
+        self._documents: List[Document] = []
+
+    def add(self, document: Document) -> None:
+        """Record one classified document (stored in full)."""
+        self._documents.append(document)
+
+    def add_many(self, documents: Iterable[Document]) -> None:
+        for document in documents:
+            self.add(document)
+
+    @property
+    def document_count(self) -> int:
+        return len(self._documents)
+
+    def storage_cells(self) -> int:
+        """Stored element vertices — the E8 comparison unit (the
+        incremental engine's counterpart is
+        :meth:`repro.core.extended_dtd.ExtendedDTD.storage_cells`)."""
+        return sum(document.element_count() for document in self._documents)
+
+    def evolve(self) -> DTD:
+        """Re-infer the DTD from every stored document."""
+        if not self._documents:
+            if self.dtd is None:
+                raise ValueError("no documents and no initial DTD")
+            return self.dtd
+        self.dtd = infer_dtd(self._documents, name=self.name)
+        return self.dtd
+
+    def __repr__(self) -> str:
+        return f"NaiveEvolver({self.document_count} documents stored)"

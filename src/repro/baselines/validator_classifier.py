@@ -1,0 +1,61 @@
+"""Validator-based (boolean) classification — the rigid baseline.
+
+Section 1: "A possibility is to use validators in this preliminary
+classification phase.  This approach, however, has the drawback that
+classification based on validators is very rigid, with a boolean
+answer.  Requiring the validity of each document entering the database
+with respect to a DTD in the schema would lead [...] to reject a large
+amount of documents, thus resulting in a considerable loss of
+information."
+
+Experiment E4 quantifies exactly that loss against the flexible
+similarity-based classifier.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.dtd.automaton import Validator
+from repro.dtd.dtd import DTD
+from repro.errors import ClassificationError
+from repro.xmltree.document import Document
+
+
+class ValidatorClassifier:
+    """Accepts a document iff it is *valid* against some DTD of the set.
+
+    Ties (a document valid against several DTDs) break on DTD name.
+    """
+
+    def __init__(self, dtds: Iterable[DTD]):
+        self._validators: Dict[str, Validator] = {}
+        for dtd in dtds:
+            if dtd.name in self._validators:
+                raise ClassificationError(f"duplicate DTD name {dtd.name!r}")
+            self._validators[dtd.name] = Validator(dtd)
+        if not self._validators:
+            raise ClassificationError("the classifier holds no DTDs")
+
+    def classify(self, document: Document) -> Optional[str]:
+        """The name of a DTD the document is valid against, or ``None``."""
+        for name in sorted(self._validators):
+            if self._validators[name].is_valid(document):
+                return name
+        return None
+
+    def accepts(self, document: Document) -> bool:
+        return self.classify(document) is not None
+
+    def acceptance_rate(self, documents: Iterable[Document]) -> float:
+        """Fraction of documents accepted (E4's headline number)."""
+        documents = list(documents)
+        if not documents:
+            return 0.0
+        accepted = sum(1 for document in documents if self.accepts(document))
+        return accepted / len(documents)
+
+    def replace_dtd(self, dtd: DTD) -> None:
+        if dtd.name not in self._validators:
+            raise ClassificationError(f"unknown DTD name {dtd.name!r}")
+        self._validators[dtd.name] = Validator(dtd)

@@ -1,0 +1,148 @@
+"""Similarity-based classification against a set of DTDs.
+
+"If a document, matched against each DTD in the source, does not
+produce a similarity value above a fixed threshold, it is stored in a
+separate repository, containing unclassified documents.  Otherwise, the
+document is handled as an instance of the DTD for which the evaluation
+produced the highest similarity value." (Section 2)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.dtd.dtd import DTD
+from repro.errors import ClassificationError
+from repro.similarity.evaluation import DocumentEvaluation, evaluate_document
+from repro.similarity.matcher import StructureMatcher
+from repro.similarity.tags import TagMatcher
+from repro.similarity.triple import SimilarityConfig
+from repro.xmltree.document import Document
+
+
+class ClassificationResult:
+    """The outcome of classifying one document."""
+
+    __slots__ = ("document", "dtd_name", "similarity", "evaluation", "ranking")
+
+    def __init__(
+        self,
+        document: Document,
+        dtd_name: Optional[str],
+        similarity: float,
+        evaluation: Optional[DocumentEvaluation],
+        ranking: List[Tuple[str, float]],
+    ):
+        self.document = document
+        #: the selected DTD, or ``None`` when below threshold (repository)
+        self.dtd_name = dtd_name
+        #: similarity against the best DTD (even when below threshold)
+        self.similarity = similarity
+        #: full evaluation against the best DTD (None when no DTD exists)
+        self.evaluation = evaluation
+        #: all (dtd name, similarity) pairs, best first
+        self.ranking = ranking
+
+    @property
+    def accepted(self) -> bool:
+        return self.dtd_name is not None
+
+    def __repr__(self) -> str:
+        target = self.dtd_name if self.accepted else "<repository>"
+        return f"ClassificationResult({target!r}, {self.similarity:.3f})"
+
+
+class Classifier:
+    """Ranks documents against a DTD set with a similarity threshold.
+
+    Matchers are cached per DTD, so declaration-level work (automata,
+    minimal weights) is shared across documents.
+
+    >>> from repro.dtd.parser import parse_dtd
+    >>> from repro.xmltree.parser import parse_document
+    >>> classifier = Classifier(
+    ...     [parse_dtd("<!ELEMENT a (b)><!ELEMENT b (#PCDATA)>", name="A")],
+    ...     threshold=0.5,
+    ... )
+    >>> classifier.classify(parse_document("<a><b>x</b></a>")).dtd_name
+    'A'
+    """
+
+    def __init__(
+        self,
+        dtds: Iterable[DTD],
+        threshold: float = 0.5,
+        config: SimilarityConfig = SimilarityConfig(),
+        tag_matcher: Optional[TagMatcher] = None,
+    ):
+        if not 0.0 <= threshold <= 1.0:
+            raise ClassificationError(
+                f"threshold sigma must be in [0, 1], got {threshold}"
+            )
+        self.threshold = threshold
+        self.config = config
+        self.tag_matcher = tag_matcher
+        self._matchers: Dict[str, StructureMatcher] = {}
+        self._dtds: Dict[str, DTD] = {}
+        for dtd in dtds:
+            self.add_dtd(dtd)
+
+    # ------------------------------------------------------------------
+
+    def add_dtd(self, dtd: DTD) -> None:
+        if dtd.name in self._dtds:
+            raise ClassificationError(f"duplicate DTD name {dtd.name!r}")
+        self._dtds[dtd.name] = dtd
+        self._matchers[dtd.name] = StructureMatcher(
+            dtd, self.config, self.tag_matcher
+        )
+
+    def replace_dtd(self, dtd: DTD) -> None:
+        """Swap in an evolved DTD under the same name."""
+        if dtd.name not in self._dtds:
+            raise ClassificationError(f"unknown DTD name {dtd.name!r}")
+        self._dtds[dtd.name] = dtd
+        self._matchers[dtd.name] = StructureMatcher(
+            dtd, self.config, self.tag_matcher
+        )
+
+    def dtd_names(self) -> List[str]:
+        return list(self._dtds)
+
+    def dtd(self, name: str) -> DTD:
+        return self._dtds[name]
+
+    # ------------------------------------------------------------------
+
+    def rank(self, document: Document) -> List[Tuple[str, float]]:
+        """Similarity of the document against every DTD, best first.
+
+        Ties break on DTD name for determinism.
+        """
+        if not self._dtds:
+            raise ClassificationError("the classifier holds no DTDs")
+        scores = [
+            (name, matcher.document_similarity(document.root))
+            for name, matcher in self._matchers.items()
+        ]
+        for matcher in self._matchers.values():
+            matcher.clear_cache()
+        return sorted(scores, key=lambda pair: (-pair[1], pair[0]))
+
+    def classify(self, document: Document) -> ClassificationResult:
+        """Pick the best DTD, or none when below the threshold ``sigma``."""
+        ranking = self.rank(document)
+        best_name, best_similarity = ranking[0]
+        if best_similarity < self.threshold:
+            return ClassificationResult(
+                document, None, best_similarity, None, ranking
+            )
+        evaluation = evaluate_document(
+            document,
+            self._dtds[best_name],
+            self.config,
+            matcher=self._matchers[best_name],
+        )
+        return ClassificationResult(
+            document, best_name, best_similarity, evaluation, ranking
+        )

@@ -1,0 +1,141 @@
+"""Clustering repository documents and extracting DTDs for them.
+
+Section 2: "In the following we do not address the problem of
+generating a DTD from documents with similar structures in the
+repository [...] for such documents our approach or other approaches
+already developed for extracting structural information from the
+documents, as those described in Section 5, can be equivalently
+applied."
+
+This module closes that loop: documents that never reached the
+similarity threshold of any DTD are grouped by structural similarity
+(the preliminary clustering step the paper credits to [6]), and each
+large-enough cluster gets a DTD inferred from its members (with the
+XTRACT-style baseline, exactly one of the "approaches of Section 5").
+:meth:`repro.core.engine.XMLSource.mine_repository` wires it into the
+pipeline.
+
+Document-to-document similarity is measured on root-to-leaf label paths
+(a cheap, symmetric proxy: two documents are similar when they exercise
+the same structural paths) — Jaccard over the path sets, weighted by
+multiplicity.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Sequence, Tuple
+
+from repro.baselines.xtract import infer_dtd
+from repro.dtd.dtd import DTD
+from repro.xmltree.document import Document, Element
+
+
+def _path_profile(document: Document) -> Counter:
+    """Multiset of root-to-leaf tag paths (text leaves collapse to one
+    ``#text`` marker so values do not matter)."""
+    profile: Counter = Counter()
+
+    def walk(element: Element, prefix: Tuple[str, ...]) -> None:
+        path = prefix + (element.tag,)
+        children = element.element_children()
+        if not children:
+            profile[path] += 1
+            return
+        for child in children:
+            walk(child, path)
+
+    walk(document.root, ())
+    return profile
+
+
+def document_similarity(left: Document, right: Document) -> float:
+    """Symmetric structural similarity in [0, 1] (weighted path Jaccard).
+
+    >>> from repro.xmltree.parser import parse_document
+    >>> document_similarity(
+    ...     parse_document("<a><b/><c/></a>"), parse_document("<a><b/><c/></a>")
+    ... )
+    1.0
+    """
+    left_profile = _path_profile(left)
+    right_profile = _path_profile(right)
+    intersection = sum((left_profile & right_profile).values())
+    union = sum((left_profile | right_profile).values())
+    if union == 0:
+        return 1.0
+    return intersection / union
+
+
+class Cluster:
+    """A group of structurally similar documents."""
+
+    def __init__(self, seed: Document):
+        self.documents: List[Document] = [seed]
+        self._profile = _path_profile(seed)
+
+    def similarity_to(self, document: Document) -> float:
+        profile = _path_profile(document)
+        intersection = sum((self._profile & profile).values())
+        union = sum((self._profile | profile).values())
+        return intersection / union if union else 1.0
+
+    def add(self, document: Document) -> None:
+        self.documents.append(document)
+        # the cluster profile is the running union (keeps the cluster
+        # from drifting toward its latest member)
+        self._profile |= _path_profile(document)
+
+    def __len__(self) -> int:
+        return len(self.documents)
+
+    def __repr__(self) -> str:
+        return f"Cluster({len(self.documents)} documents)"
+
+
+def cluster_documents(
+    documents: Sequence[Document], threshold: float = 0.5
+) -> List[Cluster]:
+    """Greedy leader clustering: each document joins the first cluster
+    it resembles at or above ``threshold``, else founds a new one.
+
+    Deterministic in input order (the engine feeds repository order).
+    """
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+    clusters: List[Cluster] = []
+    for document in documents:
+        best_cluster = None
+        best_similarity = threshold
+        for cluster in clusters:
+            similarity = cluster.similarity_to(document)
+            if similarity >= best_similarity:
+                best_cluster = cluster
+                best_similarity = similarity
+        if best_cluster is None:
+            clusters.append(Cluster(document))
+        else:
+            best_cluster.add(document)
+    return clusters
+
+
+def extract_dtds(
+    documents: Sequence[Document],
+    threshold: float = 0.5,
+    min_cluster_size: int = 3,
+    name_prefix: str = "repo",
+) -> List[Tuple[DTD, List[Document]]]:
+    """Cluster documents and infer a DTD per large-enough cluster.
+
+    Returns ``(dtd, members)`` pairs; members of too-small clusters are
+    simply not covered (they stay in the repository).
+    """
+    results: List[Tuple[DTD, List[Document]]] = []
+    index = 0
+    for cluster in cluster_documents(documents, threshold):
+        if len(cluster) < min_cluster_size:
+            continue
+        dtd = infer_dtd(cluster.documents, name=f"{name_prefix}{index}")
+        results.append((dtd, cluster.documents))
+        index += 1
+    return results

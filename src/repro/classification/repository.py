@@ -1,0 +1,59 @@
+"""The repository of unclassified documents (Section 2).
+
+Documents whose best similarity falls below ``sigma`` wait here.
+"After the evolution phase, the documents in the repository are
+classified again against the restructured set of DTDs in order to check
+whether the similarity is now above the threshold ``sigma`` for some DTD
+in the source so that the document can be considered as instance of such
+DTD."
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Tuple
+
+from repro.xmltree.document import Document
+
+
+class Repository:
+    """An ordered store of documents no DTD currently describes."""
+
+    def __init__(self):
+        self._documents: List[Document] = []
+
+    def add(self, document: Document) -> None:
+        self._documents.append(document)
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self._documents)
+
+    def is_empty(self) -> bool:
+        return not self._documents
+
+    def drain_if(
+        self, accepts: Callable[[Document], bool]
+    ) -> Tuple[List[Document], int]:
+        """Remove and return the documents ``accepts`` now classifies.
+
+        Returns (accepted documents, number still held).  Used after
+        every evolution to re-try the repository against the evolved
+        DTD set.
+        """
+        accepted: List[Document] = []
+        remaining: List[Document] = []
+        for document in self._documents:
+            if accepts(document):
+                accepted.append(document)
+            else:
+                remaining.append(document)
+        self._documents = remaining
+        return accepted, len(remaining)
+
+    def clear(self) -> None:
+        self._documents.clear()
+
+    def __repr__(self) -> str:
+        return f"Repository({len(self._documents)} documents)"

@@ -1,0 +1,211 @@
+"""``dtdevolve`` — a small command-line front end.
+
+Subcommands::
+
+    dtdevolve classify --dtd schema.dtd doc1.xml doc2.xml ...
+        Rank each document against the DTD (similarity + validity).
+
+    dtdevolve evolve --dtd schema.dtd [--tau T --psi P --mu M] docs...
+        Record the documents against the DTD, run one evolution, and
+        print the evolved DTD.
+
+    dtdevolve infer docs...
+        Infer a DTD from scratch (the XTRACT-style baseline).
+
+    dtdevolve run --state state.json [--dtd schema.dtd] [--triggers rules.txt] docs...
+        Drive the full pipeline statefully: load (or initialise) a
+        source snapshot, process the documents — classifying, recording
+        and auto-evolving — and write the snapshot back.  Prints the
+        outcome per document and any evolutions.
+
+    dtdevolve adapt --dtd schema.dtd docs...
+        Adapt each document to the DTD (Section 6); writes the adapted
+        XML next to the input as ``<name>.adapted.xml`` and prints the
+        edit operations.
+
+All input is read from files; DTD output goes to stdout (redirect to
+persist).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.baselines.xtract import infer_dtd
+from repro.core.evolution import EvolutionConfig, evolve_dtd
+from repro.core.extended_dtd import ExtendedDTD
+from repro.core.recorder import Recorder
+from repro.dtd.automaton import Validator
+from repro.dtd.parser import parse_dtd
+from repro.errors import ReproError
+from repro.dtd.serializer import serialize_dtd
+from repro.similarity.evaluation import evaluate_document
+from repro.xmltree.document import Document
+from repro.xmltree.parser import parse_document
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _load_documents(paths: List[str]) -> List[Document]:
+    return [parse_document(_read(path)) for path in paths]
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    dtd = parse_dtd(_read(args.dtd))
+    validator = Validator(dtd)
+    print(f"{'document':<32} {'similarity':>10} {'valid':>6}")
+    for path in args.documents:
+        document = parse_document(_read(path))
+        evaluation = evaluate_document(document, dtd)
+        print(
+            f"{path:<32} {evaluation.similarity:>10.4f} "
+            f"{str(validator.is_valid(document)):>6}"
+        )
+    return 0
+
+
+def _cmd_evolve(args: argparse.Namespace) -> int:
+    dtd = parse_dtd(_read(args.dtd))
+    config = EvolutionConfig(tau=args.tau, psi=args.psi, mu=args.mu)
+    extended = ExtendedDTD(dtd)
+    recorder = Recorder(extended)
+    for document in _load_documents(args.documents):
+        recorder.record(document)
+    result = evolve_dtd(extended, config)
+    for action in result.actions:
+        if action.action != "kept":
+            window = action.window.value if action.window else "-"
+            print(f"-- {action.name}: {action.action} ({window} window)", file=sys.stderr)
+    sys.stdout.write(serialize_dtd(result.new_dtd))
+    return 0
+
+
+def _cmd_infer(args: argparse.Namespace) -> int:
+    documents = _load_documents(args.documents)
+    sys.stdout.write(serialize_dtd(infer_dtd(documents)))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.core.engine import XMLSource
+    from repro.core.persistence import load_source, save_source
+    from repro.triggers.trigger import TriggerSet
+
+    triggers = None
+    if args.triggers:
+        triggers = TriggerSet.parse(_read(args.triggers))
+    if os.path.exists(args.state):
+        source = load_source(args.state, triggers=triggers)
+    else:
+        if not args.dtd:
+            print(
+                "error: --dtd is required when the state file does not exist",
+                file=sys.stderr,
+            )
+            return 2
+        config = EvolutionConfig(
+            sigma=args.sigma, tau=args.tau, psi=args.psi, mu=args.mu,
+            min_documents=args.min_documents,
+        )
+        source = XMLSource([parse_dtd(_read(args.dtd))], config, triggers=triggers)
+    for path in args.documents:
+        outcome = source.process(parse_document(_read(path)))
+        target = outcome.dtd_name or "<repository>"
+        line = f"{path}: {target} (similarity {outcome.similarity:.3f})"
+        if outcome.evolved:
+            line += f"  ** evolved: {', '.join(outcome.evolved)}"
+        print(line)
+    for name in source.dtd_names():
+        sys.stdout.write(serialize_dtd(source.dtd(name)))
+    save_source(source, args.state)
+    print(f"state saved to {args.state}", file=sys.stderr)
+    return 0
+
+
+def _cmd_adapt(args: argparse.Namespace) -> int:
+    from repro.core.adaptation import DocumentAdapter
+    from repro.xmltree.serializer import serialize_document
+
+    adapter = DocumentAdapter(parse_dtd(_read(args.dtd)))
+    for path in args.documents:
+        report = adapter.adapt(parse_document(_read(path)))
+        output_path = path.rsplit(".", 1)[0] + ".adapted.xml"
+        with open(output_path, "w", encoding="utf-8") as handle:
+            handle.write(serialize_document(report.document, indent="  "))
+        summary = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(report.by_kind().items())
+        )
+        print(f"{path} -> {output_path} ({summary or 'unchanged'})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dtdevolve",
+        description="Evolve a DTD according to a set of XML documents "
+        "(Bertino et al., EDBT 2002 Workshops).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    classify = commands.add_parser("classify", help="rank documents against a DTD")
+    classify.add_argument("--dtd", required=True, help="path to the DTD file")
+    classify.add_argument("documents", nargs="+", help="XML document files")
+    classify.set_defaults(handler=_cmd_classify)
+
+    evolve = commands.add_parser("evolve", help="record documents and evolve the DTD")
+    evolve.add_argument("--dtd", required=True, help="path to the DTD file")
+    evolve.add_argument("--tau", type=float, default=0.1, help="activation threshold")
+    evolve.add_argument("--psi", type=float, default=0.2, help="window threshold")
+    evolve.add_argument("--mu", type=float, default=0.0, help="sequence min support")
+    evolve.add_argument("documents", nargs="+", help="XML document files")
+    evolve.set_defaults(handler=_cmd_evolve)
+
+    infer = commands.add_parser("infer", help="infer a DTD from scratch (baseline)")
+    infer.add_argument("documents", nargs="+", help="XML document files")
+    infer.set_defaults(handler=_cmd_infer)
+
+    run = commands.add_parser(
+        "run", help="stateful pipeline: classify, record, auto-evolve"
+    )
+    run.add_argument("--state", required=True, help="snapshot file (created if absent)")
+    run.add_argument("--dtd", help="initial DTD (required for a fresh state)")
+    run.add_argument("--triggers", help="trigger rule file (one rule per line)")
+    run.add_argument("--sigma", type=float, default=0.5)
+    run.add_argument("--tau", type=float, default=0.1)
+    run.add_argument("--psi", type=float, default=0.2)
+    run.add_argument("--mu", type=float, default=0.0)
+    run.add_argument("--min-documents", type=int, default=10, dest="min_documents")
+    run.add_argument("documents", nargs="+", help="XML document files")
+    run.set_defaults(handler=_cmd_run)
+
+    adapt = commands.add_parser(
+        "adapt", help="adapt documents to a DTD (writes *.adapted.xml)"
+    )
+    adapt.add_argument("--dtd", required=True, help="path to the DTD file")
+    adapt.add_argument("documents", nargs="+", help="XML document files")
+    adapt.set_defaults(handler=_cmd_adapt)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,328 @@
+"""Document adaptation to an evolved DTD (a Section 6 direction).
+
+"A related problem that is currently under investigation is how to
+adapt documents, already stored in the source, to the new structure
+prescribed by the evolved set of DTDs."
+
+:func:`adapt_document` transforms a document into a valid instance of a
+(possibly evolved) DTD with the cheapest structural edit script:
+
+- per element, its child sequence is aligned against the declaration's
+  Glushkov automaton (:meth:`ContentAutomaton.edit_alignment`) — kept
+  children are adapted recursively, surplus children deleted (cost =
+  subtree size), missing required elements inserted as *minimal
+  instances* (cost = minimal instance size);
+- undeclared elements are deleted (or renamed first, when a thesaurus
+  tag matcher recognises them as synonyms of declared tags — the
+  Section 6 tag-evolution hook);
+- ``EMPTY``/``#PCDATA``/mixed declarations drop whatever they cannot
+  hold.
+
+The returned :class:`AdaptationReport` lists every operation with its
+element path, and the adapted document is guaranteed valid (asserted in
+tests against the boolean validator).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from repro.dtd import content_model as cm
+from repro.dtd.automaton import ContentAutomaton
+from repro.dtd.dtd import DTD, ElementDecl
+from repro.similarity.tags import TagMatcher
+from repro.xmltree.document import Document, Element, Text
+from repro.xmltree.tree import Tree
+
+
+class AdaptationOperation(NamedTuple):
+    """One structural edit performed during adaptation."""
+
+    path: str
+    #: "delete" | "insert" | "rename" | "strip-text" | "strip-children"
+    kind: str
+    detail: str
+
+
+class AdaptationReport:
+    """The edit script that turned a document into a valid instance."""
+
+    def __init__(self, document: Document, operations: List[AdaptationOperation]):
+        self.document = document
+        self.operations = operations
+
+    @property
+    def unchanged(self) -> bool:
+        return not self.operations
+
+    @property
+    def cost(self) -> int:
+        return len(self.operations)
+
+    def by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for operation in self.operations:
+            counts[operation.kind] = counts.get(operation.kind, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:
+        return f"AdaptationReport({self.by_kind()})"
+
+
+class DocumentAdapter:
+    """Adapts documents to one DTD (automata and min-sizes cached)."""
+
+    def __init__(self, dtd: DTD, tag_matcher: Optional[TagMatcher] = None):
+        self.dtd = dtd
+        self.tags = tag_matcher
+        self._automata: Dict[str, ContentAutomaton] = {}
+        self._min_size: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+
+    def adapt(self, document: Document) -> AdaptationReport:
+        """Return a report whose document is a valid instance of the DTD.
+
+        The input document is not modified.  The root element is renamed
+        to the DTD root when it differs (the whole document would
+        otherwise be one giant delete).
+        """
+        operations: List[AdaptationOperation] = []
+        root = document.root.copy()
+        if root.tag != self.dtd.root:
+            operations.append(
+                AdaptationOperation(
+                    f"/{root.tag}", "rename", f"{root.tag} -> {self.dtd.root}"
+                )
+            )
+            root.tag = self.dtd.root
+        self._adapt_element(root, f"/{root.tag}", operations)
+        adapted = Document(
+            root,
+            doctype_name=self.dtd.root,
+            doctype_system=document.doctype_system,
+            encoding=document.encoding,
+        )
+        return AdaptationReport(adapted, operations)
+
+    # ------------------------------------------------------------------
+
+    def _automaton(self, name: str) -> ContentAutomaton:
+        if name not in self._automata:
+            self._automata[name] = ContentAutomaton(self.dtd[name].content)
+        return self._automata[name]
+
+    def _rename_if_synonym(
+        self, element: Element, path: str, operations: List[AdaptationOperation]
+    ) -> None:
+        if element.tag in self.dtd or self.tags is None:
+            return
+        for declared in self.dtd.element_names():
+            if self.tags.matches(element.tag, declared):
+                operations.append(
+                    AdaptationOperation(
+                        path, "rename", f"{element.tag} -> {declared} (thesaurus)"
+                    )
+                )
+                element.tag = declared
+                return
+
+    def _adapt_element(
+        self, element: Element, path: str, operations: List[AdaptationOperation]
+    ) -> None:
+        decl = self.dtd.get(element.tag)
+        assert decl is not None  # callers only descend into declared tags
+        if decl.is_any:
+            self._drop_undeclared(element, path, operations)
+            for index, child in enumerate(element.element_children()):
+                self._adapt_element(child, f"{path}/{child.tag}[{index}]", operations)
+            return
+        if decl.is_empty:
+            if element.children:
+                operations.append(
+                    AdaptationOperation(path, "strip-children", "declared EMPTY")
+                )
+                element.children = []
+            return
+        if decl.is_mixed:
+            self._adapt_mixed(element, decl, path, operations)
+            return
+        # element content: text is not allowed
+        if element.has_text():
+            operations.append(
+                AdaptationOperation(path, "strip-text", "element content only")
+            )
+        element.children = [
+            child for child in element.children if isinstance(child, Element)
+        ]
+        for index, child in enumerate(element.children):
+            self._rename_if_synonym(child, f"{path}/{child.tag}[{index}]", operations)
+        self._repair_sequence(element, path, operations)
+        for index, child in enumerate(element.element_children()):
+            self._adapt_element(child, f"{path}/{child.tag}[{index}]", operations)
+
+    def _adapt_mixed(
+        self,
+        element: Element,
+        decl: ElementDecl,
+        path: str,
+        operations: List[AdaptationOperation],
+    ) -> None:
+        allowed = decl.declared_labels()
+        kept = []
+        for child in element.children:
+            if isinstance(child, Text):
+                kept.append(child)
+                continue
+            self._rename_if_synonym(child, path, operations)
+            if child.tag in allowed:
+                kept.append(child)
+            else:
+                operations.append(
+                    AdaptationOperation(
+                        path, "delete", f"<{child.tag}> not allowed in mixed content"
+                    )
+                )
+        element.children = kept
+        for index, child in enumerate(element.element_children()):
+            self._adapt_element(child, f"{path}/{child.tag}[{index}]", operations)
+
+    def _drop_undeclared(
+        self, element: Element, path: str, operations: List[AdaptationOperation]
+    ) -> None:
+        kept = []
+        for child in element.children:
+            if isinstance(child, Element):
+                self._rename_if_synonym(child, path, operations)
+                if child.tag not in self.dtd:
+                    operations.append(
+                        AdaptationOperation(path, "delete", f"<{child.tag}> undeclared")
+                    )
+                    continue
+            kept.append(child)
+        element.children = kept
+
+    def _repair_sequence(
+        self, element: Element, path: str, operations: List[AdaptationOperation]
+    ) -> None:
+        self._drop_undeclared(element, path, operations)
+        children = element.element_children()
+        tags = [child.tag for child in children]
+        automaton = self._automaton(element.tag)
+        delete_costs = [self._subtree_size(child) for child in children]
+        insert_costs = {
+            symbol: self._minimal_size(symbol) for symbol in automaton.alphabet
+        }
+        _cost, script = automaton.edit_alignment(tags, delete_costs, insert_costs)
+        rebuilt: List[Element] = []
+        for kind, operand in script:
+            if kind == "keep":
+                rebuilt.append(children[operand])  # type: ignore[index]
+            elif kind == "delete":
+                child = children[operand]  # type: ignore[index]
+                operations.append(
+                    AdaptationOperation(
+                        path, "delete", f"<{child.tag}> surplus for the model"
+                    )
+                )
+            else:  # insert
+                rebuilt.append(self._minimal_instance(str(operand)))
+                operations.append(
+                    AdaptationOperation(
+                        path, "insert", f"<{operand}> required by the model"
+                    )
+                )
+        element.children = list(rebuilt)
+
+    # ------------------------------------------------------------------
+    # Minimal instances
+    # ------------------------------------------------------------------
+
+    def _subtree_size(self, element: Element) -> float:
+        size = 1.0
+        for child in element.children:
+            if isinstance(child, Element):
+                size += self._subtree_size(child)
+            elif child.value.strip():
+                size += 1.0
+        return size
+
+    def _minimal_size(self, tag: str, open_tags: Tuple[str, ...] = ()) -> float:
+        if tag in self._min_size:
+            return self._min_size[tag]
+        decl = self.dtd.get(tag)
+        if decl is None or tag in open_tags:
+            return 1.0
+        size = 1.0 + self._min_model_size(decl.content, open_tags + (tag,))
+        self._min_size[tag] = size
+        return size
+
+    def _min_model_size(self, model: Tree, open_tags: Tuple[str, ...]) -> float:
+        label = model.label
+        if label in (cm.PCDATA, cm.ANY, cm.EMPTY):
+            return 0.0
+        if cm.is_element_label(label):
+            return self._minimal_size(label, open_tags)
+        if label == cm.AND:
+            return sum(self._min_model_size(child, open_tags) for child in model.children)
+        if label == cm.OR:
+            return min(self._min_model_size(child, open_tags) for child in model.children)
+        if label in (cm.OPT, cm.STAR):
+            return 0.0
+        return self._min_model_size(model.children[0], open_tags)
+
+    def _minimal_instance(
+        self, tag: str, open_tags: Tuple[str, ...] = (), placeholder: str = ""
+    ) -> Element:
+        """The smallest valid instance of ``tag`` (empty text leaves)."""
+        element = Element(tag)
+        decl = self.dtd.get(tag)
+        if decl is None or tag in open_tags or decl.is_empty:
+            return element
+        if decl.is_any or decl.is_mixed or decl.content.label == cm.PCDATA:
+            if placeholder:
+                element.children.append(Text(placeholder))
+            return element
+        self._fill_minimal(decl.content, element, open_tags + (tag,), placeholder)
+        return element
+
+    def _fill_minimal(
+        self, model: Tree, parent: Element, open_tags: Tuple[str, ...], placeholder: str
+    ) -> None:
+        label = model.label
+        if label in (cm.PCDATA, cm.ANY, cm.EMPTY):
+            return
+        if cm.is_element_label(label):
+            parent.children.append(
+                self._minimal_instance(label, open_tags, placeholder)
+            )
+            return
+        if label == cm.AND:
+            for child in model.children:
+                self._fill_minimal(child, parent, open_tags, placeholder)
+            return
+        if label == cm.OR:
+            cheapest = min(
+                model.children,
+                key=lambda child: self._min_model_size(child, open_tags),
+            )
+            self._fill_minimal(cheapest, parent, open_tags, placeholder)
+            return
+        if label in (cm.OPT, cm.STAR):
+            return  # optional parts stay out of a minimal instance
+        self._fill_minimal(model.children[0], parent, open_tags, placeholder)
+
+
+def adapt_document(
+    document: Document, dtd: DTD, tag_matcher: Optional[TagMatcher] = None
+) -> AdaptationReport:
+    """One-shot adaptation (see :class:`DocumentAdapter`).
+
+    >>> from repro.dtd.parser import parse_dtd
+    >>> from repro.xmltree.parser import parse_document
+    >>> dtd = parse_dtd("<!ELEMENT a (b)><!ELEMENT b (#PCDATA)>")
+    >>> report = adapt_document(parse_document("<a><z/></a>"), dtd)
+    >>> sorted(report.by_kind())
+    ['delete', 'insert']
+    """
+    return DocumentAdapter(dtd, tag_matcher).adapt(document)

@@ -1,0 +1,272 @@
+"""The end-to-end source pipeline (Figure 1).
+
+An :class:`XMLSource` owns the set of (extended) DTDs, the repository of
+unclassified documents, and the iterated loop of the approach:
+
+    queue → **classification** → **recording** → **check** →
+    (**evolution** → repository re-classification) → queue ...
+
+"This cycle includes all the activities in our approach, but the ones
+in the initialization phase."
+
+Usage::
+
+    source = XMLSource([dtd], EvolutionConfig(sigma=0.4, tau=0.1))
+    for document in stream:
+        outcome = source.process(document)
+    source.dtd("catalog")          # the current (possibly evolved) DTD
+    source.evolution_log           # every evolution that happened
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, NamedTuple, Optional
+
+from repro.classification.classifier import ClassificationResult, Classifier
+from repro.classification.repository import Repository
+from repro.core.evolution import EvolutionConfig, EvolutionResult, evolve_dtd
+from repro.core.extended_dtd import ExtendedDTD
+from repro.core.recorder import Recorder
+from repro.dtd.dtd import DTD
+from repro.similarity.tags import TagMatcher
+from repro.similarity.triple import SimilarityConfig
+from repro.xmltree.document import Document
+
+
+class ProcessOutcome(NamedTuple):
+    """What happened to one processed document."""
+
+    document: Document
+    #: the DTD the document was classified into (None → repository)
+    dtd_name: Optional[str]
+    similarity: float
+    #: names of DTDs whose evolution this document triggered
+    evolved: List[str]
+    #: documents recovered from the repository by those evolutions
+    recovered: int
+
+
+class EvolutionEvent(NamedTuple):
+    """One entry of the evolution log."""
+
+    dtd_name: str
+    #: how many documents had been recorded when the trigger fired
+    documents_recorded: int
+    activation_score: float
+    result: EvolutionResult
+    recovered_from_repository: int
+
+
+class XMLSource:
+    """A source of XML documents with an evolving DTD set."""
+
+    def __init__(
+        self,
+        dtds: Iterable[DTD],
+        config: EvolutionConfig = EvolutionConfig(),
+        tag_matcher: Optional[TagMatcher] = None,
+        auto_evolve: bool = True,
+        triggers: Optional["TriggerSet"] = None,
+    ):
+        self.config = config
+        self.similarity_config = SimilarityConfig(config.alpha, config.beta)
+        #: also drives tag evolution during the evolution phase (a
+        #: thesaurus matcher enables renames; the default exact matcher
+        #: keeps the feature inert)
+        self.tag_matcher = tag_matcher
+        self.classifier = Classifier(
+            dtds, config.sigma, self.similarity_config, tag_matcher
+        )
+        self.extended: Dict[str, ExtendedDTD] = {}
+        self.recorders: Dict[str, Recorder] = {}
+        for name in self.classifier.dtd_names():
+            self._install(self.classifier.dtd(name))
+        self.repository = Repository()
+        self.evolution_log: List[EvolutionEvent] = []
+        #: check the activation condition after every document; turn off
+        #: to drive evolution manually via :meth:`evolve_now`
+        self.auto_evolve = auto_evolve
+        #: when set, trigger rules replace the default tau check phase
+        #: (Section 6's "evolution trigger language")
+        self.triggers = triggers
+        self.documents_processed = 0
+
+    def _install(self, dtd: DTD) -> None:
+        extended = ExtendedDTD(dtd)
+        self.extended[dtd.name] = extended
+        self.recorders[dtd.name] = Recorder(extended, self.similarity_config)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def dtd(self, name: str) -> DTD:
+        """The current (possibly evolved) DTD under ``name``."""
+        return self.classifier.dtd(name)
+
+    def dtd_names(self) -> List[str]:
+        return self.classifier.dtd_names()
+
+    def extended_dtd(self, name: str) -> ExtendedDTD:
+        return self.extended[name]
+
+    @property
+    def evolution_count(self) -> int:
+        return len(self.evolution_log)
+
+    # ------------------------------------------------------------------
+    # The pipeline
+    # ------------------------------------------------------------------
+
+    def classify(self, document: Document) -> ClassificationResult:
+        """Classification phase only (no recording)."""
+        return self.classifier.classify(document)
+
+    def process(self, document: Document) -> ProcessOutcome:
+        """Run one document through the full Figure-1 loop."""
+        self.documents_processed += 1
+        classification = self.classifier.classify(document)
+        if not classification.accepted:
+            self.repository.add(document)
+            return ProcessOutcome(
+                document, None, classification.similarity, [], 0
+            )
+        name = classification.dtd_name
+        assert name is not None
+        # With a thesaurus matcher, the classifier's evaluation scores
+        # synonym matches as (near-)valid — reusing it would hide the
+        # very deviations tag evolution needs.  Recording always uses
+        # exact tag matching (the recorder's own matcher); the cheap
+        # reuse path stays for the exact-matching default.
+        evaluation = classification.evaluation if self.tag_matcher is None else None
+        self.recorders[name].record(document, evaluation)
+        evolved: List[str] = []
+        recovered = 0
+        if self.auto_evolve:
+            event = self._check_phase(name)
+            if event is not None:
+                evolved.append(name)
+                recovered = event.recovered_from_repository
+        return ProcessOutcome(
+            document, name, classification.similarity, evolved, recovered
+        )
+
+    def process_many(self, documents: Iterable[Document]) -> List[ProcessOutcome]:
+        """Process a batch, in order."""
+        return [self.process(document) for document in documents]
+
+    # ------------------------------------------------------------------
+    # Evolution
+    # ------------------------------------------------------------------
+
+    def _check_phase(self, name: str) -> Optional["EvolutionEvent"]:
+        """Decide whether to evolve ``name`` now.
+
+        With a trigger set installed, the first matching rule whose
+        condition holds fires (with its parameter overrides); otherwise
+        the paper's default check — ``min_documents`` recorded and
+        activation score above ``tau`` — applies.
+        """
+        extended = self.extended[name]
+        if self.triggers is not None:
+            from repro.triggers.trigger import metrics_environment
+
+            environment = metrics_environment(extended, len(self.repository))
+            trigger = self.triggers.firing_trigger(name, environment)
+            if trigger is None:
+                return None
+            return self.evolve_now(name, trigger.apply_overrides(self.config))
+        if (
+            extended.document_count >= self.config.min_documents
+            and extended.should_evolve(self.config.tau)
+        ):
+            return self.evolve_now(name)
+        return None
+
+    def evolve_now(
+        self, name: str, config: Optional[EvolutionConfig] = None
+    ) -> EvolutionEvent:
+        """Force the evolution phase for one DTD (the check phase calls
+        this automatically when ``auto_evolve`` is on).  ``config``
+        overrides the source's evolution parameters for this run only
+        (trigger WITH clauses use it)."""
+        extended = self.extended[name]
+        result = evolve_dtd(
+            extended, config or self.config, tag_matcher=self.tag_matcher
+        )
+        event_documents = extended.document_count
+        event_score = extended.activation_score
+
+        # adopt the evolved DTD and start a fresh recording period
+        self.classifier.replace_dtd(result.new_dtd)
+        self._install(result.new_dtd)
+        self.extended[name].evolution_count = extended.evolution_count + 1
+
+        recovered = self._reclassify_repository()
+        event = EvolutionEvent(
+            name, event_documents, event_score, result, recovered
+        )
+        self.evolution_log.append(event)
+        return event
+
+    def mine_repository(
+        self,
+        threshold: float = 0.5,
+        min_cluster_size: int = 3,
+        name_prefix: str = "repo",
+    ) -> List[str]:
+        """Create DTDs for repository documents no existing DTD covers.
+
+        The Section 2 companion problem: repository documents are
+        clustered by structural similarity and each large-enough
+        cluster gets an inferred DTD, which joins the source's DTD set;
+        the repository is then re-classified (cluster members — and
+        possibly older strays — are recovered through the normal
+        record path).  Returns the new DTD names.
+        """
+        from repro.classification.clustering import extract_dtds
+
+        extracted = extract_dtds(
+            list(self.repository),
+            threshold=threshold,
+            min_cluster_size=min_cluster_size,
+            name_prefix=f"{name_prefix}{len(self.extended)}_",
+        )
+        names: List[str] = []
+        for dtd, _members in extracted:
+            self.classifier.add_dtd(dtd)
+            self._install(dtd)
+            names.append(dtd.name)
+        if names:
+            self._reclassify_repository()
+        return names
+
+    def _reclassify_repository(self) -> int:
+        """Re-classify repository documents against the evolved set.
+
+        Recovered documents go through the normal record path (they are
+        now instances of a DTD and must count toward future triggers);
+        evolution is *not* re-triggered while draining, to keep the
+        drain a single pass.
+        """
+        recovered_documents, _remaining = self.repository.drain_if(
+            lambda document: self.classifier.classify(document).accepted
+        )
+        for document in recovered_documents:
+            classification = self.classifier.classify(document)
+            if classification.dtd_name is None:  # pragma: no cover - raced
+                self.repository.add(document)
+                continue
+            evaluation = (
+                classification.evaluation if self.tag_matcher is None else None
+            )
+            self.recorders[classification.dtd_name].record(document, evaluation)
+        return len(recovered_documents)
+
+    def __repr__(self) -> str:
+        return (
+            f"XMLSource(dtds={self.dtd_names()!r}, "
+            f"processed={self.documents_processed}, "
+            f"repository={len(self.repository)}, "
+            f"evolutions={self.evolution_count})"
+        )

@@ -1,0 +1,256 @@
+"""JSON persistence for the source state.
+
+A production source runs for months between evolutions; its value is
+the recorded aggregates.  This module serialises everything the engine
+cannot recompute — the (possibly evolved) DTD set, every extended-DTD
+record, the document-level counters, and the repository — to plain
+JSON, and restores it into a fully working :class:`XMLSource`.
+
+Runtime-only collaborators (trigger sets, tag matchers) are *not*
+serialised; pass them again at load time.
+
+Round-trip guarantee (tested): saving and loading a source yields one
+whose next evolution produces exactly the same DTD as the original
+would have.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.core.engine import XMLSource
+from repro.core.evolution import EvolutionConfig
+from repro.core.extended_dtd import ElementRecord, ExtendedDTD
+from repro.dtd.dtd import DTD, AttributeDecl, ElementDecl
+from repro.xmltree.parser import parse_document
+from repro.xmltree.serializer import serialize_document
+from repro.xmltree.tree import Tree
+
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Trees and DTDs
+# ----------------------------------------------------------------------
+
+
+def tree_to_json(tree: Tree) -> Any:
+    """A leaf becomes its label; an inner vertex ``[label, [children]]``."""
+    if tree.is_leaf:
+        return tree.label
+    return [tree.label, [tree_to_json(child) for child in tree.children]]
+
+
+def tree_from_json(data: Any) -> Tree:
+    if isinstance(data, str):
+        return Tree.leaf(data)
+    label, children = data
+    return Tree(label, [tree_from_json(child) for child in children])
+
+
+def dtd_to_json(dtd: DTD) -> Dict[str, Any]:
+    return {
+        "name": dtd.name,
+        "root": dtd.root if len(dtd) else None,
+        "declarations": [
+            {"name": decl.name, "content": tree_to_json(decl.content)}
+            for decl in dtd
+        ],
+        "attlists": {
+            name: [
+                [attr.name, attr.type_spec, attr.default_spec] for attr in attrs
+            ]
+            for name, attrs in dtd.attlists.items()
+        },
+    }
+
+
+def dtd_from_json(data: Dict[str, Any]) -> DTD:
+    dtd = DTD(name=data["name"])
+    for declaration in data["declarations"]:
+        dtd.add(ElementDecl(declaration["name"], tree_from_json(declaration["content"])))
+    dtd.attlists = {
+        name: [AttributeDecl(*attr) for attr in attrs]
+        for name, attrs in data.get("attlists", {}).items()
+    }
+    if data.get("root"):
+        dtd.root = data["root"]
+    return dtd
+
+
+# ----------------------------------------------------------------------
+# Records
+# ----------------------------------------------------------------------
+
+
+def record_to_json(record: ElementRecord) -> Dict[str, Any]:
+    return {
+        "name": record.name,
+        "valid_count": record.valid_count,
+        "documents_with_valid": record.documents_with_valid,
+        "invalid_count": record.invalid_count,
+        "text_count": record.text_count,
+        "empty_count": record.empty_count,
+        "labels": sorted(record.labels.items(), key=lambda kv: kv[1]),
+        "sequences": [
+            [sorted(sequence), count] for sequence, count in record.sequences.items()
+        ],
+        "label_stats": {
+            label: [
+                stats.instances_with,
+                stats.instances_repeated,
+                stats.total_occurrences,
+                stats.max_occurrences,
+            ]
+            for label, stats in record.label_stats.items()
+        },
+        "valid_label_stats": {
+            label: [stats.instances_with, stats.min_occurrences, stats.max_occurrences]
+            for label, stats in record.valid_label_stats.items()
+        },
+        "groups": [
+            [sorted(group), count] for group, count in record.groups.items()
+        ],
+        "plus_records": {
+            label: record_to_json(nested)
+            for label, nested in record.plus_records.items()
+        },
+        "attribute_counts": sorted(record.attribute_counts.items()),
+        "ordered_sequences": sorted(
+            [list(tags), count] for tags, count in record.ordered_sequences.items()
+        ),
+    }
+
+
+def record_from_json(data: Dict[str, Any]) -> ElementRecord:
+    record = ElementRecord(data["name"])
+    record.valid_count = data["valid_count"]
+    record.documents_with_valid = data["documents_with_valid"]
+    record.invalid_count = data["invalid_count"]
+    record.text_count = data["text_count"]
+    record.empty_count = data["empty_count"]
+    for label, rank in data["labels"]:
+        record.labels[label] = rank
+    for labels, count in data["sequences"]:
+        record.sequences[frozenset(labels)] = count
+    for label, values in data["label_stats"].items():
+        stats = record.stats_for(label)
+        (
+            stats.instances_with,
+            stats.instances_repeated,
+            stats.total_occurrences,
+            stats.max_occurrences,
+        ) = values
+    for label, values in data["valid_label_stats"].items():
+        stats = record.valid_stats_for(label)
+        stats.instances_with, stats.min_occurrences, stats.max_occurrences = values
+    for labels, count in data["groups"]:
+        record.groups[frozenset(labels)] = count
+    for label, nested in data["plus_records"].items():
+        record.plus_records[label] = record_from_json(nested)
+    for attribute, count in data.get("attribute_counts", []):
+        record.attribute_counts[attribute] = count
+    for tags, count in data.get("ordered_sequences", []):
+        record.ordered_sequences[tuple(tags)] = count
+    return record
+
+
+def extended_to_json(extended: ExtendedDTD) -> Dict[str, Any]:
+    return {
+        "dtd": dtd_to_json(extended.dtd),
+        "document_count": extended.document_count,
+        "valid_document_count": extended.valid_document_count,
+        "sum_invalid_fraction": extended.sum_invalid_fraction,
+        "evolution_count": extended.evolution_count,
+        "records": {
+            name: record_to_json(record) for name, record in extended.records.items()
+        },
+    }
+
+
+def extended_from_json(data: Dict[str, Any]) -> ExtendedDTD:
+    extended = ExtendedDTD(dtd_from_json(data["dtd"]))
+    extended.document_count = data["document_count"]
+    extended.valid_document_count = data["valid_document_count"]
+    extended.sum_invalid_fraction = data["sum_invalid_fraction"]
+    extended.evolution_count = data["evolution_count"]
+    for name, record in data["records"].items():
+        extended.records[name] = record_from_json(record)
+    return extended
+
+
+# ----------------------------------------------------------------------
+# Config and the whole source
+# ----------------------------------------------------------------------
+
+
+def config_to_json(config: EvolutionConfig) -> Dict[str, Any]:
+    return dict(config._asdict())
+
+
+def config_from_json(data: Dict[str, Any]) -> EvolutionConfig:
+    # tolerate snapshots written before a config field existed
+    known = {key: value for key, value in data.items() if key in EvolutionConfig._fields}
+    return EvolutionConfig(**known)
+
+
+def source_to_json(source: XMLSource) -> Dict[str, Any]:
+    """Snapshot an :class:`XMLSource` (triggers/tag matchers excluded)."""
+    return {
+        "format": FORMAT_VERSION,
+        "config": config_to_json(source.config),
+        "auto_evolve": source.auto_evolve,
+        "documents_processed": source.documents_processed,
+        "extended": [
+            extended_to_json(source.extended[name]) for name in source.dtd_names()
+        ],
+        "repository": [
+            serialize_document(document, xml_declaration=False)
+            for document in source.repository
+        ],
+    }
+
+
+def source_from_json(
+    data: Dict[str, Any],
+    tag_matcher=None,
+    triggers=None,
+) -> XMLSource:
+    """Restore a source snapshot (re-supply runtime collaborators)."""
+    if data.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported snapshot format {data.get('format')!r}")
+    config = config_from_json(data["config"])
+    extended_list = [extended_from_json(entry) for entry in data["extended"]]
+    source = XMLSource(
+        [extended.dtd for extended in extended_list],
+        config,
+        tag_matcher=tag_matcher,
+        auto_evolve=data["auto_evolve"],
+        triggers=triggers,
+    )
+    for extended in extended_list:
+        source.extended[extended.name] = extended
+        # recorders must write into the restored aggregates
+        from repro.core.recorder import Recorder
+
+        source.recorders[extended.name] = Recorder(
+            extended, source.similarity_config
+        )
+    source.documents_processed = data["documents_processed"]
+    for xml in data["repository"]:
+        source.repository.add(parse_document(xml))
+    return source
+
+
+def save_source(source: XMLSource, path: str) -> None:
+    """Write a source snapshot to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(source_to_json(source), handle, indent=1)
+
+
+def load_source(path: str, tag_matcher=None, triggers=None) -> XMLSource:
+    """Read a source snapshot from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    return source_from_json(data, tag_matcher, triggers)

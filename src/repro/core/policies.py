@@ -1,0 +1,738 @@
+"""The heuristic policies (Section 4.2 and Appendix A).
+
+"The algorithm applies 13 policies we have identified for determining
+the new structure of the element e.  Each policy is composed of two
+parts: the condition and the re-writing parts. [...] Each policy is
+applied exhaustively [...] Policies are thus applied in turn till set C
+becomes a singleton."  In addition, "three policies handle basic cases"
+when the starting set is already a singleton.
+
+Provenance
+----------
+The appendix of every surviving copy of the paper is truncated inside
+Policy 3, so the policy set below is part verbatim, part
+reconstruction:
+
+- **verbatim** (fully specified in the text): Policies 1, 2, the two
+  basic principles P1/P2 (AND- and OR-binding between two elements),
+  the three basic policies, and Policy 13's behaviour (Example 5);
+- **reconstructed** (constrained by the Figure 4 grid — which policies
+  accept element-labeled vs operator-labeled trees and what operator
+  they produce — by Example 5's trace ``1 → 4 → 13`` with Policies 11
+  and 12 failing on its input, and by the requirement that the
+  cascade always terminates): Policies 3 (completion), 4–12.
+
+Every policy's docstring carries its provenance tag.
+
+Interface
+---------
+A policy has a ``condition``/``rewrite`` pair fused into
+:meth:`Policy.apply`: given the working set ``C`` (a list of content
+model trees) and the :class:`EvolutionContext` (rules + recorded
+statistics), it performs *one* rewrite (removing input trees from C and
+appending the new tree) and reports whether it fired.  The structure
+builder applies each policy exhaustively, in order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Iterable, List, Sequence, Tuple
+
+from repro.core.extended_dtd import ElementRecord
+from repro.dtd import content_model as cm
+from repro.mining.rules import RuleSet
+from repro.mining.transactions import present
+from repro.xmltree.tree import Tree
+
+_INFINITY = float("inf")
+
+
+class EvolutionContext:
+    """Everything a policy condition may consult.
+
+    Wraps the element's :class:`ElementRecord` (label statistics,
+    co-repetition groups, first-seen order) and the mined
+    :class:`RuleSet` (confidence-1 implications over presence/absence
+    literals).
+    """
+
+    def __init__(self, record: ElementRecord, rules: RuleSet):
+        self.record = record
+        self.rules = rules
+
+    # -- tree classification -------------------------------------------
+
+    @staticmethod
+    def is_element_tree(tree: Tree) -> bool:
+        """A tree whose root label is an element tag (a leaf in C)."""
+        return tree.is_leaf and cm.is_element_label(tree.label)
+
+    @staticmethod
+    def is_operator_tree(tree: Tree) -> bool:
+        return cm.is_operator(tree.label)
+
+    @staticmethod
+    def labels_of(tree: Tree) -> FrozenSet[str]:
+        return cm.declared_labels(tree)
+
+    # -- per-label evidence ---------------------------------------------
+
+    def repeated(self, label: str) -> bool:
+        """The label was observed more than once in some instance."""
+        stats = self.record.label_stats.get(label)
+        return stats is not None and stats.is_ever_repeated
+
+    def optional(self, label: str) -> bool:
+        """Present in some surviving instances, absent in others."""
+        return self.rules.sometimes_present(label)
+
+    def always(self, label: str) -> bool:
+        return self.rules.always_present(label)
+
+    def wrap_leaf(self, label: str) -> Tree:
+        """A leaf wrapped with the repetition operator its stats call for
+        (used when placing a label inside an OR alternative, where the
+        choice itself carries the optionality)."""
+        leaf = Tree.leaf(label)
+        if self.repeated(label):
+            return Tree(cm.PLUS, [leaf])
+        return leaf
+
+    def wrap_with_evidence(self, label: str) -> Tree:
+        """A leaf wrapped per its full evidence (repetition *and*
+        optionality) — used when an AND-binding policy consumes a leaf
+        before the wrapping policy (Policy 9) could reach it."""
+        leaf = Tree.leaf(label)
+        repeated = self.repeated(label)
+        optional = self.optional(label)
+        if repeated and optional:
+            return Tree(cm.STAR, [leaf])
+        if repeated:
+            return Tree(cm.PLUS, [leaf])
+        if optional:
+            return Tree(cm.OPT, [leaf])
+        return leaf
+
+    # -- tree-level evidence ----------------------------------------------
+
+    def tree_sometimes_absent(self, tree: Tree) -> bool:
+        """Some surviving instance contained none of the tree's labels."""
+        return self.rules.all_absent_sometimes(self.labels_of(tree))
+
+    def trees_exclusive(self, left: Tree, right: Tree) -> bool:
+        """No surviving instance mixes presences from both trees."""
+        left_labels = self.labels_of(left)
+        right_labels = self.labels_of(right)
+        if not left_labels or not right_labels:
+            return False
+        for transaction in self.rules.transactions:
+            has_left = any(present(label) in transaction for label in left_labels)
+            has_right = any(present(label) in transaction for label in right_labels)
+            if has_left and has_right:
+                return False
+        return True
+
+    def trees_cover_all(self, trees: Sequence[Tree]) -> bool:
+        """Every surviving instance asserts a presence from some tree."""
+        label_sets = [self.labels_of(tree) for tree in trees]
+        for transaction in self.rules.transactions:
+            if not any(
+                any(present(label) in transaction for label in labels)
+                for labels in label_sets
+            ):
+                return False
+        return True
+
+    def set_implies_label(self, labels: Iterable[str], target: str) -> bool:
+        """The paper's ``alphabeta(T) -> x`` rule (confidence 1)."""
+        return self.rules.implies_set(
+            [present(label) for label in labels], present(target)
+        )
+
+    def each_implies_all(self, sources: Iterable[str], targets: Iterable[str]) -> bool:
+        """Every single source label implies every target label."""
+        target_literals = [present(target) for target in targets]
+        return all(
+            self.rules.implies_all(present(source), target_literals)
+            for source in sources
+        )
+
+    # -- ordering ---------------------------------------------------------
+
+    def order_key(self, tree: Tree) -> Tuple[float, str]:
+        """Deterministic layout order: first-seen rank of the tree's
+        earliest label (document order), then label text."""
+        labels = self.labels_of(tree)
+        if not labels:
+            return (_INFINITY, tree.label)
+        rank = min(self.record.labels.get(label, _INFINITY) for label in labels)
+        return (rank, min(labels))
+
+    def ordered(self, trees: Iterable[Tree]) -> List[Tree]:
+        return sorted(trees, key=self.order_key)
+
+
+class Policy:
+    """A named condition/rewrite pair."""
+
+    def __init__(
+        self,
+        number: int,
+        name: str,
+        provenance: str,
+        apply_once: Callable[[List[Tree], EvolutionContext], bool],
+    ):
+        self.number = number
+        self.name = name
+        #: "verbatim" or "reconstructed"
+        self.provenance = provenance
+        self._apply_once = apply_once
+
+    def apply(self, working_set: List[Tree], context: EvolutionContext) -> bool:
+        """Perform one rewrite if the condition holds; report firing."""
+        return self._apply_once(working_set, context)
+
+    def __repr__(self) -> str:
+        return f"Policy({self.number}, {self.name!r})"
+
+
+# ----------------------------------------------------------------------
+# Helpers shared by several policies
+# ----------------------------------------------------------------------
+
+
+def _element_leaves(working_set: Sequence[Tree]) -> List[Tree]:
+    return [tree for tree in working_set if EvolutionContext.is_element_tree(tree)]
+
+
+def _replace(working_set: List[Tree], consumed: Sequence[Tree], produced: Tree) -> None:
+    for tree in consumed:
+        working_set.remove(tree)
+    working_set.append(produced)
+
+
+def _mutual_presence_classes(
+    leaves: Sequence[Tree], context: EvolutionContext
+) -> List[List[str]]:
+    """Maximal sets of leaf labels related by two-way confidence-1
+    implication.  Mutual implication at confidence 1 is transitive, so
+    the classes are the connected components of the pairwise relation."""
+    labels = [leaf.label for leaf in leaves]
+    classes: List[List[str]] = []
+    assigned = set()
+    for label in labels:
+        if label in assigned:
+            continue
+        group = [label]
+        for other in labels:
+            if other == label or other in assigned:
+                continue
+            if context.rules.presence_implies(label, other) and (
+                context.rules.presence_implies(other, label)
+            ):
+                group.append(other)
+        if len(group) >= 2:
+            classes.append(group)
+            assigned.update(group)
+    return classes
+
+
+def _disjoint_groups_within(
+    labels: FrozenSet[str], record: ElementRecord
+) -> List[FrozenSet[str]]:
+    """Recorded co-repetition groups inside ``labels``, greedily chosen
+    pairwise-disjoint, most-observed first (Policy 1, third case: "the
+    groups in a set G s.t. for each G in G, G ⊆ L_k, and for G' ≠ G'',
+    G' ∩ G'' = ∅")."""
+    candidates = sorted(
+        (
+            group
+            for group in record.groups
+            if group and group <= labels and record.always_co_repeated(group)
+        ),
+        key=lambda group: (-record.groups[group], sorted(group)),
+    )
+    chosen: List[FrozenSet[str]] = []
+    covered: set = set()
+    for group in candidates:
+        if group & covered:
+            continue
+        chosen.append(group)
+        covered |= group
+    return chosen
+
+
+# ----------------------------------------------------------------------
+# Policy 1 — extraction of an AND-binding among elements (verbatim)
+# ----------------------------------------------------------------------
+
+
+def _policy1(working_set: List[Tree], context: EvolutionContext) -> bool:
+    """Policy 1 [verbatim].  A maximal set of element leaves whose
+    presences mutually imply each other is bound by AND, with three
+    repetition cases:
+
+    1. no member ever repeated → ``AND(x1, ..., xk)``;
+    2. the whole set always co-repeats (recorded as a group) →
+       ``(AND(x1, ..., xk))*`` — Example 5's tree (1); the paper's
+       condition reads "R(Ti) = R(Tj) = m" and its example applies the
+       case with the repetition count varying per instance, so the
+       implemented condition is *co-repetition* (equal counts within
+       each instance), not a fixed global m;
+    3. otherwise → each recorded disjoint co-repetition group becomes
+       ``(AND(group))+``, each leftover repeated label ``label+``,
+       leftovers stay leaves, all bound by AND.
+    """
+    classes = _mutual_presence_classes(_element_leaves(working_set), context)
+    if not classes:
+        return False
+    members = sorted(
+        classes[0], key=lambda label: context.record.labels.get(label, _INFINITY)
+    )
+    leaves = [
+        tree
+        for label in members
+        for tree in working_set
+        if tree.is_leaf and tree.label == label
+    ]
+    group_key = frozenset(members)
+    repeated_members = [label for label in members if context.repeated(label)]
+
+    if not repeated_members:
+        produced = Tree(cm.AND, [Tree.leaf(label) for label in members])
+    elif context.record.always_co_repeated(group_key):
+        produced = Tree(
+            cm.STAR, [Tree(cm.AND, [Tree.leaf(label) for label in members])]
+        )
+    else:
+        pieces: List[Tree] = []
+        groups = _disjoint_groups_within(group_key, context.record)
+        covered: set = set()
+        for group in groups:
+            ordered = sorted(
+                group, key=lambda label: context.record.labels.get(label, _INFINITY)
+            )
+            if len(ordered) == 1:
+                pieces.append(Tree(cm.PLUS, [Tree.leaf(ordered[0])]))
+            else:
+                pieces.append(
+                    Tree(
+                        cm.PLUS,
+                        [Tree(cm.AND, [Tree.leaf(label) for label in ordered])],
+                    )
+                )
+            covered |= group
+        for label in members:
+            if label in covered:
+                continue
+            if context.repeated(label):
+                pieces.append(Tree(cm.PLUS, [Tree.leaf(label)]))
+            else:
+                pieces.append(Tree.leaf(label))
+        pieces = context.ordered(pieces)
+        produced = pieces[0] if len(pieces) == 1 else Tree(cm.AND, pieces)
+    # instances may miss the whole group: the bound structure is optional
+    if context.rules.all_absent_sometimes(members) and not cm.nullable(produced):
+        produced = Tree(cm.OPT, [produced])
+    _replace(working_set, leaves, produced)
+    return True
+
+
+# ----------------------------------------------------------------------
+# Policy 2 — AND-binding an element with a *-labeled tree (verbatim)
+# ----------------------------------------------------------------------
+
+
+def _policy2(working_set: List[Tree], context: EvolutionContext) -> bool:
+    """Policy 2 [verbatim].  "Let A = {T | T ∈ C, label(T) = *}.  For
+    each T ∈ A, if ∃x ∈ L_n s.t. alphabeta(T) → x ∈ Rules, the tree
+    (v, [T, T_x]) is generated with phi(v) = AND"."""
+    star_trees = [tree for tree in working_set if tree.label == cm.STAR]
+    for star_tree in star_trees:
+        for leaf in _element_leaves(working_set):
+            if context.set_implies_label(context.labels_of(star_tree), leaf.label):
+                wrapped = context.wrap_with_evidence(leaf.label)
+                produced = Tree(cm.AND, context.ordered([star_tree, wrapped]))
+                _replace(working_set, [star_tree, leaf], produced)
+                return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Policy 3 — AND-binding elements with an AND-labeled tree
+# ----------------------------------------------------------------------
+
+
+def _policy3(working_set: List[Tree], context: EvolutionContext) -> bool:
+    """Policy 3 [condition verbatim, rewrite reconstructed — the paper
+    truncates here].  Elements x1..xk mutually implying each other and
+    all implying an element inside an AND-labeled tree are attached to
+    that tree.  When the implication is mutual (the anchor also implies
+    each x) the set joins the AND directly; otherwise it joins as an
+    optional part (the anchor occurs without it)."""
+    and_trees = [tree for tree in working_set if tree.label == cm.AND]
+    leaves = _element_leaves(working_set)
+    if not and_trees or not leaves:
+        return False
+    for and_tree in and_trees:
+        anchors = [
+            child.label
+            for child in and_tree.children
+            if cm.is_element_label(child.label)
+        ]
+        if not anchors:
+            continue
+        for anchor in anchors:
+            attached = [
+                leaf
+                for leaf in leaves
+                if context.rules.presence_implies(leaf.label, anchor)
+            ]
+            if not attached:
+                continue
+            group_labels = [leaf.label for leaf in attached]
+            if not context.each_implies_all(group_labels, group_labels):
+                attached = attached[:1]  # attach one at a time when unrelated
+                group_labels = [attached[0].label]
+            mutual = all(
+                context.rules.presence_implies(anchor, label)
+                for label in group_labels
+            )
+            addition: Tree
+            ordered_leaves = context.ordered(
+                [context.wrap_with_evidence(label) for label in group_labels]
+            )
+            if len(ordered_leaves) == 1:
+                addition = ordered_leaves[0]
+            else:
+                addition = Tree(cm.AND, ordered_leaves)
+            if not mutual:
+                addition = Tree(cm.OPT, [addition])
+            produced = Tree(cm.AND, context.ordered([and_tree, addition]))
+            _replace(working_set, [and_tree] + attached, produced)
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Policy 4 — extraction of an OR-binding between two elements
+# ----------------------------------------------------------------------
+
+
+def _policy4(working_set: List[Tree], context: EvolutionContext) -> bool:
+    """Policy 4 [reconstructed from basic principle P2 and Example 5].
+    Two element leaves whose rules say "when one is present the other is
+    absent and vice versa" ({x → ȳ, ȳ → x} ⊆ Rules, both directions)
+    are alternatives: bind them with OR — Example 5's tree (2).  A
+    repeated member enters its alternative wrapped with ``+``."""
+    leaves = _element_leaves(working_set)
+    for index, left in enumerate(leaves):
+        for right in leaves[index + 1 :]:
+            if context.rules.mutually_exclusive(left.label, right.label):
+                produced = Tree(
+                    cm.OR,
+                    context.ordered(
+                        [context.wrap_leaf(left.label), context.wrap_leaf(right.label)]
+                    ),
+                )
+                _replace(working_set, [left, right], produced)
+                return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Policy 5 — OR-binding among more than two elements
+# ----------------------------------------------------------------------
+
+
+def _policy5(working_set: List[Tree], context: EvolutionContext) -> bool:
+    """Policy 5 [reconstructed].  Policy 4 generalised: a maximal set
+    (>= 3) of element leaves that pairwise never co-occur *and* jointly
+    cover every surviving instance becomes a single choice.  (With three
+    or more alternatives the two-way biconditional of Policy 4 cannot
+    hold pairwise, so the condition weakens to never-together plus
+    collective coverage — together they assert "exactly one".)"""
+    leaves = context.ordered(_element_leaves(working_set))
+    if len(leaves) < 3:
+        return False
+    for seed_index, seed in enumerate(leaves):
+        clique = [seed]
+        for candidate in leaves[seed_index + 1 :]:
+            if all(
+                context.rules.never_together(candidate.label, member.label)
+                for member in clique
+            ):
+                clique.append(candidate)
+        if len(clique) >= 3 and context.trees_cover_all(clique):
+            produced = Tree(
+                cm.OR,
+                context.ordered(
+                    [context.wrap_leaf(member.label) for member in clique]
+                ),
+            )
+            _replace(working_set, clique, produced)
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Policy 6 — OR-binding an element with an OR-labeled tree
+# ----------------------------------------------------------------------
+
+
+def _policy6(working_set: List[Tree], context: EvolutionContext) -> bool:
+    """Policy 6 [reconstructed].  An element leaf that never co-occurs
+    with *any* label of an existing OR-labeled tree — and whose addition
+    makes the enlarged choice cover every surviving instance — joins the
+    choice as one more alternative."""
+    or_trees = [tree for tree in working_set if tree.label == cm.OR]
+    for or_tree in or_trees:
+        for leaf in _element_leaves(working_set):
+            if all(
+                context.rules.never_together(leaf.label, label)
+                for label in context.labels_of(or_tree)
+            ) and context.trees_cover_all([or_tree, leaf]):
+                produced = Tree(
+                    cm.OR,
+                    context.ordered(
+                        list(or_tree.children) + [context.wrap_leaf(leaf.label)]
+                    ),
+                )
+                _replace(working_set, [or_tree, leaf], produced)
+                return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Policy 7 — AND-binding an element with an OR-labeled tree
+# ----------------------------------------------------------------------
+
+
+def _policy7(working_set: List[Tree], context: EvolutionContext) -> bool:
+    """Policy 7 [reconstructed].  An element leaf that co-occurs with a
+    choice — every alternative's presence implies the leaf, and the
+    leaf's presence implies some alternative is taken — is a sibling of
+    the whole choice: bind them with AND."""
+    or_trees = [tree for tree in working_set if tree.label == cm.OR]
+    for or_tree in or_trees:
+        labels = context.labels_of(or_tree)
+        for leaf in _element_leaves(working_set):
+            alternatives_imply_leaf = all(
+                context.rules.presence_implies(label, leaf.label) for label in labels
+            )
+            leaf_implies_choice = context.rules.implies_any(
+                present(leaf.label), labels
+            )
+            if alternatives_imply_leaf and leaf_implies_choice:
+                wrapped = context.wrap_with_evidence(leaf.label)
+                produced = Tree(cm.AND, context.ordered([or_tree, wrapped]))
+                _replace(working_set, [or_tree, leaf], produced)
+                return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Policy 8 — AND-binding an element with a +/?-labeled tree
+# ----------------------------------------------------------------------
+
+
+def _policy8(working_set: List[Tree], context: EvolutionContext) -> bool:
+    """Policy 8 [reconstructed].  Policy 2's condition applied to the
+    remaining unary-operator trees (``+`` and ``?``): when the tree's
+    labels jointly imply an element leaf, bind the two with AND."""
+    unary_trees = [
+        tree for tree in working_set if tree.label in (cm.PLUS, cm.OPT)
+    ]
+    for unary_tree in unary_trees:
+        for leaf in _element_leaves(working_set):
+            if context.set_implies_label(context.labels_of(unary_tree), leaf.label):
+                anchor = unary_tree
+                # the implication runs tree -> leaf only: when the leaf also
+                # occurs without the tree, a non-nullable tree must weaken
+                if anchor.label == cm.PLUS and context.tree_sometimes_absent(anchor):
+                    anchor = Tree(cm.OPT, [anchor])
+                wrapped = context.wrap_with_evidence(leaf.label)
+                produced = Tree(cm.AND, context.ordered([anchor, wrapped]))
+                _replace(working_set, [unary_tree, leaf], produced)
+                return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Policy 9 — repetition/optionality wrapping of isolated elements
+# ----------------------------------------------------------------------
+
+
+def _policy9(working_set: List[Tree], context: EvolutionContext) -> bool:
+    """Policy 9 [reconstructed].  An element leaf that no relational
+    policy consumed is wrapped according to its own evidence: repeated
+    and sometimes absent → ``*``; repeated → ``+``; sometimes absent →
+    ``?``.  (A leaf that is always present exactly once stays bare.)"""
+    for leaf in _element_leaves(working_set):
+        repeated = context.repeated(leaf.label)
+        optional = context.optional(leaf.label)
+        if not repeated and not optional:
+            continue
+        if repeated and optional:
+            operator = cm.STAR
+        elif repeated:
+            operator = cm.PLUS
+        else:
+            operator = cm.OPT
+        _replace(working_set, [leaf], Tree(operator, [Tree.leaf(leaf.label)]))
+        return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Policy 10 — AND-binding operator trees under mutual implication
+# ----------------------------------------------------------------------
+
+
+def _policy10(working_set: List[Tree], context: EvolutionContext) -> bool:
+    """Policy 10 [reconstructed].  Two operator-labeled trees whose
+    label sets mutually imply each other (every label of one implies
+    every label of the other, per-label) always co-occur: bind with
+    AND."""
+    operator_trees = [tree for tree in working_set if context.is_operator_tree(tree)]
+    for index, left in enumerate(operator_trees):
+        left_labels = context.labels_of(left)
+        if not left_labels:
+            continue
+        for right in operator_trees[index + 1 :]:
+            right_labels = context.labels_of(right)
+            if not right_labels:
+                continue
+            if context.each_implies_all(
+                left_labels, right_labels
+            ) and context.each_implies_all(right_labels, left_labels):
+                produced = Tree(cm.AND, context.ordered([left, right]))
+                if context.rules.all_absent_sometimes(
+                    left_labels | right_labels
+                ) and not cm.nullable(produced):
+                    produced = Tree(cm.OPT, [produced])
+                _replace(working_set, [left, right], produced)
+                return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Policy 11 — OR-binding operator trees under exclusivity
+# ----------------------------------------------------------------------
+
+
+def _policy11(working_set: List[Tree], context: EvolutionContext) -> bool:
+    """Policy 11 [reconstructed; Example 5 requires it to *fail* on
+    {(b,c)*, (d|e)}].  Two operator-labeled trees never instantiated in
+    the same document are alternatives: bind with OR (wrapped with ``?``
+    when some instance used neither)."""
+    operator_trees = [tree for tree in working_set if context.is_operator_tree(tree)]
+    for index, left in enumerate(operator_trees):
+        for right in operator_trees[index + 1 :]:
+            if context.trees_exclusive(left, right):
+                produced = Tree(cm.OR, context.ordered([left, right]))
+                if not context.trees_cover_all([left, right]):
+                    produced = Tree(cm.OPT, [produced])
+                _replace(working_set, [left, right], produced)
+                return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Policy 12 — AND-binding with an optional operator tree
+# ----------------------------------------------------------------------
+
+
+def _policy12(working_set: List[Tree], context: EvolutionContext) -> bool:
+    """Policy 12 [reconstructed; Example 5 requires it to *fail* on
+    {(b,c)*, (d|e)}].  When one operator tree only ever occurs together
+    with another (each of its labels implies all of the other's) *and*
+    is genuinely absent from some instances, it is an optional suffix:
+    ``AND(anchor, optional?)``."""
+    operator_trees = [tree for tree in working_set if context.is_operator_tree(tree)]
+    for anchor in operator_trees:
+        anchor_labels = context.labels_of(anchor)
+        if not anchor_labels:
+            continue
+        for optional_tree in operator_trees:
+            if optional_tree is anchor:
+                continue
+            optional_labels = context.labels_of(optional_tree)
+            if not optional_labels:
+                continue
+            if not context.tree_sometimes_absent(optional_tree):
+                continue
+            if context.each_implies_all(optional_labels, anchor_labels):
+                wrapped = (
+                    optional_tree
+                    if optional_tree.label in (cm.OPT, cm.STAR)
+                    else Tree(cm.OPT, [optional_tree])
+                )
+                produced = Tree(cm.AND, context.ordered([anchor, wrapped]))
+                _replace(working_set, [anchor, optional_tree], produced)
+                return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Policy 13 — final AND-binding of the remaining trees
+# ----------------------------------------------------------------------
+
+
+def _policy13(working_set: List[Tree], context: EvolutionContext) -> bool:
+    """Policy 13 [behaviour verbatim from Example 5].  When only
+    operator-labeled trees remain and no earlier policy relates them,
+    they are bound into one sequence: "the two trees are replaced in C
+    by a new tree whose root label is the AND operator and whose
+    children are the previous two trees"."""
+    if len(working_set) < 2:
+        return False
+    if not all(context.is_operator_tree(tree) for tree in working_set):
+        return False
+    produced = Tree(cm.AND, context.ordered(list(working_set)))
+    consumed = list(working_set)
+    _replace(working_set, consumed, produced)
+    return True
+
+
+def default_policies() -> List[Policy]:
+    """The 13 policies, in application order."""
+    return [
+        Policy(1, "and-extraction", "verbatim", _policy1),
+        Policy(2, "and-with-star-tree", "verbatim", _policy2),
+        Policy(3, "and-with-and-tree", "reconstructed", _policy3),
+        Policy(4, "or-extraction-pair", "reconstructed", _policy4),
+        Policy(5, "or-extraction-many", "reconstructed", _policy5),
+        Policy(6, "or-with-or-tree", "reconstructed", _policy6),
+        Policy(7, "and-with-or-tree", "reconstructed", _policy7),
+        Policy(8, "and-with-unary-tree", "reconstructed", _policy8),
+        Policy(9, "wrap-isolated-elements", "reconstructed", _policy9),
+        Policy(10, "and-operator-trees", "reconstructed", _policy10),
+        Policy(11, "or-operator-trees", "reconstructed", _policy11),
+        Policy(12, "and-optional-operator-tree", "reconstructed", _policy12),
+        Policy(13, "final-and-binding", "verbatim", _policy13),
+    ]
+
+
+# ----------------------------------------------------------------------
+# The three basic policies (singleton starting set)
+# ----------------------------------------------------------------------
+
+
+def basic_policies(tree: Tree, context: EvolutionContext) -> Tree:
+    """The paper's basic cases [verbatim]: "if T is neither optional nor
+    repeatable it is left unchanged.  Otherwise, it is replaced by
+    T = (v, [T]), where v is a new vertex whose label is ?, +, or *,
+    depending on whether T is optional, repeatable, or optional and
+    repeatable"."""
+    if not EvolutionContext.is_element_tree(tree):
+        return tree
+    repeated = context.repeated(tree.label)
+    optional = context.optional(tree.label)
+    if repeated and optional:
+        return Tree(cm.STAR, [tree])
+    if repeated:
+        return Tree(cm.PLUS, [tree])
+    if optional:
+        return Tree(cm.OPT, [tree])
+    return tree

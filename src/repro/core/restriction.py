@@ -1,0 +1,143 @@
+"""Restriction of operators (old window, Section 4.1).
+
+"If an element falls in the old window [...] the evolution algorithm
+leaves the DTD declaration of this element unchanged.  However, it is
+possible in this case to adapt the DTD structure to the valid elements
+classified against such element.  For example, suppose to have a DTD
+declaration for element a that requires the presence of the subelement b
+repeated from 0 to many times (by means of the * operator).  If all the
+elements a classified against this DTD contain at least an element b, it
+is possible to change the * operator in the + operator. [...] For each
+operator the possible restrictions have been identified and the
+respective conditions formalized."
+
+The full table (the paper formalises it without listing it; this is the
+complete monotone set — every restriction shrinks the declared language
+to a sub-language that still contains every observed valid instance):
+
+==========  ======================================  ==============
+operator    observed over valid instances           restricted to
+==========  ======================================  ==============
+``x*``      always present, never repeated          ``x``
+``x*``      always present                          ``x+``
+``x*``      never repeated                          ``x?``
+``x+``      never repeated                          ``x``
+``x?``      always present                          ``x``
+``OR``      a leaf alternative never occurred       drop the branch
+==========  ======================================  ==============
+
+Conditions are evaluated against :class:`ValidLabelStats` recorded for
+the element.  A restriction is only safe when the statistics for a label
+are unambiguous, i.e. the label occurs exactly once in the content
+model — otherwise occurrences cannot be attributed to one operator
+position and the position is left alone.  Elements with fewer than
+``min_valid_instances`` observations are never restricted (one lucky
+document must not tighten a schema).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional
+
+from repro.core.extended_dtd import ElementRecord, ValidLabelStats
+from repro.dtd import content_model as cm
+from repro.xmltree.tree import Tree
+
+
+def restrict_operators(
+    model: Tree,
+    record: ElementRecord,
+    min_valid_instances: int = 1,
+) -> Tree:
+    """Return a (possibly) restricted copy of ``model``.
+
+    ``record`` supplies the valid-instance statistics; when it has fewer
+    than ``min_valid_instances`` valid instances the model is returned
+    unchanged (as a copy).
+    """
+    if record.valid_count < max(1, min_valid_instances):
+        return model.copy()
+    ambiguous = _ambiguous_labels(model)
+    return _restrict(model, record, record.valid_count, ambiguous)
+
+
+def _ambiguous_labels(model: Tree) -> set:
+    """Labels occurring more than once in the model (not attributable)."""
+    counts = Counter(
+        node.label for node in model.iter_preorder() if cm.is_element_label(node.label)
+    )
+    return {label for label, count in counts.items() if count > 1}
+
+
+def _stats(record: ElementRecord, label: str) -> Optional[ValidLabelStats]:
+    return record.valid_label_stats.get(label)
+
+
+def _always_present(stats: Optional[ValidLabelStats], valid_count: int) -> bool:
+    return (
+        stats is not None
+        and stats.instances_with == valid_count
+        and (stats.min_occurrences or 0) >= 1
+    )
+
+
+def _never_repeated(stats: Optional[ValidLabelStats]) -> bool:
+    return stats is not None and stats.max_occurrences <= 1
+
+
+def _never_present(stats: Optional[ValidLabelStats]) -> bool:
+    return stats is None or stats.instances_with == 0
+
+
+def _restrict(node: Tree, record: ElementRecord, valid_count: int, ambiguous: set) -> Tree:
+    label = node.label
+
+    if label in cm.UNARY_OPERATORS:
+        child = node.children[0]
+        if cm.is_element_label(child.label) and child.label not in ambiguous:
+            stats = _stats(record, child.label)
+            always = _always_present(stats, valid_count)
+            single = _never_repeated(stats)
+            leaf = Tree.leaf(child.label)
+            if label == cm.STAR:
+                if always and single:
+                    return leaf
+                if always:
+                    return Tree(cm.PLUS, [leaf])
+                if single and stats is not None and stats.instances_with > 0:
+                    return Tree(cm.OPT, [leaf])
+            elif label == cm.PLUS:
+                if single and stats is not None and stats.instances_with > 0:
+                    return leaf
+            elif label == cm.OPT:
+                if always:
+                    return leaf
+        return Tree(label, [_restrict(child, record, valid_count, ambiguous)])
+
+    if label == cm.OR:
+        kept = []
+        for child in node.children:
+            if (
+                cm.is_element_label(child.label)
+                and child.label not in ambiguous
+                and _never_present(_stats(record, child.label))
+            ):
+                continue  # the alternative was never chosen by a valid doc
+            kept.append(_restrict(child, record, valid_count, ambiguous))
+        if not kept:  # never drop everything
+            kept = [
+                _restrict(child, record, valid_count, ambiguous)
+                for child in node.children
+            ]
+        if len(kept) == 1:
+            return kept[0]
+        return Tree(cm.OR, kept)
+
+    if label == cm.AND:
+        return Tree(
+            cm.AND,
+            [_restrict(child, record, valid_count, ambiguous) for child in node.children],
+        )
+
+    return node.copy()

@@ -1,0 +1,197 @@
+"""Tag evolution via a thesaurus (a Section 6 direction).
+
+"The first one concerns the possibility of evolving tag names as well
+as their structure by relying on the use of a Thesaurus [5].  The
+Thesaurus allows one to evaluate structural similarity shifting from
+tag equality to tag similarity."
+
+Mechanism: during recording, a renamed tag shows up as a *plus* label
+(the new name, unknown to the DTD) co-occurring with the *absence* of a
+declared label.  When a thesaurus identifies the two as synonyms and
+the new name dominates recent instances, the evolution phase treats the
+pair as a **rename** instead of an add+drop:
+
+1. :func:`detect_renames` scans an element record for (declared ->
+   observed) synonym pairs with replacement evidence;
+2. :func:`merge_renamed_evidence` rewrites the record so all evidence
+   (sequences, stats, groups) speaks one name — the structure builder
+   then sees a single coherent element;
+3. :func:`rename_in_dtd` renames declarations and content-model leaves
+   in the evolved DTD, so the schema follows the documents' vocabulary.
+
+Wired into :func:`repro.core.evolution.evolve_dtd` via its
+``tag_matcher`` argument; with the default exact matcher nothing ever
+matches, so the feature is strictly opt-in.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.extended_dtd import ElementRecord, ExtendedDTD
+from repro.dtd import content_model as cm
+from repro.dtd.dtd import DTD, ElementDecl
+from repro.similarity.tags import TagMatcher
+
+
+def detect_renames(
+    record: ElementRecord,
+    declared_labels: frozenset,
+    dtd: DTD,
+    tag_matcher: TagMatcher,
+    min_fraction: float = 0.5,
+) -> Dict[str, str]:
+    """Find (old declared tag -> new observed tag) rename pairs.
+
+    Evidence required, for a plus label ``new`` unknown to the DTD and a
+    declared child label ``old`` of this element:
+
+    - the thesaurus says they match;
+    - the two names (almost) never co-occur in a recorded sequence —
+      a rename *replaces*, an addition co-exists;
+    - ``new`` appears in at least ``min_fraction`` of the non-valid
+      instances (the new vocabulary dominates).
+    """
+    renames: Dict[str, str] = {}
+    if record.invalid_count == 0:
+        return renames
+    for new_label in record.labels:
+        if new_label in dtd or new_label in declared_labels:
+            continue
+        stats = record.label_stats.get(new_label)
+        if stats is None or stats.instances_with < min_fraction * record.invalid_count:
+            continue
+        for old_label in sorted(declared_labels):
+            if old_label in renames:
+                continue
+            if not tag_matcher.matches(new_label, old_label):
+                continue
+            co_occurrences = sum(
+                count
+                for sequence, count in record.sequences.items()
+                if new_label in sequence and old_label in sequence
+            )
+            if co_occurrences == 0:
+                renames[old_label] = new_label
+                break
+    return renames
+
+
+def merge_renamed_evidence(record: ElementRecord, renames: Dict[str, str]) -> ElementRecord:
+    """A copy of ``record`` with every renamed pair merged under the
+    *new* name (sequences, label order, stats, groups, plus records).
+
+    The structure builder then rebuilds one element, not an add+drop
+    pair.
+    """
+    if not renames:
+        return record
+    new_to_old = {new: old for old, new in renames.items()}
+    mapping = {old: new for old, new in renames.items()}
+
+    def translate(label: str) -> str:
+        return mapping.get(label, label)
+
+    merged = ElementRecord(record.name)
+    merged.valid_count = record.valid_count
+    merged.documents_with_valid = record.documents_with_valid
+    merged.invalid_count = record.invalid_count
+    merged.text_count = record.text_count
+    merged.empty_count = record.empty_count
+    # label order: the old name's rank is inherited by the new name so
+    # layout stays stable across the rename
+    for label, rank in sorted(record.labels.items(), key=lambda kv: kv[1]):
+        target = translate(label)
+        if target not in merged.labels:
+            merged.labels[target] = len(merged.labels)
+    for sequence, count in record.sequences.items():
+        merged.sequences[frozenset(translate(label) for label in sequence)] += count
+    for label, stats in record.label_stats.items():
+        target_stats = merged.stats_for(translate(label))
+        target_stats.instances_with += stats.instances_with
+        target_stats.instances_repeated += stats.instances_repeated
+        target_stats.total_occurrences += stats.total_occurrences
+        target_stats.max_occurrences = max(
+            target_stats.max_occurrences, stats.max_occurrences
+        )
+    for group, count in record.groups.items():
+        merged.groups[frozenset(translate(label) for label in group)] += count
+    for label, nested in record.plus_records.items():
+        if label in new_to_old:
+            # the "new" tag is a rename of a declared element: its nested
+            # evidence describes that element, which keeps its (renamed)
+            # declaration — inferring a second one would clash
+            continue
+        merged.plus_records[label] = nested
+    for label, stats in record.valid_label_stats.items():
+        merged.valid_label_stats[translate(label)] = stats
+    return merged
+
+
+def rename_in_dtd(dtd: DTD, renames: Dict[str, str]) -> List[Tuple[str, str]]:
+    """Apply (old -> new) renames in place: declaration names and every
+    content-model leaf.  Returns the renames actually performed.
+
+    A rename is skipped when the new name is already declared (that
+    would merge two declarations — out of scope for a rename).
+    """
+    performed: List[Tuple[str, str]] = []
+    for old, new in sorted(renames.items()):
+        if old not in dtd or new in dtd:
+            continue
+        old_decl = dtd[old]
+        was_root = dtd.root == old
+        # rebuild the mapping preserving declaration order
+        declarations = [
+            ElementDecl(new if decl.name == old else decl.name, decl.content)
+            for decl in dtd
+        ]
+        attlists = {
+            (new if name == old else name): attrs
+            for name, attrs in dtd.attlists.items()
+        }
+        dtd._declarations.clear()
+        for decl in declarations:
+            dtd.add(decl)
+        dtd.attlists = attlists
+        for decl in dtd:
+            for leaf in decl.content.iter_preorder():
+                if leaf.label == old and cm.is_element_label(old):
+                    leaf.label = new
+        if was_root:
+            dtd.root = new
+        performed.append((old, new))
+    return performed
+
+
+def plan_tag_evolution(
+    extended: ExtendedDTD,
+    tag_matcher: Optional[TagMatcher],
+    min_fraction: float = 0.5,
+) -> Dict[str, str]:
+    """Collect rename pairs across every recorded element of a DTD.
+
+    Conflicting proposals (two parents voting differently for the same
+    old tag) resolve by total supporting evidence.
+    """
+    if tag_matcher is None:
+        return {}
+    votes: Dict[Tuple[str, str], int] = Counter()
+    for record in extended.records.values():
+        decl = extended.dtd.get(record.name)
+        if decl is None:
+            continue
+        pairs = detect_renames(
+            record, decl.declared_labels(), extended.dtd, tag_matcher, min_fraction
+        )
+        for old, new in pairs.items():
+            stats = record.label_stats.get(new)
+            votes[(old, new)] += stats.instances_with if stats else 1
+    chosen: Dict[str, str] = {}
+    strength: Dict[str, int] = {}
+    for (old, new), weight in sorted(votes.items()):
+        if weight > strength.get(old, 0):
+            chosen[old] = new
+            strength[old] = weight
+    return chosen

@@ -1,0 +1,79 @@
+"""Check phase and evolution windows (Sections 2 and 4.1).
+
+Two decisions are taken here:
+
+1. **When to evolve** (check phase): the evolution phase for a DTD ``T``
+   is triggered when the average per-document fraction of non-valid
+   elements exceeds the activation threshold ``tau``::
+
+       sum_{D in Doc_T} (#non-valid elements of D / #elements of D)
+       -----------------------------------------------------------  > tau
+                             #Doc_T
+
+2. **How to evolve each element** (windows): with the window threshold
+   ``psi`` (``0 <= psi <= 0.5``) and the element's invalidity ratio
+   ``I(e)``:
+
+   - ``I(e) in [0, psi]``       → **old** window: keep the declaration,
+     optionally *restricting* operators to what valid instances used;
+   - ``I(e) in [1 - psi, 1]``   → **new** window: rebuild the
+     declaration from the recorded information;
+   - otherwise                  → **misc** window: OR the old and the
+     rebuilt declarations, then simplify.
+
+   "Changing the value of the psi parameter we can give more or less
+   relevance to non valid elements w.r.t. valid ones."
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.extended_dtd import ElementRecord, ExtendedDTD
+from repro.errors import EvolutionError
+
+
+class Window(enum.Enum):
+    """The three evolution windows of Section 4.1."""
+
+    OLD = "old"
+    MISC = "misc"
+    NEW = "new"
+
+
+def invalidity_ratio(record: ElementRecord) -> float:
+    """``I(e) = m / n`` — non-valid instances over all instances."""
+    return record.invalidity_ratio
+
+
+def classify_window(ratio: float, psi: float) -> Window:
+    """Place an invalidity ratio into its window.
+
+    >>> classify_window(0.05, psi=0.2)
+    <Window.OLD: 'old'>
+    >>> classify_window(0.95, psi=0.2)
+    <Window.NEW: 'new'>
+    >>> classify_window(0.5, psi=0.2)
+    <Window.MISC: 'misc'>
+    """
+    if not 0.0 <= psi <= 0.5:
+        raise EvolutionError(f"psi must be in [0, 0.5], got {psi}")
+    if not 0.0 <= ratio <= 1.0:
+        raise EvolutionError(f"invalidity ratio must be in [0, 1], got {ratio}")
+    if ratio <= psi:
+        return Window.OLD
+    if ratio >= 1.0 - psi:
+        return Window.NEW
+    return Window.MISC
+
+
+def activation_score(extended: ExtendedDTD) -> float:
+    """The left-hand side of the activation condition (check phase)."""
+    return extended.activation_score
+
+
+def should_evolve(extended: ExtendedDTD, tau: float) -> bool:
+    """True when the check phase triggers the evolution phase."""
+    if tau < 0.0:
+        raise EvolutionError(f"tau must be non-negative, got {tau}")
+    return extended.should_evolve(tau)

@@ -1,0 +1,99 @@
+"""DTD substrate: content models, parsing, validation, rewriting.
+
+The paper represents a DTD as a labeled tree over ``EN ∪ ET ∪ OP``
+(element tags, basic types ``#PCDATA``/``ANY``, and operators
+``AND``/``OR``/``?``/``*``/``+`` — Section 3, Figure 2).  This subpackage
+provides:
+
+- :mod:`repro.dtd.content_model` — operator-tree content models and the
+  constructors (``seq``, ``choice``, ``opt``, ``star``, ``plus``,
+  ``ref``) used across the library;
+- :mod:`repro.dtd.dtd` — element declarations and the :class:`DTD`
+  mapping, including the paper's (cycle-guarded) tree expansion;
+- :mod:`repro.dtd.parser` / :mod:`repro.dtd.serializer` — from-scratch
+  DTD syntax support;
+- :mod:`repro.dtd.automaton` — a Glushkov-automaton validator giving the
+  boolean notion of validity (the rigid classifier the paper argues
+  against, and the ground truth for the metrics);
+- :mod:`repro.dtd.rewriting` — the equivalence-preserving simplification
+  rules the paper applies after OR-merging (Sections 4.1 and 5).
+"""
+
+from repro.dtd.content_model import (
+    AND,
+    OR,
+    OPT,
+    STAR,
+    PLUS,
+    PCDATA,
+    ANY,
+    EMPTY,
+    OPERATORS,
+    BASIC_TYPES,
+    seq,
+    choice,
+    opt,
+    star,
+    plus,
+    ref,
+    pcdata,
+    any_content,
+    empty,
+    is_operator,
+    is_basic_type,
+    is_element_label,
+    declared_labels,
+)
+from repro.dtd.dtd import DTD, ElementDecl, AttributeDecl
+from repro.dtd.parser import parse_dtd, parse_content_model
+from repro.dtd.serializer import serialize_dtd, serialize_content_model
+from repro.dtd.automaton import (
+    ContentAutomaton,
+    determinism_report,
+    Validator,
+    ValidationReport,
+    Violation,
+    enumerate_language,
+)
+from repro.dtd.rewriting import simplify, simplify_dtd
+
+__all__ = [
+    "AND",
+    "OR",
+    "OPT",
+    "STAR",
+    "PLUS",
+    "PCDATA",
+    "ANY",
+    "EMPTY",
+    "OPERATORS",
+    "BASIC_TYPES",
+    "seq",
+    "choice",
+    "opt",
+    "star",
+    "plus",
+    "ref",
+    "pcdata",
+    "any_content",
+    "empty",
+    "is_operator",
+    "is_basic_type",
+    "is_element_label",
+    "declared_labels",
+    "DTD",
+    "ElementDecl",
+    "AttributeDecl",
+    "parse_dtd",
+    "parse_content_model",
+    "serialize_dtd",
+    "serialize_content_model",
+    "ContentAutomaton",
+    "determinism_report",
+    "Validator",
+    "ValidationReport",
+    "Violation",
+    "enumerate_language",
+    "simplify",
+    "simplify_dtd",
+]

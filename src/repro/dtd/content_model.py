@@ -1,0 +1,310 @@
+"""Operator-tree content models.
+
+A content model is a :class:`~repro.xmltree.tree.Tree` whose internal
+vertices are labeled with operators and whose leaves are element tags or
+basic types, exactly the paper's DTD tree representation (Figure 2(d)):
+
+- ``AND`` — a sequence ``(a, b, ...)``;
+- ``OR`` — an alternative ``(a | b | ...)`` (at least one branch taken);
+- ``?`` — optional (0 or 1);
+- ``*`` — repeatable, possibly absent (0+);
+- ``+`` — repeatable, at least once (1+);
+- leaves — element tags from ``EN``, or the basic types ``#PCDATA`` and
+  ``ANY`` from ``ET``; the extra leaf ``EMPTY`` marks declared-empty
+  content (the paper folds this into the tree representation implicitly;
+  we make it explicit so every DTD round-trips).
+
+This module owns the vocabulary and the small algebra every other layer
+builds on: constructors, predicates, the paper's ``alphabeta`` for DTD
+trees (:func:`declared_labels`), and occurrence-bound analysis
+(:func:`occurrence_bounds`) used by the operator-restriction rules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Tuple
+
+from repro.xmltree.tree import Tree
+
+AND = "AND"
+OR = "OR"
+OPT = "?"
+STAR = "*"
+PLUS = "+"
+
+PCDATA = "#PCDATA"
+ANY = "ANY"
+EMPTY = "EMPTY"
+
+#: The paper's ``OP`` label set.
+OPERATORS = frozenset({AND, OR, OPT, STAR, PLUS})
+#: The paper's ``ET`` label set (``EMPTY`` added for round-tripping).
+BASIC_TYPES = frozenset({PCDATA, ANY, EMPTY})
+#: Operators taking exactly one child.
+UNARY_OPERATORS = frozenset({OPT, STAR, PLUS})
+#: Operators taking one or more children.
+NARY_OPERATORS = frozenset({AND, OR})
+
+#: A practical infinity for occurrence upper bounds.
+UNBOUNDED = 1 << 30
+
+
+def is_operator(label: str) -> bool:
+    """True for ``AND``/``OR``/``?``/``*``/``+``."""
+    return label in OPERATORS
+
+
+def is_basic_type(label: str) -> bool:
+    """True for ``#PCDATA``/``ANY``/``EMPTY``."""
+    return label in BASIC_TYPES
+
+
+def is_element_label(label: str) -> bool:
+    """True for labels that are element tags (neither operator nor type)."""
+    return label not in OPERATORS and label not in BASIC_TYPES
+
+
+# ----------------------------------------------------------------------
+# Constructors
+# ----------------------------------------------------------------------
+
+
+def _as_tree(item) -> Tree:
+    return Tree.leaf(item) if isinstance(item, str) else item
+
+
+def ref(name: str) -> Tree:
+    """A leaf referencing element ``name``."""
+    return Tree.leaf(name)
+
+
+def seq(*items) -> Tree:
+    """Sequence ``(a, b, ...)``; strings are promoted to leaves.
+
+    A single item is returned unwrapped (an ``AND`` of one thing is the
+    thing itself) and an empty call yields ``EMPTY``.
+    """
+    trees = [_as_tree(item) for item in items]
+    if not trees:
+        return empty()
+    if len(trees) == 1:
+        return trees[0]
+    return Tree(AND, trees)
+
+
+def choice(*items) -> Tree:
+    """Alternative ``(a | b | ...)``; same promotion rules as :func:`seq`."""
+    trees = [_as_tree(item) for item in items]
+    if not trees:
+        return empty()
+    if len(trees) == 1:
+        return trees[0]
+    return Tree(OR, trees)
+
+
+def opt(item) -> Tree:
+    """Optional occurrence ``item?``."""
+    return Tree(OPT, [_as_tree(item)])
+
+
+def star(item) -> Tree:
+    """Zero-or-more occurrence ``item*``."""
+    return Tree(STAR, [_as_tree(item)])
+
+
+def plus(item) -> Tree:
+    """One-or-more occurrence ``item+``."""
+    return Tree(PLUS, [_as_tree(item)])
+
+
+def pcdata() -> Tree:
+    """Text-only content (``(#PCDATA)``)."""
+    return Tree.leaf(PCDATA)
+
+
+def any_content() -> Tree:
+    """Unconstrained content (``ANY``)."""
+    return Tree.leaf(ANY)
+
+
+def empty() -> Tree:
+    """Declared-empty content (``EMPTY``)."""
+    return Tree.leaf(EMPTY)
+
+
+def mixed(*names: str) -> Tree:
+    """Mixed content ``(#PCDATA | a | b)*`` per XML 1.0.
+
+    ``mixed()`` with no names degenerates to plain ``(#PCDATA)``.
+    """
+    if not names:
+        return pcdata()
+    return star(Tree(OR, [pcdata()] + [ref(name) for name in names]))
+
+
+# ----------------------------------------------------------------------
+# Structure checks and queries
+# ----------------------------------------------------------------------
+
+
+def check_well_formed(model: Tree) -> None:
+    """Raise ``ValueError`` if ``model`` is not a well-formed content model.
+
+    Rules: unary operators have exactly one child, n-ary operators at
+    least one, leaves are element tags or basic types (never operators),
+    and basic types have no children.
+    """
+    for node in model.iter_preorder():
+        if node.label in UNARY_OPERATORS:
+            if len(node.children) != 1:
+                raise ValueError(
+                    f"operator {node.label!r} requires exactly one child, "
+                    f"found {len(node.children)}"
+                )
+        elif node.label in NARY_OPERATORS:
+            if not node.children:
+                raise ValueError(f"operator {node.label!r} requires children")
+        elif is_basic_type(node.label):
+            if node.children:
+                raise ValueError(f"basic type {node.label!r} cannot have children")
+        else:  # element leaf
+            if node.children:
+                raise ValueError(
+                    f"element reference {node.label!r} cannot have children "
+                    "inside a content model"
+                )
+
+
+def declared_labels(model: Tree) -> FrozenSet[str]:
+    """The paper's ``alphabeta`` applied to a DTD vertex.
+
+    Returns the element tags reachable in the content model *skipping
+    operator vertices* — "the direct subelements independently from the
+    operators used in the element type declaration" (Section 3).
+    Basic types are not element labels and are excluded.
+
+    >>> sorted(declared_labels(seq("b", "c")))
+    ['b', 'c']
+    """
+    labels = set()
+    for node in model.iter_preorder():
+        if is_element_label(node.label):
+            labels.add(node.label)
+    return frozenset(labels)
+
+
+def contains_pcdata(model: Tree) -> bool:
+    """True if the model allows text content anywhere."""
+    return any(node.label == PCDATA for node in model.iter_preorder())
+
+
+def is_empty_model(model: Tree) -> bool:
+    """True for the ``EMPTY`` content model."""
+    return model.label == EMPTY and not model.children
+
+
+def is_any_model(model: Tree) -> bool:
+    """True for the ``ANY`` content model."""
+    return model.label == ANY and not model.children
+
+
+def is_mixed_model(model: Tree) -> bool:
+    """True for XML 1.0 mixed content: ``(#PCDATA | a | ...)*`` or ``(#PCDATA)``."""
+    if model.label == PCDATA:
+        return True
+    if model.label != STAR:
+        return False
+    inner = model.children[0]
+    if inner.label == PCDATA:
+        return True
+    if inner.label != OR or not inner.children:
+        return False
+    if inner.children[0].label != PCDATA:
+        return False
+    return all(is_element_label(child.label) for child in inner.children[1:])
+
+
+# ----------------------------------------------------------------------
+# Occurrence analysis
+# ----------------------------------------------------------------------
+
+
+def occurrence_bounds(model: Tree) -> Dict[str, Tuple[int, int]]:
+    """Per-label (min, max) occurrence bounds over all words of the model.
+
+    ``max`` is :data:`UNBOUNDED` when a label can repeat without limit.
+    The analysis is the standard compositional one:
+
+    - leaf ``x``: ``{x: (1, 1)}``;
+    - ``AND``: sums bounds pointwise;
+    - ``OR``: min of mins (0 if some branch misses the label), max of maxes;
+    - ``?``: min drops to 0;
+    - ``*``: min 0, max unbounded (if the label occurs at all);
+    - ``+``: min kept, max unbounded.
+
+    Used by the operator-restriction rules to decide, e.g., that a ``*``
+    may be tightened to ``+`` only if the observed minimum is >= 1.
+
+    >>> occurrence_bounds(seq("b", star("c")))["c"]
+    (0, 1073741824)
+    """
+    if is_basic_type(model.label):
+        return {}
+    if is_element_label(model.label):
+        return {model.label: (1, 1)}
+    if model.label == AND:
+        merged: Dict[str, Tuple[int, int]] = {}
+        for child in model.children:
+            for label, (low, high) in occurrence_bounds(child).items():
+                old_low, old_high = merged.get(label, (0, 0))
+                merged[label] = (old_low + low, min(UNBOUNDED, old_high + high))
+        return merged
+    if model.label == OR:
+        branch_bounds = [occurrence_bounds(child) for child in model.children]
+        labels = set()
+        for bounds in branch_bounds:
+            labels.update(bounds)
+        merged = {}
+        for label in labels:
+            lows = [bounds.get(label, (0, 0))[0] for bounds in branch_bounds]
+            highs = [bounds.get(label, (0, 0))[1] for bounds in branch_bounds]
+            merged[label] = (min(lows), max(highs))
+        return merged
+    inner = occurrence_bounds(model.children[0])
+    if model.label == OPT:
+        return {label: (0, high) for label, (low, high) in inner.items()}
+    if model.label == STAR:
+        return {label: (0, UNBOUNDED) for label in inner}
+    if model.label == PLUS:
+        return {label: (low, UNBOUNDED) for label, (low, _high) in inner.items()}
+    raise ValueError(f"unknown content-model label {model.label!r}")
+
+
+def nullable(model: Tree) -> bool:
+    """True if the model accepts the empty child sequence."""
+    label = model.label
+    if label in (EMPTY, ANY, PCDATA):
+        return True
+    if is_element_label(label):
+        return False
+    if label == AND:
+        return all(nullable(child) for child in model.children)
+    if label == OR:
+        return any(nullable(child) for child in model.children)
+    if label in (OPT, STAR):
+        return True
+    if label == PLUS:
+        return nullable(model.children[0])
+    raise ValueError(f"unknown content-model label {label!r}")
+
+
+def model_size(model: Tree) -> int:
+    """Vertex count — the conciseness measure used by the metrics layer."""
+    return model.size()
+
+
+def iter_leaves(model: Tree) -> Iterable[Tree]:
+    """Yield the element-tag leaves of the model, left to right."""
+    for node in model.iter_preorder():
+        if is_element_label(node.label):
+            yield node

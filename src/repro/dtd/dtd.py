@@ -1,0 +1,243 @@
+"""DTD object model.
+
+A :class:`DTD` is an ordered mapping from element names to
+:class:`ElementDecl` content models (plus any ``ATTLIST`` declarations,
+preserved for round-tripping).  It also implements the paper's
+labeled-tree view of a DTD: :meth:`DTD.to_tree` expands the root
+declaration, inlining sub-declarations, with a cycle guard so recursive
+DTDs terminate (recursive references beyond the guard stay as plain
+element leaves).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import DTDSemanticError
+from repro.dtd import content_model as cm
+from repro.xmltree.tree import Tree
+
+
+class AttributeDecl:
+    """One attribute of an ``<!ATTLIST>`` declaration (kept verbatim)."""
+
+    __slots__ = ("name", "type_spec", "default_spec")
+
+    def __init__(self, name: str, type_spec: str, default_spec: str):
+        self.name = name
+        self.type_spec = type_spec
+        self.default_spec = default_spec
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, AttributeDecl):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.type_spec == other.type_spec
+            and self.default_spec == other.default_spec
+        )
+
+    def __repr__(self) -> str:
+        return f"AttributeDecl({self.name!r}, {self.type_spec!r}, {self.default_spec!r})"
+
+
+class ElementDecl:
+    """An ``<!ELEMENT name content>`` declaration.
+
+    ``content`` is an operator tree per
+    :mod:`repro.dtd.content_model`; it is checked for well-formedness at
+    construction time.
+    """
+
+    __slots__ = ("name", "content")
+
+    def __init__(self, name: str, content: Tree):
+        cm.check_well_formed(content)
+        self.name = name
+        self.content = content
+
+    @property
+    def is_empty(self) -> bool:
+        return cm.is_empty_model(self.content)
+
+    @property
+    def is_any(self) -> bool:
+        return cm.is_any_model(self.content)
+
+    @property
+    def is_mixed(self) -> bool:
+        return cm.is_mixed_model(self.content)
+
+    def declared_labels(self) -> FrozenSet[str]:
+        """The paper's ``alphabeta`` of this declaration (operator-skipping)."""
+        return cm.declared_labels(self.content)
+
+    def copy(self) -> "ElementDecl":
+        return ElementDecl(self.name, self.content.copy())
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ElementDecl):
+            return NotImplemented
+        return self.name == other.name and self.content == other.content
+
+    def __repr__(self) -> str:
+        return f"ElementDecl({self.name!r}, {self.content.to_tuple()!r})"
+
+
+class DTD:
+    """A document type definition: named element declarations + attlists.
+
+    The insertion order of declarations is preserved (it determines
+    serialization order and, absent an explicit ``root``, the default
+    root element: the first declared one, matching common practice).
+    """
+
+    def __init__(
+        self,
+        declarations: Optional[Sequence[ElementDecl]] = None,
+        root: Optional[str] = None,
+        name: str = "dtd",
+    ):
+        self.name = name
+        self._declarations: Dict[str, ElementDecl] = {}
+        self.attlists: Dict[str, List[AttributeDecl]] = {}
+        for decl in declarations or []:
+            self.add(decl)
+        if root is not None and root not in self._declarations:
+            raise DTDSemanticError(f"root element {root!r} is not declared")
+        self._root = root
+
+    # ------------------------------------------------------------------
+    # Mapping interface
+    # ------------------------------------------------------------------
+
+    def add(self, decl: ElementDecl, replace: bool = False) -> None:
+        """Add a declaration; duplicates are an error unless ``replace``."""
+        if decl.name in self._declarations and not replace:
+            raise DTDSemanticError(f"duplicate declaration for element {decl.name!r}")
+        self._declarations[decl.name] = decl
+
+    def remove(self, name: str) -> None:
+        """Remove a declaration (``KeyError`` if absent)."""
+        del self._declarations[name]
+        if self._root == name:
+            self._root = None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._declarations
+
+    def __getitem__(self, name: str) -> ElementDecl:
+        return self._declarations[name]
+
+    def get(self, name: str) -> Optional[ElementDecl]:
+        return self._declarations.get(name)
+
+    def __iter__(self) -> Iterator[ElementDecl]:
+        return iter(self._declarations.values())
+
+    def __len__(self) -> int:
+        return len(self._declarations)
+
+    def element_names(self) -> List[str]:
+        return list(self._declarations)
+
+    @property
+    def root(self) -> str:
+        """The root element name (explicit, or the first declared)."""
+        if self._root is not None:
+            return self._root
+        if not self._declarations:
+            raise DTDSemanticError("the DTD declares no elements")
+        return next(iter(self._declarations))
+
+    @root.setter
+    def root(self, name: str) -> None:
+        if name not in self._declarations:
+            raise DTDSemanticError(f"root element {name!r} is not declared")
+        self._root = name
+
+    def copy(self) -> "DTD":
+        clone = DTD(name=self.name)
+        for decl in self:
+            clone.add(decl.copy())
+        clone.attlists = {
+            tag: list(attrs) for tag, attrs in self.attlists.items()
+        }
+        clone._root = self._root
+        return clone
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, DTD):
+            return NotImplemented
+        return (
+            self._declarations == other._declarations and self.root == other.root
+        )
+
+    def __repr__(self) -> str:
+        return f"DTD({self.name!r}, elements={self.element_names()!r})"
+
+    # ------------------------------------------------------------------
+    # Consistency
+    # ------------------------------------------------------------------
+
+    def undeclared_references(self) -> FrozenSet[str]:
+        """Element tags referenced in content models but never declared."""
+        missing = set()
+        for decl in self:
+            for label in decl.declared_labels():
+                if label not in self._declarations:
+                    missing.add(label)
+        return frozenset(missing)
+
+    def check_consistent(self, allow_undeclared: bool = False) -> None:
+        """Raise :class:`DTDSemanticError` on dangling references."""
+        missing = self.undeclared_references()
+        if missing and not allow_undeclared:
+            raise DTDSemanticError(
+                "content models reference undeclared elements: "
+                + ", ".join(sorted(missing))
+            )
+
+    def size(self) -> int:
+        """Total vertex count over all content models (conciseness)."""
+        return sum(decl.content.size() for decl in self)
+
+    # ------------------------------------------------------------------
+    # Labeled-tree view (paper Figure 2(d))
+    # ------------------------------------------------------------------
+
+    def to_tree(self, root: Optional[str] = None, max_depth: int = 32) -> Tree:
+        """Expand the DTD into the paper's labeled tree.
+
+        Each element vertex is labeled with its tag and has (a copy of)
+        its content model hanging below it, with element leaves of the
+        content model recursively expanded into element vertices.  A
+        per-path cycle guard stops recursive DTDs: a tag already open on
+        the current path (or deeper than ``max_depth``) stays a leaf.
+        """
+        root_name = root if root is not None else self.root
+
+        def expand(tag: str, open_tags: Tuple[str, ...], depth: int) -> Tree:
+            decl = self.get(tag)
+            if decl is None or tag in open_tags or depth > max_depth:
+                return Tree.leaf(tag)
+            if decl.is_empty:
+                return Tree(tag)
+            inner = self._expand_model(
+                decl.content, open_tags + (tag,), depth, expand
+            )
+            return Tree(tag, [inner])
+
+        return expand(root_name, (), 0)
+
+    @staticmethod
+    def _expand_model(model: Tree, open_tags, depth, expand) -> Tree:
+        if cm.is_element_label(model.label):
+            return expand(model.label, open_tags, depth + 1)
+        if cm.is_basic_type(model.label):
+            return Tree.leaf(model.label)
+        children = [
+            DTD._expand_model(child, open_tags, depth, expand)
+            for child in model.children
+        ]
+        return Tree(model.label, children)

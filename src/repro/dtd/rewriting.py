@@ -1,0 +1,197 @@
+"""Equivalence-preserving DTD re-writing rules.
+
+Section 4.1 of the paper: after the misc-window merge "a better
+formulation of the DTD is then obtained by means of DTD re-writing rules
+like the ones described in [2], that allows one to rewrite a DTD in a
+simpler, yet equivalent one" — equivalent meaning *with the same set of
+valid documents*.  This module implements that rule set as a fixpoint of
+local rewrites, each of which preserves the content model's language
+(property-tested against the Glushkov automaton):
+
+R1  flatten      — ``AND(x, AND(y, z)) -> AND(x, y, z)`` and same for OR
+R2  singleton    — ``AND(x) -> x``, ``OR(x) -> x``
+R3  dedupe       — ``OR(x, y, x) -> OR(x, y)`` (identical alternatives)
+R4  stacking     — collapse nested unary operators by the join table,
+                   e.g. ``(x*)? -> x*``, ``(x+)* -> x*``, ``(x?)? -> x?``
+R5  or-opt       — ``OR(..., x?, ...) -> OR(..., x, ...)?`` : an optional
+                   alternative makes the whole choice optional
+R6  star-or-plus — ``STAR(OR(..., y+, ...)) -> STAR(OR(..., y, ...))``
+                   (and the same under an outer ``+``/``*`` for any
+                   nullable-irrelevant inner suffix)
+R7  and-empty    — drop ``EMPTY`` children of AND/OR with >= 2 children;
+                   ``AND() -> EMPTY``
+R8  plus-nullable— ``PLUS(x) -> STAR(x)`` when ``x`` is nullable
+
+The public entry points are :func:`simplify` (one content model) and
+:func:`simplify_dtd` (every declaration of a DTD, returning a new DTD).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dtd import content_model as cm
+from repro.dtd.dtd import DTD, ElementDecl
+from repro.xmltree.tree import Tree
+
+#: Join table for stacked unary operators: outer, inner -> combined.
+_STACKING = {
+    (cm.OPT, cm.OPT): cm.OPT,
+    (cm.OPT, cm.STAR): cm.STAR,
+    (cm.OPT, cm.PLUS): cm.STAR,
+    (cm.STAR, cm.OPT): cm.STAR,
+    (cm.STAR, cm.STAR): cm.STAR,
+    (cm.STAR, cm.PLUS): cm.STAR,
+    (cm.PLUS, cm.OPT): cm.STAR,
+    (cm.PLUS, cm.STAR): cm.STAR,
+    (cm.PLUS, cm.PLUS): cm.PLUS,
+}
+
+
+def _rewrite_once(node: Tree) -> Optional[Tree]:
+    """Apply the first applicable rule at this vertex; None if stable."""
+    label = node.label
+
+    # R4: stacked unary operators
+    if label in cm.UNARY_OPERATORS:
+        child = node.children[0]
+        if child.label in cm.UNARY_OPERATORS:
+            combined = _STACKING[(label, child.label)]
+            return Tree(combined, [child.children[0]])
+        # R8: PLUS over a nullable body is STAR
+        if label == cm.PLUS and cm.nullable(child):
+            return Tree(cm.STAR, [child])
+        # unary over EMPTY is EMPTY; unary over #PCDATA is #PCDATA
+        # (text content already admits the empty string and any length)
+        if child.label == cm.EMPTY:
+            return Tree.leaf(cm.EMPTY)
+        if child.label == cm.PCDATA:
+            return Tree.leaf(cm.PCDATA)
+
+    if label in cm.NARY_OPERATORS:
+        # R1: flatten same-operator nesting
+        if any(child.label == label for child in node.children):
+            flattened = []
+            for child in node.children:
+                if child.label == label:
+                    flattened.extend(child.children)
+                else:
+                    flattened.append(child)
+            return Tree(label, flattened)
+        # R7: drop EMPTY children (they contribute nothing to AND; an
+        # EMPTY alternative in OR makes it nullable, so wrap with ?)
+        if any(child.label == cm.EMPTY for child in node.children):
+            kept = [child for child in node.children if child.label != cm.EMPTY]
+            if not kept:
+                return Tree.leaf(cm.EMPTY)
+            replacement = Tree(label, kept) if len(kept) > 1 else kept[0]
+            if label == cm.OR:
+                return Tree(cm.OPT, [replacement])
+            return replacement
+        # R2: singleton collapse
+        if len(node.children) == 1:
+            return node.children[0]
+        if label == cm.OR:
+            # R3: dedupe identical alternatives
+            seen = []
+            deduped = []
+            for child in node.children:
+                key = child.to_tuple()
+                if key not in seen:
+                    seen.append(key)
+                    deduped.append(child)
+            if len(deduped) < len(node.children):
+                return Tree(cm.OR, deduped)
+            # R5: hoist optional alternatives out of the choice
+            if any(child.label == cm.OPT for child in node.children):
+                unwrapped = [
+                    child.children[0] if child.label == cm.OPT else child
+                    for child in node.children
+                ]
+                return Tree(cm.OPT, [Tree(cm.OR, unwrapped)])
+
+    # R6: suffix absorption under an unbounded-repetition context
+    if label in (cm.STAR, cm.PLUS):
+        child = node.children[0]
+        if child.label == cm.OR and any(
+            grandchild.label in (cm.PLUS, cm.STAR, cm.OPT)
+            for grandchild in child.children
+        ):
+            # STAR(OR(.., y+, ..)) == STAR(OR(.., y, ..));
+            # an OPT/STAR alternative additionally makes the body nullable,
+            # so a PLUS outer weakens to STAR.
+            makes_nullable = any(
+                grandchild.label in (cm.OPT, cm.STAR) for grandchild in child.children
+            )
+            unwrapped = [
+                grandchild.children[0]
+                if grandchild.label in (cm.PLUS, cm.STAR, cm.OPT)
+                else grandchild
+                for grandchild in child.children
+            ]
+            outer = cm.STAR if (label == cm.STAR or makes_nullable) else cm.PLUS
+            return Tree(outer, [Tree(cm.OR, unwrapped)])
+
+    return None
+
+
+def simplify(model: Tree, max_rounds: int = 200) -> Tree:
+    """Rewrite ``model`` to a simpler, language-equivalent content model.
+
+    Runs the rule set bottom-up to a fixpoint.  The input tree is not
+    mutated.
+
+    >>> from repro.dtd.content_model import seq, star, opt
+    >>> from repro.dtd.serializer import serialize_content_model
+    >>> serialize_content_model(simplify(opt(star(seq("b")))))
+    '(b*)'
+    """
+    current = model.copy()
+    for _round in range(max_rounds):
+        rewritten = _simplify_pass(current)
+        if rewritten == current:
+            return current
+        current = rewritten
+    return current
+
+
+def _simplify_pass(node: Tree) -> Tree:
+    children = [_simplify_pass(child) for child in node.children]
+    candidate = Tree(node.label, children)
+    rewritten = _rewrite_once(candidate)
+    while rewritten is not None:
+        candidate = rewritten
+        rewritten = _rewrite_once(candidate)
+    return candidate
+
+
+def normalize_mixed(model: Tree) -> Tree:
+    """Force a model that mentions ``#PCDATA`` into legal XML 1.0 form.
+
+    XML allows text content only as ``(#PCDATA)`` or as mixed content
+    ``(#PCDATA | a | b)*``.  Evolution can OR-merge an old ``(#PCDATA)``
+    declaration with a rebuilt element model, producing a tree that is
+    meaningful but not expressible in DTD syntax; this widens such a
+    tree to the mixed content over all its labels (the tightest legal
+    superset).  Models without ``#PCDATA``, and already-legal text
+    models, pass through untouched.
+    """
+    if not cm.contains_pcdata(model):
+        return model
+    if cm.is_mixed_model(model):
+        return model
+    labels = sorted(cm.declared_labels(model))
+    if not labels:
+        return cm.pcdata()
+    return cm.mixed(*labels)
+
+
+def simplify_dtd(dtd: DTD) -> DTD:
+    """Return a new DTD with every content model simplified."""
+    result = DTD(name=dtd.name)
+    for decl in dtd:
+        result.add(ElementDecl(decl.name, simplify(decl.content)))
+    result.attlists = {tag: list(attrs) for tag, attrs in dtd.attlists.items()}
+    if dtd.element_names():
+        result.root = dtd.root
+    return result

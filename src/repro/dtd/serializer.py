@@ -1,0 +1,95 @@
+"""DTD serialization — the inverse of :mod:`repro.dtd.parser`.
+
+Operator trees are rendered back to XML 1.0 content-model syntax.  The
+output always re-parses to an equal tree (round-trip tested), which
+matters because the evolution phase emits *new* DTDs that downstream
+validators must be able to consume.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dtd import content_model as cm
+from repro.dtd.dtd import DTD, AttributeDecl, ElementDecl
+from repro.xmltree.tree import Tree
+
+
+def _render(model: Tree, top_level: bool) -> str:
+    """Render a content-model subtree.
+
+    ``top_level`` is True only for the outermost call: XML requires the
+    whole model to be parenthesised (unless ``EMPTY``/``ANY``), so a bare
+    leaf like ``b`` must come out as ``(b)`` at top level but plain ``b``
+    when nested.
+    """
+    label = model.label
+    if label == cm.EMPTY:
+        return "EMPTY"
+    if label == cm.ANY:
+        return "ANY"
+    if label == cm.PCDATA:
+        return "(#PCDATA)" if top_level else "#PCDATA"
+    if cm.is_element_label(label):
+        return f"({label})" if top_level else label
+
+    if label in (cm.AND, cm.OR):
+        separator = ", " if label == cm.AND else " | "
+        inner = separator.join(_render(child, False) for child in model.children)
+        return f"({inner})"
+
+    # unary ?/*/+: the child must be a name or a parenthesised group
+    child = model.children[0]
+    if child.label == cm.PCDATA:
+        # XML allows text repetition only as "(#PCDATA)*"; ? and + over
+        # text are language-equivalent to plain "(#PCDATA)"
+        return f"({cm.PCDATA})*" if label == cm.STAR else f"({cm.PCDATA})"
+    rendered = _render(child, False)
+    if not (rendered.startswith("(") or _is_bare_name(rendered)):
+        rendered = f"({rendered})"
+    if rendered.endswith(("?", "*", "+")):  # stacked suffixes need a group
+        rendered = f"({rendered})"
+    suffixed = rendered + label
+    return f"({suffixed})" if top_level and _is_bare_name(rendered) else suffixed
+
+
+def _is_bare_name(rendered: str) -> bool:
+    return rendered.isidentifier() or (
+        bool(rendered) and not any(ch in rendered for ch in "()|,? *+")
+    )
+
+
+def serialize_content_model(model: Tree) -> str:
+    """Render a content model to its DTD syntax.
+
+    >>> from repro.dtd.content_model import seq, star, choice
+    >>> serialize_content_model(seq("b", star(choice("c", "d"))))
+    '(b, (c | d)*)'
+    """
+    return _render(model, top_level=True)
+
+
+def serialize_element_decl(decl: ElementDecl) -> str:
+    """Render one ``<!ELEMENT>`` declaration."""
+    return f"<!ELEMENT {decl.name} {serialize_content_model(decl.content)}>"
+
+
+def serialize_attlist(element_name: str, attributes: List[AttributeDecl]) -> str:
+    """Render one ``<!ATTLIST>`` declaration."""
+    body = "\n".join(
+        f"  {attr.name} {attr.type_spec} {attr.default_spec}" for attr in attributes
+    )
+    return f"<!ATTLIST {element_name}\n{body}\n>"
+
+
+def serialize_dtd(dtd: DTD) -> str:
+    """Render a whole DTD, declarations in insertion order."""
+    pieces: List[str] = []
+    for decl in dtd:
+        pieces.append(serialize_element_decl(decl))
+        if decl.name in dtd.attlists:
+            pieces.append(serialize_attlist(decl.name, dtd.attlists[decl.name]))
+    for element_name, attributes in dtd.attlists.items():
+        if element_name not in dtd:
+            pieces.append(serialize_attlist(element_name, attributes))
+    return "\n".join(pieces) + "\n"

@@ -1,0 +1,57 @@
+"""Synthetic workload generation.
+
+The paper evaluated on documents "gathered from the Web or created as
+local data"; this offline reproduction substitutes controlled synthetic
+workloads that exercise exactly the three regularity classes of
+Section 2:
+
+1. documents *missing* elements the DTD requires;
+2. documents with *new* elements the DTD does not declare;
+3. documents whose elements match but whose *operators* are violated.
+
+- :mod:`repro.generators.random_dtd` — seeded random DTDs;
+- :mod:`repro.generators.documents` — valid-document sampling from a
+  DTD plus composable structural *drifts* implementing the three
+  classes;
+- :mod:`repro.generators.scenarios` — canned workloads: the paper's
+  figures, plus realistic catalog / bibliography / news-feed sources
+  used by the examples and benchmarks.
+"""
+
+from repro.generators.random_dtd import RandomDTDGenerator
+from repro.generators.documents import (
+    DocumentGenerator,
+    Drift,
+    DropDrift,
+    AddDrift,
+    OperatorDrift,
+    RenameDrift,
+    CompositeDrift,
+)
+from repro.generators.scenarios import (
+    auction_scenario,
+    figure2_dtd,
+    figure2_document,
+    figure3_workload,
+    catalog_scenario,
+    bibliography_scenario,
+    newsfeed_scenario,
+)
+
+__all__ = [
+    "RandomDTDGenerator",
+    "DocumentGenerator",
+    "Drift",
+    "DropDrift",
+    "AddDrift",
+    "OperatorDrift",
+    "RenameDrift",
+    "CompositeDrift",
+    "figure2_dtd",
+    "figure2_document",
+    "figure3_workload",
+    "auction_scenario",
+    "catalog_scenario",
+    "bibliography_scenario",
+    "newsfeed_scenario",
+]

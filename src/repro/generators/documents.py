@@ -1,0 +1,262 @@
+"""Document sampling and structural drift.
+
+:class:`DocumentGenerator` samples *valid* documents from a DTD by
+walking content models (choices uniform, repetitions geometric).  The
+:class:`Drift` hierarchy then perturbs valid documents to produce
+exactly the divergences of Section 2:
+
+- :class:`DropDrift`    — "some documents miss some elements specified
+  in the DTD";
+- :class:`AddDrift`     — "some documents contain some new elements,
+  not defined in the DTD";
+- :class:`OperatorDrift`— "elements in the document and in the DTD
+  match, but the underlying structures do not, that is, the constraints
+  defined by operators in the DTD are not met";
+- :class:`RenameDrift`  — tag renaming (exercises the Section 6
+  thesaurus extension);
+- :class:`CompositeDrift` — several drifts in sequence.
+
+All randomness flows from explicit seeds; a generator re-created with
+the same arguments emits the same stream.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.dtd import content_model as cm
+from repro.dtd.dtd import DTD
+from repro.xmltree.document import Document, Element, Text
+from repro.xmltree.tree import Tree
+
+_WORDS = ("alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel")
+
+
+class DocumentGenerator:
+    """Samples valid documents from a DTD.
+
+    Parameters
+    ----------
+    dtd:
+        The schema to sample from.
+    seed:
+        RNG seed.
+    repeat_p:
+        Parameter of the geometric law for ``*``/``+`` repetition
+        counts (expected extra repetitions = ``repeat_p/(1-repeat_p)``).
+    optional_p:
+        Probability that a ``?``/``*`` part is instantiated at all.
+    max_depth:
+        Recursion guard for cyclic DTDs: beyond it, optional parts are
+        skipped and recursive elements rendered empty.
+    """
+
+    def __init__(
+        self,
+        dtd: DTD,
+        seed: int = 0,
+        repeat_p: float = 0.45,
+        optional_p: float = 0.6,
+        max_depth: int = 24,
+    ):
+        self.dtd = dtd
+        self.rng = random.Random(seed)
+        self.repeat_p = repeat_p
+        self.optional_p = optional_p
+        self.max_depth = max_depth
+
+    # ------------------------------------------------------------------
+
+    def generate(self, root: Optional[str] = None) -> Document:
+        """One fresh valid document."""
+        root_name = root if root is not None else self.dtd.root
+        return Document(self._element(root_name, 0), doctype_name=root_name)
+
+    def generate_many(self, count: int, root: Optional[str] = None) -> List[Document]:
+        return [self.generate(root) for _ in range(count)]
+
+    def stream(self, root: Optional[str] = None) -> Iterator[Document]:
+        """An endless stream of valid documents."""
+        while True:
+            yield self.generate(root)
+
+    # ------------------------------------------------------------------
+
+    def _element(self, tag: str, depth: int) -> Element:
+        element = Element(tag)
+        decl = self.dtd.get(tag)
+        if decl is None or decl.is_empty or depth > self.max_depth:
+            return element
+        if decl.is_any:
+            element.children.append(Text(self._word()))
+            return element
+        self._instantiate(decl.content, element, depth)
+        return element
+
+    def _instantiate(self, model: Tree, parent: Element, depth: int) -> None:
+        label = model.label
+        if label == cm.PCDATA:
+            parent.children.append(Text(self._word()))
+            return
+        if label in (cm.EMPTY, cm.ANY):
+            return
+        if cm.is_element_label(label):
+            parent.children.append(self._element(label, depth + 1))
+            return
+        if label == cm.AND:
+            for child in model.children:
+                self._instantiate(child, parent, depth)
+            return
+        if label == cm.OR:
+            chosen = self.rng.choice(model.children)
+            self._instantiate(chosen, parent, depth)
+            return
+        if label == cm.OPT:
+            if depth <= self.max_depth and self.rng.random() < self.optional_p:
+                self._instantiate(model.children[0], parent, depth)
+            return
+        if label in (cm.STAR, cm.PLUS):
+            count = 1 if label == cm.PLUS else 0
+            if label == cm.STAR and (
+                depth > self.max_depth or self.rng.random() >= self.optional_p
+            ):
+                count = 0
+            else:
+                count = max(count, 1)
+                while depth <= self.max_depth and self.rng.random() < self.repeat_p:
+                    count += 1
+            for _ in range(count):
+                self._instantiate(model.children[0], parent, depth)
+            return
+        raise ValueError(f"unknown content-model label {label!r}")
+
+    def _word(self) -> str:
+        return self.rng.choice(_WORDS)
+
+
+# ----------------------------------------------------------------------
+# Drift
+# ----------------------------------------------------------------------
+
+
+class Drift:
+    """A structural perturbation of valid documents.
+
+    Subclasses override :meth:`_mutate_element`; :meth:`apply` walks a
+    *copy* of the document and mutates element-by-element, so one drift
+    object can perturb many documents reproducibly (it owns its RNG).
+    """
+
+    def __init__(self, rate: float, seed: int = 0):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"drift rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self.rng = random.Random(seed)
+
+    def apply(self, document: Document) -> Document:
+        mutated = document.copy()
+        for element in list(mutated.root.iter_elements()):
+            if self.rng.random() < self.rate:
+                self._mutate_element(element)
+        return mutated
+
+    def apply_many(self, documents: Sequence[Document]) -> List[Document]:
+        return [self.apply(document) for document in documents]
+
+    def _mutate_element(self, element: Element) -> None:
+        raise NotImplementedError
+
+
+class DropDrift(Drift):
+    """Remove one (random) direct subelement — the *missing elements*
+    regularity."""
+
+    def _mutate_element(self, element: Element) -> None:
+        elements = element.element_children()
+        if not elements:
+            return
+        victim = self.rng.choice(elements)
+        element.children.remove(victim)
+
+
+class AddDrift(Drift):
+    """Insert elements with tags the DTD does not declare — the *new
+    elements* regularity.
+
+    ``new_tags`` is the pool of foreign tags; each insertion picks one
+    and gives it text content (plus, optionally, a nested foreign child
+    to exercise recursive plus-element inference).
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        new_tags: Sequence[str] = ("extra", "note", "annotation"),
+        seed: int = 0,
+        nested_rate: float = 0.2,
+        at_end: bool = True,
+    ):
+        super().__init__(rate, seed)
+        self.new_tags = list(new_tags)
+        self.nested_rate = nested_rate
+        self.at_end = at_end
+
+    def _mutate_element(self, element: Element) -> None:
+        tag = self.rng.choice(self.new_tags)
+        newcomer = Element(tag, children=[Text("extra")])
+        if self.rng.random() < self.nested_rate:
+            newcomer.children = [Element(f"{tag}_part", children=[Text("deep")])]
+        if self.at_end or not element.children:
+            element.children.append(newcomer)
+        else:
+            position = self.rng.randrange(len(element.children) + 1)
+            element.children.insert(position, newcomer)
+
+
+class OperatorDrift(Drift):
+    """Violate operator constraints without changing the tag vocabulary
+    — the *operators not met* regularity: duplicate a child (breaks
+    ``?``/plain positions) or swap two children (breaks AND order)."""
+
+    def _mutate_element(self, element: Element) -> None:
+        elements = element.element_children()
+        if not elements:
+            return
+        if len(elements) >= 2 and self.rng.random() < 0.5:
+            first, second = self.rng.sample(range(len(element.children)), 2)
+            element.children[first], element.children[second] = (
+                element.children[second],
+                element.children[first],
+            )
+        else:
+            victim = self.rng.choice(elements)
+            element.children.append(victim.copy())
+
+
+class RenameDrift(Drift):
+    """Rename tags per a mapping (Section 6 thesaurus extension)."""
+
+    def __init__(self, rate: float, renames: Dict[str, str], seed: int = 0):
+        super().__init__(rate, seed)
+        self.renames = dict(renames)
+
+    def _mutate_element(self, element: Element) -> None:
+        if element.tag in self.renames:
+            element.tag = self.renames[element.tag]
+
+
+class CompositeDrift(Drift):
+    """Apply several drifts in sequence."""
+
+    def __init__(self, drifts: Sequence[Drift]):
+        super().__init__(0.0, 0)
+        self.drifts = list(drifts)
+
+    def apply(self, document: Document) -> Document:
+        for drift in self.drifts:
+            document = drift.apply(document)
+        return document
+
+    def _mutate_element(self, element: Element) -> None:  # pragma: no cover
+        raise AssertionError("CompositeDrift delegates to its parts")

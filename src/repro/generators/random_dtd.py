@@ -1,0 +1,108 @@
+"""Seeded random DTD generation.
+
+Generates structurally diverse but well-formed, *acyclic* and
+*deterministic* DTDs: element ``i`` may only reference elements with a
+larger index, so expansion always terminates and every label occurs at
+most once per content model (which keeps the Glushkov automaton
+1-unambiguous and the restriction rules applicable).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.dtd import content_model as cm
+from repro.dtd.dtd import DTD, ElementDecl
+from repro.xmltree.tree import Tree
+
+
+class RandomDTDGenerator:
+    """Random DTD factory.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed; equal seeds give equal DTDs.
+    element_count:
+        Declarations to generate (named ``e0 .. eN-1``; ``e0`` is root).
+    max_fanout:
+        Maximum distinct child labels per content model.
+    operator_rate:
+        Probability that a child position gets a ``?``/``*``/``+``
+        wrapper, and that a group of children is bound by OR instead of
+        the default AND.
+    leaf_rate:
+        Probability that a non-root element is a ``#PCDATA`` leaf
+        (forced True when it has no candidate children left).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        element_count: int = 8,
+        max_fanout: int = 4,
+        operator_rate: float = 0.3,
+        leaf_rate: float = 0.35,
+        name: str = "random",
+    ):
+        self.seed = seed
+        self.element_count = max(1, element_count)
+        self.max_fanout = max(1, max_fanout)
+        self.operator_rate = operator_rate
+        self.leaf_rate = leaf_rate
+        self.name = name
+
+    def generate(self) -> DTD:
+        """Produce one DTD (deterministic for a given generator state)."""
+        rng = random.Random(self.seed)
+        names = [f"e{i}" for i in range(self.element_count)]
+        dtd = DTD(name=self.name)
+        for index, element_name in enumerate(names):
+            candidates = names[index + 1 :]
+            is_leaf = not candidates or (index > 0 and rng.random() < self.leaf_rate)
+            if is_leaf:
+                dtd.add(ElementDecl(element_name, cm.pcdata()))
+                continue
+            fanout = rng.randint(1, min(self.max_fanout, len(candidates)))
+            children = rng.sample(candidates, fanout)
+            dtd.add(ElementDecl(element_name, self._model(children, rng)))
+        dtd.root = names[0]
+        return dtd
+
+    def _model(self, children: Sequence[str], rng: random.Random) -> Tree:
+        particles: List[Tree] = []
+        for child in children:
+            particle: Tree = Tree.leaf(child)
+            if rng.random() < self.operator_rate:
+                operator = rng.choice([cm.OPT, cm.STAR, cm.PLUS])
+                particle = Tree(operator, [particle])
+            particles.append(particle)
+        if len(particles) == 1:
+            return particles[0]
+        if rng.random() < self.operator_rate:
+            choice_tree = Tree(cm.OR, [self._strip(p) for p in particles])
+            if rng.random() < self.operator_rate:
+                return Tree(rng.choice([cm.STAR, cm.PLUS]), [choice_tree])
+            return choice_tree
+        return Tree(cm.AND, particles)
+
+    @staticmethod
+    def _strip(particle: Tree) -> Tree:
+        """OR alternatives stay plain leaves (keeps models deterministic)."""
+        return particle.children[0] if particle.label in cm.UNARY_OPERATORS else particle
+
+    def generate_many(self, count: int) -> List[DTD]:
+        """A family of distinct DTDs (seeds ``seed .. seed+count-1``)."""
+        dtds = []
+        for offset in range(count):
+            generator = RandomDTDGenerator(
+                self.seed + offset,
+                self.element_count,
+                self.max_fanout,
+                self.operator_rate,
+                self.leaf_rate,
+                name=f"{self.name}{offset}",
+            )
+            dtds.append(generator.generate())
+        return dtds

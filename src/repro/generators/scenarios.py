@@ -1,0 +1,179 @@
+"""Canned workloads: the paper's figures plus realistic sources.
+
+Three groups:
+
+1. **Paper artefacts** — the exact document/DTD of Figure 2 and the
+   D1/D2 document families of Figure 3 (also Examples 1, 2 and 5);
+   these drive the exact-reproduction experiments E1–E3.
+2. **Realistic sources** — catalog, bibliography and news-feed schemas
+   with domain-plausible tags, used by the examples and the synthetic
+   evaluation benchmarks.
+3. Each scenario returns ``(dtd, make_documents)`` where
+   ``make_documents(count, seed)`` yields a reproducible stream.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Tuple
+
+from repro.dtd.dtd import DTD
+from repro.dtd.parser import parse_dtd
+from repro.generators.documents import DocumentGenerator
+from repro.xmltree.document import Document
+from repro.xmltree.parser import parse_document
+
+Scenario = Tuple[DTD, Callable[[int, int], List[Document]]]
+
+
+# ----------------------------------------------------------------------
+# Paper artefacts
+# ----------------------------------------------------------------------
+
+
+def figure2_dtd() -> DTD:
+    """The DTD of Figure 2(c)."""
+    return parse_dtd(
+        """
+        <!ELEMENT a (b, c)>
+        <!ELEMENT b (#PCDATA)>
+        <!ELEMENT c (d)>
+        <!ELEMENT d (#PCDATA)>
+        """,
+        name="figure2",
+    )
+
+
+def figure2_document() -> Document:
+    """The document of Figure 2(a): ``<a><b>5</b><c>7</c></a>``."""
+    return parse_document("<a><b>5</b><c>7</c></a>")
+
+
+def figure3_dtd() -> DTD:
+    """The (pre-evolution) DTD of Figure 3(a): ``a`` expects ``(b, c)``."""
+    return parse_dtd(
+        """
+        <!ELEMENT a (b, c)>
+        <!ELEMENT b (#PCDATA)>
+        <!ELEMENT c (#PCDATA)>
+        """,
+        name="figure3",
+    )
+
+
+def figure3_workload(
+    count_d1: int = 10, count_d2: int = 10, seed: int = 0
+) -> List[Document]:
+    """The D1/D2 document families of Figure 3(b).
+
+    D1 documents contain a sequence of ``(b, c)`` pairs followed by a
+    sequence of ``d`` elements; D2 documents contain the same pair
+    sequence followed by a single ``e``.  Pair and ``d`` counts vary per
+    document (that is what makes ``{b, c}`` a co-repetition group and
+    ``d`` "repeatable and optional" in Example 2).
+    """
+    rng = random.Random(seed)
+    documents: List[Document] = []
+    for _ in range(count_d1):
+        pairs = rng.randint(1, 4)
+        tails = rng.randint(1, 3)
+        body = "".join("<b>x</b><c>y</c>" for _ in range(pairs))
+        body += "".join("<d>z</d>" for _ in range(tails))
+        documents.append(parse_document(f"<a>{body}</a>"))
+    for _ in range(count_d2):
+        pairs = rng.randint(1, 4)
+        body = "".join("<b>x</b><c>y</c>" for _ in range(pairs)) + "<e>w</e>"
+        documents.append(parse_document(f"<a>{body}</a>"))
+    rng.shuffle(documents)
+    return documents
+
+
+# ----------------------------------------------------------------------
+# Realistic sources
+# ----------------------------------------------------------------------
+
+_CATALOG_DTD = """
+<!ELEMENT catalog (vendor, product+)>
+<!ELEMENT vendor (name, url?)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT url (#PCDATA)>
+<!ELEMENT product (name, price, description?, stock)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT description (#PCDATA)>
+<!ELEMENT stock (#PCDATA)>
+"""
+
+_BIBLIOGRAPHY_DTD = """
+<!ELEMENT bibliography (entry+)>
+<!ELEMENT entry (title, author+, year, (journal | booktitle))>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+<!ELEMENT journal (#PCDATA)>
+<!ELEMENT booktitle (#PCDATA)>
+"""
+
+_NEWSFEED_DTD = """
+<!ELEMENT feed (channel, item*)>
+<!ELEMENT channel (title, language?)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT language (#PCDATA)>
+<!ELEMENT item (title, body, tag*)>
+<!ELEMENT body (#PCDATA)>
+<!ELEMENT tag (#PCDATA)>
+"""
+
+
+def _scenario(source: str, name: str) -> Scenario:
+    dtd = parse_dtd(source, name=name)
+
+    def make_documents(count: int, seed: int = 0) -> List[Document]:
+        return DocumentGenerator(dtd, seed=seed).generate_many(count)
+
+    return dtd, make_documents
+
+
+def catalog_scenario() -> Scenario:
+    """An e-commerce catalog source (vendor + products)."""
+    return _scenario(_CATALOG_DTD, "catalog")
+
+
+def bibliography_scenario() -> Scenario:
+    """A bibliography source (entries with authors and venues)."""
+    return _scenario(_BIBLIOGRAPHY_DTD, "bibliography")
+
+
+def newsfeed_scenario() -> Scenario:
+    """A news-feed source (channel metadata + items)."""
+    return _scenario(_NEWSFEED_DTD, "newsfeed")
+
+
+_AUCTION_DTD = """
+<!ELEMENT site (region+, people, auctions)>
+<!ELEMENT region (name, item*)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT item (name, description?, reserve?, seller)>
+<!ELEMENT description (#PCDATA)>
+<!ELEMENT reserve (#PCDATA)>
+<!ELEMENT seller (#PCDATA)>
+<!ELEMENT people (person+)>
+<!ELEMENT person (name, email?, watch*)>
+<!ELEMENT email (#PCDATA)>
+<!ELEMENT watch (#PCDATA)>
+<!ELEMENT auctions (auction*)>
+<!ELEMENT auction (item, bid*)>
+<!ELEMENT bid (bidder, amount)>
+<!ELEMENT bidder (#PCDATA)>
+<!ELEMENT amount (#PCDATA)>
+"""
+
+
+def auction_scenario() -> Scenario:
+    """An XMark-style auction-site source.
+
+    A simplified rendition of the standard XMark benchmark schema
+    (regions holding items, people, open auctions with bids) — the
+    deepest and widest of the canned scenarios, used by the
+    longitudinal experiment E12.
+    """
+    return _scenario(_AUCTION_DTD, "auction")

@@ -1,0 +1,37 @@
+"""DTD quality metrics and benchmark reporting helpers.
+
+The paper's stated evaluation goal (Section 6) is "assessing the quality
+of the obtained DTDs".  :mod:`repro.metrics.quality` operationalises
+quality along the axes its related-work section names — precision,
+generality/coverage, conciseness — plus a two-part MDL cost combining
+them; :mod:`repro.metrics.report` renders the fixed-width tables the
+benchmarks print.
+"""
+
+from repro.metrics.quality import (
+    coverage,
+    mean_similarity,
+    mean_invalid_element_fraction,
+    conciseness,
+    language_volume,
+    mdl_cost,
+    QualityReport,
+    assess,
+)
+from repro.metrics.report import Table
+from repro.metrics.schema_distance import SchemaDistance, ElementScore, schema_distance
+
+__all__ = [
+    "coverage",
+    "mean_similarity",
+    "mean_invalid_element_fraction",
+    "conciseness",
+    "language_volume",
+    "mdl_cost",
+    "QualityReport",
+    "assess",
+    "Table",
+    "SchemaDistance",
+    "ElementScore",
+    "schema_distance",
+]

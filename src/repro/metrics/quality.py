@@ -1,0 +1,156 @@
+"""Quality measures for a DTD against a document population.
+
+Axes (mirroring the vocabulary of Section 5):
+
+- **coverage** — fraction of documents *valid* against the DTD (the
+  boolean notion; what XTRACT calls precision of capture);
+- **mean similarity** — average numeric rank, the flexible counterpart;
+- **mean invalid-element fraction** — the per-document average the
+  activation condition is built on (lower is better);
+- **conciseness** — total content-model size in vertices (smaller is
+  better; XTRACT's "concise" axis);
+- **language volume** — how many words (bounded length) the root
+  content model accepts: a proxy for over-generality, separating a DTD
+  that covers documents by *describing* them from one that covers them
+  by allowing everything;
+- **MDL cost** — a two-part score: model bits + bits to encode each
+  document's structure given the DTD (charged through similarity
+  shortfall), rewarding DTDs that are simultaneously small and tight.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, NamedTuple, Sequence
+
+from repro.dtd.automaton import Validator, enumerate_language
+from repro.dtd.dtd import DTD
+from repro.similarity.evaluation import evaluate_document
+from repro.similarity.matcher import StructureMatcher
+from repro.similarity.triple import SimilarityConfig
+from repro.xmltree.document import Document
+
+
+def coverage(dtd: DTD, documents: Sequence[Document]) -> float:
+    """Fraction of documents valid against the DTD."""
+    if not documents:
+        return 0.0
+    validator = Validator(dtd)
+    return sum(1 for document in documents if validator.is_valid(document)) / len(
+        documents
+    )
+
+
+def mean_similarity(
+    dtd: DTD,
+    documents: Sequence[Document],
+    config: SimilarityConfig = SimilarityConfig(),
+) -> float:
+    """Average similarity rank over the documents."""
+    if not documents:
+        return 0.0
+    matcher = StructureMatcher(dtd, config)
+    total = 0.0
+    for document in documents:
+        total += matcher.document_similarity(document.root)
+        matcher.clear_cache()
+    return total / len(documents)
+
+
+def mean_invalid_element_fraction(
+    dtd: DTD,
+    documents: Sequence[Document],
+    config: SimilarityConfig = SimilarityConfig(),
+) -> float:
+    """Average per-document fraction of non-valid elements (the unit of
+    the paper's activation condition; 0 for a perfectly adapted DTD)."""
+    if not documents:
+        return 0.0
+    matcher = StructureMatcher(dtd, config)
+    total = 0.0
+    for document in documents:
+        evaluation = evaluate_document(document, dtd, config, matcher=matcher)
+        total += evaluation.invalid_element_fraction
+    return total / len(documents)
+
+
+def conciseness(dtd: DTD) -> int:
+    """Total content-model vertices (smaller = more concise)."""
+    return dtd.size()
+
+
+def language_volume(dtd: DTD, max_length: int = 5, max_words: int = 5000) -> int:
+    """Number of accepted root child sequences up to ``max_length``.
+
+    A coarse over-generality proxy: ``(a | b | c)*`` has a much larger
+    volume than ``(a, b, c)`` at equal coverage.
+    """
+    root_decl = dtd[dtd.root]
+    return len(enumerate_language(root_decl.content, max_length, max_words))
+
+
+def mdl_cost(
+    dtd: DTD,
+    documents: Sequence[Document],
+    config: SimilarityConfig = SimilarityConfig(),
+) -> float:
+    """Two-part description length in bits (lower is better).
+
+    Model half: every content-model vertex costs a symbol choice over
+    the DTD's alphabet.  Data half: a document's elements are free when
+    the DTD predicts them (similarity 1); each point of similarity
+    shortfall charges the document's size proportionally, approximating
+    the exception bits a real encoder would spend.
+    """
+    alphabet = max(2, len(dtd))
+    symbol_bits = math.log2(alphabet + 6)
+    model_bits = dtd.size() * symbol_bits
+    matcher = StructureMatcher(dtd, config)
+    data_bits = 0.0
+    for document in documents:
+        similarity = matcher.document_similarity(document.root)
+        matcher.clear_cache()
+        data_bits += (1.0 - similarity) * document.element_count() * symbol_bits
+    return model_bits + data_bits
+
+
+class QualityReport(NamedTuple):
+    """All measures of :func:`assess`, bundled."""
+
+    coverage: float
+    mean_similarity: float
+    invalid_fraction: float
+    conciseness: int
+    language_volume: int
+    mdl: float
+
+    def row(self) -> List[str]:
+        return [
+            f"{self.coverage:.3f}",
+            f"{self.mean_similarity:.3f}",
+            f"{self.invalid_fraction:.3f}",
+            str(self.conciseness),
+            str(self.language_volume),
+            f"{self.mdl:.0f}",
+        ]
+
+    @staticmethod
+    def header() -> List[str]:
+        return ["coverage", "similarity", "invalid%", "size", "volume", "mdl"]
+
+
+def assess(
+    dtd: DTD,
+    documents: Sequence[Document],
+    config: SimilarityConfig = SimilarityConfig(),
+    volume_length: int = 5,
+) -> QualityReport:
+    """Evaluate a DTD on every axis at once."""
+    return QualityReport(
+        coverage=coverage(dtd, documents),
+        mean_similarity=mean_similarity(dtd, documents, config),
+        invalid_fraction=mean_invalid_element_fraction(dtd, documents, config),
+        conciseness=conciseness(dtd),
+        language_volume=language_volume(dtd, volume_length),
+        mdl=mdl_cost(dtd, documents, config),
+    )

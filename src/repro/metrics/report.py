@@ -1,0 +1,58 @@
+"""Fixed-width table rendering for the benchmark harness.
+
+Every experiment benchmark prints its results as a small table of the
+kind the paper's evaluation section would have carried; this helper
+keeps the formatting uniform and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+class Table:
+    """A printable fixed-width table.
+
+    >>> table = Table("demo", ["x", "y"])
+    >>> table.add_row(["1", "2.0"])
+    >>> print(table.render())  # doctest: +NORMALIZE_WHITESPACE
+    demo
+    x | y
+    --+----
+    1 | 2.0
+    """
+
+    def __init__(self, title: str, header: Sequence[str]):
+        self.title = title
+        self.header = list(header)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, row: Iterable[object]) -> None:
+        cells = [str(cell) for cell in row]
+        if len(cells) != len(self.header):
+            raise ValueError(
+                f"row has {len(cells)} cells, header has {len(self.header)}"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        widths = [len(cell) for cell in self.header]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [self.title] if self.title else []
+        lines.append(
+            " | ".join(cell.ljust(width) for cell, width in zip(self.header, widths)).rstrip()
+        )
+        lines.append("-+-".join("-" * width for width in widths))
+        for row in self.rows:
+            lines.append(
+                " | ".join(
+                    cell.ljust(width) for cell, width in zip(row, widths)
+                ).rstrip()
+            )
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print(self.render())
+        print()

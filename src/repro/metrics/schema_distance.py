@@ -1,0 +1,124 @@
+"""Schema-to-schema distance: how close is an evolved DTD to a target?
+
+The evaluation experiments mostly score a DTD against *documents*; when
+a synthetic workload has a known ground-truth schema, the sharper
+question is how much of that schema the evolution recovered.  This
+module compares two DTDs declaration-by-declaration on their (bounded)
+languages:
+
+- per shared element, *precision* = fraction of the candidate's words
+  that the reference accepts, and *recall* = the converse, both over
+  words enumerated up to a length bound;
+- declarations only one side has count as full misses on the other
+  side's axis;
+- the summary is the macro-averaged F1.
+
+A candidate that over-generalises (``(a | b | c)*``) keeps recall 1 but
+loses precision; a stale schema keeps precision but loses recall —
+the two failure modes of schema inference, separated.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Set, Tuple
+
+from repro.dtd.automaton import ContentAutomaton, enumerate_language
+from repro.dtd.dtd import DTD
+
+
+class ElementScore(NamedTuple):
+    """Precision/recall of one element declaration vs the reference."""
+
+    name: str
+    precision: float
+    recall: float
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+class SchemaDistance(NamedTuple):
+    """The full comparison result."""
+
+    per_element: List[ElementScore]
+    #: declarations only the candidate has (spurious)
+    only_candidate: Tuple[str, ...]
+    #: declarations only the reference has (missed)
+    only_reference: Tuple[str, ...]
+
+    @property
+    def precision(self) -> float:
+        scores = [entry.precision for entry in self.per_element]
+        scores += [0.0] * len(self.only_candidate)
+        return sum(scores) / len(scores) if scores else 1.0
+
+    @property
+    def recall(self) -> float:
+        scores = [entry.recall for entry in self.per_element]
+        scores += [0.0] * len(self.only_reference)
+        return sum(scores) / len(scores) if scores else 1.0
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def _language_sample(content, max_length: int, max_words: int) -> Set[tuple]:
+    return set(enumerate_language(content, max_length, max_words))
+
+
+def schema_distance(
+    candidate: DTD,
+    reference: DTD,
+    max_length: int = 4,
+    max_words: int = 600,
+) -> SchemaDistance:
+    """Compare ``candidate`` against the ground truth ``reference``.
+
+    >>> from repro.dtd.parser import parse_dtd
+    >>> truth = parse_dtd("<!ELEMENT a (b, c)><!ELEMENT b (#PCDATA)><!ELEMENT c (#PCDATA)>")
+    >>> schema_distance(truth, truth).f1
+    1.0
+    """
+    candidate_names = set(candidate.element_names())
+    reference_names = set(reference.element_names())
+    shared = sorted(candidate_names & reference_names)
+    per_element: List[ElementScore] = []
+    for name in shared:
+        candidate_words = _language_sample(
+            candidate[name].content, max_length, max_words
+        )
+        reference_words = _language_sample(
+            reference[name].content, max_length, max_words
+        )
+        if not candidate_words and not reference_words:
+            per_element.append(ElementScore(name, 1.0, 1.0))
+            continue
+        # membership is checked against the true automaton, not the
+        # (possibly truncated) sample, so bounded enumeration only
+        # limits which words are *tested*, not how they are judged
+        reference_automaton = ContentAutomaton(reference[name].content)
+        candidate_automaton = ContentAutomaton(candidate[name].content)
+        precision = (
+            sum(1 for word in candidate_words if reference_automaton.accepts(word))
+            / len(candidate_words)
+            if candidate_words
+            else 1.0
+        )
+        recall = (
+            sum(1 for word in reference_words if candidate_automaton.accepts(word))
+            / len(reference_words)
+            if reference_words
+            else 1.0
+        )
+        per_element.append(ElementScore(name, precision, recall))
+    return SchemaDistance(
+        per_element,
+        tuple(sorted(candidate_names - reference_names)),
+        tuple(sorted(reference_names - candidate_names)),
+    )

@@ -1,0 +1,167 @@
+"""FP-Growth frequent-itemset mining.
+
+An alternative to :func:`repro.mining.itemsets.apriori` from the same
+textbook the paper cites (Han & Kamber [4], whose authors introduced
+FP-Growth): transactions are compressed into a prefix tree (the
+*FP-tree*) whose paths share common prefixes, and frequent itemsets are
+mined by recursively projecting conditional trees — no candidate
+generation, one database scan per projection.
+
+Produces exactly the same ``{itemset: count}`` mapping as Apriori
+(property-tested); the mining benchmark (E9) compares their costs: the
+FP-tree wins when transactions share structure (which absence-augmented
+evolution transactions do — they are total over the label universe).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.errors import MiningError
+from repro.mining.itemsets import Itemset, _min_count
+
+Item = Hashable
+
+
+class _Node:
+    """One FP-tree vertex: an item, its count, children by item."""
+
+    __slots__ = ("item", "count", "parent", "children")
+
+    def __init__(self, item: Optional[Item], parent: Optional["_Node"]):
+        self.item = item
+        self.count = 0
+        self.parent = parent
+        self.children: Dict[Item, "_Node"] = {}
+
+
+class _FPTree:
+    """A prefix tree over frequency-ordered transactions."""
+
+    def __init__(self):
+        self.root = _Node(None, None)
+        #: item -> list of nodes carrying it (the header table)
+        self.header: Dict[Item, List[_Node]] = defaultdict(list)
+
+    def insert(self, items: Sequence[Item], count: int) -> None:
+        node = self.root
+        for item in items:
+            child = node.children.get(item)
+            if child is None:
+                child = _Node(item, node)
+                node.children[item] = child
+                self.header[item].append(child)
+            child.count += count
+            node = child
+
+    def prefix_paths(self, item: Item) -> List[Tuple[List[Item], int]]:
+        """Conditional pattern base: the path above each item node."""
+        paths: List[Tuple[List[Item], int]] = []
+        for node in self.header[item]:
+            path: List[Item] = []
+            ancestor = node.parent
+            while ancestor is not None and ancestor.item is not None:
+                path.append(ancestor.item)
+                ancestor = ancestor.parent
+            path.reverse()
+            paths.append((path, node.count))
+        return paths
+
+    def is_single_path(self) -> Optional[List[Tuple[Item, int]]]:
+        """The (item, count) chain if the tree is one path, else None."""
+        chain: List[Tuple[Item, int]] = []
+        node = self.root
+        while node.children:
+            if len(node.children) > 1:
+                return None
+            (node,) = node.children.values()
+            chain.append((node.item, node.count))
+        return chain
+
+
+def _build_tree(
+    weighted_transactions: Sequence[Tuple[Sequence[Item], int]],
+    min_count: int,
+) -> Tuple[_FPTree, Dict[Item, int]]:
+    supports: Counter = Counter()
+    for items, count in weighted_transactions:
+        for item in set(items):
+            supports[item] += count
+    frequent_items = {
+        item: count for item, count in supports.items() if count >= min_count
+    }
+    # order by descending support, repr-tiebreak for determinism
+    order = {
+        item: rank
+        for rank, item in enumerate(
+            sorted(frequent_items, key=lambda item: (-frequent_items[item], repr(item)))
+        )
+    }
+    tree = _FPTree()
+    for items, count in weighted_transactions:
+        kept = sorted(
+            (item for item in set(items) if item in frequent_items),
+            key=order.__getitem__,
+        )
+        if kept:
+            tree.insert(kept, count)
+    return tree, frequent_items
+
+
+def _mine(
+    tree: _FPTree,
+    frequent_items: Dict[Item, int],
+    suffix: Itemset,
+    min_count: int,
+    results: Dict[Itemset, int],
+    max_size: Optional[int],
+) -> None:
+    single = tree.is_single_path()
+    if single is not None:
+        # every combination of path items joins the suffix
+        from itertools import combinations
+
+        for size in range(1, len(single) + 1):
+            if max_size is not None and len(suffix) + size > max_size:
+                break
+            for combo in combinations(single, size):
+                itemset = suffix | frozenset(item for item, _count in combo)
+                results[itemset] = min(count for _item, count in combo)
+        return
+    for item in sorted(frequent_items, key=repr):
+        support = frequent_items[item]
+        itemset = suffix | {item}
+        results[itemset] = support
+        if max_size is not None and len(itemset) >= max_size:
+            continue
+        conditional = tree.prefix_paths(item)
+        subtree, sub_frequent = _build_tree(conditional, min_count)
+        if sub_frequent:
+            _mine(subtree, sub_frequent, itemset, min_count, results, max_size)
+
+
+def fpgrowth(
+    transactions: Sequence[frozenset],
+    min_support: float,
+    max_size: Optional[int] = None,
+) -> Dict[Itemset, int]:
+    """Mine all frequent itemsets — same contract as :func:`apriori`.
+
+    >>> S = [frozenset("abc"), frozenset("ab"), frozenset("bcd")]
+    >>> from repro.mining.itemsets import apriori
+    >>> fpgrowth(S, 2/3) == apriori(S, 2/3)
+    True
+    """
+    if not 0.0 <= min_support <= 1.0:
+        raise MiningError(f"min_support must be in [0, 1], got {min_support}")
+    total = len(transactions)
+    if total == 0:
+        return {}
+    min_count = _min_count(min_support, total)
+    weighted = [(sorted(transaction, key=repr), 1) for transaction in transactions]
+    tree, frequent_items = _build_tree(weighted, min_count)
+    results: Dict[Itemset, int] = {}
+    if frequent_items:
+        _mine(tree, frequent_items, frozenset(), min_count, results, max_size)
+    return results

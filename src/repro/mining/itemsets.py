@@ -1,0 +1,146 @@
+"""Apriori frequent-itemset mining.
+
+The classic level-wise algorithm (Agrawal & Srikant; the paper cites the
+Han & Kamber textbook [4]): frequent 1-itemsets seed candidate
+2-itemsets, and so on, pruning candidates with an infrequent subset
+(downward closure).  Items are arbitrary hashables — the evolution layer
+uses :class:`~repro.mining.transactions.Literal` values.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+)
+
+from repro.errors import MiningError
+
+Item = Hashable
+Itemset = FrozenSet[Item]
+
+
+def itemset_support(
+    itemset: Iterable[Item], transactions: Sequence[FrozenSet[Item]]
+) -> float:
+    """Fraction of transactions containing every item of ``itemset``.
+
+    Example 3 of the paper:
+
+    >>> S = [frozenset("abc"), frozenset("ab"), frozenset("bcd")]
+    >>> round(itemset_support(frozenset("abc"), S), 4)
+    0.3333
+    """
+    if not transactions:
+        return 0.0
+    target = frozenset(itemset)
+    hits = sum(1 for transaction in transactions if target <= transaction)
+    return hits / len(transactions)
+
+
+def _candidate_join(
+    previous_level: List[Itemset], size: int
+) -> Set[Itemset]:
+    """Join step: unite pairs from the previous level differing by one item."""
+    candidates: Set[Itemset] = set()
+    previous_set = set(previous_level)
+    ordered = sorted(previous_level, key=lambda itemset: sorted(map(repr, itemset)))
+    for index, left in enumerate(ordered):
+        for right in ordered[index + 1 :]:
+            union = left | right
+            if len(union) != size:
+                continue
+            # prune: every (size-1)-subset must be frequent
+            if all(union - {item} in previous_set for item in union):
+                candidates.add(union)
+    return candidates
+
+
+def apriori(
+    transactions: Sequence[FrozenSet[Item]],
+    min_support: float,
+    max_size: Optional[int] = None,
+) -> Dict[Itemset, int]:
+    """Mine all frequent itemsets with support >= ``min_support``.
+
+    Returns absolute counts keyed by itemset (support = count / number
+    of transactions).  ``max_size`` bounds the itemset cardinality —
+    useful because evolution transactions are *total* over the label
+    universe, so unbounded mining would always surface the full
+    transactions themselves.
+
+    >>> S = [frozenset("abc"), frozenset("ab"), frozenset("bcd")]
+    >>> counts = apriori(S, min_support=2/3)
+    >>> sorted("".join(sorted(k)) for k in counts)
+    ['a', 'ab', 'b', 'bc', 'c']
+    """
+    if not 0.0 <= min_support <= 1.0:
+        raise MiningError(f"min_support must be in [0, 1], got {min_support}")
+    total = len(transactions)
+    if total == 0:
+        return {}
+    min_count = _min_count(min_support, total)
+
+    frequent: Dict[Itemset, int] = {}
+    singles: Counter = Counter()
+    for transaction in transactions:
+        for item in transaction:
+            singles[item] += 1
+    level: List[Itemset] = []
+    for item, count in singles.items():
+        if count >= min_count:
+            itemset = frozenset({item})
+            frequent[itemset] = count
+            level.append(itemset)
+
+    size = 2
+    while level and (max_size is None or size <= max_size):
+        candidates = _candidate_join(level, size)
+        if not candidates:
+            break
+        counts: Dict[Itemset, int] = defaultdict(int)
+        for transaction in transactions:
+            if len(transaction) < size:
+                continue
+            for candidate in candidates:
+                if candidate <= transaction:
+                    counts[candidate] += 1
+        level = []
+        for candidate, count in counts.items():
+            if count >= min_count:
+                frequent[candidate] = count
+                level.append(candidate)
+        size += 1
+    return frequent
+
+
+def _min_count(min_support: float, total: int) -> int:
+    """Smallest absolute count whose support reaches ``min_support``."""
+    import math
+
+    return max(1, math.ceil(min_support * total - 1e-9))
+
+
+def maximal_itemsets(frequent: Dict[Itemset, int]) -> List[Itemset]:
+    """The frequent itemsets with no frequent superset (reporting helper)."""
+    itemsets = sorted(frequent, key=len, reverse=True)
+    maximal: List[Itemset] = []
+    for candidate in itemsets:
+        if not any(candidate < chosen for chosen in maximal):
+            maximal.append(candidate)
+    return maximal
+
+
+def frequent_by_size(frequent: Dict[Itemset, int]) -> Dict[int, List[Itemset]]:
+    """Group frequent itemsets by cardinality (reporting helper)."""
+    grouped: Dict[int, List[Itemset]] = defaultdict(list)
+    for itemset in frequent:
+        grouped[len(itemset)].append(itemset)
+    return dict(grouped)

@@ -1,0 +1,334 @@
+"""Association rules and the Section 4.2 mining pipeline.
+
+An association rule ``X -> Y`` (X, Y disjoint itemsets) has *support*
+``supp(X ∪ Y)`` and *confidence* ``supp(X ∪ Y) / supp(X)`` — Example 3
+of the paper.  Over absence-augmented transactions the rules capture
+both relationship kinds the paper needs: "the presence of these elements
+implies the presence of these elements" and "the absence of these
+elements implies the presence of these elements".
+
+The evolution algorithm (steps 1–4, Section 4.2) keeps only the rules
+with *maximal* confidence (1): every surviving representative instance
+that satisfies the antecedent also satisfies the consequent.  A key
+consequence this module exploits: confidence-1 rules compose — if
+``x -> y`` and ``x -> z`` both hold with confidence 1 then so does
+``x -> yz`` — so the :class:`RuleSet` can answer every policy condition
+from single-antecedent/single-consequent rules alone, while
+:func:`generate_rules` still produces the general form for reporting
+and the mining benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
+
+
+from repro.mining.itemsets import Itemset
+from repro.mining.transactions import (
+    Literal,
+    Transaction,
+    absent,
+    augment_with_absent,
+    filter_frequent_sequences,
+    present,
+)
+
+
+class AssociationRule:
+    """One mined rule ``antecedent -> consequent``."""
+
+    __slots__ = ("antecedent", "consequent", "support", "confidence")
+
+    def __init__(
+        self,
+        antecedent: Itemset,
+        consequent: Itemset,
+        support: float,
+        confidence: float,
+    ):
+        self.antecedent = frozenset(antecedent)
+        self.consequent = frozenset(consequent)
+        self.support = support
+        self.confidence = confidence
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, AssociationRule):
+            return NotImplemented
+        return (
+            self.antecedent == other.antecedent
+            and self.consequent == other.consequent
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.antecedent, self.consequent))
+
+    def __repr__(self) -> str:
+        left = ", ".join(sorted(map(repr, self.antecedent)))
+        right = ", ".join(sorted(map(repr, self.consequent)))
+        return (
+            f"{left} -> {right} "
+            f"(supp={self.support:.3f}, conf={self.confidence:.3f})"
+        )
+
+
+def generate_rules(
+    frequent: Dict[Itemset, int],
+    transaction_count: int,
+    min_confidence: float = 1.0,
+    max_antecedent: Optional[int] = 1,
+) -> List[AssociationRule]:
+    """Derive rules from Apriori output.
+
+    For every frequent itemset ``S`` and non-empty ``X ⊂ S`` with
+    ``|X| <= max_antecedent``, emit ``X -> S \\ X`` when its confidence
+    reaches ``min_confidence``.  The paper's policies only consult
+    single-antecedent rules, hence the default bound; pass ``None`` to
+    enumerate every split (exponential in ``|S|``).
+    """
+    if transaction_count <= 0:
+        return []
+    rules: List[AssociationRule] = []
+    for itemset, count in frequent.items():
+        if len(itemset) < 2:
+            continue
+        support = count / transaction_count
+        for antecedent in _antecedent_candidates(itemset, max_antecedent):
+            antecedent_count = frequent.get(antecedent)
+            if not antecedent_count:
+                continue  # cannot happen for truly frequent S (closure)
+            confidence = count / antecedent_count
+            if confidence >= min_confidence:
+                rules.append(
+                    AssociationRule(
+                        antecedent, itemset - antecedent, support, confidence
+                    )
+                )
+    return rules
+
+
+def _antecedent_candidates(
+    itemset: Itemset, max_antecedent: Optional[int]
+) -> Iterable[Itemset]:
+    items = sorted(itemset, key=repr)
+    bound = len(items) - 1 if max_antecedent is None else min(
+        max_antecedent, len(items) - 1
+    )
+    # enumerate subsets of size 1..bound
+    from itertools import combinations
+
+    for size in range(1, bound + 1):
+        for combo in combinations(items, size):
+            yield frozenset(combo)
+
+
+class RuleSet:
+    """Confidence-1 implications between literals, as the policies need them.
+
+    Built directly from the surviving transactions (not from the Apriori
+    lattice): ``implies(x, y)`` is True iff every transaction satisfying
+    literal ``x`` also satisfies literal ``y`` — i.e. the rule
+    ``x -> y`` has confidence 1 — and ``x`` has positive support.
+    Because confidence-1 rules compose, every compound policy condition
+    (e.g. Policy 1's mutual implication within a whole set) reduces to
+    conjunctions of these pairwise queries.
+    """
+
+    def __init__(self, transactions: Sequence[Transaction]):
+        self.transactions = list(transactions)
+        self._implications: Dict[Literal, Set[Literal]] = {}
+        self._support: Dict[Literal, int] = {}
+        self._build()
+
+    def _build(self) -> None:
+        literals: Set[Literal] = set()
+        for transaction in self.transactions:
+            literals |= transaction
+        for literal in literals:
+            holding = [t for t in self.transactions if literal in t]
+            self._support[literal] = len(holding)
+            if not holding:
+                continue
+            common = set(holding[0])
+            for transaction in holding[1:]:
+                common &= transaction
+            common.discard(literal)
+            self._implications[literal] = common
+
+    # ------------------------------------------------------------------
+    # Queries used by the heuristic policies
+    # ------------------------------------------------------------------
+
+    def implies(self, antecedent: Literal, consequent: Literal) -> bool:
+        """``antecedent -> consequent`` with confidence 1 (and support > 0)."""
+        return consequent in self._implications.get(antecedent, set())
+
+    def implies_all(self, antecedent: Literal, consequents: Iterable[Literal]) -> bool:
+        """``antecedent -> {consequents}`` with confidence 1."""
+        known = self._implications.get(antecedent)
+        if known is None:
+            return False
+        return all(consequent in known for consequent in consequents)
+
+    def mutually_present(self, labels: Sequence[str]) -> bool:
+        """Policy 1's condition: every label implies the presence of all
+        the others (the paper's ``x_i -> x_1 ... x_k`` both ways)."""
+        label_list = list(labels)
+        if len(label_list) < 2:
+            return False
+        for label in label_list:
+            others = [present(other) for other in label_list if other != label]
+            if not self.implies_all(present(label), others):
+                return False
+        return True
+
+    def mutually_exclusive(self, left: str, right: str) -> bool:
+        """Policy 4's condition: ``x -> ¬y`` and ``¬y -> x`` (and
+        symmetrically), i.e. exactly one of the two is present."""
+        return (
+            self.implies(present(left), absent(right))
+            and self.implies(absent(right), present(left))
+            and self.implies(present(right), absent(left))
+            and self.implies(absent(left), present(right))
+        )
+
+    def never_together(self, left: str, right: str) -> bool:
+        """The two labels never co-occur (each presence implies the
+        other's absence).  Weaker than :meth:`mutually_exclusive` — it
+        does not require that one of the two is always present — and the
+        right notion for choices with three or more alternatives, where
+        "absent(y) -> present(x)" cannot hold pairwise."""
+        return self.implies(present(left), absent(right)) and self.implies(
+            present(right), absent(left)
+        )
+
+    def always_present(self, label: str) -> bool:
+        """The label is present in every surviving transaction."""
+        return self._support.get(absent(label), 0) == 0 and self._support.get(
+            present(label), 0
+        ) > 0
+
+    def never_present(self, label: str) -> bool:
+        """The label is absent from every surviving transaction."""
+        return self._support.get(present(label), 0) == 0
+
+    def sometimes_present(self, label: str) -> bool:
+        """Present in some transactions, absent in others (optionality)."""
+        return (
+            self._support.get(present(label), 0) > 0
+            and self._support.get(absent(label), 0) > 0
+        )
+
+    def implies_set(
+        self, antecedents: Iterable[Literal], consequent: Literal
+    ) -> bool:
+        """Set-antecedent rule ``{antecedents} -> consequent`` with
+        confidence 1 *and positive support* (a vacuously true rule over
+        an antecedent no transaction satisfies is rejected — the paper
+        only mines rules from actually frequent itemsets)."""
+        antecedent_set = frozenset(antecedents)
+        supporting = [
+            transaction
+            for transaction in self.transactions
+            if antecedent_set <= transaction
+        ]
+        if not supporting:
+            return False
+        return all(consequent in transaction for transaction in supporting)
+
+    def implies_any(self, antecedent: Literal, labels: Iterable[str]) -> bool:
+        """Every transaction satisfying ``antecedent`` asserts at least
+        one of ``labels`` present (disjunctive consequent; positive
+        support required)."""
+        label_list = list(labels)
+        supporting = [
+            transaction for transaction in self.transactions if antecedent in transaction
+        ]
+        if not supporting:
+            return False
+        return all(
+            any(present(label) in transaction for label in label_list)
+            for transaction in supporting
+        )
+
+    def all_absent_sometimes(self, labels: Iterable[str]) -> bool:
+        """Some surviving transaction asserts every one of ``labels``
+        absent (evidence that the group as a whole is optional)."""
+        label_list = list(labels)
+        if not label_list:
+            return False
+        return any(
+            all(absent(label) in transaction for label in label_list)
+            for transaction in self.transactions
+        )
+
+    def support_of(self, literal: Literal) -> float:
+        if not self.transactions:
+            return 0.0
+        return self._support.get(literal, 0) / len(self.transactions)
+
+    def presence_implies(self, label: str, other: str) -> bool:
+        """``label`` present -> ``other`` present (confidence 1)."""
+        return self.implies(present(label), present(other))
+
+    def co_occurring_group(self, labels: Iterable[str]) -> bool:
+        """Alias of :meth:`mutually_present` over an iterable."""
+        return self.mutually_present(list(labels))
+
+    def to_rules(self) -> List[AssociationRule]:
+        """Materialise the pairwise confidence-1 rules (for reporting)."""
+        total = len(self.transactions) or 1
+        rules: List[AssociationRule] = []
+        for antecedent, consequents in sorted(
+            self._implications.items(), key=lambda pair: repr(pair[0])
+        ):
+            antecedent_support = self._support[antecedent]
+            for consequent in sorted(consequents, key=repr):
+                joint = sum(
+                    1
+                    for transaction in self.transactions
+                    if antecedent in transaction and consequent in transaction
+                )
+                rules.append(
+                    AssociationRule(
+                        frozenset({antecedent}),
+                        frozenset({consequent}),
+                        joint / total,
+                        joint / antecedent_support,
+                    )
+                )
+        return rules
+
+    def __repr__(self) -> str:
+        pair_count = sum(len(v) for v in self._implications.values())
+        return f"RuleSet({len(self.transactions)} transactions, {pair_count} implications)"
+
+
+def mine_evolution_rules(
+    sequences: Sequence[FrozenSet[str]],
+    labels: Iterable[str],
+    min_support: float,
+) -> RuleSet:
+    """Steps 1–4 of the Section 4.2 evolution algorithm.
+
+    1. augment each recorded sequence with absent elements;
+    2. keep the most frequent sequences (support > ``min_support``);
+    3. + 4. extract the association rules with maximal confidence from
+       the survivors, exposed as a :class:`RuleSet`.
+
+    Example 5's input (documents ``(b c)+ d*`` and ``(b c)+ e``):
+
+    >>> rules = mine_evolution_rules(
+    ...     [frozenset("bcd"), frozenset("bce")] * 5, "bcde", 0.2
+    ... )
+    >>> rules.mutually_present(["b", "c"])
+    True
+    >>> rules.mutually_exclusive("d", "e")
+    True
+    """
+    transactions = augment_with_absent(sequences, labels)
+    survivors = filter_frequent_sequences(transactions, min_support)
+    if not survivors:
+        # nothing representative: fall back to the full population so the
+        # evolution phase still has evidence to work with
+        survivors = transactions
+    return RuleSet(survivors)

@@ -1,0 +1,120 @@
+"""Transactions over presence/absence literals.
+
+Section 4.2: "items are element tags and the set of sequences is the one
+associated with element e".  A *sequence* (recorded during the recording
+phase) is the set of direct-subelement tags of one non-valid instance,
+"disregarding order and repetitions".
+
+The paper then augments each sequence with *absent elements*
+(Example 4): given the label universe ``Label`` collected for the DTD
+element, every label missing from a sequence is added as a negated
+literal, so rules of the form "the absence of b implies the presence of
+c" become minable — these are what identify OR-bound subelements.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, FrozenSet, Iterable, List, NamedTuple, Sequence, Tuple
+
+from repro.errors import MiningError
+
+
+class Literal(NamedTuple):
+    """A presence (``b``) or absence (``¬b``) assertion about a tag."""
+
+    label: str
+    is_present: bool = True
+
+    def negate(self) -> "Literal":
+        return Literal(self.label, not self.is_present)
+
+    def __repr__(self) -> str:
+        return self.label if self.is_present else f"¬{self.label}"
+
+
+def present(label: str) -> Literal:
+    """The positive literal for ``label``."""
+    return Literal(label, True)
+
+
+def absent(label: str) -> Literal:
+    """The negative literal for ``label`` (the paper's ``b̄``)."""
+    return Literal(label, False)
+
+
+Transaction = FrozenSet[Literal]
+
+
+def augment_with_absent(
+    sequences: Iterable[FrozenSet[str]], labels: Iterable[str]
+) -> List[Transaction]:
+    """Step 1 of the evolution algorithm (Section 4.2).
+
+    Turn each tag-set sequence into a *total* transaction over the label
+    universe: present tags become positive literals, missing tags
+    negative ones.
+
+    >>> transactions = augment_with_absent(
+    ...     [frozenset({"a", "b"})], ["a", "b", "c"]
+    ... )
+    >>> sorted(map(repr, transactions[0]))
+    ['a', 'b', '¬c']
+    """
+    universe = sorted(set(labels))
+    transactions: List[Transaction] = []
+    for sequence in sequences:
+        stray = set(sequence) - set(universe)
+        if stray:
+            raise MiningError(
+                f"sequence contains labels outside the universe: {sorted(stray)}"
+            )
+        transactions.append(
+            frozenset(
+                present(label) if label in sequence else absent(label)
+                for label in universe
+            )
+        )
+    return transactions
+
+
+def filter_frequent_sequences(
+    transactions: Sequence[Transaction], min_support: float
+) -> List[Transaction]:
+    """Step 2: keep the most frequent sequences, with multiplicity.
+
+    A sequence's support is the fraction of transactions equal to it
+    (augmented transactions are total over the universe, so containment
+    and equality coincide).  Sequences at or below ``min_support`` "are
+    discarded since they are not representative enough".
+
+    The result preserves multiplicities — rule confidences must still be
+    computed on the surviving population, not on distinct shapes.
+    """
+    if not 0.0 <= min_support <= 1.0:
+        raise MiningError(f"min_support must be in [0, 1], got {min_support}")
+    if not transactions:
+        return []
+    counts = Counter(transactions)
+    total = len(transactions)
+    kept: List[Transaction] = []
+    for transaction in transactions:
+        if counts[transaction] / total > min_support:
+            kept.append(transaction)
+    return kept
+
+
+def sequence_supports(
+    transactions: Sequence[Transaction],
+) -> Dict[Transaction, float]:
+    """Support of each distinct transaction shape (diagnostics/benchmarks)."""
+    counts = Counter(transactions)
+    total = len(transactions) or 1
+    return {shape: count / total for shape, count in counts.items()}
+
+
+def positive_labels(transaction: Transaction) -> Tuple[str, ...]:
+    """The tags asserted present by a transaction, sorted."""
+    return tuple(
+        sorted(literal.label for literal in transaction if literal.is_present)
+    )

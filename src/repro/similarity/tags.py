@@ -1,0 +1,97 @@
+"""Tag matching — exact by default, thesaurus-based as an extension.
+
+Section 6 lists as a future direction "the possibility of evolving tag
+names as well as their structure by relying on the use of a Thesaurus
+[5].  The Thesaurus allows one to evaluate structural similarity
+shifting from tag equality to tag similarity, as sketched in [2]."
+
+The paper's setting assumed WordNet; in this offline reproduction the
+same hook is provided by :class:`ThesaurusTagMatcher`, driven by an
+explicit synonym table (sets of interchangeable tags with a similarity
+discount).  The matcher consults a :class:`TagMatcher` everywhere tag
+equality is needed, so swapping in a thesaurus changes classification
+behaviour without touching the algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set
+
+
+class TagMatcher:
+    """Interface: decides whether/how well two tags match.
+
+    :meth:`match` returns a similarity factor in ``[0, 1]``:
+    ``1.0`` for a perfect match, ``0.0`` for no match.  The structural
+    matcher multiplies the *common* contribution of a matched element by
+    this factor, so synonym matches rank below exact ones.
+    """
+
+    def match(self, document_tag: str, dtd_tag: str) -> float:
+        raise NotImplementedError
+
+    def matches(self, document_tag: str, dtd_tag: str) -> bool:
+        """True when the factor is positive."""
+        return self.match(document_tag, dtd_tag) > 0.0
+
+
+class ExactTagMatcher(TagMatcher):
+    """Strict tag equality — the paper's default behaviour."""
+
+    def match(self, document_tag: str, dtd_tag: str) -> float:
+        return 1.0 if document_tag == dtd_tag else 0.0
+
+
+class ThesaurusTagMatcher(TagMatcher):
+    """Synonym-aware matching (the Section 6 extension).
+
+    Parameters
+    ----------
+    synonym_sets:
+        An iterable of tag groups; tags within a group are considered
+        synonyms of each other.
+    synonym_factor:
+        The similarity factor granted to a synonym (non-identical)
+        match.  Must lie in ``(0, 1]``; exact matches always score 1.
+
+    >>> matcher = ThesaurusTagMatcher([{"author", "writer"}], 0.8)
+    >>> matcher.match("writer", "author")
+    0.8
+    >>> matcher.match("author", "author")
+    1.0
+    """
+
+    def __init__(self, synonym_sets: Iterable[Set[str]], synonym_factor: float = 0.8):
+        if not 0.0 < synonym_factor <= 1.0:
+            raise ValueError("synonym_factor must be in (0, 1]")
+        self.synonym_factor = synonym_factor
+        self._group_of: Dict[str, int] = {}
+        for index, group in enumerate(synonym_sets):
+            for tag in group:
+                self._group_of[tag] = index
+
+    def match(self, document_tag: str, dtd_tag: str) -> float:
+        if document_tag == dtd_tag:
+            return 1.0
+        document_group = self._group_of.get(document_tag)
+        if document_group is None:
+            return 0.0
+        if document_group == self._group_of.get(dtd_tag):
+            return self.synonym_factor
+        return 0.0
+
+    def canonical(self, tag: str) -> str:
+        """A deterministic representative of the tag's synonym group.
+
+        Used by the tag-evolution extension to rename drifting tags to a
+        single canonical form.
+        """
+        group = self._group_of.get(tag)
+        if group is None:
+            return tag
+        members = sorted(
+            candidate
+            for candidate, candidate_group in self._group_of.items()
+            if candidate_group == group
+        )
+        return members[0]

@@ -1,0 +1,30 @@
+"""The evolution trigger language (a Section 6 direction).
+
+"A second direction is related to the development of an evolution
+trigger language, by using which applications can specify and
+automatically activate DTD evolution."
+
+Rules look like::
+
+    ON catalog WHEN score > 0.2 AND documents >= 50 EVOLVE WITH psi = 0.1
+    ON *       WHEN invalid_documents / documents > 0.4 EVOLVE
+
+- :mod:`repro.triggers.language` — tokenizer, recursive-descent parser
+  and condition evaluator;
+- :mod:`repro.triggers.trigger` — :class:`Trigger` / :class:`TriggerSet`
+  objects and the metrics environment built from an extended DTD;
+  :class:`repro.core.engine.XMLSource` accepts a ``triggers=`` argument
+  that replaces the default ``tau`` check phase.
+"""
+
+from repro.triggers.language import TriggerSyntaxError, parse_trigger, parse_triggers
+from repro.triggers.trigger import Trigger, TriggerSet, metrics_environment
+
+__all__ = [
+    "TriggerSyntaxError",
+    "parse_trigger",
+    "parse_triggers",
+    "Trigger",
+    "TriggerSet",
+    "metrics_environment",
+]

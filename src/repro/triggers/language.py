@@ -1,0 +1,402 @@
+"""Parser and evaluator for the evolution trigger language.
+
+Grammar (case-insensitive keywords)::
+
+    rule       := "ON" target "WHEN" condition "EVOLVE" [ "WITH" overrides ]
+    target     := NAME | "*"
+    condition  := disjunct { "OR" disjunct }
+    disjunct   := comparison { "AND" comparison }
+    comparison := sum ( ">" | ">=" | "<" | "<=" | "==" | "!=" ) sum
+                | "(" condition ")" | "NOT" comparison
+    sum        := term { ("+" | "-") term }
+    term       := factor { ("*" | "/") factor }
+    factor     := NUMBER | METRIC | "(" sum ")" | "-" factor
+    overrides  := NAME "=" NUMBER { "," NAME "=" NUMBER }
+
+Metrics are free identifiers resolved against the evaluation
+environment (see :func:`repro.triggers.trigger.metrics_environment`):
+``score``, ``documents``, ``valid_documents``, ``invalid_documents``,
+``repository``, ``evolutions``, ``elements_recorded``, ``storage``.
+Unknown metrics are a *parse-time* error when a metric whitelist is
+given, otherwise an evaluation-time error — triggers fail loudly, never
+silently.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, NamedTuple, Optional
+
+from repro.errors import ReproError
+
+
+class TriggerSyntaxError(ReproError):
+    """Raised for malformed trigger rules."""
+
+
+# ----------------------------------------------------------------------
+# Tokenizer
+# ----------------------------------------------------------------------
+
+_KEYWORDS = {"ON", "WHEN", "EVOLVE", "WITH", "AND", "OR", "NOT"}
+_PUNCT = ["(", ")", ",", "=", ">=", "<=", "==", "!=", ">", "<", "+", "-", "*", "/"]
+
+
+class _Token(NamedTuple):
+    kind: str  # KEYWORD | NAME | NUMBER | PUNCT | END
+    value: str
+
+
+def _tokenize(source: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    length = len(source)
+    while position < length:
+        char = source[position]
+        if char.isspace():
+            position += 1
+            continue
+        matched_punct = None
+        for punct in sorted(_PUNCT, key=len, reverse=True):
+            if source.startswith(punct, position):
+                matched_punct = punct
+                break
+        # '*' doubles as the wildcard target; the parser disambiguates
+        if matched_punct:
+            tokens.append(_Token("PUNCT", matched_punct))
+            position += len(matched_punct)
+            continue
+        if char.isdigit() or (char == "." and position + 1 < length):
+            start = position
+            while position < length and (source[position].isdigit() or source[position] == "."):
+                position += 1
+            tokens.append(_Token("NUMBER", source[start:position]))
+            continue
+        if char.isalpha() or char == "_":
+            start = position
+            while position < length and (source[position].isalnum() or source[position] == "_"):
+                position += 1
+            word = source[start:position]
+            if word.upper() in _KEYWORDS:
+                tokens.append(_Token("KEYWORD", word.upper()))
+            else:
+                tokens.append(_Token("NAME", word))
+            continue
+        raise TriggerSyntaxError(f"unexpected character {char!r} in trigger rule")
+    tokens.append(_Token("END", ""))
+    return tokens
+
+
+# ----------------------------------------------------------------------
+# AST
+# ----------------------------------------------------------------------
+
+Env = Dict[str, float]
+
+
+class Expr:
+    """A numeric expression over metrics."""
+
+    def evaluate(self, env: Env) -> float:
+        raise NotImplementedError
+
+    def metrics(self) -> frozenset:
+        raise NotImplementedError
+
+
+class Number(Expr):
+    def __init__(self, value: float):
+        self.value = value
+
+    def evaluate(self, env: Env) -> float:
+        return self.value
+
+    def metrics(self) -> frozenset:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return f"{self.value:g}"
+
+
+class Metric(Expr):
+    def __init__(self, name: str):
+        self.name = name
+
+    def evaluate(self, env: Env) -> float:
+        if self.name not in env:
+            raise TriggerSyntaxError(f"unknown metric {self.name!r}")
+        return env[self.name]
+
+    def metrics(self) -> frozenset:
+        return frozenset({self.name})
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class Arith(Expr):
+    _OPS: Dict[str, Callable[[float, float], float]] = {
+        "+": lambda a, b: a + b,
+        "-": lambda a, b: a - b,
+        "*": lambda a, b: a * b,
+        "/": lambda a, b: a / b if b != 0 else float("inf"),
+    }
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, env: Env) -> float:
+        return self._OPS[self.op](self.left.evaluate(env), self.right.evaluate(env))
+
+    def metrics(self) -> frozenset:
+        return self.left.metrics() | self.right.metrics()
+
+    def __repr__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+class Condition:
+    """A boolean expression over metrics."""
+
+    def holds(self, env: Env) -> bool:
+        raise NotImplementedError
+
+    def metrics(self) -> frozenset:
+        raise NotImplementedError
+
+
+class Comparison(Condition):
+    _OPS: Dict[str, Callable[[float, float], bool]] = {
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        "==": lambda a, b: a == b,
+        "!=": lambda a, b: a != b,
+    }
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def holds(self, env: Env) -> bool:
+        return self._OPS[self.op](self.left.evaluate(env), self.right.evaluate(env))
+
+    def metrics(self) -> frozenset:
+        return self.left.metrics() | self.right.metrics()
+
+    def __repr__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+class BoolOp(Condition):
+    def __init__(self, op: str, parts: List[Condition]):
+        self.op = op  # "AND" | "OR"
+        self.parts = parts
+
+    def holds(self, env: Env) -> bool:
+        if self.op == "AND":
+            return all(part.holds(env) for part in self.parts)
+        return any(part.holds(env) for part in self.parts)
+
+    def metrics(self) -> frozenset:
+        result = frozenset()
+        for part in self.parts:
+            result |= part.metrics()
+        return result
+
+    def __repr__(self) -> str:
+        joiner = f" {self.op} "
+        return "(" + joiner.join(map(repr, self.parts)) + ")"
+
+
+class Negation(Condition):
+    def __init__(self, inner: Condition):
+        self.inner = inner
+
+    def holds(self, env: Env) -> bool:
+        return not self.inner.holds(env)
+
+    def metrics(self) -> frozenset:
+        return self.inner.metrics()
+
+    def __repr__(self) -> str:
+        return f"NOT {self.inner}"
+
+
+class ParsedTrigger(NamedTuple):
+    """The raw parse result of one rule."""
+
+    target: str  # DTD name or "*"
+    condition: Condition
+    overrides: Dict[str, float]
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token], known_metrics: Optional[Iterable[str]]):
+        self.tokens = tokens
+        self.position = 0
+        self.known_metrics = frozenset(known_metrics) if known_metrics else None
+
+    def _peek(self) -> _Token:
+        return self.tokens[self.position]
+
+    def _next(self) -> _Token:
+        token = self.tokens[self.position]
+        self.position += 1
+        return token
+
+    def _expect_keyword(self, word: str) -> None:
+        token = self._next()
+        if token.kind != "KEYWORD" or token.value != word:
+            raise TriggerSyntaxError(f"expected {word}, found {token.value!r}")
+
+    def _expect_punct(self, punct: str) -> None:
+        token = self._next()
+        if token.kind != "PUNCT" or token.value != punct:
+            raise TriggerSyntaxError(f"expected {punct!r}, found {token.value!r}")
+
+    # -- rule ------------------------------------------------------------
+
+    def parse_rule(self) -> ParsedTrigger:
+        self._expect_keyword("ON")
+        token = self._next()
+        if token.kind == "NAME" or (token.kind == "PUNCT" and token.value == "*"):
+            target = token.value
+        else:
+            raise TriggerSyntaxError(f"expected a DTD name or '*', found {token.value!r}")
+        self._expect_keyword("WHEN")
+        condition = self._parse_condition()
+        self._expect_keyword("EVOLVE")
+        overrides: Dict[str, float] = {}
+        if self._peek() == _Token("KEYWORD", "WITH"):
+            self._next()
+            overrides = self._parse_overrides()
+        if self._peek().kind != "END":
+            raise TriggerSyntaxError(
+                f"trailing input after the rule: {self._peek().value!r}"
+            )
+        return ParsedTrigger(target, condition, overrides)
+
+    def _parse_overrides(self) -> Dict[str, float]:
+        overrides: Dict[str, float] = {}
+        while True:
+            name_token = self._next()
+            if name_token.kind != "NAME":
+                raise TriggerSyntaxError(
+                    f"expected a parameter name, found {name_token.value!r}"
+                )
+            self._expect_punct("=")
+            value_token = self._next()
+            if value_token.kind != "NUMBER":
+                raise TriggerSyntaxError(
+                    f"expected a number for {name_token.value}, found {value_token.value!r}"
+                )
+            overrides[name_token.value] = float(value_token.value)
+            if self._peek() == _Token("PUNCT", ","):
+                self._next()
+                continue
+            return overrides
+
+    # -- condition ---------------------------------------------------------
+
+    def _parse_condition(self) -> Condition:
+        parts = [self._parse_conjunction()]
+        while self._peek() == _Token("KEYWORD", "OR"):
+            self._next()
+            parts.append(self._parse_conjunction())
+        return parts[0] if len(parts) == 1 else BoolOp("OR", parts)
+
+    def _parse_conjunction(self) -> Condition:
+        parts = [self._parse_comparison()]
+        while self._peek() == _Token("KEYWORD", "AND"):
+            self._next()
+            parts.append(self._parse_comparison())
+        return parts[0] if len(parts) == 1 else BoolOp("AND", parts)
+
+    def _parse_comparison(self) -> Condition:
+        if self._peek() == _Token("KEYWORD", "NOT"):
+            self._next()
+            return Negation(self._parse_comparison())
+        if self._peek() == _Token("PUNCT", "("):
+            # could be a parenthesised condition or a parenthesised sum;
+            # try condition first by lookahead: scan for a comparator at
+            # depth 0 after the matching paren... simpler: snapshot+retry
+            snapshot = self.position
+            try:
+                self._next()
+                condition = self._parse_condition()
+                self._expect_punct(")")
+                return condition
+            except TriggerSyntaxError:
+                self.position = snapshot
+        left = self._parse_sum()
+        token = self._next()
+        if token.kind != "PUNCT" or token.value not in Comparison._OPS:
+            raise TriggerSyntaxError(f"expected a comparator, found {token.value!r}")
+        right = self._parse_sum()
+        return Comparison(token.value, left, right)
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def _parse_sum(self) -> Expr:
+        left = self._parse_term()
+        while self._peek().kind == "PUNCT" and self._peek().value in ("+", "-"):
+            op = self._next().value
+            left = Arith(op, left, self._parse_term())
+        return left
+
+    def _parse_term(self) -> Expr:
+        left = self._parse_factor()
+        while self._peek().kind == "PUNCT" and self._peek().value in ("*", "/"):
+            op = self._next().value
+            left = Arith(op, left, self._parse_factor())
+        return left
+
+    def _parse_factor(self) -> Expr:
+        token = self._next()
+        if token.kind == "NUMBER":
+            return Number(float(token.value))
+        if token.kind == "NAME":
+            if self.known_metrics is not None and token.value not in self.known_metrics:
+                raise TriggerSyntaxError(f"unknown metric {token.value!r}")
+            return Metric(token.value)
+        if token == _Token("PUNCT", "("):
+            inner = self._parse_sum()
+            self._expect_punct(")")
+            return inner
+        if token == _Token("PUNCT", "-"):
+            return Arith("-", Number(0.0), self._parse_factor())
+        raise TriggerSyntaxError(f"expected a number or metric, found {token.value!r}")
+
+
+def parse_trigger(
+    source: str, known_metrics: Optional[Iterable[str]] = None
+) -> ParsedTrigger:
+    """Parse one trigger rule.
+
+    >>> rule = parse_trigger("ON catalog WHEN score > 0.2 EVOLVE WITH psi = 0.1")
+    >>> rule.target, rule.overrides
+    ('catalog', {'psi': 0.1})
+    """
+    return _Parser(_tokenize(source), known_metrics).parse_rule()
+
+
+def parse_triggers(
+    source: str, known_metrics: Optional[Iterable[str]] = None
+) -> List[ParsedTrigger]:
+    """Parse a rule file: one rule per non-empty, non-``#`` line."""
+    rules = []
+    for line in source.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        rules.append(parse_trigger(stripped, known_metrics))
+    return rules

@@ -1,0 +1,157 @@
+"""Trigger objects and their wiring into the source engine.
+
+A :class:`Trigger` binds a parsed rule to runtime behaviour: when its
+condition holds over a DTD's metrics environment, the engine runs the
+evolution phase for that DTD with the rule's parameter overrides
+(``psi``/``mu``/``tau``/... applied on top of the source's
+:class:`~repro.core.evolution.EvolutionConfig`).
+
+The metrics exposed to conditions:
+
+==================  ====================================================
+``score``           the paper's activation score (check-phase LHS)
+``documents``       documents recorded since the last evolution
+``valid_documents`` fully valid among those
+``invalid_documents`` the complement
+``repository``      documents currently unclassified (source-wide)
+``evolutions``      evolutions this DTD has gone through
+``elements_recorded`` element records currently held
+``storage``         extended-DTD aggregate cells
+==================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.evolution import EvolutionConfig
+from repro.core.extended_dtd import ExtendedDTD
+from repro.triggers.language import ParsedTrigger, parse_trigger
+
+#: the metric names conditions may reference (parse-time checked)
+KNOWN_METRICS = (
+    "score",
+    "documents",
+    "valid_documents",
+    "invalid_documents",
+    "repository",
+    "evolutions",
+    "elements_recorded",
+    "storage",
+)
+
+#: EvolutionConfig fields a WITH clause may override
+_OVERRIDABLE = {
+    "sigma",
+    "tau",
+    "psi",
+    "mu",
+    "alpha",
+    "beta",
+    "min_valid_for_restriction",
+    "min_instances",
+    "min_documents",
+}
+
+
+def metrics_environment(
+    extended: ExtendedDTD, repository_size: int = 0
+) -> Dict[str, float]:
+    """The evaluation environment for one DTD."""
+    return {
+        "score": extended.activation_score,
+        "documents": float(extended.document_count),
+        "valid_documents": float(extended.valid_document_count),
+        "invalid_documents": float(
+            extended.document_count - extended.valid_document_count
+        ),
+        "repository": float(repository_size),
+        "evolutions": float(extended.evolution_count),
+        "elements_recorded": float(len(extended.records)),
+        "storage": float(extended.storage_cells()),
+    }
+
+
+class Trigger:
+    """One compiled rule."""
+
+    def __init__(self, rule: ParsedTrigger, source_text: str = ""):
+        self.target = rule.target
+        self.condition = rule.condition
+        self.overrides = dict(rule.overrides)
+        self.source_text = source_text
+        unknown = set(self.overrides) - _OVERRIDABLE
+        if unknown:
+            from repro.triggers.language import TriggerSyntaxError
+
+            raise TriggerSyntaxError(
+                f"WITH clause sets unknown parameters: {sorted(unknown)}"
+            )
+
+    @classmethod
+    def parse(cls, source: str) -> "Trigger":
+        """Compile one rule string.
+
+        >>> Trigger.parse("ON * WHEN score > 0.5 EVOLVE").matches("anything")
+        True
+        """
+        return cls(parse_trigger(source, KNOWN_METRICS), source)
+
+    def matches(self, dtd_name: str) -> bool:
+        return self.target == "*" or self.target == dtd_name
+
+    def should_fire(self, environment: Dict[str, float]) -> bool:
+        return self.condition.holds(environment)
+
+    def apply_overrides(self, config: EvolutionConfig) -> EvolutionConfig:
+        """The source config with this rule's WITH parameters applied."""
+        if not self.overrides:
+            return config
+        integer_fields = {
+            "min_valid_for_restriction",
+            "min_instances",
+            "min_documents",
+        }
+        values = config._asdict()
+        for name, value in self.overrides.items():
+            values[name] = int(value) if name in integer_fields else value
+        return EvolutionConfig(**values)
+
+    def __repr__(self) -> str:
+        return f"Trigger({self.source_text or self.target!r})"
+
+
+class TriggerSet:
+    """An ordered collection of triggers; first match fires."""
+
+    def __init__(self, triggers: Iterable[Trigger] = ()):
+        self.triggers: List[Trigger] = list(triggers)
+
+    @classmethod
+    def parse(cls, source: str) -> "TriggerSet":
+        """Compile a rule file (one rule per line, ``#`` comments)."""
+        triggers = []
+        for line in source.splitlines():
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            triggers.append(Trigger.parse(stripped))
+        return cls(triggers)
+
+    def add(self, trigger: Trigger) -> None:
+        self.triggers.append(trigger)
+
+    def __len__(self) -> int:
+        return len(self.triggers)
+
+    def firing_trigger(
+        self, dtd_name: str, environment: Dict[str, float]
+    ) -> Optional[Trigger]:
+        """The first trigger matching the DTD whose condition holds."""
+        for trigger in self.triggers:
+            if trigger.matches(dtd_name) and trigger.should_fire(environment):
+                return trigger
+        return None
+
+    def __repr__(self) -> str:
+        return f"TriggerSet({len(self.triggers)} rules)"

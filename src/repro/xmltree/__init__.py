@@ -1,0 +1,34 @@
+"""Labeled-tree document substrate.
+
+The paper represents both XML documents and DTDs as labeled trees
+(Section 3, Figure 2).  This subpackage provides:
+
+- :mod:`repro.xmltree.tree` — the generic labeled tree used throughout;
+- :mod:`repro.xmltree.document` — the XML document object model
+  (elements, text, attributes) and its labeled-tree view;
+- :mod:`repro.xmltree.parser` — a from-scratch, dependency-free XML
+  parser;
+- :mod:`repro.xmltree.serializer` — pretty and compact serialization.
+"""
+
+from repro.xmltree.tree import Tree
+from repro.xmltree.document import Document, Element, Text, PCDATA_LABEL
+from repro.xmltree.parser import parse_document, parse_fragment, XMLParser
+from repro.xmltree.serializer import serialize_document, serialize_element
+from repro.xmltree.paths import select, select_one, PathSyntaxError
+
+__all__ = [
+    "Tree",
+    "Document",
+    "Element",
+    "Text",
+    "PCDATA_LABEL",
+    "parse_document",
+    "parse_fragment",
+    "XMLParser",
+    "serialize_document",
+    "serialize_element",
+    "select",
+    "select_one",
+    "PathSyntaxError",
+]

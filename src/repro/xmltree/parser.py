@@ -1,0 +1,378 @@
+"""A from-scratch XML parser.
+
+This is a hand-written recursive-descent parser for the subset of XML 1.0
+needed by the reproduction (and then some): elements, attributes, text,
+character and predefined entity references, CDATA sections, comments,
+processing instructions, the XML declaration, and an (optionally
+internal-subset-bearing) DOCTYPE declaration.  The internal subset, when
+present, is handed verbatim to the DTD parser by higher layers.
+
+It is deliberately strict about well-formedness — mismatched tags,
+duplicate attributes and stray ``<`` are all reported with line/column —
+because the classifier must be able to trust that a parsed document is a
+tree.
+
+No external dependencies and no ``xml.*`` stdlib modules are used: the
+paper's substrate is rebuilt from scratch per the reproduction brief.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import XMLSyntaxError
+from repro.xmltree.document import Document, Element, Text
+
+_PREDEFINED_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+_NAME_START_EXTRA = set("_:")
+_NAME_EXTRA = set("_:-.")
+
+
+def _is_name_start(char: str) -> bool:
+    return char.isalpha() or char in _NAME_START_EXTRA
+
+
+def _is_name_char(char: str) -> bool:
+    return char.isalnum() or char in _NAME_EXTRA
+
+
+class XMLParser:
+    """Single-use recursive-descent parser over an in-memory string.
+
+    Use the module-level helpers :func:`parse_document` /
+    :func:`parse_fragment` unless you need access to the captured
+    DOCTYPE internal subset (:attr:`internal_subset`).
+    """
+
+    def __init__(self, source: str):
+        self._source = source
+        self._pos = 0
+        self._length = len(source)
+        #: Raw text of the DOCTYPE internal subset, if the document had one.
+        self.internal_subset: Optional[str] = None
+        #: DOCTYPE root name, if declared.
+        self.doctype_name: Optional[str] = None
+        #: SYSTEM identifier of the DOCTYPE, if declared.
+        self.doctype_system: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Low-level cursor
+    # ------------------------------------------------------------------
+
+    def _location(self, pos: Optional[int] = None) -> Tuple[int, int]:
+        pos = self._pos if pos is None else pos
+        line = self._source.count("\n", 0, pos) + 1
+        last_newline = self._source.rfind("\n", 0, pos)
+        column = pos - last_newline
+        return line, column
+
+    def _error(self, message: str) -> XMLSyntaxError:
+        line, column = self._location()
+        return XMLSyntaxError(message, line, column)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        return self._source[index] if index < self._length else ""
+
+    def _advance(self, count: int = 1) -> None:
+        self._pos += count
+
+    def _at_end(self) -> bool:
+        return self._pos >= self._length
+
+    def _starts_with(self, token: str) -> bool:
+        return self._source.startswith(token, self._pos)
+
+    def _expect(self, token: str) -> None:
+        if not self._starts_with(token):
+            raise self._error(f"expected {token!r}")
+        self._advance(len(token))
+
+    def _skip_whitespace(self) -> None:
+        while not self._at_end() and self._peek() in " \t\r\n":
+            self._advance()
+
+    def _read_name(self) -> str:
+        if self._at_end() or not _is_name_start(self._peek()):
+            raise self._error("expected an XML name")
+        start = self._pos
+        self._advance()
+        while not self._at_end() and _is_name_char(self._peek()):
+            self._advance()
+        return self._source[start : self._pos]
+
+    # ------------------------------------------------------------------
+    # Entities
+    # ------------------------------------------------------------------
+
+    def _read_reference(self) -> str:
+        """Read an entity/char reference; the cursor sits on ``&``."""
+        self._expect("&")
+        if self._peek() == "#":
+            self._advance()
+            if self._peek() in ("x", "X"):
+                self._advance()
+                start = self._pos
+                while self._peek() in "0123456789abcdefABCDEF":
+                    self._advance()
+                digits = self._source[start : self._pos]
+                if not digits:
+                    raise self._error("empty hexadecimal character reference")
+                code = int(digits, 16)
+            else:
+                start = self._pos
+                while self._peek().isdigit():
+                    self._advance()
+                digits = self._source[start : self._pos]
+                if not digits:
+                    raise self._error("empty character reference")
+                code = int(digits)
+            self._expect(";")
+            try:
+                return chr(code)
+            except (ValueError, OverflowError):
+                raise self._error(f"invalid character reference &#{digits};") from None
+        name = self._read_name()
+        self._expect(";")
+        if name not in _PREDEFINED_ENTITIES:
+            raise self._error(f"unknown entity &{name};")
+        return _PREDEFINED_ENTITIES[name]
+
+    # ------------------------------------------------------------------
+    # Prolog
+    # ------------------------------------------------------------------
+
+    def _skip_misc(self) -> None:
+        """Skip whitespace, comments and processing instructions."""
+        while True:
+            self._skip_whitespace()
+            if self._starts_with("<!--"):
+                self._skip_comment()
+            elif self._starts_with("<?"):
+                self._skip_processing_instruction()
+            else:
+                return
+
+    def _skip_comment(self) -> None:
+        self._expect("<!--")
+        end = self._source.find("-->", self._pos)
+        if end < 0:
+            raise self._error("unterminated comment")
+        if "--" in self._source[self._pos : end]:
+            raise self._error("'--' is not allowed inside a comment")
+        self._pos = end + 3
+
+    def _skip_processing_instruction(self) -> None:
+        self._expect("<?")
+        end = self._source.find("?>", self._pos)
+        if end < 0:
+            raise self._error("unterminated processing instruction")
+        self._pos = end + 2
+
+    def _parse_doctype(self) -> None:
+        self._expect("<!DOCTYPE")
+        self._skip_whitespace()
+        self.doctype_name = self._read_name()
+        self._skip_whitespace()
+        if self._starts_with("SYSTEM"):
+            self._advance(len("SYSTEM"))
+            self._skip_whitespace()
+            self.doctype_system = self._read_quoted()
+            self._skip_whitespace()
+        elif self._starts_with("PUBLIC"):
+            self._advance(len("PUBLIC"))
+            self._skip_whitespace()
+            self._read_quoted()  # public id — recorded nowhere, skipped
+            self._skip_whitespace()
+            self.doctype_system = self._read_quoted()
+            self._skip_whitespace()
+        if self._peek() == "[":
+            self._advance()
+            start = self._pos
+            depth = 1
+            while not self._at_end():
+                char = self._peek()
+                if char == "[":
+                    depth += 1
+                elif char == "]":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                self._advance()
+            if self._at_end():
+                raise self._error("unterminated DOCTYPE internal subset")
+            self.internal_subset = self._source[start : self._pos]
+            self._advance()  # closing ]
+            self._skip_whitespace()
+        self._expect(">")
+
+    def _read_quoted(self) -> str:
+        quote = self._peek()
+        if quote not in ("'", '"'):
+            raise self._error("expected a quoted literal")
+        self._advance()
+        end = self._source.find(quote, self._pos)
+        if end < 0:
+            raise self._error("unterminated literal")
+        value = self._source[self._pos : end]
+        self._pos = end + 1
+        return value
+
+    # ------------------------------------------------------------------
+    # Elements
+    # ------------------------------------------------------------------
+
+    def _parse_attributes(self) -> Dict[str, str]:
+        attributes: Dict[str, str] = {}
+        while True:
+            self._skip_whitespace()
+            char = self._peek()
+            if char in (">", "/") or self._at_end():
+                return attributes
+            name = self._read_name()
+            self._skip_whitespace()
+            self._expect("=")
+            self._skip_whitespace()
+            quote = self._peek()
+            if quote not in ("'", '"'):
+                raise self._error(f"attribute {name!r} value must be quoted")
+            self._advance()
+            pieces: List[str] = []
+            while True:
+                if self._at_end():
+                    raise self._error(f"unterminated value for attribute {name!r}")
+                char = self._peek()
+                if char == quote:
+                    self._advance()
+                    break
+                if char == "&":
+                    pieces.append(self._read_reference())
+                elif char == "<":
+                    raise self._error("'<' is not allowed in attribute values")
+                else:
+                    pieces.append(char)
+                    self._advance()
+            if name in attributes:
+                raise self._error(f"duplicate attribute {name!r}")
+            attributes[name] = "".join(pieces)
+
+    def _parse_element(self) -> Element:
+        self._expect("<")
+        tag = self._read_name()
+        attributes = self._parse_attributes()
+        if self._starts_with("/>"):
+            self._advance(2)
+            return Element(tag, attributes)
+        self._expect(">")
+        element = Element(tag, attributes)
+        self._parse_content(element)
+        # _parse_content stops on '</'
+        self._expect("</")
+        closing = self._read_name()
+        if closing != tag:
+            raise self._error(
+                f"mismatched closing tag: expected </{tag}>, found </{closing}>"
+            )
+        self._skip_whitespace()
+        self._expect(">")
+        return element
+
+    def _parse_content(self, parent: Element) -> None:
+        pieces: List[str] = []
+
+        def flush_text() -> None:
+            if pieces:
+                parent.children.append(Text("".join(pieces)))
+                pieces.clear()
+
+        while True:
+            if self._at_end():
+                raise self._error(f"unexpected end of input inside <{parent.tag}>")
+            char = self._peek()
+            if char == "<":
+                if self._starts_with("</"):
+                    flush_text()
+                    return
+                if self._starts_with("<!--"):
+                    self._skip_comment()
+                elif self._starts_with("<![CDATA["):
+                    self._advance(len("<![CDATA["))
+                    end = self._source.find("]]>", self._pos)
+                    if end < 0:
+                        raise self._error("unterminated CDATA section")
+                    pieces.append(self._source[self._pos : end])
+                    self._pos = end + 3
+                elif self._starts_with("<?"):
+                    self._skip_processing_instruction()
+                else:
+                    flush_text()
+                    parent.children.append(self._parse_element())
+            elif char == "&":
+                pieces.append(self._read_reference())
+            else:
+                pieces.append(char)
+                self._advance()
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def parse(self) -> Document:
+        """Parse a complete document (prolog + root element + trailer)."""
+        if self._starts_with("﻿"):
+            self._advance()
+        encoding = "UTF-8"
+        self._skip_whitespace()
+        if self._starts_with("<?xml"):
+            end = self._source.find("?>", self._pos)
+            if end < 0:
+                raise self._error("unterminated XML declaration")
+            declaration = self._source[self._pos : end]
+            if "encoding=" in declaration:
+                tail = declaration.split("encoding=", 1)[1]
+                if tail and tail[0] in "'\"":
+                    encoding = tail[1:].split(tail[0], 1)[0]
+            self._pos = end + 2
+        self._skip_misc()
+        if self._starts_with("<!DOCTYPE"):
+            self._parse_doctype()
+            self._skip_misc()
+        if not self._starts_with("<") or self._starts_with("<!"):
+            raise self._error("expected the root element")
+        root = self._parse_element()
+        self._skip_misc()
+        if not self._at_end():
+            raise self._error("content after the root element")
+        return Document(
+            root,
+            doctype_name=self.doctype_name,
+            doctype_system=self.doctype_system,
+            encoding=encoding,
+        )
+
+
+def parse_document(source: str) -> Document:
+    """Parse an XML document string into a :class:`Document`.
+
+    >>> doc = parse_document("<a><b>5</b><c>7</c></a>")
+    >>> doc.root.child_tags()
+    ['b', 'c']
+    """
+    return XMLParser(source).parse()
+
+
+def parse_fragment(source: str) -> Element:
+    """Parse a single element (no prolog allowed) into an :class:`Element`."""
+    parser = XMLParser(source.strip())
+    element = parser._parse_element()
+    parser._skip_whitespace()
+    if not parser._at_end():
+        raise parser._error("content after the fragment element")
+    return element

@@ -1,0 +1,190 @@
+"""A small XPath-like query language over documents.
+
+Library convenience (the examples and the monitoring tooling use it to
+point at elements): a focused subset of XPath abbreviated syntax,
+evaluated against this package's :class:`Element` model.
+
+Supported grammar::
+
+    path      := ("/" | "//") step { ("/" | "//") step }
+    step      := (NAME | "*") { predicate }
+    predicate := "[" NUMBER "]"                 positional (1-based)
+               | "[@" NAME "]"                  attribute exists
+               | "[@" NAME "=" "'" text "'" "]" attribute equals
+               | "[" NAME "]"                   has a child element
+
+``/a/b`` selects ``b`` children of the root ``a``; ``//name`` selects
+every descendant named ``name``; ``/a/*[2]`` the root's second child;
+``//item[@id='4']`` descendants with a matching attribute.
+
+Deliberately not supported (out of scope for a structural library):
+axes, functions, arithmetic, comparisons other than string-equality.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Sequence, Union
+
+from repro.errors import ReproError
+from repro.xmltree.document import Document, Element
+
+
+class PathSyntaxError(ReproError):
+    """Raised for malformed path expressions."""
+
+
+class _Predicate(NamedTuple):
+    kind: str  # "index" | "attr-exists" | "attr-equals" | "child"
+    name: str = ""
+    value: str = ""
+    index: int = 0
+
+
+class _Step(NamedTuple):
+    name: str  # tag or "*"
+    descendant: bool  # came after "//"
+    predicates: List[_Predicate]
+
+
+def _parse_predicates(text: str, position: int) -> (List[_Predicate], int):
+    predicates: List[_Predicate] = []
+    while position < len(text) and text[position] == "[":
+        end = text.find("]", position)
+        if end < 0:
+            raise PathSyntaxError("unterminated predicate")
+        body = text[position + 1 : end].strip()
+        if not body:
+            raise PathSyntaxError("empty predicate")
+        if body.isdigit():
+            predicates.append(_Predicate("index", index=int(body)))
+        elif body.startswith("@"):
+            if "=" in body:
+                name, _, raw = body[1:].partition("=")
+                raw = raw.strip()
+                if len(raw) < 2 or raw[0] not in "'\"" or raw[-1] != raw[0]:
+                    raise PathSyntaxError(
+                        f"attribute value must be quoted: [{body}]"
+                    )
+                predicates.append(
+                    _Predicate("attr-equals", name=name.strip(), value=raw[1:-1])
+                )
+            else:
+                predicates.append(_Predicate("attr-exists", name=body[1:].strip()))
+        else:
+            predicates.append(_Predicate("child", name=body))
+        position = end + 1
+    return predicates, position
+
+
+def _parse(path: str) -> List[_Step]:
+    if not path or path[0] != "/":
+        raise PathSyntaxError("a path must start with '/' or '//'")
+    steps: List[_Step] = []
+    position = 0
+    length = len(path)
+    while position < length:
+        if path.startswith("//", position):
+            descendant = True
+            position += 2
+        elif path[position] == "/":
+            descendant = False
+            position += 1
+        else:
+            raise PathSyntaxError(f"expected '/' at position {position}")
+        start = position
+        while position < length and (path[position].isalnum() or path[position] in "_-.*:"):
+            position += 1
+        name = path[start:position]
+        if not name:
+            raise PathSyntaxError(f"expected a name at position {start}")
+        predicates, position = _parse_predicates(path, position)
+        steps.append(_Step(name, descendant, predicates))
+    return steps
+
+
+def _matches(element: Element, step: _Step, position_in_selection: int) -> bool:
+    if step.name != "*" and element.tag != step.name:
+        return False
+    for predicate in step.predicates:
+        if predicate.kind == "index":
+            if position_in_selection != predicate.index:
+                return False
+        elif predicate.kind == "attr-exists":
+            if predicate.name not in element.attributes:
+                return False
+        elif predicate.kind == "attr-equals":
+            if element.attributes.get(predicate.name) != predicate.value:
+                return False
+        else:  # child
+            if element.find(predicate.name) is None:
+                return False
+    return True
+
+
+def _candidates(context: Element, step: _Step) -> List[Element]:
+    if step.descendant:
+        found: List[Element] = []
+        for child in context.element_children():
+            found.extend(child.iter_elements())
+        return found
+    return context.element_children()
+
+
+def select(root: Union[Document, Element], path: str) -> List[Element]:
+    """Evaluate a path expression; returns matches in document order.
+
+    The first step matches against the root element itself (XPath's
+    conceptual document node sits above it):
+
+    >>> from repro.xmltree.parser import parse_document
+    >>> doc = parse_document(
+    ...     "<lib><book id='1'><t>A</t></book><book id='2'><t>B</t></book></lib>"
+    ... )
+    >>> [e.attributes["id"] for e in select(doc, "/lib/book")]
+    ['1', '2']
+    >>> [e.text() for e in select(doc, "//t")]
+    ['A', 'B']
+    >>> [e.attributes["id"] for e in select(doc, "/lib/book[@id='2']")]
+    ['2']
+    >>> [e.attributes["id"] for e in select(doc, "/lib/*[1]")]
+    ['1']
+    """
+    element = root.root if isinstance(root, Document) else root
+    steps = _parse(path)
+    # the conceptual document node above the root element
+    sentinel = object()
+    current: List = [sentinel]
+    for step in steps:
+        matched: List[Element] = []
+        for context in current:
+            if context is sentinel:
+                if step.descendant:
+                    candidates: Sequence[Element] = list(element.iter_elements())
+                else:
+                    candidates = [element]
+            else:
+                candidates = _candidates(context, step)
+            # positional predicates count same-named candidates within
+            # this evaluation context (the parent for '/', the whole
+            # subtree for '//') — a documented simplification of XPath
+            position = 0
+            for candidate in candidates:
+                if step.name == "*" or candidate.tag == step.name:
+                    position += 1
+                if _matches(candidate, step, position):
+                    matched.append(candidate)
+        # preserve document order, drop duplicates (descendant steps can
+        # reach one element through several contexts)
+        seen = set()
+        current = []
+        for candidate in matched:
+            if id(candidate) not in seen:
+                seen.add(id(candidate))
+                current.append(candidate)
+    return current
+
+
+def select_one(root: Union[Document, Element], path: str) -> Optional[Element]:
+    """First match or ``None``."""
+    matches = select(root, path)
+    return matches[0] if matches else None

@@ -1,0 +1,214 @@
+"""Generic labeled trees.
+
+Section 3 of the paper represents documents and DTDs as *labeled trees*:
+``(T, phi)`` pairs where ``T`` is a tree and ``phi`` a vertex labeling
+function.  A tree is either a vertex ``v`` or a vertex with a list of
+subtrees ``(v, [T1, ..., Tn])``.
+
+:class:`Tree` is the concrete realisation used across the library: the
+similarity matcher walks document trees against DTD trees, the heuristic
+policies of the evolution phase build and rewrite DTD content-model trees,
+and the generators emit document trees.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+
+class Tree:
+    """An ordered tree whose vertices carry string labels.
+
+    Instances are mutable (the evolution policies rewrite trees in place
+    before a final copy is taken) but expose functional helpers
+    (:meth:`map`, :meth:`replace`) that return new trees.
+
+    Parameters
+    ----------
+    label:
+        The label of the root vertex (an element tag, an operator such as
+        ``AND``/``OR``/``?``/``*``/``+``, a basic type such as
+        ``#PCDATA``, or a text value — the tree itself is agnostic).
+    children:
+        Subtrees, in document order.
+    """
+
+    __slots__ = ("label", "children")
+
+    def __init__(self, label: str, children: Optional[Sequence["Tree"]] = None):
+        self.label = label
+        self.children: List[Tree] = list(children) if children else []
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def leaf(cls, label: str) -> "Tree":
+        """Create a childless tree."""
+        return cls(label)
+
+    @classmethod
+    def from_tuple(cls, spec) -> "Tree":
+        """Build a tree from a nested ``(label, [children])`` tuple spec.
+
+        Accepts a bare string for a leaf, or ``(label, [spec, ...])``.
+        This is the most convenient notation in tests:
+
+        >>> Tree.from_tuple(("a", ["b", ("c", ["d"])])).to_tuple()
+        ('a', ['b', ('c', ['d'])])
+        """
+        if isinstance(spec, str):
+            return cls(spec)
+        label, children = spec
+        return cls(label, [cls.from_tuple(child) for child in children])
+
+    def to_tuple(self):
+        """Inverse of :meth:`from_tuple` (leaves become bare strings)."""
+        if not self.children:
+            return self.label
+        return (self.label, [child.to_tuple() for child in self.children])
+
+    def copy(self) -> "Tree":
+        """Deep copy."""
+        return Tree(self.label, [child.copy() for child in self.children])
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def arity(self) -> int:
+        return len(self.children)
+
+    def size(self) -> int:
+        """Number of vertices in the tree."""
+        return 1 + sum(child.size() for child in self.children)
+
+    def height(self) -> int:
+        """Length of the longest root-to-leaf path (a leaf has height 0)."""
+        if not self.children:
+            return 0
+        return 1 + max(child.height() for child in self.children)
+
+    def child_labels(self) -> List[str]:
+        """Labels of the direct subtrees, in order."""
+        return [child.label for child in self.children]
+
+    def alpha_beta(self) -> "frozenset[str]":
+        """The paper's ``alphabeta`` function: the *set* of direct-child labels.
+
+        For document elements this is the set of direct subelement tags;
+        for DTD trees callers should use
+        :func:`repro.dtd.content_model.declared_labels`, which skips
+        operator vertices as the paper requires.
+        """
+        return frozenset(child.label for child in self.children)
+
+    def iter_preorder(self) -> Iterator["Tree"]:
+        """Yield every vertex, root first."""
+        yield self
+        for child in self.children:
+            yield from child.iter_preorder()
+
+    def iter_postorder(self) -> Iterator["Tree"]:
+        """Yield every vertex, leaves first."""
+        for child in self.children:
+            yield from child.iter_postorder()
+        yield self
+
+    def iter_labeled(self, label: str) -> Iterator["Tree"]:
+        """Yield every vertex carrying ``label``."""
+        for node in self.iter_preorder():
+            if node.label == label:
+                yield node
+
+    def find(self, predicate: Callable[["Tree"], bool]) -> Optional["Tree"]:
+        """First vertex (preorder) satisfying ``predicate``, or ``None``."""
+        for node in self.iter_preorder():
+            if predicate(node):
+                return node
+        return None
+
+    def paths(self) -> List[Tuple[str, ...]]:
+        """All root-to-leaf label paths (used by structural metrics)."""
+        if not self.children:
+            return [(self.label,)]
+        result = []
+        for child in self.children:
+            for path in child.paths():
+                result.append((self.label,) + path)
+        return result
+
+    # ------------------------------------------------------------------
+    # Transformation
+    # ------------------------------------------------------------------
+
+    def map(self, fn: Callable[[str], str]) -> "Tree":
+        """Return a new tree with every label transformed by ``fn``."""
+        return Tree(fn(self.label), [child.map(fn) for child in self.children])
+
+    def replace(self, old: "Tree", new: "Tree") -> bool:
+        """Replace the first occurrence (by identity) of ``old`` among the
+        descendants of this tree with ``new``.
+
+        Returns ``True`` if a replacement happened.  Identity-based
+        replacement is what the policy engine needs: it holds references
+        to the exact subtrees it wants to rewrite.
+        """
+        for index, child in enumerate(self.children):
+            if child is old:
+                self.children[index] = new
+                return True
+            if child.replace(old, new):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Equality / hashing / rendering
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Tree):
+            return NotImplemented
+        if self.label != other.label or len(self.children) != len(other.children):
+            return False
+        return all(a == b for a, b in zip(self.children, other.children))
+
+    def __hash__(self) -> int:
+        return hash((self.label, tuple(hash(child) for child in self.children)))
+
+    def __repr__(self) -> str:
+        if not self.children:
+            return f"Tree({self.label!r})"
+        return f"Tree({self.label!r}, {self.children!r})"
+
+    def render(self, indent: str = "  ") -> str:
+        """Multi-line ASCII rendering, one vertex per line.
+
+        >>> print(Tree.from_tuple(("a", ["b"])).render())
+        a
+          b
+        """
+        lines: List[str] = []
+
+        def walk(node: "Tree", depth: int) -> None:
+            lines.append(indent * depth + node.label)
+            for child in node.children:
+                walk(child, depth + 1)
+
+        walk(self, 0)
+        return "\n".join(lines)
+
+
+def canonical_key(tree: Tree) -> Tuple:
+    """A hashable, order-sensitive structural key for a tree.
+
+    Two trees have the same key iff they are equal under :meth:`Tree.__eq__`.
+    Used by the recording phase to deduplicate structures cheaply.
+    """
+    return (tree.label, tuple(canonical_key(child) for child in tree.children))

@@ -1,0 +1,48 @@
+"""XML Schema (XSD) support — the paper's other Section 6 direction.
+
+"Since a DTD can be considered as a kind of XML schema, we are
+currently extending the approach to the evolution of XML schemas."
+
+This subpackage provides the subset of W3C XML Schema the extension
+needs — named elements with complex types (``sequence``/``choice``
+compositors, ``minOccurs``/``maxOccurs`` bounds, ``mixed`` content) and
+string simple types — plus:
+
+- :mod:`repro.xsd.model` — the schema object model;
+- :mod:`repro.xsd.convert` — lossless-where-expressible conversion
+  between DTDs and schemas (occurrence bounds beyond ``0/1/unbounded``
+  widen when round-tripping through a DTD, and that widening is
+  reported);
+- :mod:`repro.xsd.io` — parsing ``xs:schema`` documents (through this
+  library's own XML parser) and serializing back;
+- :func:`repro.xsd.evolve.evolve_schema` — schema evolution by the
+  paper's machinery: convert, record, evolve, convert back.
+"""
+
+from repro.xsd.model import (
+    Schema,
+    SchemaElement,
+    ComplexType,
+    SimpleType,
+    Particle,
+    UNBOUNDED,
+)
+from repro.xsd.convert import dtd_to_schema, schema_to_dtd, ConversionReport
+from repro.xsd.io import parse_schema, serialize_schema
+from repro.xsd.evolve import evolve_schema, SchemaEvolutionResult
+
+__all__ = [
+    "Schema",
+    "SchemaElement",
+    "ComplexType",
+    "SimpleType",
+    "Particle",
+    "UNBOUNDED",
+    "dtd_to_schema",
+    "schema_to_dtd",
+    "ConversionReport",
+    "parse_schema",
+    "serialize_schema",
+    "evolve_schema",
+    "SchemaEvolutionResult",
+]

@@ -1,0 +1,190 @@
+"""Conversion between DTDs and the XSD subset.
+
+DTD → schema is exact: each operator maps to occurrence bounds
+(``?`` → 0..1, ``*`` → 0..unbounded, ``+`` → 1..unbounded), ``AND`` to a
+``sequence``, ``OR`` to a ``choice``, mixed content to ``mixed=True``.
+
+Schema → DTD is exact *except* for occurrence bounds DTDs cannot say:
+``minOccurs``/``maxOccurs`` outside {0, 1, unbounded} widen to the
+closest DTD operator (e.g. ``2..5`` → ``+`` — lower bound weakened to 1,
+upper to unbounded).  Every widening is recorded in the returned
+:class:`ConversionReport`, because schema evolution through the DTD
+machinery must tell the user where precision was lost.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Union
+
+from repro.dtd import content_model as cm
+from repro.dtd.dtd import DTD, ElementDecl
+from repro.xsd.model import (
+    UNBOUNDED,
+    ComplexType,
+    Particle,
+    Schema,
+    SchemaElement,
+    SimpleType,
+)
+from repro.xmltree.tree import Tree
+
+
+class Widening(NamedTuple):
+    """One occurrence-bound loss during schema → DTD conversion."""
+
+    element: str
+    particle: str
+    original: str
+    widened_to: str
+
+
+class ConversionReport(NamedTuple):
+    """The product of a conversion plus its precision losses."""
+
+    result: Union[DTD, Schema]
+    widenings: List[Widening]
+
+    @property
+    def lossless(self) -> bool:
+        return not self.widenings
+
+
+# ----------------------------------------------------------------------
+# DTD -> schema (exact)
+# ----------------------------------------------------------------------
+
+
+def dtd_to_schema(dtd: DTD) -> Schema:
+    """Convert a DTD to the schema model (always exact).
+
+    >>> from repro.dtd.parser import parse_dtd
+    >>> schema = dtd_to_schema(parse_dtd("<!ELEMENT a (b*)><!ELEMENT b (#PCDATA)>"))
+    >>> schema["a"].type.particles[0].occurs_label()
+    '0..unbounded'
+    """
+    schema = Schema(name=dtd.name)
+    for decl in dtd:
+        schema.add(SchemaElement(decl.name, _model_to_type(decl)))
+    schema.root = dtd.root
+    return schema
+
+
+def _model_to_type(decl: ElementDecl) -> Union[ComplexType, SimpleType]:
+    content = decl.content
+    if decl.is_empty:
+        return ComplexType("sequence", [])
+    if content.label == cm.PCDATA:
+        return SimpleType()
+    if decl.is_any:
+        # ANY has no schema analogue in the subset: model as mixed choice
+        # over nothing (callers of the evolution path never produce ANY)
+        return ComplexType("sequence", [], mixed=True)
+    if decl.is_mixed:
+        labels = sorted(decl.declared_labels())
+        particles = [Particle(label, 0, UNBOUNDED) for label in labels]
+        return ComplexType("choice", particles, mixed=True)
+    particle = _model_to_particle(content)
+    if isinstance(particle.term, ComplexType) and (
+        particle.min_occurs == 1 and particle.max_occurs == 1
+    ):
+        return particle.term
+    # a bare leaf or suffixed group at top level: wrap in a sequence
+    return ComplexType("sequence", [particle])
+
+
+def _model_to_particle(model: Tree) -> Particle:
+    label = model.label
+    if cm.is_element_label(label):
+        return Particle(label, 1, 1)
+    if label == cm.OPT:
+        return _with_bounds(_model_to_particle(model.children[0]), 0, 1)
+    if label == cm.STAR:
+        return _with_bounds(_model_to_particle(model.children[0]), 0, UNBOUNDED)
+    if label == cm.PLUS:
+        return _with_bounds(_model_to_particle(model.children[0]), 1, UNBOUNDED)
+    if label in (cm.AND, cm.OR):
+        compositor = "sequence" if label == cm.AND else "choice"
+        particles = [_model_to_particle(child) for child in model.children]
+        return Particle(ComplexType(compositor, particles), 1, 1)
+    raise ValueError(f"cannot convert content-model label {label!r}")
+
+
+def _with_bounds(particle: Particle, low: int, high: int) -> Particle:
+    """Apply an operator's bounds on top of a particle's own bounds."""
+    if particle.min_occurs == 1 and particle.max_occurs == 1:
+        return Particle(particle.term, low, high)
+    # stacked operators: compose the ranges
+    new_low = particle.min_occurs * low
+    if UNBOUNDED in (particle.max_occurs, high):
+        new_high = UNBOUNDED if high != 0 else 0
+    else:
+        new_high = particle.max_occurs * high
+    return Particle(particle.term, new_low, new_high)
+
+
+# ----------------------------------------------------------------------
+# schema -> DTD (widening where needed)
+# ----------------------------------------------------------------------
+
+
+def schema_to_dtd(schema: Schema) -> ConversionReport:
+    """Convert a schema to a DTD, reporting occurrence widenings."""
+    dtd = DTD(name=schema.name)
+    widenings: List[Widening] = []
+    for element in schema:
+        content = _type_to_model(element, widenings)
+        dtd.add(ElementDecl(element.name, content))
+    dtd.root = schema.root
+    return ConversionReport(dtd, widenings)
+
+
+def _type_to_model(element: SchemaElement, widenings: List[Widening]) -> Tree:
+    if isinstance(element.type, SimpleType):
+        return cm.pcdata()
+    complex_type = element.type
+    if complex_type.mixed:
+        labels = sorted(set(complex_type.referenced_names()))
+        return cm.mixed(*labels)
+    if not complex_type.particles:
+        return cm.empty()
+    return _group_to_model(complex_type, element.name, widenings)
+
+
+def _group_to_model(
+    group: ComplexType, element_name: str, widenings: List[Widening]
+) -> Tree:
+    parts = [
+        _particle_to_model(particle, element_name, widenings)
+        for particle in group.particles
+    ]
+    if len(parts) == 1:
+        return parts[0]
+    operator = cm.AND if group.compositor == "sequence" else cm.OR
+    return Tree(operator, parts)
+
+
+def _particle_to_model(
+    particle: Particle, element_name: str, widenings: List[Widening]
+) -> Tree:
+    if isinstance(particle.term, str):
+        inner: Tree = Tree.leaf(particle.term)
+        label = particle.term
+    else:
+        inner = _group_to_model(particle.term, element_name, widenings)
+        label = f"({particle.term.compositor})"
+    low, high = particle.min_occurs, particle.max_occurs
+    if (low, high) == (1, 1):
+        return inner
+    if (low, high) == (0, 1):
+        return Tree(cm.OPT, [inner])
+    if (low, high) == (0, UNBOUNDED):
+        return Tree(cm.STAR, [inner])
+    if (low, high) == (1, UNBOUNDED):
+        return Tree(cm.PLUS, [inner])
+    # anything else widens to the closest DTD operator
+    operator = cm.STAR if low == 0 else cm.PLUS
+    widened = "0..unbounded" if low == 0 else "1..unbounded"
+    widenings.append(
+        Widening(element_name, label, particle.occurs_label(), widened)
+    )
+    return Tree(operator, [inner])

@@ -1,0 +1,70 @@
+"""Schema evolution through the DTD machinery.
+
+The Section 6 route: a schema in the supported subset converts to a
+DTD, the paper's recording/evolution pipeline adapts that DTD to the
+documents, and the evolved DTD converts back.  Occurrence bounds DTDs
+cannot express are widened on the way in, and the result records both
+the widenings and the element actions, so callers see exactly what the
+round trip cost.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, NamedTuple, Optional
+
+from repro.core.evolution import EvolutionConfig, EvolutionResult, evolve_dtd
+from repro.core.extended_dtd import ExtendedDTD
+from repro.core.recorder import Recorder
+from repro.similarity.tags import TagMatcher
+from repro.xmltree.document import Document
+from repro.xsd.convert import ConversionReport, Widening, dtd_to_schema, schema_to_dtd
+from repro.xsd.model import Schema
+
+
+class SchemaEvolutionResult(NamedTuple):
+    """The product of one schema evolution round."""
+
+    old_schema: Schema
+    new_schema: Schema
+    dtd_result: EvolutionResult
+    widenings: List[Widening]
+
+    @property
+    def changed(self) -> bool:
+        return self.dtd_result.changed or self.new_schema != self.old_schema
+
+
+def evolve_schema(
+    schema: Schema,
+    documents: Iterable[Document],
+    config: EvolutionConfig = EvolutionConfig(),
+    tag_matcher: Optional[TagMatcher] = None,
+) -> SchemaEvolutionResult:
+    """Adapt a schema to a document population.
+
+    >>> from repro.xsd.io import parse_schema
+    >>> from repro.xmltree.parser import parse_document
+    >>> schema = parse_schema('''
+    ...   <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+    ...     <xs:element name="a">
+    ...       <xs:complexType><xs:sequence>
+    ...         <xs:element ref="b"/>
+    ...       </xs:sequence></xs:complexType>
+    ...     </xs:element>
+    ...     <xs:element name="b" type="xs:string"/>
+    ...   </xs:schema>''')
+    >>> docs = [parse_document("<a><b>x</b><c>new</c></a>")] * 10
+    >>> result = evolve_schema(schema, docs)
+    >>> "c" in result.new_schema
+    True
+    """
+    conversion: ConversionReport = schema_to_dtd(schema)
+    extended = ExtendedDTD(conversion.result)
+    recorder = Recorder(extended)
+    for document in documents:
+        recorder.record(document)
+    dtd_result = evolve_dtd(extended, config, tag_matcher=tag_matcher)
+    new_schema = dtd_to_schema(dtd_result.new_dtd)
+    return SchemaEvolutionResult(
+        schema, new_schema, dtd_result, list(conversion.widenings)
+    )

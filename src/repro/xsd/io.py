@@ -1,0 +1,171 @@
+"""Parsing and serializing ``xs:schema`` documents.
+
+The supported surface (namespace prefix fixed to ``xs``):
+
+.. code-block:: xml
+
+    <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+      <xs:element name="book">
+        <xs:complexType mixed="false">
+          <xs:sequence>
+            <xs:element ref="title"/>
+            <xs:element ref="author" minOccurs="1" maxOccurs="unbounded"/>
+            <xs:choice minOccurs="0">
+              <xs:element ref="journal"/>
+              <xs:element ref="booktitle"/>
+            </xs:choice>
+          </xs:sequence>
+        </xs:complexType>
+      </xs:element>
+      <xs:element name="title" type="xs:string"/>
+    </xs:schema>
+
+Parsing goes through this library's own XML parser; serialization emits
+exactly this shape, so ``parse_schema(serialize_schema(s)) == s`` on
+the supported subset (round-trip tested).
+"""
+
+from __future__ import annotations
+
+
+from repro.xmltree.document import Document, Element
+from repro.xmltree.parser import parse_document
+from repro.xmltree.serializer import serialize_document
+from repro.xsd.model import (
+    UNBOUNDED,
+    ComplexType,
+    Particle,
+    Schema,
+    SchemaElement,
+    SchemaError,
+    SimpleType,
+)
+
+_XS = "http://www.w3.org/2001/XMLSchema"
+
+
+def _local(tag: str) -> str:
+    return tag.split(":", 1)[1] if ":" in tag else tag
+
+
+def _occurs(element: Element) -> tuple:
+    low = int(element.attributes.get("minOccurs", "1"))
+    high_raw = element.attributes.get("maxOccurs", "1")
+    high = UNBOUNDED if high_raw == "unbounded" else int(high_raw)
+    return low, high
+
+
+def parse_schema(source: str, name: str = "schema") -> Schema:
+    """Parse an ``xs:schema`` document string."""
+    document = parse_document(source)
+    root = document.root
+    if _local(root.tag) != "schema":
+        raise SchemaError(f"expected an xs:schema root, found <{root.tag}>")
+    schema = Schema(name=name)
+    first: str = ""
+    for child in root.element_children():
+        if _local(child.tag) != "element":
+            raise SchemaError(f"unsupported top-level <{child.tag}>")
+        element = _parse_element(child)
+        schema.add(element)
+        if not first:
+            first = element.name
+    if not len(schema):
+        raise SchemaError("the schema declares no elements")
+    schema.root = root.attributes.get("root", first)
+    return schema
+
+
+def _parse_element(node: Element) -> SchemaElement:
+    name = node.attributes.get("name")
+    if not name:
+        raise SchemaError("top-level xs:element requires a name")
+    type_attr = node.attributes.get("type")
+    if type_attr:
+        base = _local(type_attr)
+        return SchemaElement(name, SimpleType(base))
+    complex_nodes = [
+        child for child in node.element_children() if _local(child.tag) == "complexType"
+    ]
+    if not complex_nodes:
+        return SchemaElement(name, SimpleType())
+    return SchemaElement(name, _parse_complex_type(complex_nodes[0]))
+
+
+def _parse_complex_type(node: Element) -> ComplexType:
+    mixed = node.attributes.get("mixed", "false").lower() == "true"
+    groups = [
+        child
+        for child in node.element_children()
+        if _local(child.tag) in ("sequence", "choice")
+    ]
+    if not groups:
+        return ComplexType("sequence", [], mixed=mixed)
+    group = _parse_group(groups[0])
+    group.mixed = mixed
+    return group
+
+
+def _parse_group(node: Element) -> ComplexType:
+    compositor = _local(node.tag)
+    particles = []
+    for child in node.element_children():
+        local = _local(child.tag)
+        low, high = _occurs(child)
+        if local == "element":
+            reference = child.attributes.get("ref") or child.attributes.get("name")
+            if not reference:
+                raise SchemaError("nested xs:element requires ref or name")
+            particles.append(Particle(_local(reference), low, high))
+        elif local in ("sequence", "choice"):
+            particles.append(Particle(_parse_group(child), low, high))
+        else:
+            raise SchemaError(f"unsupported particle <{child.tag}>")
+    return ComplexType(compositor, particles)
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+
+
+def serialize_schema(schema: Schema, indent: str = "  ") -> str:
+    """Render a schema back to ``xs:schema`` syntax."""
+    root = Element(
+        "xs:schema",
+        {"xmlns:xs": _XS, "root": schema.root},
+    )
+    for element in schema:
+        root.children.append(_element_node(element))
+    return serialize_document(Document(root), indent=indent, xml_declaration=True)
+
+
+def _element_node(element: SchemaElement) -> Element:
+    node = Element("xs:element", {"name": element.name})
+    if isinstance(element.type, SimpleType):
+        node.attributes["type"] = f"xs:{element.type.base}"
+        return node
+    complex_node = Element("xs:complexType")
+    if element.type.mixed:
+        complex_node.attributes["mixed"] = "true"
+    if element.type.particles:
+        complex_node.children.append(_group_node(element.type))
+    node.children.append(complex_node)
+    return node
+
+
+def _group_node(group: ComplexType) -> Element:
+    node = Element(f"xs:{group.compositor}")
+    for particle in group.particles:
+        if isinstance(particle.term, str):
+            child = Element("xs:element", {"ref": particle.term})
+        else:
+            child = _group_node(particle.term)
+        if particle.min_occurs != 1:
+            child.attributes["minOccurs"] = str(particle.min_occurs)
+        if particle.max_occurs != 1:
+            child.attributes["maxOccurs"] = (
+                "unbounded" if particle.max_occurs == UNBOUNDED else str(particle.max_occurs)
+            )
+        node.children.append(child)
+    return node

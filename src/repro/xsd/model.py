@@ -1,0 +1,220 @@
+"""Object model for the supported XML Schema subset.
+
+A :class:`Schema` maps element names to :class:`SchemaElement`
+declarations.  An element's type is either a :class:`SimpleType`
+(character data) or a :class:`ComplexType`: a compositor
+(``sequence`` or ``choice``) over :class:`Particle` items, each with
+``min_occurs``/``max_occurs`` bounds; particles reference elements by
+name or nest another compositor group.  ``mixed=True`` allows character
+data interleaved with the element content (the DTD mixed-content
+analogue).
+
+This deliberately covers exactly what the DTD conversion layer can
+express both ways, plus richer occurrence bounds (``minOccurs=2``,
+``maxOccurs=5``...) that DTDs cannot — the conversion reports where
+those get widened.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Union
+
+from repro.errors import ReproError
+
+#: sentinel for ``maxOccurs="unbounded"``
+UNBOUNDED = -1
+
+
+class SchemaError(ReproError):
+    """Raised for structurally invalid schemas."""
+
+
+class Particle:
+    """One item of a compositor: an element reference or a nested group."""
+
+    __slots__ = ("term", "min_occurs", "max_occurs")
+
+    def __init__(
+        self,
+        term: Union[str, "ComplexType"],
+        min_occurs: int = 1,
+        max_occurs: int = 1,
+    ):
+        if min_occurs < 0:
+            raise SchemaError("minOccurs cannot be negative")
+        if max_occurs != UNBOUNDED and max_occurs < min_occurs:
+            raise SchemaError("maxOccurs cannot be below minOccurs")
+        self.term = term
+        self.min_occurs = min_occurs
+        self.max_occurs = max_occurs
+
+    @property
+    def is_reference(self) -> bool:
+        return isinstance(self.term, str)
+
+    @property
+    def optional(self) -> bool:
+        return self.min_occurs == 0
+
+    @property
+    def repeatable(self) -> bool:
+        return self.max_occurs == UNBOUNDED or self.max_occurs > 1
+
+    def occurs_label(self) -> str:
+        high = "unbounded" if self.max_occurs == UNBOUNDED else str(self.max_occurs)
+        return f"{self.min_occurs}..{high}"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Particle):
+            return NotImplemented
+        return (
+            self.term == other.term
+            and self.min_occurs == other.min_occurs
+            and self.max_occurs == other.max_occurs
+        )
+
+    def __repr__(self) -> str:
+        return f"Particle({self.term!r}, {self.occurs_label()})"
+
+
+class ComplexType:
+    """A compositor group: ``sequence`` or ``choice`` over particles."""
+
+    __slots__ = ("compositor", "particles", "mixed")
+
+    def __init__(
+        self,
+        compositor: str,
+        particles: Optional[Sequence[Particle]] = None,
+        mixed: bool = False,
+    ):
+        if compositor not in ("sequence", "choice"):
+            raise SchemaError(f"unsupported compositor {compositor!r}")
+        self.compositor = compositor
+        self.particles: List[Particle] = list(particles) if particles else []
+        self.mixed = mixed
+
+    def referenced_names(self) -> Iterator[str]:
+        for particle in self.particles:
+            if isinstance(particle.term, str):
+                yield particle.term
+            else:
+                yield from particle.term.referenced_names()
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ComplexType):
+            return NotImplemented
+        return (
+            self.compositor == other.compositor
+            and self.particles == other.particles
+            and self.mixed == other.mixed
+        )
+
+    def __repr__(self) -> str:
+        return f"ComplexType({self.compositor!r}, {self.particles!r}, mixed={self.mixed})"
+
+
+class SimpleType:
+    """Character-data content (``xs:string`` by default)."""
+
+    __slots__ = ("base",)
+
+    def __init__(self, base: str = "string"):
+        self.base = base
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SimpleType):
+            return NotImplemented
+        return self.base == other.base
+
+    def __repr__(self) -> str:
+        return f"SimpleType({self.base!r})"
+
+
+#: an element with neither content nor text (the DTD ``EMPTY``)
+EMPTY_TYPE = ComplexType("sequence", [])
+
+
+class SchemaElement:
+    """A top-level element declaration."""
+
+    __slots__ = ("name", "type")
+
+    def __init__(self, name: str, content_type: Union[ComplexType, SimpleType]):
+        self.name = name
+        self.type = content_type
+
+    @property
+    def is_simple(self) -> bool:
+        return isinstance(self.type, SimpleType)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SchemaElement):
+            return NotImplemented
+        return self.name == other.name and self.type == other.type
+
+    def __repr__(self) -> str:
+        return f"SchemaElement({self.name!r}, {self.type!r})"
+
+
+class Schema:
+    """An ordered set of element declarations with a designated root."""
+
+    def __init__(
+        self,
+        elements: Optional[Sequence[SchemaElement]] = None,
+        root: Optional[str] = None,
+        name: str = "schema",
+    ):
+        self.name = name
+        self._elements = {}
+        for element in elements or []:
+            self.add(element)
+        if root is not None and root not in self._elements:
+            raise SchemaError(f"root element {root!r} is not declared")
+        self._root = root
+
+    def add(self, element: SchemaElement, replace: bool = False) -> None:
+        if element.name in self._elements and not replace:
+            raise SchemaError(f"duplicate element {element.name!r}")
+        self._elements[element.name] = element
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._elements
+
+    def __getitem__(self, name: str) -> SchemaElement:
+        return self._elements[name]
+
+    def get(self, name: str) -> Optional[SchemaElement]:
+        return self._elements.get(name)
+
+    def __iter__(self) -> Iterator[SchemaElement]:
+        return iter(self._elements.values())
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def element_names(self) -> List[str]:
+        return list(self._elements)
+
+    @property
+    def root(self) -> str:
+        if self._root is not None:
+            return self._root
+        if not self._elements:
+            raise SchemaError("the schema declares no elements")
+        return next(iter(self._elements))
+
+    @root.setter
+    def root(self, name: str) -> None:
+        if name not in self._elements:
+            raise SchemaError(f"root element {name!r} is not declared")
+        self._root = name
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._elements == other._elements and self.root == other.root
+
+    def __repr__(self) -> str:
+        return f"Schema({self.name!r}, elements={self.element_names()!r})"

@@ -1,0 +1,204 @@
+"""Unit tests for document adaptation (Section 6 extension)."""
+
+import pytest
+
+from repro.core.adaptation import DocumentAdapter, adapt_document
+from repro.dtd.automaton import ContentAutomaton, Validator
+from repro.dtd.parser import parse_content_model, parse_dtd
+from repro.generators.documents import AddDrift, CompositeDrift, DocumentGenerator, DropDrift, OperatorDrift
+from repro.generators.scenarios import catalog_scenario, figure3_dtd, figure3_workload
+from repro.similarity.tags import ThesaurusTagMatcher
+from repro.xmltree.parser import parse_document
+
+
+class TestEditAlignment:
+    def _align(self, model, tags, **kwargs):
+        return ContentAutomaton(parse_content_model(model)).edit_alignment(
+            tags, **kwargs
+        )
+
+    def test_exact_match_costs_nothing(self):
+        cost, script = self._align("(b, c)", ["b", "c"])
+        assert cost == 0.0
+        assert script == [("keep", 0), ("keep", 1)]
+
+    def test_missing_element_inserted(self):
+        cost, script = self._align("(b, c)", ["b"])
+        assert cost == 1.0
+        assert ("insert", "c") in script
+
+    def test_surplus_element_deleted(self):
+        cost, script = self._align("(b)", ["b", "z"])
+        assert cost == 1.0
+        assert ("delete", 1) in script
+
+    def test_reorder_via_delete_and_insert(self):
+        cost, script = self._align("(b, c)", ["c", "b"])
+        kinds = [kind for kind, _operand in script]
+        assert cost == 2.0
+        assert kinds.count("delete") == 1 and kinds.count("insert") == 1
+
+    def test_costs_steer_the_choice(self):
+        # deleting z is expensive, inserting c cheap: prefer insert-only?
+        # model (b) cannot hold z at all, so z must go regardless
+        cost, script = self._align("(b)", ["b", "z"], delete_costs=[1.0, 9.0])
+        assert cost == 9.0
+
+    def test_or_picks_cheapest_branch(self):
+        cost, script = self._align("(u | v)", [], insert_costs={"u": 5.0, "v": 1.0})
+        assert cost == 1.0
+        assert ("insert", "v") in script
+
+    def test_empty_input_on_nullable_model(self):
+        cost, script = self._align("(b*)", [])
+        assert cost == 0.0
+        assert script == []
+
+    def test_repetition_keeps_everything(self):
+        cost, script = self._align("(b*)", ["b", "b", "b"])
+        assert cost == 0.0
+        assert all(kind == "keep" for kind, _operand in script)
+
+    def test_any_model_keeps_everything(self):
+        cost, script = ContentAutomaton(parse_content_model("ANY")).edit_alignment(
+            ["x", "y"]
+        )
+        assert cost == 0.0
+        assert len(script) == 2
+
+
+class TestAdaptationBasics:
+    DTD = """
+    <!ELEMENT r (x, y?, z*)>
+    <!ELEMENT x (#PCDATA)>
+    <!ELEMENT y (#PCDATA)>
+    <!ELEMENT z (#PCDATA)>
+    """
+
+    def _adapt(self, xml, dtd_source=None):
+        dtd = parse_dtd(dtd_source or self.DTD)
+        report = adapt_document(parse_document(xml), dtd)
+        assert Validator(dtd).is_valid(report.document)
+        return report
+
+    def test_valid_document_unchanged(self):
+        report = self._adapt("<r><x>1</x><y>2</y></r>")
+        assert report.unchanged
+        assert report.document.root.find("x").text() == "1"
+
+    def test_missing_required_inserted(self):
+        report = self._adapt("<r></r>")
+        assert report.by_kind() == {"insert": 1}
+        assert report.document.root.child_tags() == ["x"]
+
+    def test_undeclared_deleted(self):
+        report = self._adapt("<r><x>1</x><ghost/></r>")
+        assert report.by_kind() == {"delete": 1}
+
+    def test_text_stripped_from_element_content(self):
+        report = self._adapt("<r>loose text<x>1</x></r>")
+        assert "strip-text" in report.by_kind()
+        assert not report.document.root.has_text()
+
+    def test_empty_declaration_strips_children(self):
+        report = self._adapt(
+            "<r><x>1</x></r>".replace("<x>1</x>", "<x><y/>boom</x>"),
+            dtd_source="<!ELEMENT r (x)><!ELEMENT x EMPTY><!ELEMENT y EMPTY>",
+        )
+        assert "strip-children" in report.by_kind()
+
+    def test_mixed_content_filters_tags(self):
+        report = self._adapt(
+            "<r>text <x>1</x> more <bad/> end</r>",
+            dtd_source="<!ELEMENT r (#PCDATA | x)*><!ELEMENT x (#PCDATA)>",
+        )
+        assert report.by_kind() == {"delete": 1}
+        assert report.document.root.text().strip() != ""
+
+    def test_root_renamed_to_dtd_root(self):
+        report = self._adapt("<wrong><x>1</x></wrong>")
+        assert report.document.root.tag == "r"
+        assert "rename" in report.by_kind()
+
+    def test_inserted_instances_are_recursively_minimal(self):
+        report = self._adapt(
+            "<r/>",
+            dtd_source="""
+            <!ELEMENT r (deep)>
+            <!ELEMENT deep (leaf, opt?)>
+            <!ELEMENT leaf (#PCDATA)>
+            <!ELEMENT opt (#PCDATA)>
+            """,
+        )
+        deep = report.document.root.find("deep")
+        assert deep is not None
+        assert deep.child_tags() == ["leaf"]  # optional part left out
+
+    def test_input_document_not_mutated(self):
+        document = parse_document("<r><ghost/></r>")
+        snapshot = document.copy()
+        adapt_document(document, parse_dtd(self.DTD))
+        assert document == snapshot
+
+
+class TestThesaurusRenames:
+    def test_synonym_renamed_instead_of_deleted(self):
+        dtd = parse_dtd(
+            "<!ELEMENT r (author)><!ELEMENT author (#PCDATA)>"
+        )
+        matcher = ThesaurusTagMatcher([{"author", "writer"}])
+        report = adapt_document(
+            parse_document("<r><writer>bob</writer></r>"), dtd, matcher
+        )
+        assert Validator(dtd).is_valid(report.document)
+        assert report.document.root.find("author").text() == "bob"
+        assert report.by_kind() == {"rename": 1}
+
+    def test_without_thesaurus_synonym_is_replaced(self):
+        dtd = parse_dtd("<!ELEMENT r (author)><!ELEMENT author (#PCDATA)>")
+        report = adapt_document(
+            parse_document("<r><writer>bob</writer></r>"), dtd
+        )
+        assert report.by_kind() == {"delete": 1, "insert": 1}
+        # content is lost without the thesaurus: the trade-off is visible
+        assert report.document.root.find("author").text() == ""
+
+
+class TestAdaptationAtScale:
+    def test_drifted_population_fully_repaired(self):
+        dtd, make_documents = catalog_scenario()
+        drift = CompositeDrift(
+            [
+                AddDrift(0.2, seed=1),
+                DropDrift(0.15, seed=2),
+                OperatorDrift(0.1, seed=3),
+            ]
+        )
+        documents = drift.apply_many(make_documents(25, seed=5))
+        adapter = DocumentAdapter(dtd)
+        validator = Validator(dtd)
+        for document in documents:
+            report = adapter.adapt(document)
+            assert validator.is_valid(report.document)
+
+    def test_adaptation_after_evolution_round_trips(self):
+        """The Section 6 story: evolve the DTD on the new population,
+        then adapt the *old* documents to the evolved schema."""
+        from repro.core.evolution import EvolutionConfig, evolve_dtd
+        from repro.core.extended_dtd import ExtendedDTD
+        from repro.core.recorder import Recorder
+
+        dtd = figure3_dtd()
+        documents = figure3_workload(10, 10, seed=4)
+        extended = ExtendedDTD(dtd)
+        recorder = Recorder(extended)
+        for document in documents:
+            recorder.record(document)
+        evolved = evolve_dtd(extended, EvolutionConfig(psi=0.2)).new_dtd
+
+        old_style = [parse_document("<a><b>1</b><c>2</c></a>")] * 3
+        adapter = DocumentAdapter(evolved)
+        validator = Validator(evolved)
+        for document in old_style:
+            report = adapter.adapt(document)
+            assert validator.is_valid(report.document)

@@ -1,0 +1,119 @@
+"""Unit tests for attribute (ATTLIST) evolution — an extension: the
+paper's algorithms cover element structure only."""
+
+import pytest
+
+from repro.core.evolution import EvolutionConfig, evolve_dtd
+from repro.core.extended_dtd import ExtendedDTD
+from repro.core.recorder import Recorder
+from repro.dtd.parser import parse_dtd
+from repro.dtd.serializer import serialize_dtd
+from repro.xmltree.parser import parse_document
+
+_DTD = """
+<!ELEMENT list (item*)>
+<!ELEMENT item (#PCDATA)>
+"""
+
+
+def _recorded(xmls):
+    extended = ExtendedDTD(parse_dtd(_DTD, name="list"))
+    recorder = Recorder(extended)
+    for xml in xmls:
+        recorder.record(parse_document(xml))
+    return extended
+
+
+class TestRecording:
+    def test_attribute_counts_on_valid_instances(self):
+        extended = _recorded(['<list><item id="1">x</item></list>'] * 4)
+        assert extended.records["item"].attribute_counts["id"] == 4
+
+    def test_attribute_counts_on_invalid_instances(self):
+        extended = _recorded(['<list><item id="1"><sub/></item></list>'] * 3)
+        assert extended.records["item"].attribute_counts["id"] == 3
+
+    def test_attribute_counts_on_plus_elements(self):
+        extended = _recorded(['<list><item>x</item><extra kind="new"/></list>'] * 3)
+        nested = extended.records["list"].plus_records["extra"]
+        assert nested.attribute_counts["kind"] == 3
+
+
+class TestEvolution:
+    def test_common_attribute_becomes_required(self):
+        extended = _recorded(['<list><item id="1">x</item></list>'] * 10)
+        result = evolve_dtd(extended, EvolutionConfig())
+        attrs = {a.name: a for a in result.new_dtd.attlists["item"]}
+        assert attrs["id"].type_spec == "CDATA"
+        assert attrs["id"].default_spec == "#REQUIRED"
+        assert any(a.action == "attlist" for a in result.actions)
+
+    def test_occasional_attribute_becomes_implied(self):
+        xmls = ['<list><item id="1">x</item></list>'] * 4 + [
+            "<list><item>x</item></list>"
+        ] * 6
+        extended = _recorded(xmls)
+        result = evolve_dtd(extended, EvolutionConfig())
+        attrs = {a.name: a for a in result.new_dtd.attlists["item"]}
+        assert attrs["id"].default_spec == "#IMPLIED"
+
+    def test_rare_attribute_ignored(self):
+        xmls = ['<list><item debug="1">x</item></list>'] + [
+            "<list><item>x</item></list>"
+        ] * 19
+        extended = _recorded(xmls)
+        result = evolve_dtd(extended, EvolutionConfig(attribute_min_fraction=0.1))
+        assert "item" not in result.new_dtd.attlists
+
+    def test_existing_attlist_untouched(self):
+        dtd = parse_dtd(_DTD + '<!ATTLIST item id ID #REQUIRED>', name="list")
+        extended = ExtendedDTD(dtd)
+        recorder = Recorder(extended)
+        for _ in range(5):
+            recorder.record(parse_document('<list><item id="a1">x</item></list>'))
+        result = evolve_dtd(extended, EvolutionConfig())
+        attrs = result.new_dtd.attlists["item"]
+        assert len(attrs) == 1
+        assert attrs[0].type_spec == "ID"  # original declaration kept
+
+    def test_feature_can_be_disabled(self):
+        extended = _recorded(['<list><item id="1">x</item></list>'] * 10)
+        result = evolve_dtd(extended, EvolutionConfig(evolve_attributes=False))
+        assert "item" not in result.new_dtd.attlists
+
+    def test_new_element_gets_its_attributes(self):
+        xmls = ['<list><item>x</item><badge level="gold"/></list>'] * 12
+        extended = _recorded(xmls)
+        result = evolve_dtd(extended, EvolutionConfig(psi=0.2))
+        assert "badge" in result.new_dtd
+        attrs = {a.name: a for a in result.new_dtd.attlists["badge"]}
+        assert attrs["level"].default_spec == "#REQUIRED"
+
+    def test_attributes_follow_a_tag_rename(self):
+        """Attributes observed on a renamed plus element must land on
+        the surviving (renamed) declaration."""
+        from repro.similarity.tags import ThesaurusTagMatcher
+
+        dtd = parse_dtd(
+            "<!ELEMENT r (author)><!ELEMENT author (#PCDATA)>", name="r"
+        )
+        extended = ExtendedDTD(dtd)
+        recorder = Recorder(extended)
+        for _ in range(10):
+            recorder.record(
+                parse_document('<r><writer orcid="0">x</writer></r>')
+            )
+        result = evolve_dtd(
+            extended,
+            EvolutionConfig(psi=0.2),
+            tag_matcher=ThesaurusTagMatcher([{"author", "writer"}]),
+        )
+        assert "writer" in result.new_dtd
+        attrs = {a.name for a in result.new_dtd.attlists.get("writer", [])}
+        assert "orcid" in attrs
+
+    def test_evolved_dtd_with_attlists_round_trips(self):
+        extended = _recorded(['<list><item id="1" lang="en">x</item></list>'] * 10)
+        result = evolve_dtd(extended, EvolutionConfig())
+        rendered = serialize_dtd(result.new_dtd)
+        assert parse_dtd(rendered) == result.new_dtd

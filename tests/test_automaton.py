@@ -1,0 +1,147 @@
+"""Unit tests for the Glushkov automaton and the validator."""
+
+import pytest
+
+from repro.dtd import content_model as cm
+from repro.dtd.automaton import (
+    ContentAutomaton,
+    Validator,
+    enumerate_language,
+    language_equal,
+)
+from repro.dtd.parser import parse_content_model, parse_dtd
+from repro.xmltree.parser import parse_document
+
+
+def _accepts(source, word):
+    return ContentAutomaton(parse_content_model(source)).accepts(word)
+
+
+class TestAcceptance:
+    @pytest.mark.parametrize(
+        "model, word, expected",
+        [
+            ("(b, c)", ["b", "c"], True),
+            ("(b, c)", ["b"], False),
+            ("(b, c)", ["c", "b"], False),
+            ("(b, c)", [], False),
+            ("(b | c)", ["b"], True),
+            ("(b | c)", ["c"], True),
+            ("(b | c)", ["b", "c"], False),
+            ("(b?)", [], True),
+            ("(b?)", ["b"], True),
+            ("(b?)", ["b", "b"], False),
+            ("(b*)", [], True),
+            ("(b*)", ["b"] * 5, True),
+            ("(b+)", [], False),
+            ("(b+)", ["b", "b"], True),
+            ("((b, c)*, (d | e))", ["d"], True),
+            ("((b, c)*, (d | e))", ["b", "c", "b", "c", "e"], True),
+            ("((b, c)*, (d | e))", ["b", "c"], False),
+            ("((b, c)+, d?)", ["b", "c"], True),
+            ("((a | b)*, c)", ["a", "b", "b", "a", "c"], True),
+            ("EMPTY", [], True),
+            ("EMPTY", ["b"], False),
+            ("ANY", ["anything", "at", "all"], True),
+            ("(#PCDATA)", [], True),
+        ],
+    )
+    def test_word_acceptance(self, model, word, expected):
+        assert _accepts(model, word) is expected
+
+    def test_unknown_symbol_rejected(self):
+        assert not _accepts("(b, c)", ["b", "zz"])
+
+    def test_residual_prefix_diagnostics(self):
+        automaton = ContentAutomaton(parse_content_model("(b, c, d)"))
+        assert automaton.residual_accepts_prefix(["b", "c", "zz"]) == 2
+        assert automaton.residual_accepts_prefix(["zz"]) == 0
+
+
+class TestDeterminism:
+    def test_deterministic_models(self):
+        for source in ["(b, c)", "(b | c)", "((b, c)*, d)", "(b?, c)"]:
+            assert ContentAutomaton(parse_content_model(source)).is_deterministic()
+
+    def test_nondeterministic_model(self):
+        # (b, c) | (b, d): two competing first positions labeled b
+        model = cm.choice(cm.seq("b", "c"), cm.seq("b", "d"))
+        assert not ContentAutomaton(model).is_deterministic()
+
+    def test_classic_nondeterministic_star(self):
+        # ((b, c?)*, c) : after b, 'c' can close the group or exit
+        model = cm.seq(cm.star(cm.seq("b", cm.opt("c"))), "c")
+        assert not ContentAutomaton(model).is_deterministic()
+
+
+class TestValidator:
+    def test_figure2_document_is_invalid(self, fig2_dtd, fig2_doc):
+        report = Validator(fig2_dtd).validate(fig2_doc)
+        assert not report.is_valid
+        kinds = {violation.kind for violation in report.violations}
+        assert "model" in kinds or "text" in kinds
+
+    def test_valid_document(self, fig2_dtd):
+        doc = parse_document("<a><b>5</b><c><d>7</d></c></a>")
+        assert Validator(fig2_dtd).is_valid(doc)
+
+    def test_root_mismatch(self, fig2_dtd):
+        doc = parse_document("<b>5</b>")
+        report = Validator(fig2_dtd).validate(doc)
+        assert any(violation.kind == "root" for violation in report.violations)
+        assert Validator(fig2_dtd).validate(doc, check_root=False)
+
+    def test_undeclared_element(self, fig2_dtd):
+        doc = parse_document("<a><b>5</b><c><d>7</d></c><zz/></a>")
+        report = Validator(fig2_dtd).validate(doc)
+        assert any(violation.kind == "undeclared" for violation in report.violations)
+
+    def test_empty_declared_element_with_content(self):
+        dtd = parse_dtd("<!ELEMENT a (b)><!ELEMENT b EMPTY>")
+        doc = parse_document("<a><b>boom</b></a>")
+        report = Validator(dtd).validate(doc)
+        assert any(violation.kind == "content" for violation in report.violations)
+
+    def test_text_where_not_allowed(self):
+        dtd = parse_dtd("<!ELEMENT a (b)><!ELEMENT b (#PCDATA)>")
+        doc = parse_document("<a>text<b>x</b></a>")
+        report = Validator(dtd).validate(doc)
+        assert any(violation.kind == "text" for violation in report.violations)
+
+    def test_mixed_content_checks_allowed_tags(self):
+        dtd = parse_dtd(
+            "<!ELEMENT a (#PCDATA | b)*><!ELEMENT b (#PCDATA)>"
+        )
+        ok = parse_document("<a>x<b>y</b>z</a>")
+        assert Validator(dtd).is_valid(ok)
+        bad = parse_document("<a>x<c/></a>")
+        report = Validator(dtd).validate(bad)
+        assert any(violation.kind == "mixed" for violation in report.violations)
+
+    def test_any_accepts_everything(self):
+        dtd = parse_dtd("<!ELEMENT a ANY>")
+        doc = parse_document("<a>x<a>y</a></a>")
+        assert Validator(dtd).is_valid(doc)
+
+    def test_invalid_element_count(self, fig2_dtd, fig2_doc):
+        report = Validator(fig2_dtd).validate(fig2_doc)
+        assert report.invalid_element_count >= 1
+        assert report.elements_checked == 3
+
+
+class TestLanguageEnumeration:
+    def test_enumerates_sorted_words(self):
+        words = enumerate_language(parse_content_model("(b, c?)"), 3)
+        assert words == [("b",), ("b", "c")]
+
+    def test_language_equal(self):
+        assert language_equal(
+            parse_content_model("(b?, b?)"), parse_content_model("(b?, b?)")
+        )
+        assert not language_equal(
+            parse_content_model("(b+)"), parse_content_model("(b*)"), max_length=3
+        )
+
+    def test_truncation(self):
+        words = enumerate_language(parse_content_model("(b*)"), 10, max_words=3)
+        assert len(words) == 3

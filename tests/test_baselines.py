@@ -1,0 +1,83 @@
+"""Unit tests for the validator classifier and the naive evolver."""
+
+import pytest
+
+from repro.baselines.naive_evolution import NaiveEvolver
+from repro.baselines.validator_classifier import ValidatorClassifier
+from repro.dtd.automaton import Validator
+from repro.dtd.parser import parse_dtd
+from repro.errors import ClassificationError
+from repro.generators.scenarios import figure3_dtd, figure3_workload
+from repro.xmltree.parser import parse_document
+
+
+class TestValidatorClassifier:
+    def _classifier(self):
+        return ValidatorClassifier(
+            [
+                parse_dtd("<!ELEMENT a (x)><!ELEMENT x (#PCDATA)>", name="A"),
+                parse_dtd("<!ELEMENT b (y)><!ELEMENT y (#PCDATA)>", name="B"),
+            ]
+        )
+
+    def test_valid_document_classified(self):
+        classifier = self._classifier()
+        assert classifier.classify(parse_document("<a><x>1</x></a>")) == "A"
+        assert classifier.classify(parse_document("<b><y>1</y></b>")) == "B"
+
+    def test_near_miss_rejected(self):
+        """The rigidity the paper criticises: one extra element = reject."""
+        classifier = self._classifier()
+        assert classifier.classify(parse_document("<a><x>1</x><w/></a>")) is None
+
+    def test_acceptance_rate(self):
+        classifier = self._classifier()
+        documents = [
+            parse_document("<a><x>1</x></a>"),
+            parse_document("<a><x>1</x><w/></a>"),
+        ]
+        assert classifier.acceptance_rate(documents) == 0.5
+        assert classifier.acceptance_rate([]) == 0.0
+
+    def test_replace_dtd(self):
+        classifier = self._classifier()
+        classifier.replace_dtd(
+            parse_dtd(
+                "<!ELEMENT a (x, w?)><!ELEMENT x (#PCDATA)><!ELEMENT w (#PCDATA)>",
+                name="A",
+            )
+        )
+        assert classifier.classify(parse_document("<a><x>1</x><w/></a>")) == "A"
+        with pytest.raises(ClassificationError):
+            classifier.replace_dtd(parse_dtd("<!ELEMENT q (#PCDATA)>", name="Q"))
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ClassificationError):
+            ValidatorClassifier([])
+
+
+class TestNaiveEvolver:
+    def test_reinference_covers_all_documents(self):
+        evolver = NaiveEvolver(initial_dtd=figure3_dtd())
+        documents = figure3_workload(8, 8, seed=2)
+        evolver.add_many(documents)
+        evolved = evolver.evolve()
+        validator = Validator(evolved)
+        assert all(validator.is_valid(document) for document in documents)
+
+    def test_storage_grows_linearly_with_documents(self):
+        evolver = NaiveEvolver(initial_dtd=figure3_dtd())
+        documents = figure3_workload(5, 5, seed=2)
+        sizes = []
+        for document in documents:
+            evolver.add(document)
+            sizes.append(evolver.storage_cells())
+        assert sizes == sorted(sizes)
+        assert sizes[-1] >= sum(d.element_count() for d in documents)
+
+    def test_no_documents_falls_back_to_initial(self):
+        evolver = NaiveEvolver(initial_dtd=figure3_dtd())
+        assert evolver.evolve() is not None
+        assert NaiveEvolver().document_count == 0
+        with pytest.raises(ValueError):
+            NaiveEvolver().evolve()

@@ -1,0 +1,160 @@
+"""Unit tests for the ``dtdevolve`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.dtd.parser import parse_dtd
+
+_DTD = """
+<!ELEMENT a (b, c)>
+<!ELEMENT b (#PCDATA)>
+<!ELEMENT c (#PCDATA)>
+"""
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    dtd_path = tmp_path / "schema.dtd"
+    dtd_path.write_text(_DTD)
+    documents = []
+    for index in range(12):
+        path = tmp_path / f"doc{index}.xml"
+        if index < 6:
+            path.write_text("<a><b>x</b><c>y</c><d>z</d></a>")
+        else:
+            path.write_text("<a><b>x</b><c>y</c><e>w</e></a>")
+        documents.append(str(path))
+    return str(dtd_path), documents
+
+
+class TestClassify:
+    def test_prints_similarity_per_document(self, workspace, capsys):
+        dtd_path, documents = workspace
+        assert main(["classify", "--dtd", dtd_path, documents[0]]) == 0
+        output = capsys.readouterr().out
+        assert "similarity" in output
+        assert "doc0.xml" in output
+        assert "False" in output  # the extra d makes it invalid
+
+
+class TestEvolve:
+    def test_outputs_evolved_dtd(self, workspace, capsys):
+        dtd_path, documents = workspace
+        assert (
+            main(["evolve", "--dtd", dtd_path, "--psi", "0.2"] + documents) == 0
+        )
+        output = capsys.readouterr().out
+        evolved = parse_dtd(output)
+        assert "d" in evolved
+        assert "e" in evolved
+
+    def test_evolved_output_reparses_and_validates(self, workspace, capsys):
+        from repro.dtd.automaton import Validator
+        from repro.xmltree.parser import parse_document
+
+        dtd_path, documents = workspace
+        main(["evolve", "--dtd", dtd_path] + documents)
+        evolved = parse_dtd(capsys.readouterr().out)
+        validator = Validator(evolved)
+        for path in documents:
+            with open(path) as handle:
+                assert validator.is_valid(parse_document(handle.read()))
+
+
+class TestInfer:
+    def test_infers_dtd_from_documents(self, workspace, capsys):
+        _dtd_path, documents = workspace
+        assert main(["infer"] + documents) == 0
+        inferred = parse_dtd(capsys.readouterr().out)
+        assert inferred.root == "a"
+        assert {"a", "b", "c", "d", "e"} <= set(inferred.element_names())
+
+
+class TestRun:
+    def test_fresh_state_requires_dtd(self, workspace, tmp_path):
+        _dtd_path, documents = workspace
+        state = str(tmp_path / "state.json")
+        assert main(["run", "--state", state, documents[0]]) == 2
+
+    def test_stateful_pipeline_persists_and_resumes(self, workspace, tmp_path, capsys):
+        dtd_path, documents = workspace
+        state = str(tmp_path / "state.json")
+        # first run: half the documents, state created
+        assert (
+            main(
+                ["run", "--state", state, "--dtd", dtd_path, "--sigma", "0.3",
+                 "--tau", "0.1", "--min-documents", "12"]
+                + documents[:6]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        # second run resumes the snapshot; the trigger count now reaches
+        # 12 recorded documents and evolution fires
+        assert main(["run", "--state", state] + documents[6:]) == 0
+        output = capsys.readouterr().out
+        assert "evolved" in output
+        evolved = parse_dtd(
+            "\n".join(line for line in output.splitlines() if line.startswith("<!"))
+        )
+        assert "d" in evolved and "e" in evolved
+
+    def test_trigger_file(self, workspace, tmp_path, capsys):
+        dtd_path, documents = workspace
+        state = str(tmp_path / "state.json")
+        rules = tmp_path / "rules.txt"
+        rules.write_text("ON * WHEN documents >= 3 AND score > 0.05 EVOLVE\n")
+        assert (
+            main(
+                ["run", "--state", state, "--dtd", dtd_path, "--sigma", "0.3",
+                 "--triggers", str(rules)]
+                + documents[:4]
+            )
+            == 0
+        )
+        assert "evolved" in capsys.readouterr().out
+
+
+class TestAdapt:
+    def test_adapt_writes_valid_documents(self, workspace, tmp_path, capsys):
+        from repro.dtd.automaton import Validator
+        from repro.xmltree.parser import parse_document
+
+        dtd_path, documents = workspace
+        assert main(["adapt", "--dtd", dtd_path, documents[0]]) == 0
+        output = capsys.readouterr().out
+        assert ".adapted.xml" in output
+        adapted_path = documents[0].rsplit(".", 1)[0] + ".adapted.xml"
+        with open(adapted_path) as handle:
+            adapted = parse_document(handle.read())
+        assert Validator(parse_dtd(_DTD)).is_valid(adapted)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])
+
+
+class TestErrorHandling:
+    def test_missing_file_exits_cleanly(self, capsys):
+        assert main(["infer", "/nonexistent/path.xml"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_xml_exits_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<a><b></a>")
+        assert main(["infer", str(bad)]) == 1
+        assert "mismatched closing tag" in capsys.readouterr().err
+
+    def test_malformed_dtd_exits_cleanly(self, tmp_path, capsys):
+        dtd = tmp_path / "bad.dtd"
+        dtd.write_text("<!ELEMENT a (,)>")
+        doc = tmp_path / "d.xml"
+        doc.write_text("<a/>")
+        assert main(["classify", "--dtd", str(dtd), str(doc)]) == 1
+        assert "error:" in capsys.readouterr().err

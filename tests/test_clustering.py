@@ -1,0 +1,126 @@
+"""Unit tests for repository clustering and DTD extraction."""
+
+import pytest
+
+from repro.classification.clustering import (
+    Cluster,
+    cluster_documents,
+    document_similarity,
+    extract_dtds,
+)
+from repro.core.engine import XMLSource
+from repro.core.evolution import EvolutionConfig
+from repro.dtd.automaton import Validator
+from repro.generators.documents import DocumentGenerator
+from repro.generators.scenarios import bibliography_scenario, catalog_scenario
+from repro.xmltree.parser import parse_document
+
+
+class TestDocumentSimilarity:
+    def test_identical_documents(self):
+        left = parse_document("<a><b>1</b><c>2</c></a>")
+        right = parse_document("<a><b>9</b><c>8</c></a>")  # values differ
+        assert document_similarity(left, right) == 1.0
+
+    def test_disjoint_structures(self):
+        left = parse_document("<a><b/></a>")
+        right = parse_document("<x><y/></x>")
+        assert document_similarity(left, right) == 0.0
+
+    def test_partial_overlap_in_between(self):
+        left = parse_document("<a><b/><c/></a>")
+        right = parse_document("<a><b/><d/></a>")
+        assert 0.0 < document_similarity(left, right) < 1.0
+
+    def test_symmetry(self):
+        left = parse_document("<a><b/><b/><c/></a>")
+        right = parse_document("<a><b/></a>")
+        assert document_similarity(left, right) == document_similarity(right, left)
+
+    def test_multiplicity_matters(self):
+        one = parse_document("<a><b/></a>")
+        many = parse_document("<a><b/><b/><b/></a>")
+        assert document_similarity(one, many) < 1.0
+
+
+class TestClustering:
+    def _mixed_documents(self):
+        catalog_dtd, make_catalog = catalog_scenario()
+        biblio_dtd, make_biblio = bibliography_scenario()
+        return make_catalog(6, seed=1) + make_biblio(6, seed=2)
+
+    def test_two_sources_give_two_clusters(self):
+        clusters = cluster_documents(self._mixed_documents(), threshold=0.3)
+        sizeable = [cluster for cluster in clusters if len(cluster) >= 3]
+        assert len(sizeable) == 2
+
+    def test_threshold_one_isolates_distinct_shapes(self):
+        documents = [
+            parse_document("<a><b/></a>"),
+            parse_document("<a><b/></a>"),
+            parse_document("<a><c/></a>"),
+        ]
+        clusters = cluster_documents(documents, threshold=1.0)
+        assert sorted(len(cluster) for cluster in clusters) == [1, 2]
+
+    def test_threshold_zero_merges_everything(self):
+        clusters = cluster_documents(self._mixed_documents(), threshold=0.0)
+        assert len(clusters) == 1
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            cluster_documents([], threshold=2.0)
+
+    def test_cluster_profile_is_running_union(self):
+        cluster = Cluster(parse_document("<a><b/></a>"))
+        cluster.add(parse_document("<a><c/></a>"))
+        # a document matching either member's paths still fits
+        assert cluster.similarity_to(parse_document("<a><b/><c/></a>")) == 1.0
+
+
+class TestExtraction:
+    def test_extracted_dtds_cover_their_clusters(self):
+        documents = (
+            catalog_scenario()[1](6, seed=1) + bibliography_scenario()[1](6, seed=2)
+        )
+        extracted = extract_dtds(documents, threshold=0.3, min_cluster_size=3)
+        assert len(extracted) == 2
+        for dtd, members in extracted:
+            validator = Validator(dtd)
+            assert all(validator.is_valid(member) for member in members)
+
+    def test_small_clusters_skipped(self):
+        documents = [parse_document("<solo><x/></solo>")]
+        assert extract_dtds(documents, min_cluster_size=2) == []
+
+    def test_names_follow_prefix(self):
+        documents = catalog_scenario()[1](4, seed=3)
+        extracted = extract_dtds(documents, min_cluster_size=2, name_prefix="mined")
+        assert extracted[0][0].name == "mined0"
+
+
+class TestEngineIntegration:
+    def test_mine_repository_recovers_documents(self):
+        # a source that only knows catalogs receives bibliography docs
+        catalog_dtd, make_catalog = catalog_scenario()
+        _biblio_dtd, make_biblio = bibliography_scenario()
+        source = XMLSource(
+            [catalog_dtd], EvolutionConfig(sigma=0.6), auto_evolve=False
+        )
+        foreign = make_biblio(6, seed=4)
+        for document in foreign:
+            source.process(document)
+        assert len(source.repository) == 6
+
+        new_names = source.mine_repository(threshold=0.2, min_cluster_size=3)
+        assert new_names
+        assert len(source.repository) == 0
+        # the new DTD(s) now classify further documents of that kind
+        more = make_biblio(3, seed=5)
+        for document in more:
+            assert source.process(document).dtd_name in new_names
+
+    def test_mine_repository_noop_when_empty(self):
+        catalog_dtd, _make = catalog_scenario()
+        source = XMLSource([catalog_dtd], EvolutionConfig(sigma=0.5))
+        assert source.mine_repository() == []

@@ -1,0 +1,129 @@
+"""Unit tests for content-model trees and their algebra."""
+
+import pytest
+
+from repro.dtd import content_model as cm
+from repro.xmltree.tree import Tree
+
+
+class TestConstructors:
+    def test_seq_promotes_strings(self):
+        assert cm.seq("a", "b").to_tuple() == ("AND", ["a", "b"])
+
+    def test_seq_of_one_unwraps(self):
+        assert cm.seq("a") == Tree.leaf("a")
+
+    def test_seq_of_none_is_empty(self):
+        assert cm.seq() == cm.empty()
+
+    def test_choice(self):
+        assert cm.choice("a", "b", "c").to_tuple() == ("OR", ["a", "b", "c"])
+
+    def test_unary_wrappers(self):
+        assert cm.opt("a").to_tuple() == ("?", ["a"])
+        assert cm.star("a").to_tuple() == ("*", ["a"])
+        assert cm.plus("a").to_tuple() == ("+", ["a"])
+
+    def test_mixed(self):
+        model = cm.mixed("a", "b")
+        assert model.label == cm.STAR
+        assert model.children[0].to_tuple() == ("OR", ["#PCDATA", "a", "b"])
+
+    def test_mixed_without_names_is_pcdata(self):
+        assert cm.mixed() == cm.pcdata()
+
+
+class TestPredicates:
+    def test_label_classification(self):
+        assert cm.is_operator("AND") and cm.is_operator("*")
+        assert cm.is_basic_type("#PCDATA") and cm.is_basic_type("EMPTY")
+        assert cm.is_element_label("chapter")
+        assert not cm.is_element_label("OR")
+        assert not cm.is_element_label("ANY")
+
+    def test_is_mixed_model(self):
+        assert cm.is_mixed_model(cm.mixed("a"))
+        assert cm.is_mixed_model(cm.pcdata())
+        assert not cm.is_mixed_model(cm.seq("a", "b"))
+        assert not cm.is_mixed_model(cm.star(cm.choice("a", "b")))
+
+    def test_contains_pcdata(self):
+        assert cm.contains_pcdata(cm.mixed("a"))
+        assert not cm.contains_pcdata(cm.seq("a"))
+
+
+class TestWellFormedness:
+    def test_unary_requires_single_child(self):
+        with pytest.raises(ValueError, match="exactly one child"):
+            cm.check_well_formed(Tree("?", [Tree.leaf("a"), Tree.leaf("b")]))
+
+    def test_nary_requires_children(self):
+        with pytest.raises(ValueError, match="requires children"):
+            cm.check_well_formed(Tree("AND"))
+
+    def test_basic_types_are_leaves(self):
+        with pytest.raises(ValueError, match="cannot have children"):
+            cm.check_well_formed(Tree("#PCDATA", [Tree.leaf("a")]))
+
+    def test_element_references_are_leaves(self):
+        with pytest.raises(ValueError, match="cannot have children"):
+            cm.check_well_formed(Tree("a", [Tree.leaf("b")]))
+
+    def test_valid_model_passes(self):
+        cm.check_well_formed(cm.seq("a", cm.star(cm.choice("b", "c"))))
+
+
+class TestDeclaredLabels:
+    def test_skips_operators_and_types(self):
+        model = cm.seq("b", cm.star(cm.choice("c", cm.pcdata())))
+        assert cm.declared_labels(model) == frozenset({"b", "c"})
+
+    def test_empty_model_has_no_labels(self):
+        assert cm.declared_labels(cm.empty()) == frozenset()
+
+
+class TestOccurrenceBounds:
+    def test_plain_sequence(self):
+        bounds = cm.occurrence_bounds(cm.seq("a", "b"))
+        assert bounds == {"a": (1, 1), "b": (1, 1)}
+
+    def test_optional(self):
+        assert cm.occurrence_bounds(cm.opt("a"))["a"] == (0, 1)
+
+    def test_star_and_plus(self):
+        assert cm.occurrence_bounds(cm.star("a"))["a"] == (0, cm.UNBOUNDED)
+        assert cm.occurrence_bounds(cm.plus("a"))["a"] == (1, cm.UNBOUNDED)
+
+    def test_or_takes_min_and_max(self):
+        bounds = cm.occurrence_bounds(cm.choice(cm.seq("a", "a"), "b"))
+        # 'a' twice in one branch, absent in the other
+        assert bounds["a"] == (0, 2)
+        assert bounds["b"] == (0, 1)
+
+    def test_and_sums(self):
+        bounds = cm.occurrence_bounds(cm.seq("a", cm.opt("a")))
+        assert bounds["a"] == (1, 2)
+
+    def test_or_inside_and(self):
+        bounds = cm.occurrence_bounds(cm.seq("a", cm.choice("a", "b")))
+        assert bounds["a"] == (1, 2)
+
+
+class TestNullable:
+    @pytest.mark.parametrize(
+        "model, expected",
+        [
+            (cm.empty(), True),
+            (cm.pcdata(), True),
+            (cm.ref("a"), False),
+            (cm.opt("a"), True),
+            (cm.star("a"), True),
+            (cm.plus("a"), False),
+            (cm.seq(cm.opt("a"), cm.star("b")), True),
+            (cm.seq(cm.opt("a"), "b"), False),
+            (cm.choice("a", cm.opt("b")), True),
+            (cm.plus(cm.opt("a")), True),
+        ],
+    )
+    def test_nullable(self, model, expected):
+        assert cm.nullable(model) is expected

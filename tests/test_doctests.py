@@ -1,0 +1,26 @@
+"""Run every module's doctests — the examples in the docstrings are part
+of the documentation deliverable and must stay correct."""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _module_names():
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(info.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("module_name", _module_names())
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(
+        module, optionflags=doctest.NORMALIZE_WHITESPACE, verbose=False
+    )
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {module_name}"

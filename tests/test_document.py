@@ -1,0 +1,102 @@
+"""Unit tests for the XML document object model."""
+
+from repro.xmltree.document import Document, Element, Text, element
+
+
+class TestElementNavigation:
+    def test_element_children_skip_text(self):
+        root = element("a", "hello", element("b"), element("c"))
+        assert [child.tag for child in root.element_children()] == ["b", "c"]
+
+    def test_text_children(self):
+        root = element("a", "x", element("b"), "y")
+        assert [text.value for text in root.text_children()] == ["x", "y"]
+
+    def test_has_text_ignores_whitespace(self):
+        assert not element("a", "  \n\t ").has_text()
+        assert element("a", " x ").has_text()
+
+    def test_child_tags_keeps_repetitions(self):
+        root = element("a", element("b"), element("c"), element("b"))
+        assert root.child_tags() == ["b", "c", "b"]
+
+    def test_alpha_beta(self):
+        root = element("a", element("b"), element("c"), element("b"))
+        assert root.alpha_beta() == frozenset({"b", "c"})
+
+    def test_text_concatenates(self):
+        assert element("a", "x", element("b"), "y").text() == "xy"
+
+    def test_find_and_find_all(self):
+        root = element("a", element("b", "1"), element("b", "2"), element("c"))
+        assert root.find("b").text() == "1"
+        assert root.find("missing") is None
+        assert len(root.find_all("b")) == 2
+
+    def test_iter_elements_preorder(self):
+        root = element("a", element("b", element("d")), element("c"))
+        assert [e.tag for e in root.iter_elements()] == ["a", "b", "d", "c"]
+
+    def test_element_count(self):
+        root = element("a", element("b", element("d")), element("c"))
+        assert root.element_count() == 4
+
+
+class TestTreeView:
+    def test_to_tree_matches_paper_figure2(self):
+        root = element("a", element("b", "5"), element("c", "7"))
+        assert root.to_tree().to_tuple() == ("a", [("b", ["5"]), ("c", ["7"])])
+
+    def test_to_tree_strips_whitespace_text(self):
+        root = element("a", "  ", element("b"))
+        assert root.to_tree().to_tuple() == ("a", ["b"])
+
+    def test_to_tree_without_text(self):
+        root = element("a", element("b", "5"))
+        assert root.to_tree(include_text=False).to_tuple() == ("a", ["b"])
+
+
+class TestEqualityAndCopy:
+    def test_equality_covers_attributes_and_children(self):
+        left = Element("a", {"k": "v"}, [Text("x")])
+        right = Element("a", {"k": "v"}, [Text("x")])
+        assert left == right
+        assert left != Element("a", {"k": "w"}, [Text("x")])
+        assert left != Element("a", {"k": "v"}, [Text("y")])
+
+    def test_copy_is_deep(self):
+        original = element("a", element("b", "x"))
+        clone = original.copy()
+        clone.element_children()[0].children.clear()
+        assert original.find("b").text() == "x"
+
+    def test_append_is_chainable(self):
+        root = Element("a").append(Element("b")).append(Text("x"))
+        assert root.child_tags() == ["b"]
+        assert root.text() == "x"
+
+
+class TestDocument:
+    def test_document_delegates_to_root(self):
+        doc = Document(element("a", element("b")))
+        assert doc.to_tree().to_tuple() == ("a", ["b"])
+        assert doc.element_count() == 2
+
+    def test_document_equality_is_root_equality(self):
+        assert Document(element("a")) == Document(element("a"))
+        assert Document(element("a")) != Document(element("b"))
+
+    def test_copy_preserves_doctype(self):
+        doc = Document(element("a"), doctype_name="a", doctype_system="a.dtd")
+        clone = doc.copy()
+        assert clone.doctype_name == "a"
+        assert clone.doctype_system == "a.dtd"
+        assert clone.root is not doc.root
+
+
+class TestBuilder:
+    def test_element_builder_promotes_strings(self):
+        root = element("a", "text", element("b"), key="value")
+        assert root.attributes == {"key": "value"}
+        assert root.text() == "text"
+        assert root.child_tags() == ["b"]

@@ -1,0 +1,147 @@
+"""Unit tests for the DTD object model."""
+
+import pytest
+
+from repro.dtd import content_model as cm
+from repro.dtd.dtd import DTD, AttributeDecl, ElementDecl
+from repro.errors import DTDSemanticError
+
+
+def _dtd():
+    return DTD(
+        [
+            ElementDecl("a", cm.seq("b", "c")),
+            ElementDecl("b", cm.pcdata()),
+            ElementDecl("c", cm.seq("d")),
+            ElementDecl("d", cm.pcdata()),
+        ]
+    )
+
+
+class TestMappingInterface:
+    def test_contains_and_getitem(self):
+        dtd = _dtd()
+        assert "a" in dtd and "zz" not in dtd
+        assert dtd["a"].name == "a"
+        assert dtd.get("zz") is None
+
+    def test_duplicate_declaration_rejected(self):
+        dtd = _dtd()
+        with pytest.raises(DTDSemanticError, match="duplicate"):
+            dtd.add(ElementDecl("a", cm.pcdata()))
+
+    def test_replace_flag(self):
+        dtd = _dtd()
+        dtd.add(ElementDecl("a", cm.pcdata()), replace=True)
+        assert dtd["a"].content == cm.pcdata()
+
+    def test_remove(self):
+        dtd = _dtd()
+        dtd.remove("d")
+        assert "d" not in dtd
+
+    def test_element_names_keep_insertion_order(self):
+        assert _dtd().element_names() == ["a", "b", "c", "d"]
+
+
+class TestRoot:
+    def test_default_root_is_first_declared(self):
+        assert _dtd().root == "a"
+
+    def test_explicit_root(self):
+        dtd = _dtd()
+        dtd.root = "c"
+        assert dtd.root == "c"
+
+    def test_undeclared_root_rejected(self):
+        dtd = _dtd()
+        with pytest.raises(DTDSemanticError):
+            dtd.root = "zz"
+
+    def test_empty_dtd_has_no_root(self):
+        with pytest.raises(DTDSemanticError):
+            DTD().root
+
+
+class TestConsistency:
+    def test_undeclared_references(self):
+        dtd = DTD([ElementDecl("a", cm.seq("b", "ghost"))])
+        assert dtd.undeclared_references() == frozenset({"b", "ghost"})
+
+    def test_check_consistent(self):
+        dtd = _dtd()
+        dtd.check_consistent()
+        dtd.add(ElementDecl("x", cm.seq("ghost")))
+        with pytest.raises(DTDSemanticError, match="ghost"):
+            dtd.check_consistent()
+        dtd.check_consistent(allow_undeclared=True)
+
+    def test_size(self):
+        # a: AND(b,c)=3, b: #PCDATA=1, c: d=1, d: #PCDATA=1
+        assert _dtd().size() == 6
+
+
+class TestCopyAndEquality:
+    def test_copy_is_deep(self):
+        dtd = _dtd()
+        clone = dtd.copy()
+        clone["a"].content.children[0].label = "zz"
+        assert dtd["a"].content.children[0].label == "b"
+
+    def test_copy_preserves_attlists_and_root(self):
+        dtd = _dtd()
+        dtd.attlists["a"] = [AttributeDecl("id", "ID", "#REQUIRED")]
+        dtd.root = "c"
+        clone = dtd.copy()
+        assert clone.attlists["a"][0].name == "id"
+        assert clone.root == "c"
+
+    def test_equality(self):
+        assert _dtd() == _dtd()
+        other = _dtd()
+        other.add(ElementDecl("b", cm.empty()), replace=True)
+        assert _dtd() != other
+
+
+class TestTreeView:
+    def test_to_tree_matches_paper_figure2(self):
+        tree = _dtd().to_tree()
+        assert tree.to_tuple() == (
+            "a",
+            [("AND", [("b", ["#PCDATA"]), ("c", [("d", ["#PCDATA"])])])],
+        )
+
+    def test_recursive_dtd_is_cycle_guarded(self):
+        dtd = DTD(
+            [
+                ElementDecl("list", cm.star("item")),
+                ElementDecl("item", cm.opt("list")),
+            ]
+        )
+        tree = dtd.to_tree()
+        # the nested 'list' stays a leaf instead of recursing forever
+        inner_lists = [node for node in tree.iter_labeled("list")]
+        assert len(inner_lists) >= 2
+        assert all(node.is_leaf for node in inner_lists[1:])
+
+    def test_empty_content_is_leaf_element(self):
+        dtd = DTD([ElementDecl("a", cm.seq("b")), ElementDecl("b", cm.empty())])
+        assert dtd.to_tree().to_tuple() == ("a", ["b"])
+
+    def test_elementdecl_validates_content(self):
+        from repro.xmltree.tree import Tree
+
+        with pytest.raises(ValueError):
+            ElementDecl("a", Tree("?", []))
+
+
+class TestElementDeclProperties:
+    def test_kind_flags(self):
+        assert ElementDecl("a", cm.empty()).is_empty
+        assert ElementDecl("a", cm.any_content()).is_any
+        assert ElementDecl("a", cm.mixed("b")).is_mixed
+        assert not ElementDecl("a", cm.seq("b")).is_mixed
+
+    def test_declared_labels(self):
+        decl = ElementDecl("a", cm.seq("b", cm.star(cm.choice("c", "d"))))
+        assert decl.declared_labels() == frozenset({"b", "c", "d"})

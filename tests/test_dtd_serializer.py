@@ -1,0 +1,75 @@
+"""Unit tests for DTD serialization (and round-tripping)."""
+
+import pytest
+
+from repro.dtd import content_model as cm
+from repro.dtd.dtd import DTD, AttributeDecl, ElementDecl
+from repro.dtd.parser import parse_content_model, parse_dtd
+from repro.dtd.serializer import (
+    serialize_content_model,
+    serialize_dtd,
+    serialize_element_decl,
+)
+
+
+class TestContentModelRendering:
+    @pytest.mark.parametrize(
+        "model, rendered",
+        [
+            (cm.empty(), "EMPTY"),
+            (cm.any_content(), "ANY"),
+            (cm.pcdata(), "(#PCDATA)"),
+            (cm.ref("b"), "(b)"),
+            (cm.seq("b", "c"), "(b, c)"),
+            (cm.choice("b", "c"), "(b | c)"),
+            (cm.opt("b"), "(b?)"),
+            (cm.star(cm.seq("b", "c")), "(b, c)*"),
+            (cm.seq("b", cm.star(cm.choice("c", "d"))), "(b, (c | d)*)"),
+            (cm.star(cm.plus("b")), "(b+)*"),
+            (cm.mixed("a", "b"), "(#PCDATA | a | b)*"),
+        ],
+    )
+    def test_renders(self, model, rendered):
+        assert serialize_content_model(model) == rendered
+
+    @pytest.mark.parametrize(
+        "model",
+        [
+            cm.seq("b", "c"),
+            cm.choice("b", cm.seq("c", "d")),
+            cm.star(cm.choice("b", cm.plus("c"))),
+            cm.seq(cm.opt("a"), cm.star(cm.seq("b", "c")), cm.choice("d", "e")),
+            cm.mixed("x", "y"),
+            cm.empty(),
+            cm.pcdata(),
+            cm.star(cm.plus("b")),
+            cm.opt(cm.opt("b")),
+        ],
+    )
+    def test_round_trip(self, model):
+        assert parse_content_model(serialize_content_model(model)) == model
+
+
+class TestDeclarationRendering:
+    def test_element_decl(self):
+        decl = ElementDecl("a", cm.seq("b", "c"))
+        assert serialize_element_decl(decl) == "<!ELEMENT a (b, c)>"
+
+    def test_full_dtd_round_trip(self):
+        dtd = DTD(
+            [
+                ElementDecl("a", cm.seq("b", cm.star("c"))),
+                ElementDecl("b", cm.pcdata()),
+                ElementDecl("c", cm.empty()),
+            ]
+        )
+        dtd.attlists["a"] = [AttributeDecl("id", "ID", "#REQUIRED")]
+        rendered = serialize_dtd(dtd)
+        again = parse_dtd(rendered)
+        assert again == dtd
+        assert again.attlists["a"][0] == dtd.attlists["a"][0]
+
+    def test_attlist_for_undeclared_element_still_rendered(self):
+        dtd = DTD([ElementDecl("a", cm.pcdata())])
+        dtd.attlists["ghost"] = [AttributeDecl("x", "CDATA", "#IMPLIED")]
+        assert "ATTLIST ghost" in serialize_dtd(dtd)

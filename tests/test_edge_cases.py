@@ -1,0 +1,156 @@
+"""Edge-case tests across modules: the corners the main suites skip."""
+
+import pytest
+
+from repro.core.adaptation import DocumentAdapter
+from repro.core.engine import XMLSource
+from repro.core.evolution import EvolutionConfig
+from repro.dtd.automaton import ContentAutomaton, Validator, determinism_report
+from repro.dtd.parser import parse_content_model, parse_dtd
+from repro.dtd.serializer import serialize_content_model
+from repro.generators.scenarios import auction_scenario, figure3_dtd
+from repro.mining.rules import RuleSet
+from repro.mining.transactions import absent, augment_with_absent, present
+from repro.xmltree.parser import parse_document
+
+
+class TestDeterminismReport:
+    def test_deterministic_dtd(self):
+        report = determinism_report(figure3_dtd())
+        assert all(report.values())
+
+    def test_nondeterministic_merge_detected(self):
+        dtd = parse_dtd(
+            "<!ELEMENT a ((b, c) | (b, d))><!ELEMENT b (#PCDATA)>"
+            "<!ELEMENT c (#PCDATA)><!ELEMENT d (#PCDATA)>"
+        )
+        report = determinism_report(dtd)
+        assert report["a"] is False
+        assert report["b"] is True
+
+
+class TestNeverTogether:
+    def test_never_together_weaker_than_exclusive(self):
+        # three alternatives: never-together holds pairwise, full mutual
+        # exclusion does not
+        transactions = augment_with_absent(
+            [frozenset("x"), frozenset("y"), frozenset("z")], "xyz"
+        )
+        rules = RuleSet(transactions)
+        assert rules.never_together("x", "y")
+        assert not rules.mutually_exclusive("x", "y")
+
+    def test_co_occurrence_defeats_never_together(self):
+        transactions = augment_with_absent(
+            [frozenset("xy"), frozenset("y")], "xy"
+        )
+        rules = RuleSet(transactions)
+        assert not rules.never_together("x", "y")
+
+
+class TestDeepAndRecursiveStructures:
+    def test_recursive_dtd_validation(self):
+        dtd = parse_dtd("<!ELEMENT tree (tree*)>")
+        nested = parse_document("<tree><tree><tree/><tree/></tree></tree>")
+        assert Validator(dtd).is_valid(nested)
+
+    def test_recursive_dtd_adaptation(self):
+        dtd = parse_dtd("<!ELEMENT tree (tree*)>")
+        report = DocumentAdapter(dtd).adapt(
+            parse_document("<tree><tree/><stray/>text</tree>")
+        )
+        assert Validator(dtd).is_valid(report.document)
+
+    def test_deep_document_similarity(self):
+        dtd = parse_dtd("<!ELEMENT n (n?)>")
+        xml = "<n>" * 40 + "</n>" * 40
+        from repro.similarity.evaluation import similarity
+
+        assert similarity(parse_document(xml), dtd) == 1.0
+
+    def test_auction_scenario_is_wide_and_valid(self):
+        dtd, make_documents = auction_scenario()
+        documents = make_documents(5, seed=1)
+        validator = Validator(dtd)
+        assert all(validator.is_valid(document) for document in documents)
+        assert max(d.element_count() for d in documents) > 10
+
+
+class TestSerializerCorners:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "(a | b)?",
+            "(a, b)+",
+            "((a?, b)*, c)",
+            "(#PCDATA)",
+            "(#PCDATA | a)*",
+        ],
+    )
+    def test_top_level_suffixes_round_trip(self, source):
+        model = parse_content_model(source)
+        assert parse_content_model(serialize_content_model(model)) == model
+
+    def test_unary_over_pcdata_serializes_legally(self):
+        from repro.dtd.content_model import PCDATA
+        from repro.xmltree.tree import Tree
+
+        star = Tree("*", [Tree.leaf(PCDATA)])
+        assert serialize_content_model(star) == "(#PCDATA)*"
+        opt = Tree("?", [Tree.leaf(PCDATA)])
+        # ? over text is language-equal to plain text and rendered as such
+        assert serialize_content_model(opt) == "(#PCDATA)"
+
+
+class TestEngineCorners:
+    def test_evolution_log_accumulates(self):
+        from repro.generators.scenarios import figure3_workload
+
+        source = XMLSource(
+            [figure3_dtd()],
+            EvolutionConfig(sigma=0.3, tau=0.05, psi=0.2, min_documents=8),
+        )
+        for document in figure3_workload(10, 10, seed=1):
+            source.process(document)
+        assert source.evolution_count == len(source.evolution_log)
+        for event in source.evolution_log:
+            assert event.dtd_name == "figure3"
+            assert event.documents_recorded >= 8
+
+    def test_extended_dtd_swapped_after_evolution(self):
+        from repro.generators.scenarios import figure3_workload
+
+        source = XMLSource(
+            [figure3_dtd()],
+            EvolutionConfig(sigma=0.3, tau=0.05, psi=0.2, min_documents=8),
+        )
+        for document in figure3_workload(10, 10, seed=1):
+            source.process(document)
+        assert source.evolution_count >= 1
+        # the recording period restarted on the evolved DTD
+        extended = source.extended_dtd("figure3")
+        assert extended.dtd is source.dtd("figure3")
+
+    def test_empty_document_stream_is_fine(self):
+        source = XMLSource([figure3_dtd()], EvolutionConfig())
+        assert source.process_many([]) == []
+
+
+class TestAlignmentCorners:
+    def test_empty_model_empty_input(self):
+        automaton = ContentAutomaton(parse_content_model("EMPTY"))
+        cost, script = automaton.edit_alignment([])
+        assert cost == 0.0 and script == []
+
+    def test_empty_model_rejecting_input_deletes_all(self):
+        automaton = ContentAutomaton(parse_content_model("EMPTY"))
+        cost, script = automaton.edit_alignment(["x", "y"])
+        assert cost == 2.0
+        assert [kind for kind, _ in script] == ["delete", "delete"]
+
+    def test_long_repetition_alignment_is_linearish(self):
+        automaton = ContentAutomaton(parse_content_model("((a, b)*)"))
+        tags = ["a", "b"] * 30
+        cost, script = automaton.edit_alignment(tags)
+        assert cost == 0.0
+        assert len(script) == 60

@@ -1,0 +1,116 @@
+"""Unit tests for the end-to-end source pipeline (Figure 1)."""
+
+import pytest
+
+from repro.core.engine import XMLSource
+from repro.core.evolution import EvolutionConfig
+from repro.dtd.automaton import Validator
+from repro.dtd.parser import parse_dtd
+from repro.generators.scenarios import figure3_dtd, figure3_workload
+from repro.xmltree.parser import parse_document
+
+
+def _source(**overrides):
+    defaults = dict(sigma=0.3, tau=0.15, psi=0.2, mu=0.0, min_documents=20)
+    defaults.update(overrides)
+    return XMLSource([figure3_dtd()], EvolutionConfig(**defaults))
+
+
+class TestClassificationPath:
+    def test_accepted_document_is_recorded(self):
+        source = _source()
+        outcome = source.process(parse_document("<a><b>x</b><c>y</c></a>"))
+        assert outcome.dtd_name == "figure3"
+        assert outcome.similarity == 1.0
+        assert source.extended_dtd("figure3").document_count == 1
+
+    def test_rejected_document_goes_to_repository(self):
+        source = _source(sigma=0.9)
+        outcome = source.process(parse_document("<zzz><qqq/></zzz>"))
+        assert outcome.dtd_name is None
+        assert len(source.repository) == 1
+        assert source.extended_dtd("figure3").document_count == 0
+
+    def test_classify_does_not_record(self):
+        source = _source()
+        source.classify(parse_document("<a><b>x</b><c>y</c></a>"))
+        assert source.extended_dtd("figure3").document_count == 0
+
+
+class TestEvolutionTrigger:
+    def test_figure3_stream_evolves_once(self):
+        source = _source()
+        for document in figure3_workload(15, 15, seed=11):
+            source.process(document)
+        assert source.evolution_count == 1
+        event = source.evolution_log[0]
+        assert event.dtd_name == "figure3"
+        assert event.documents_recorded == 20
+        assert event.activation_score > 0.15
+
+    def test_post_evolution_stream_is_valid(self):
+        source = _source()
+        documents = figure3_workload(15, 15, seed=11)
+        for document in documents:
+            source.process(document)
+        validator = Validator(source.dtd("figure3"))
+        assert all(validator.is_valid(document) for document in documents)
+
+    def test_min_documents_gate(self):
+        source = _source(min_documents=1_000)
+        for document in figure3_workload(15, 15, seed=11):
+            source.process(document)
+        assert source.evolution_count == 0
+
+    def test_auto_evolve_off(self):
+        source = _source()
+        source.auto_evolve = False
+        for document in figure3_workload(15, 15, seed=11):
+            source.process(document)
+        assert source.evolution_count == 0
+        event = source.evolve_now("figure3")
+        assert event.dtd_name == "figure3"
+        assert source.evolution_count == 1
+
+    def test_recording_resets_after_evolution(self):
+        source = _source()
+        for document in figure3_workload(15, 15, seed=11):
+            source.process(document)
+        extended = source.extended_dtd("figure3")
+        assert extended.document_count < 30  # fresh period started
+
+
+class TestRepositoryRecovery:
+    def test_repository_drained_after_evolution(self):
+        # strict sigma: the drifted documents land in the repository until
+        # the DTD evolves to describe them
+        source = _source(sigma=0.6, tau=0.01, min_documents=5)
+        d1 = [
+            parse_document("<a>" + "<b>x</b><c>y</c>" * 2 + "<d>z</d></a>")
+            for _ in range(6)
+        ]  # similarity ~0.45: below sigma
+        conforming = [parse_document("<a><b>x</b><c>y</c></a>") for _ in range(2)]
+        slightly_off = [
+            parse_document("<a><b>x</b><c>y</c><c>y</c></a>") for _ in range(6)
+        ]  # similarity ~0.71: accepted, non valid -> drives the trigger
+        for document in d1:
+            source.process(document)  # below sigma -> repository
+        assert len(source.repository) == 6
+        recovered_total = 0
+        for document in conforming + slightly_off:
+            outcome = source.process(document)
+            recovered_total += outcome.recovered
+        assert source.evolution_count >= 1
+        # after evolution the repository was re-classified
+        assert recovered_total + len(source.repository) == 6
+
+    def test_multiple_dtds_pick_best(self):
+        dtd_a = parse_dtd("<!ELEMENT a (x)><!ELEMENT x (#PCDATA)>", name="A")
+        dtd_b = parse_dtd("<!ELEMENT b (y)><!ELEMENT y (#PCDATA)>", name="B")
+        source = XMLSource([dtd_a, dtd_b], EvolutionConfig(sigma=0.3))
+        assert source.process(parse_document("<a><x>1</x></a>")).dtd_name == "A"
+        assert source.process(parse_document("<b><y>1</y></b>")).dtd_name == "B"
+
+    def test_repr_mentions_state(self):
+        source = _source()
+        assert "figure3" in repr(source)

@@ -1,0 +1,86 @@
+"""Unit tests for document-level evaluation."""
+
+import pytest
+
+from repro.similarity.evaluation import (
+    evaluate_document,
+    local_similarity,
+    similarity,
+    similarity_map,
+)
+from repro.similarity.matcher import StructureMatcher
+from repro.xmltree.parser import parse_document
+
+
+class TestExample1:
+    """Example 1 of the paper, end to end."""
+
+    def test_document_similarity_value(self, fig2_dtd, fig2_doc):
+        evaluation = evaluate_document(fig2_doc, fig2_dtd)
+        assert evaluation.similarity == pytest.approx(2 / 3)
+        assert not evaluation.is_valid
+
+    def test_per_element_verdicts(self, fig2_dtd, fig2_doc):
+        evaluation = evaluate_document(fig2_doc, fig2_dtd)
+        verdicts = {
+            entry.element.tag: entry.is_locally_valid for entry in evaluation.elements
+        }
+        assert verdicts == {"a": True, "b": True, "c": False}
+
+    def test_invalid_element_fraction(self, fig2_dtd, fig2_doc):
+        evaluation = evaluate_document(fig2_doc, fig2_dtd)
+        assert evaluation.invalid_element_count == 1
+        assert evaluation.invalid_element_fraction == pytest.approx(1 / 3)
+
+
+class TestValidity:
+    def test_valid_document_full_everywhere(self, fig2_dtd):
+        doc = parse_document("<a><b>5</b><c><d>7</d></c></a>")
+        evaluation = evaluate_document(doc, fig2_dtd)
+        assert evaluation.is_valid
+        assert evaluation.similarity == 1.0
+        assert evaluation.invalid_element_count == 0
+        assert all(entry.is_locally_valid for entry in evaluation.elements)
+
+    def test_undeclared_elements_are_never_locally_valid(self, fig2_dtd):
+        doc = parse_document("<a><b>5</b><c><d>7</d></c><zz><yy/></zz></a>")
+        evaluation = evaluate_document(doc, fig2_dtd)
+        verdicts = {
+            entry.element.tag: entry.is_locally_valid for entry in evaluation.elements
+        }
+        assert verdicts["zz"] is False
+        assert verdicts["yy"] is False
+        assert not verdicts["a"]  # zz is unexpected under a
+
+
+class TestConvenienceFunctions:
+    def test_similarity_shortcut(self, fig2_dtd, fig2_doc):
+        assert similarity(fig2_doc, fig2_dtd) == pytest.approx(2 / 3)
+
+    def test_local_similarity_shortcut(self, fig2_dtd, fig2_doc):
+        assert local_similarity(fig2_doc.root, fig2_dtd) == 1.0
+
+    def test_similarity_map_keys(self, fig2_dtd, fig2_doc):
+        mapping = similarity_map(fig2_doc, fig2_dtd)
+        assert set(mapping) == {id(e) for e in fig2_doc.root.iter_elements()}
+
+    def test_matcher_reuse(self, fig2_dtd, fig2_doc):
+        matcher = StructureMatcher(fig2_dtd)
+        first = evaluate_document(fig2_doc, fig2_dtd, matcher=matcher)
+        second = evaluate_document(fig2_doc, fig2_dtd, matcher=matcher)
+        assert first.similarity == second.similarity
+
+
+class TestEdgeCases:
+    def test_single_element_document(self):
+        from repro.dtd.parser import parse_dtd
+
+        dtd = parse_dtd("<!ELEMENT a EMPTY>")
+        evaluation = evaluate_document(parse_document("<a/>"), dtd)
+        assert evaluation.is_valid
+        assert evaluation.element_count == 1
+
+    def test_element_count_matches_document(self, fig2_dtd):
+        doc = parse_document("<a><b>5</b><c><d>7</d></c></a>")
+        evaluation = evaluate_document(doc, fig2_dtd)
+        assert evaluation.element_count == doc.element_count()

@@ -1,0 +1,148 @@
+"""Unit tests for the evolution phase over a whole DTD."""
+
+import pytest
+
+from repro.core.evolution import EvolutionConfig, evolve_dtd
+from repro.core.extended_dtd import ExtendedDTD
+from repro.core.recorder import Recorder
+from repro.core.windows import Window
+from repro.dtd.automaton import Validator
+from repro.dtd.parser import parse_dtd
+from repro.dtd.serializer import serialize_content_model
+from repro.generators.scenarios import figure3_dtd, figure3_workload
+from repro.xmltree.parser import parse_document
+
+
+def _record_all(dtd, documents):
+    extended = ExtendedDTD(dtd)
+    recorder = Recorder(extended)
+    for document in documents:
+        recorder.record(document)
+    return extended
+
+
+class TestNewWindow:
+    def test_figure3_evolution_end_to_end(self, fig3_dtd, fig3_docs):
+        extended = _record_all(fig3_dtd, fig3_docs)
+        result = evolve_dtd(extended, EvolutionConfig(psi=0.2, mu=0.0))
+        rendered = serialize_content_model(result.new_dtd["a"].content)
+        # OR branch order follows first-seen order in the shuffled stream
+        assert rendered in ("((b, c)*, (d+ | e))", "((b, c)*, (e | d+))")
+
+    def test_actions_report_window_and_kind(self, fig3_dtd, fig3_docs):
+        extended = _record_all(fig3_dtd, fig3_docs)
+        result = evolve_dtd(extended, EvolutionConfig(psi=0.2))
+        by_name = {action.name: action for action in result.actions}
+        assert by_name["a"].window is Window.NEW
+        assert by_name["a"].action == "rebuilt"
+        assert by_name["b"].action == "kept"
+
+    def test_plus_declarations_added(self, fig3_dtd, fig3_docs):
+        extended = _record_all(fig3_dtd, fig3_docs)
+        result = evolve_dtd(extended, EvolutionConfig(psi=0.2))
+        assert "d" in result.new_dtd
+        assert "e" in result.new_dtd
+        assert result.new_dtd["d"].content.label == "#PCDATA"
+
+    def test_evolved_dtd_validates_the_stream(self, fig3_dtd, fig3_docs):
+        extended = _record_all(fig3_dtd, fig3_docs)
+        result = evolve_dtd(extended, EvolutionConfig(psi=0.2))
+        validator = Validator(result.new_dtd)
+        assert all(validator.is_valid(document) for document in fig3_docs)
+
+    def test_original_dtd_untouched(self, fig3_dtd, fig3_docs):
+        extended = _record_all(fig3_dtd, fig3_docs)
+        before = serialize_content_model(fig3_dtd["a"].content)
+        evolve_dtd(extended, EvolutionConfig(psi=0.2))
+        assert serialize_content_model(fig3_dtd["a"].content) == before
+
+
+class TestOldWindow:
+    def test_mostly_valid_stream_keeps_declaration(self, fig3_dtd):
+        documents = [parse_document("<a><b>x</b><c>y</c></a>")] * 9 + [
+            parse_document("<a><b>x</b><c>y</c><d>z</d></a>")
+        ]
+        extended = _record_all(fig3_dtd, documents)
+        result = evolve_dtd(extended, EvolutionConfig(psi=0.2))
+        by_name = {action.name: action for action in result.actions}
+        assert by_name["a"].window is Window.OLD
+        assert by_name["a"].action in ("kept", "restricted")
+        assert serialize_content_model(result.new_dtd["a"].content) == "(b, c)"
+
+    def test_restriction_in_old_window(self):
+        dtd = parse_dtd(
+            "<!ELEMENT r (x*)><!ELEMENT x (#PCDATA)>", name="r"
+        )
+        documents = [parse_document("<r><x>1</x><x>2</x></r>")] * 5
+        extended = _record_all(dtd, documents)
+        result = evolve_dtd(extended, EvolutionConfig(psi=0.2))
+        by_name = {action.name: action for action in result.actions}
+        assert by_name["r"].action == "restricted"
+        assert serialize_content_model(result.new_dtd["r"].content) == "(x+)"
+
+    def test_restriction_can_be_disabled(self):
+        dtd = parse_dtd("<!ELEMENT r (x*)><!ELEMENT x (#PCDATA)>")
+        documents = [parse_document("<r><x>1</x></r>")] * 5
+        extended = _record_all(dtd, documents)
+        result = evolve_dtd(
+            extended, EvolutionConfig(psi=0.2, restrict_in_old_window=False)
+        )
+        assert serialize_content_model(result.new_dtd["r"].content) == "(x*)"
+
+
+class TestMiscWindow:
+    def test_or_merge_with_old_declaration(self, fig3_dtd):
+        # half the documents valid, half with the new d element
+        documents = [parse_document("<a><b>x</b><c>y</c></a>")] * 5 + [
+            parse_document("<a><b>x</b><c>y</c><d>z</d></a>")
+        ] * 5
+        extended = _record_all(fig3_dtd, documents)
+        result = evolve_dtd(extended, EvolutionConfig(psi=0.2))
+        by_name = {action.name: action for action in result.actions}
+        assert by_name["a"].window is Window.MISC
+        assert by_name["a"].action == "merged"
+        validator = Validator(result.new_dtd)
+        assert all(validator.is_valid(document) for document in documents)
+
+    def test_merge_skipped_when_rebuild_equals_old(self, fig3_dtd):
+        # hand-built record whose non-valid side rebuilds to exactly the
+        # old (b, c) declaration: no point OR-merging a model with itself
+        extended = ExtendedDTD(fig3_dtd)
+        record = extended.record_for("a")
+        record.valid_count = 5
+        record.invalid_count = 5
+        record.labels = {"b": 0, "c": 1}
+        record.sequences[frozenset({"b", "c"})] = 5
+        record.stats_for("b").observe(1)
+        record.stats_for("c").observe(1)
+        result = evolve_dtd(extended, EvolutionConfig(psi=0.2))
+        by_name = {action.name: action for action in result.actions}
+        assert by_name["a"].window is Window.MISC
+        assert by_name["a"].action == "kept"
+
+
+class TestConfigurationKnobs:
+    def test_min_instances_guard(self, fig3_dtd, fig3_docs):
+        extended = _record_all(fig3_dtd, fig3_docs)
+        config = EvolutionConfig(psi=0.2, min_instances=10_000)
+        result = evolve_dtd(extended, config)
+        assert all(action.action == "kept" for action in result.actions)
+
+    def test_prune_unreferenced(self, fig3_dtd, fig3_docs):
+        # evolve so 'a' references b, c, d, e; then force-drop via a
+        # stream that abandons c entirely
+        documents = [parse_document("<a><b>x</b></a>")] * 10
+        extended = _record_all(fig3_dtd, documents)
+        result = evolve_dtd(
+            extended, EvolutionConfig(psi=0.2, prune_unreferenced=True)
+        )
+        assert "c" not in result.new_dtd
+        removed = [a for a in result.actions if a.action == "removed"]
+        assert any(action.name == "c" for action in removed)
+
+    def test_result_metadata(self, fig3_dtd, fig3_docs):
+        extended = _record_all(fig3_dtd, fig3_docs)
+        result = evolve_dtd(extended, EvolutionConfig(psi=0.2))
+        assert result.changed
+        assert "rebuilt" in result.actions_by_kind()
+        assert result.old_dtd is extended.dtd

@@ -1,0 +1,128 @@
+"""Unit tests for the extended DTD recording structures."""
+
+import pytest
+
+from repro.core.extended_dtd import (
+    ElementRecord,
+    ExtendedDTD,
+    PlusLabelStats,
+    ValidLabelStats,
+)
+from repro.generators.scenarios import figure3_dtd
+
+
+class TestPlusLabelStats:
+    def test_observe_counts(self):
+        stats = PlusLabelStats()
+        stats.observe(1)
+        stats.observe(3)
+        assert stats.instances_with == 2
+        assert stats.instances_repeated == 1
+        assert stats.total_occurrences == 4
+        assert stats.max_occurrences == 3
+        assert stats.is_ever_repeated
+
+    def test_zero_occurrences_ignored(self):
+        stats = PlusLabelStats()
+        stats.observe(0)
+        assert stats.instances_with == 0
+
+
+class TestValidLabelStats:
+    def test_min_tracks_absences_too(self):
+        stats = ValidLabelStats()
+        stats.observe(2)
+        stats.observe(0)
+        assert stats.instances_with == 1
+        assert stats.min_occurrences == 0
+        assert stats.max_occurrences == 2
+
+    def test_always_present_profile(self):
+        stats = ValidLabelStats()
+        for _ in range(3):
+            stats.observe(1)
+        assert stats.min_occurrences == 1
+        assert stats.max_occurrences == 1
+        assert stats.instances_with == 3
+
+
+class TestElementRecord:
+    def test_invalidity_ratio(self):
+        record = ElementRecord("a")
+        assert record.invalidity_ratio == 0.0
+        record.valid_count = 3
+        record.invalid_count = 1
+        assert record.invalidity_ratio == pytest.approx(0.25)
+
+    def test_ordered_labels_follow_first_seen(self):
+        record = ElementRecord("a")
+        for label in ["c", "a", "b", "a"]:
+            if label not in record.labels:
+                record.labels[label] = len(record.labels)
+        assert record.ordered_labels() == ["c", "a", "b"]
+
+    def test_sequence_list_expands_multiplicity(self):
+        record = ElementRecord("a")
+        record.sequences[frozenset("ab")] = 2
+        record.sequences[frozenset("a")] = 1
+        assert len(record.sequence_list()) == 3
+
+    def test_always_co_repeated(self):
+        record = ElementRecord("a")
+        group = frozenset("bc")
+        record.groups[group] = 4
+        record.stats_for("b").instances_repeated = 4
+        record.stats_for("c").instances_repeated = 4
+        assert record.always_co_repeated(group)
+        record.stats_for("b").instances_repeated = 6  # b repeated alone twice
+        assert not record.always_co_repeated(group)
+
+    def test_always_co_repeated_requires_observation(self):
+        record = ElementRecord("a")
+        assert not record.always_co_repeated(frozenset("bc"))
+
+    def test_reset(self):
+        record = ElementRecord("a")
+        record.invalid_count = 5
+        record.labels["x"] = 0
+        record.reset()
+        assert record.invalid_count == 0
+        assert not record.labels
+        assert record.name == "a"
+
+    def test_storage_cells_includes_nested(self):
+        record = ElementRecord("a")
+        base = record.storage_cells()
+        record.plus_record_for("new").labels["inner"] = 0
+        assert record.storage_cells() > base
+
+
+class TestExtendedDTD:
+    def test_activation_score(self):
+        extended = ExtendedDTD(figure3_dtd())
+        assert extended.activation_score == 0.0
+        extended.document_count = 4
+        extended.sum_invalid_fraction = 1.0
+        assert extended.activation_score == pytest.approx(0.25)
+        assert extended.should_evolve(0.2)
+        assert not extended.should_evolve(0.3)
+
+    def test_record_for_creates_lazily(self):
+        extended = ExtendedDTD(figure3_dtd())
+        record = extended.record_for("a")
+        assert record is extended.record_for("a")
+        assert record.name == "a"
+
+    def test_reset_recording(self):
+        extended = ExtendedDTD(figure3_dtd())
+        extended.record_for("a").invalid_count = 2
+        extended.document_count = 7
+        extended.reset_recording()
+        assert extended.document_count == 0
+        assert not extended.records
+
+    def test_storage_cells_grow_with_records(self):
+        extended = ExtendedDTD(figure3_dtd())
+        empty = extended.storage_cells()
+        extended.record_for("a").labels["x"] = 0
+        assert extended.storage_cells() > empty

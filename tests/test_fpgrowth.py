@@ -1,0 +1,78 @@
+"""Unit and property tests for FP-Growth (must mirror Apriori exactly)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MiningError
+from repro.mining.fpgrowth import fpgrowth
+from repro.mining.itemsets import apriori
+from repro.mining.transactions import augment_with_absent
+
+EXAMPLE3 = [frozenset("abc"), frozenset("ab"), frozenset("bcd")]
+
+
+class TestBasics:
+    def test_example3(self):
+        assert fpgrowth(EXAMPLE3, 1 / 3) == apriori(EXAMPLE3, 1 / 3)
+
+    def test_counts_are_absolute(self):
+        counts = fpgrowth(EXAMPLE3, 2 / 3)
+        assert counts[frozenset("b")] == 3
+        assert counts[frozenset("bc")] == 2
+
+    def test_empty_transactions(self):
+        assert fpgrowth([], 0.5) == {}
+
+    def test_nothing_frequent(self):
+        assert fpgrowth([frozenset("a"), frozenset("b")], 1.0) == {}
+
+    def test_invalid_support(self):
+        with pytest.raises(MiningError):
+            fpgrowth(EXAMPLE3, 1.5)
+
+    def test_max_size_cap(self):
+        counts = fpgrowth(EXAMPLE3, 1 / 3, max_size=2)
+        assert counts == apriori(EXAMPLE3, 1 / 3, max_size=2)
+
+    def test_single_path_shortcut(self):
+        # identical transactions build a single-path tree
+        transactions = [frozenset("abc")] * 4
+        assert fpgrowth(transactions, 0.5) == apriori(transactions, 0.5)
+
+    def test_identical_on_augmented_evolution_transactions(self):
+        transactions = augment_with_absent(
+            [frozenset("bcd"), frozenset("bce")] * 10, "bcde"
+        )
+        assert fpgrowth(transactions, 0.2) == apriori(transactions, 0.2)
+
+
+class TestEquivalenceProperty:
+    @given(
+        st.lists(
+            st.frozensets(st.sampled_from("abcde"), max_size=5),
+            min_size=1,
+            max_size=15,
+        ),
+        st.floats(0.05, 1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_apriori(self, transactions, min_support):
+        assert fpgrowth(transactions, min_support) == apriori(
+            transactions, min_support
+        )
+
+    @given(
+        st.lists(
+            st.frozensets(st.sampled_from("abcd"), max_size=4),
+            min_size=1,
+            max_size=12,
+        ),
+        st.integers(1, 3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_apriori_with_size_cap(self, transactions, max_size):
+        assert fpgrowth(transactions, 0.2, max_size=max_size) == apriori(
+            transactions, 0.2, max_size=max_size
+        )

@@ -1,0 +1,158 @@
+"""Unit tests for workload generation (random DTDs, documents, drift)."""
+
+import pytest
+
+from repro.dtd.automaton import Validator
+from repro.generators.documents import (
+    AddDrift,
+    CompositeDrift,
+    DocumentGenerator,
+    DropDrift,
+    OperatorDrift,
+    RenameDrift,
+)
+from repro.generators.random_dtd import RandomDTDGenerator
+from repro.generators.scenarios import (
+    bibliography_scenario,
+    catalog_scenario,
+    figure2_document,
+    figure2_dtd,
+    figure3_dtd,
+    figure3_workload,
+    newsfeed_scenario,
+)
+
+
+class TestRandomDTD:
+    def test_deterministic_for_seed(self):
+        assert RandomDTDGenerator(seed=7).generate() == RandomDTDGenerator(seed=7).generate()
+
+    def test_different_seeds_differ(self):
+        assert RandomDTDGenerator(seed=1).generate() != RandomDTDGenerator(seed=2).generate()
+
+    def test_acyclic_and_consistent(self):
+        for seed in range(10):
+            dtd = RandomDTDGenerator(seed=seed, element_count=10).generate()
+            dtd.check_consistent()
+            dtd.to_tree()  # expansion terminates
+
+    def test_generated_models_are_deterministic_automata(self):
+        from repro.dtd.automaton import ContentAutomaton
+
+        for seed in range(10):
+            dtd = RandomDTDGenerator(seed=seed, element_count=10).generate()
+            for decl in dtd:
+                assert ContentAutomaton(decl.content).is_deterministic()
+
+    def test_generate_many_unique_names(self):
+        dtds = RandomDTDGenerator(seed=0, name="fam").generate_many(3)
+        assert [dtd.name for dtd in dtds] == ["fam0", "fam1", "fam2"]
+
+
+class TestDocumentGenerator:
+    def test_generated_documents_are_valid(self):
+        for seed in range(5):
+            dtd = RandomDTDGenerator(seed=seed, element_count=8).generate()
+            documents = DocumentGenerator(dtd, seed=seed).generate_many(10)
+            validator = Validator(dtd)
+            assert all(validator.is_valid(document) for document in documents)
+
+    def test_deterministic_stream(self):
+        dtd = figure3_dtd()
+        first = DocumentGenerator(dtd, seed=3).generate_many(5)
+        second = DocumentGenerator(dtd, seed=3).generate_many(5)
+        assert first == second
+
+    def test_stream_is_endless(self):
+        dtd = figure3_dtd()
+        stream = DocumentGenerator(dtd, seed=0).stream()
+        assert next(stream).root.tag == "a"
+
+    def test_recursive_dtd_bounded(self):
+        from repro.dtd.parser import parse_dtd
+
+        dtd = parse_dtd("<!ELEMENT node (node*)>")
+        document = DocumentGenerator(dtd, seed=1, max_depth=5).generate()
+        assert document.root.tag == "node"
+
+    def test_custom_root(self):
+        document = DocumentGenerator(figure2_dtd(), seed=0).generate(root="c")
+        assert document.root.tag == "c"
+
+
+class TestDrift:
+    def _base_documents(self):
+        return DocumentGenerator(figure3_dtd(), seed=0).generate_many(20)
+
+    def test_drop_drift_removes_elements(self):
+        documents = self._base_documents()
+        drifted = DropDrift(1.0, seed=1).apply_many(documents)
+        assert sum(d.element_count() for d in drifted) < sum(
+            d.element_count() for d in documents
+        )
+
+    def test_add_drift_inserts_foreign_tags(self):
+        drifted = AddDrift(1.0, new_tags=["extra"], seed=1).apply_many(
+            self._base_documents()
+        )
+        assert all(
+            any(e.tag == "extra" for e in d.root.iter_elements()) for d in drifted
+        )
+
+    def test_operator_drift_invalidates_without_new_tags(self):
+        documents = self._base_documents()
+        drifted = OperatorDrift(1.0, seed=1).apply_many(documents)
+        validator = Validator(figure3_dtd())
+        original_tags = {"a", "b", "c"}
+        assert any(not validator.is_valid(d) for d in drifted)
+        for document in drifted:
+            assert {e.tag for e in document.root.iter_elements()} <= original_tags
+
+    def test_rename_drift(self):
+        drifted = RenameDrift(1.0, {"b": "beta"}, seed=1).apply_many(
+            self._base_documents()
+        )
+        assert all(d.root.find("beta") is not None for d in drifted)
+
+    def test_zero_rate_is_identity(self):
+        documents = self._base_documents()
+        assert DropDrift(0.0, seed=1).apply_many(documents) == documents
+
+    def test_drift_does_not_mutate_input(self):
+        documents = self._base_documents()
+        snapshot = [d.copy() for d in documents]
+        DropDrift(1.0, seed=1).apply_many(documents)
+        assert documents == snapshot
+
+    def test_composite_applies_in_sequence(self):
+        drift = CompositeDrift(
+            [DropDrift(0.5, seed=1), AddDrift(0.5, new_tags=["n"], seed=2)]
+        )
+        drifted = drift.apply_many(self._base_documents())
+        assert len(drifted) == 20
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            DropDrift(1.5)
+
+
+class TestScenarios:
+    def test_figure2_artifacts(self):
+        assert figure2_dtd().root == "a"
+        assert figure2_document().root.child_tags() == ["b", "c"]
+
+    def test_figure3_workload_shapes(self):
+        documents = figure3_workload(5, 5, seed=1)
+        assert len(documents) == 10
+        tags = [frozenset(d.root.alpha_beta()) for d in documents]
+        assert frozenset("bcd") in tags
+        assert frozenset("bce") in tags
+
+    @pytest.mark.parametrize(
+        "scenario", [catalog_scenario, bibliography_scenario, newsfeed_scenario]
+    )
+    def test_realistic_scenarios_generate_valid_documents(self, scenario):
+        dtd, make_documents = scenario()
+        documents = make_documents(10, 3)
+        validator = Validator(dtd)
+        assert all(validator.is_valid(document) for document in documents)

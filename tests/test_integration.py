@@ -1,0 +1,162 @@
+"""Integration tests: the paper's worked examples end to end, plus
+whole-pipeline runs on the realistic scenarios.
+
+These are the executable counterparts of experiments E1–E3 (the exact
+figure reproductions) — the benchmarks print them as tables, the tests
+pin them as assertions.
+"""
+
+import pytest
+
+from repro.baselines.validator_classifier import ValidatorClassifier
+from repro.core.engine import XMLSource
+from repro.core.evolution import EvolutionConfig, evolve_dtd
+from repro.core.extended_dtd import ExtendedDTD
+from repro.core.recorder import Recorder
+from repro.dtd.automaton import Validator
+from repro.dtd.serializer import serialize_content_model
+from repro.generators.documents import AddDrift, CompositeDrift, DropDrift, DocumentGenerator
+from repro.generators.scenarios import (
+    catalog_scenario,
+    figure2_document,
+    figure2_dtd,
+    figure3_dtd,
+    figure3_workload,
+)
+from repro.metrics.quality import assess
+from repro.similarity.evaluation import evaluate_document
+from repro.xmltree.parser import parse_document
+
+
+class TestE1Figure2:
+    """E1 — Figure 2 and Example 1, exactly."""
+
+    def test_tree_representations(self):
+        assert figure2_document().to_tree().to_tuple() == (
+            "a",
+            [("b", ["5"]), ("c", ["7"])],
+        )
+        assert figure2_dtd().to_tree().to_tuple() == (
+            "a",
+            [("AND", [("b", ["#PCDATA"]), ("c", [("d", ["#PCDATA"])])])],
+        )
+
+    def test_example1_similarities(self):
+        evaluation = evaluate_document(figure2_document(), figure2_dtd())
+        by_tag = {entry.element.tag: entry for entry in evaluation.elements}
+        assert by_tag["a"].local_similarity == 1.0      # "local similarity is full"
+        assert by_tag["a"].global_similarity < 1.0      # "global ... is not full"
+        assert by_tag["c"].local_similarity < 1.0       # c needs d, has data
+        assert not evaluation.is_valid
+
+
+class TestE2Figure3:
+    """E2 — Figure 3 and Example 2: the extended DTD contents."""
+
+    def test_extended_dtd_summary(self):
+        extended = ExtendedDTD(figure3_dtd())
+        recorder = Recorder(extended)
+        for document in figure3_workload(10, 10, seed=42):
+            recorder.record(document)
+        record = extended.records["a"]
+        # "Element a is associated with the set {b, c, d, e}"
+        assert set(record.labels) == {"b", "c", "d", "e"}
+        # "{b, c} forms a group"
+        assert record.co_repetition_count(frozenset("bc")) > 0
+        # "element d is repeatable and optional"
+        assert record.label_stats["d"].is_ever_repeated
+        assert any("d" not in sequence for sequence in record.sequences)
+
+
+class TestE3Figure5:
+    """E3 — Example 5 / Figure 5: the policy cascade result."""
+
+    def test_new_declaration_for_a(self):
+        extended = ExtendedDTD(figure3_dtd())
+        recorder = Recorder(extended)
+        for document in figure3_workload(10, 10, seed=42):
+            recorder.record(document)
+        result = evolve_dtd(extended, EvolutionConfig(psi=0.2, mu=0.0))
+        rendered = serialize_content_model(result.new_dtd["a"].content)
+        assert rendered in ("((b, c)*, (d+ | e))", "((b, c)*, (e | d+))")
+
+    def test_tree4_plus_declarations(self):
+        extended = ExtendedDTD(figure3_dtd())
+        recorder = Recorder(extended)
+        for document in figure3_workload(10, 10, seed=42):
+            recorder.record(document)
+        result = evolve_dtd(extended, EvolutionConfig(psi=0.2))
+        assert serialize_content_model(result.new_dtd["d"].content) == "(#PCDATA)"
+        assert serialize_content_model(result.new_dtd["e"].content) == "(#PCDATA)"
+
+
+class TestScenarioPipelines:
+    def test_catalog_drift_pipeline(self):
+        dtd, make_documents = catalog_scenario()
+        base = make_documents(40, 7)
+        drift = CompositeDrift(
+            [
+                AddDrift(0.12, new_tags=["rating", "review"], seed=1),
+                DropDrift(0.05, seed=2),
+            ]
+        )
+        documents = drift.apply_many(base)
+        source = XMLSource(
+            [dtd], EvolutionConfig(sigma=0.3, tau=0.05, psi=0.25, min_documents=20)
+        )
+        for document in documents:
+            source.process(document)
+        evolved = source.dtd("catalog")
+        before = assess(dtd, documents)
+        after = assess(evolved, documents)
+        assert after.mean_similarity >= before.mean_similarity
+        assert after.invalid_fraction <= before.invalid_fraction
+
+    def test_flexible_beats_boolean_acceptance(self):
+        dtd, make_documents = catalog_scenario()
+        documents = AddDrift(0.3, seed=3).apply_many(make_documents(30, 5))
+        boolean = ValidatorClassifier([dtd]).acceptance_rate(documents)
+        source = XMLSource([dtd], EvolutionConfig(sigma=0.5), auto_evolve=False)
+        flexible = sum(
+            1 for document in documents if source.classify(document).accepted
+        ) / len(documents)
+        assert flexible > boolean
+
+    def test_evolved_dtds_always_round_trip(self):
+        """Every DTD the engine emits must serialize to legal DTD syntax
+        that re-parses to the same schema (downstream validators depend
+        on it)."""
+        from repro.dtd.parser import parse_dtd
+        from repro.dtd.serializer import serialize_dtd
+
+        dtd, make_documents = catalog_scenario()
+        drift = CompositeDrift(
+            [AddDrift(0.4, new_tags=["rating"], seed=1), DropDrift(0.15, seed=2)]
+        )
+        documents = drift.apply_many(make_documents(50, 13))
+        source = XMLSource(
+            [dtd], EvolutionConfig(sigma=0.3, tau=0.03, psi=0.3, min_documents=15)
+        )
+        for document in documents:
+            outcome = source.process(document)
+            if outcome.evolved:
+                current = source.dtd("catalog")
+                again = parse_dtd(serialize_dtd(current), name=current.name)
+                assert again == current
+        assert source.evolution_count >= 1
+
+    def test_two_sources_stay_separated_through_evolution(self):
+        catalog_dtd, make_catalog = catalog_scenario()
+        fig_dtd = figure3_dtd()
+        source = XMLSource(
+            [catalog_dtd, fig_dtd],
+            EvolutionConfig(sigma=0.3, tau=0.1, min_documents=10),
+        )
+        catalog_documents = make_catalog(15, 1)
+        figure_documents = figure3_workload(8, 8, seed=3)
+        for document in catalog_documents + figure_documents:
+            source.process(document)
+        for document in catalog_documents:
+            assert source.classify(document).dtd_name == "catalog"
+        for document in figure_documents:
+            assert source.classify(document).dtd_name == "figure3"

@@ -1,0 +1,97 @@
+"""Unit tests for Apriori, including a brute-force cross-check."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.errors import MiningError
+from repro.mining.itemsets import (
+    apriori,
+    frequent_by_size,
+    itemset_support,
+    maximal_itemsets,
+)
+
+
+def _brute_force(transactions, min_support):
+    """Reference implementation: enumerate every subset of the universe."""
+    universe = sorted({item for transaction in transactions for item in transaction})
+    total = len(transactions)
+    frequent = {}
+    for size in range(1, len(universe) + 1):
+        for combo in combinations(universe, size):
+            candidate = frozenset(combo)
+            count = sum(1 for t in transactions if candidate <= t)
+            if total and count / total >= min_support - 1e-9:
+                frequent[candidate] = count
+    return frequent
+
+
+EXAMPLE3 = [frozenset("abc"), frozenset("ab"), frozenset("bcd")]
+
+
+class TestSupport:
+    def test_example3_support(self):
+        assert itemset_support(frozenset("abc"), EXAMPLE3) == pytest.approx(1 / 3)
+        assert itemset_support(frozenset("c"), EXAMPLE3) == pytest.approx(2 / 3)
+
+    def test_empty_transactions(self):
+        assert itemset_support(frozenset("a"), []) == 0.0
+
+    def test_empty_itemset_is_everywhere(self):
+        assert itemset_support(frozenset(), EXAMPLE3) == 1.0
+
+
+class TestApriori:
+    def test_matches_brute_force_on_example3(self):
+        for min_support in (1 / 3, 0.5, 2 / 3, 1.0):
+            assert apriori(EXAMPLE3, min_support) == _brute_force(
+                EXAMPLE3, min_support
+            )
+
+    def test_matches_brute_force_on_random_data(self):
+        import random
+
+        rng = random.Random(5)
+        universe = "abcde"
+        transactions = [
+            frozenset(rng.sample(universe, rng.randint(0, 5))) for _ in range(30)
+        ]
+        for min_support in (0.1, 0.3, 0.6):
+            assert apriori(transactions, min_support) == _brute_force(
+                transactions, min_support
+            )
+
+    def test_counts_are_absolute(self):
+        counts = apriori(EXAMPLE3, 2 / 3)
+        assert counts[frozenset("b")] == 3
+        assert counts[frozenset("bc")] == 2
+
+    def test_max_size_caps_the_lattice(self):
+        counts = apriori(EXAMPLE3, 1 / 3, max_size=1)
+        assert all(len(itemset) == 1 for itemset in counts)
+
+    def test_empty_transactions(self):
+        assert apriori([], 0.5) == {}
+
+    def test_invalid_support(self):
+        with pytest.raises(MiningError):
+            apriori(EXAMPLE3, -0.1)
+
+    def test_full_support_requires_every_transaction(self):
+        counts = apriori(EXAMPLE3, 1.0)
+        assert set(counts) == {frozenset("b")}
+
+
+class TestReportingHelpers:
+    def test_maximal_itemsets(self):
+        frequent = apriori(EXAMPLE3, 1 / 3)
+        maximal = maximal_itemsets(frequent)
+        assert frozenset("abc") in maximal
+        assert frozenset("bcd") in maximal
+        assert frozenset("ab") not in maximal  # subset of abc
+
+    def test_frequent_by_size(self):
+        grouped = frequent_by_size(apriori(EXAMPLE3, 1 / 3))
+        assert set(grouped) == {1, 2, 3}
+        assert frozenset("abc") in grouped[3]

@@ -1,0 +1,104 @@
+"""Unit tests for the quality metrics and the table renderer."""
+
+import pytest
+
+from repro.generators.documents import AddDrift, DocumentGenerator
+from repro.generators.scenarios import figure3_dtd
+from repro.metrics.quality import (
+    QualityReport,
+    assess,
+    conciseness,
+    coverage,
+    language_volume,
+    mdl_cost,
+    mean_invalid_element_fraction,
+    mean_similarity,
+)
+from repro.metrics.report import Table
+from repro.xmltree.parser import parse_document
+
+
+@pytest.fixture
+def dtd():
+    return figure3_dtd()
+
+
+@pytest.fixture
+def valid_docs(dtd):
+    return DocumentGenerator(dtd, seed=1).generate_many(10)
+
+
+@pytest.fixture
+def drifted_docs(valid_docs):
+    return AddDrift(0.6, seed=2).apply_many(valid_docs)
+
+
+class TestCoverage:
+    def test_valid_population_is_fully_covered(self, dtd, valid_docs):
+        assert coverage(dtd, valid_docs) == 1.0
+
+    def test_drift_lowers_coverage(self, dtd, drifted_docs):
+        assert coverage(dtd, drifted_docs) < 1.0
+
+    def test_empty_population(self, dtd):
+        assert coverage(dtd, []) == 0.0
+
+
+class TestSimilarityMetrics:
+    def test_mean_similarity_bounds(self, dtd, valid_docs, drifted_docs):
+        assert mean_similarity(dtd, valid_docs) == 1.0
+        drifted = mean_similarity(dtd, drifted_docs)
+        assert 0.0 < drifted < 1.0
+
+    def test_invalid_fraction(self, dtd, valid_docs, drifted_docs):
+        assert mean_invalid_element_fraction(dtd, valid_docs) == 0.0
+        assert mean_invalid_element_fraction(dtd, drifted_docs) > 0.0
+
+
+class TestStructuralMetrics:
+    def test_conciseness_is_dtd_size(self, dtd):
+        assert conciseness(dtd) == dtd.size()
+
+    def test_language_volume_orders_generality(self):
+        from repro.dtd.parser import parse_dtd
+
+        tight = parse_dtd("<!ELEMENT r (x, y)><!ELEMENT x (#PCDATA)><!ELEMENT y (#PCDATA)>")
+        loose = parse_dtd("<!ELEMENT r ((x | y)*)><!ELEMENT x (#PCDATA)><!ELEMENT y (#PCDATA)>")
+        assert language_volume(loose) > language_volume(tight)
+
+    def test_mdl_prefers_adapted_dtd(self, dtd):
+        """On a large enough drifted population, an adapted DTD has a
+        lower MDL cost than the stale one, despite being bigger."""
+        from repro.baselines.xtract import infer_dtd
+
+        base = DocumentGenerator(dtd, seed=4).generate_many(60)
+        drifted = AddDrift(0.8, new_tags=["extra"], seed=5, nested_rate=0.0).apply_many(
+            base
+        )
+        adapted = infer_dtd(drifted)
+        assert mdl_cost(adapted, drifted) < mdl_cost(dtd, drifted)
+
+
+class TestAssess:
+    def test_report_shape(self, dtd, valid_docs):
+        report = assess(dtd, valid_docs)
+        assert isinstance(report, QualityReport)
+        assert report.coverage == 1.0
+        assert len(report.row()) == len(QualityReport.header())
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table("title", ["col", "x"])
+        table.add_row(["aaa", 1])
+        table.add_row(["b", 22.5])
+        rendered = table.render()
+        lines = rendered.splitlines()
+        assert lines[0] == "title"
+        assert "col | x" in lines[1]
+        assert len(lines) == 5
+
+    def test_row_width_validation(self):
+        table = Table("t", ["a"])
+        with pytest.raises(ValueError):
+            table.add_row(["x", "y"])

@@ -1,0 +1,121 @@
+"""Unit tests for the order-refinement extension.
+
+The paper records child-tag *sets*; the layout order of a rebuilt AND
+comes from first-seen label ranks and can contradict the real order
+(e.g. an optional element between two required ones).  The recorder's
+bounded ordered-sequence sample plus :func:`refine_order` fixes that.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.extended_dtd import MAX_ORDERED_SEQUENCES, ElementRecord
+from repro.core.recorder import Recorder
+from repro.core.extended_dtd import ExtendedDTD
+from repro.core.structure_builder import build_structure, refine_order
+from repro.dtd.automaton import ContentAutomaton
+from repro.dtd.parser import parse_content_model, parse_dtd
+from repro.dtd.serializer import serialize_content_model
+from repro.xmltree.parser import parse_document
+from tests.test_policies import make_context
+
+
+def _record_with_order(instances):
+    record = make_context(instances).record
+    for instance in instances:
+        record.observe_ordered_sequence(tuple(instance))
+    record.empty_count = sum(1 for instance in instances if not instance)
+    return record
+
+
+class TestSampleBounds:
+    def test_cap_on_distinct_shapes(self):
+        record = ElementRecord("e")
+        for index in range(MAX_ORDERED_SEQUENCES + 20):
+            record.observe_ordered_sequence((f"t{index}",))
+        assert len(record.ordered_sequences) == MAX_ORDERED_SEQUENCES
+
+    def test_known_shapes_keep_counting_past_the_cap(self):
+        record = ElementRecord("e")
+        for index in range(MAX_ORDERED_SEQUENCES):
+            record.observe_ordered_sequence((f"t{index}",))
+        record.observe_ordered_sequence(("t0",))
+        assert record.ordered_sequences[("t0",)] == 2
+
+    def test_recorder_fills_the_sample(self):
+        dtd = parse_dtd("<!ELEMENT a (b)><!ELEMENT b (#PCDATA)>")
+        extended = ExtendedDTD(dtd)
+        recorder = Recorder(extended)
+        recorder.record(parse_document("<a><b>x</b><c>y</c></a>"))
+        assert extended.records["a"].ordered_sequences[("b", "c")] == 1
+
+
+class TestRefineOrder:
+    def test_interior_optional_repositioned(self):
+        """Instances p q r / p r: the cascade lays out (p, r, q?) by
+        first-seen rank; refinement must recover (p, q?, r)."""
+        instances = [["p", "q", "r"], ["p", "r"], ["p", "q", "r"]]
+        record = _record_with_order(instances)
+        model = build_structure(record)
+        automaton = ContentAutomaton(model)
+        for instance in instances:
+            assert automaton.accepts(instance), (
+                serialize_content_model(model),
+                instance,
+            )
+
+    def test_group_order_contradicting_label_rank(self):
+        # q is seen first, but every instance puts it last
+        instances = [["q", "p"], ["q"]]  # label rank: q then p... order says q first
+        record = _record_with_order(instances)
+        model = build_structure(record)
+        automaton = ContentAutomaton(model)
+        for instance in instances:
+            assert automaton.accepts(instance)
+
+    def test_non_and_models_untouched(self):
+        record = _record_with_order([["x"], ["y"]])
+        model = parse_content_model("(x | y)")
+        assert refine_order(model, record) is model
+
+    def test_perfect_fit_short_circuits(self):
+        record = _record_with_order([["a", "b"]])
+        model = parse_content_model("(a, b)")
+        assert refine_order(model, record) is model
+
+    def test_wide_ands_skipped(self):
+        record = _record_with_order([[chr(ord("a") + i) for i in range(8)]])
+        children = ", ".join(chr(ord("a") + i) for i in reversed(range(8)))
+        model = parse_content_model(f"({children})")
+        assert refine_order(model, record) is model
+
+    def test_no_sample_is_a_noop(self):
+        record = make_context([["a", "b"]]).record  # no ordered sample
+        model = parse_content_model("(b, a)")
+        assert refine_order(model, record) is model
+
+
+class TestEndToEnd:
+    def test_evolution_produces_order_correct_models(self):
+        """A DTD stream whose new optional element always sits in the
+        middle must evolve to a model that validates the stream."""
+        from repro.core.evolution import EvolutionConfig, evolve_dtd
+        from repro.dtd.automaton import Validator
+
+        dtd = parse_dtd(
+            "<!ELEMENT r (first, last)><!ELEMENT first (#PCDATA)>"
+            "<!ELEMENT last (#PCDATA)>"
+        )
+        documents = [
+            parse_document("<r><first>a</first><middle>m</middle><last>z</last></r>")
+        ] * 6 + [parse_document("<r><first>a</first><last>z</last></r>")] * 6
+        extended = ExtendedDTD(dtd)
+        recorder = Recorder(extended)
+        for document in documents:
+            recorder.record(document)
+        result = evolve_dtd(extended, EvolutionConfig(psi=0.2))
+        validator = Validator(result.new_dtd)
+        assert all(validator.is_valid(document) for document in documents), (
+            serialize_content_model(result.new_dtd["r"].content)
+        )

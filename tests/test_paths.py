@@ -1,0 +1,110 @@
+"""Unit tests for the XPath-lite query language."""
+
+import pytest
+
+from repro.xmltree.parser import parse_document
+from repro.xmltree.paths import PathSyntaxError, select, select_one
+
+_DOC = parse_document(
+    """
+    <library>
+      <shelf id="s1">
+        <book id="b1" lang="en"><title>Alpha</title></book>
+        <book id="b2"><title>Beta</title><note/></book>
+      </shelf>
+      <shelf id="s2">
+        <book id="b3" lang="en"><title>Gamma</title></book>
+      </shelf>
+      <title>The Library</title>
+    </library>
+    """
+)
+
+
+def _ids(elements):
+    return [element.attributes.get("id") for element in elements]
+
+
+class TestChildSteps:
+    def test_absolute_path(self):
+        assert _ids(select(_DOC, "/library/shelf")) == ["s1", "s2"]
+
+    def test_deep_path(self):
+        assert _ids(select(_DOC, "/library/shelf/book")) == ["b1", "b2", "b3"]
+
+    def test_root_name_must_match(self):
+        assert select(_DOC, "/wrong/shelf") == []
+
+    def test_wildcard(self):
+        matches = select(_DOC, "/library/*")
+        assert [element.tag for element in matches] == ["shelf", "shelf", "title"]
+
+
+class TestDescendantSteps:
+    def test_descendants_everywhere(self):
+        titles = [element.text() for element in select(_DOC, "//title")]
+        assert titles == ["Alpha", "Beta", "Gamma", "The Library"]
+
+    def test_descendant_mid_path(self):
+        assert _ids(select(_DOC, "/library//book")) == ["b1", "b2", "b3"]
+
+    def test_no_duplicates_through_multiple_contexts(self):
+        matches = select(_DOC, "//shelf//title")
+        assert [element.text() for element in matches] == ["Alpha", "Beta", "Gamma"]
+
+
+class TestPredicates:
+    def test_attribute_equals(self):
+        assert _ids(select(_DOC, "//book[@id='b2']")) == ["b2"]
+
+    def test_attribute_exists(self):
+        assert _ids(select(_DOC, "//book[@lang]")) == ["b1", "b3"]
+
+    def test_positional(self):
+        assert _ids(select(_DOC, "/library/shelf[2]")) == ["s2"]
+        assert _ids(select(_DOC, "/library/shelf/book[1]")) == ["b1", "b3"]
+
+    def test_child_existence(self):
+        assert _ids(select(_DOC, "//book[note]")) == ["b2"]
+
+    def test_combined_predicates(self):
+        # positions in a '//' step count same-named matches within the
+        # whole context subtree (documented simplification): the first
+        # book of the document is b1
+        assert _ids(select(_DOC, "//book[@lang='en'][1]")) == ["b1"]
+        # within per-parent '/' steps positions are per parent
+        assert _ids(select(_DOC, "/library/shelf/book[@lang='en'][1]")) == ["b1", "b3"]
+
+    def test_positional_counts_matching_names_only(self):
+        # title is the third child of library but the first 'title' child
+        matches = select(_DOC, "/library/title[1]")
+        assert [element.text() for element in matches] == ["The Library"]
+
+
+class TestSelectOne:
+    def test_first_match(self):
+        assert select_one(_DOC, "//book").attributes["id"] == "b1"
+
+    def test_none_on_miss(self):
+        assert select_one(_DOC, "//missing") is None
+
+    def test_accepts_element_roots(self):
+        shelf = select_one(_DOC, "/library/shelf")
+        assert _ids(select(shelf, "/shelf/book")) == ["b1", "b2"]
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize(
+        "path, message",
+        [
+            ("library", "must start with"),
+            ("/", "expected a name"),
+            ("/a//", "expected a name"),
+            ("/a[", "unterminated predicate"),
+            ("/a[]", "empty predicate"),
+            ("/a[@k=v]", "must be quoted"),
+        ],
+    )
+    def test_errors(self, path, message):
+        with pytest.raises(PathSyntaxError, match=message):
+            select(_DOC, path)

@@ -1,0 +1,236 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Strategies generate random content models, documents and transaction
+populations; the properties are the load-bearing guarantees the paper's
+pipeline rests on:
+
+- XML serialize∘parse is the identity;
+- content-model serialize∘parse is the identity;
+- rewriting preserves the content model's language;
+- the Glushkov automaton agrees with Python's ``re`` on the equivalent
+  regular expression;
+- similarity is in [0, 1]; validity ⟺ similarity 1; a valid element is
+  locally valid;
+- Apriori agrees with brute force;
+- the structure builder always terminates and accepts every recorded
+  instance.
+"""
+
+import re
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.structure_builder import build_structure
+from repro.dtd import content_model as cm
+from repro.dtd.automaton import ContentAutomaton, Validator, enumerate_language
+from repro.dtd.parser import parse_content_model
+from repro.dtd.rewriting import simplify
+from repro.dtd.serializer import serialize_content_model
+from repro.generators.documents import DocumentGenerator
+from repro.generators.random_dtd import RandomDTDGenerator
+from repro.mining.itemsets import apriori
+from repro.similarity.evaluation import evaluate_document
+from repro.xmltree.document import Document, Element, Text
+from repro.xmltree.parser import parse_document
+from repro.xmltree.serializer import serialize_element
+from repro.xmltree.tree import Tree
+from tests.test_policies import make_context
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+_TAGS = ["a", "b", "c", "d"]
+
+tag = st.sampled_from(_TAGS)
+text = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Nd"), max_codepoint=0x7F),
+    min_size=1,
+    max_size=6,
+)
+
+
+@st.composite
+def elements(draw, depth=0):
+    root_tag = draw(tag)
+    children = []
+    if depth < 3:
+        count = draw(st.integers(0, 3))
+        for _ in range(count):
+            if draw(st.booleans()):
+                children.append(draw(elements(depth=depth + 1)))
+            elif not children or isinstance(children[-1], Element):
+                # adjacent text nodes merge on reparse: keep them apart
+                children.append(Text(draw(text)))
+    attributes = draw(
+        st.dictionaries(st.sampled_from(["k1", "k2"]), text, max_size=2)
+    )
+    return Element(root_tag, attributes, children)
+
+
+@st.composite
+def content_models(draw, depth=0):
+    if depth >= 3 or draw(st.integers(0, 2)) == 0:
+        return Tree.leaf(draw(tag))
+    kind = draw(st.sampled_from(["AND", "OR", "?", "*", "+"]))
+    if kind in ("AND", "OR"):
+        # single-child AND/OR is non-canonical (parses back to the child)
+        count = draw(st.integers(2, 3))
+        return Tree(kind, [draw(content_models(depth=depth + 1)) for _ in range(count)])
+    return Tree(kind, [draw(content_models(depth=depth + 1))])
+
+
+words = st.lists(tag, max_size=6)
+
+
+def _to_regex(model):
+    label = model.label
+    if cm.is_element_label(label):
+        return f"(?:{label},)"
+    if label == cm.AND:
+        return "(?:" + "".join(_to_regex(child) for child in model.children) + ")"
+    if label == cm.OR:
+        return "(?:" + "|".join(_to_regex(child) for child in model.children) + ")"
+    suffix = {"?": "?", "*": "*", "+": "+"}[label]
+    return "(?:" + _to_regex(model.children[0]) + ")" + suffix
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+
+
+class TestRoundTrips:
+    @given(elements())
+    @settings(max_examples=80, deadline=None)
+    def test_xml_serialize_parse_identity(self, element):
+        again = parse_document(serialize_element(element)).root
+        assert again == element
+
+    @given(content_models())
+    @settings(max_examples=120, deadline=None)
+    def test_content_model_serialize_parse_identity(self, model):
+        assert parse_content_model(serialize_content_model(model)) == model
+
+
+class TestRewriting:
+    @given(content_models())
+    @settings(max_examples=80, deadline=None)
+    def test_simplify_preserves_language(self, model):
+        simplified = simplify(model)
+        assert enumerate_language(model, 4, 800) == enumerate_language(
+            simplified, 4, 800
+        )
+
+    @given(content_models())
+    @settings(max_examples=80, deadline=None)
+    def test_simplify_never_grows(self, model):
+        assert simplify(model).size() <= model.size()
+
+    @given(content_models())
+    @settings(max_examples=60, deadline=None)
+    def test_simplify_is_idempotent(self, model):
+        once = simplify(model)
+        assert simplify(once) == once
+
+
+class TestAutomaton:
+    @given(content_models(), words)
+    @settings(max_examples=200, deadline=None)
+    def test_agrees_with_re_module(self, model, word):
+        pattern = re.compile(_to_regex(model) + r"\Z")
+        encoded = "".join(f"{symbol}," for symbol in word)
+        expected = pattern.match(encoded) is not None
+        assert ContentAutomaton(model).accepts(word) is expected
+
+
+class TestSimilarity:
+    @given(elements())
+    @settings(max_examples=60, deadline=None)
+    def test_similarity_in_unit_interval(self, element):
+        dtd = RandomDTDGenerator(seed=1, element_count=5).generate()
+        evaluation = evaluate_document(Document(element), dtd)
+        assert 0.0 <= evaluation.similarity <= 1.0
+        for entry in evaluation.elements:
+            assert 0.0 <= entry.local_similarity <= 1.0
+            assert 0.0 <= entry.global_similarity <= 1.0
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_validity_iff_full_similarity(self, seed):
+        dtd = RandomDTDGenerator(seed=seed % 7, element_count=6).generate()
+        document = DocumentGenerator(dtd, seed=seed).generate()
+        evaluation = evaluate_document(document, dtd)
+        assert Validator(dtd).is_valid(document)
+        assert evaluation.similarity == 1.0
+        assert evaluation.invalid_element_count == 0
+
+
+class TestMining:
+    @given(
+        st.lists(
+            st.frozensets(st.sampled_from("abcd"), max_size=4), min_size=1, max_size=12
+        ),
+        st.floats(0.05, 1.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_apriori_matches_brute_force(self, transactions, min_support):
+        from itertools import combinations
+
+        universe = sorted({item for t in transactions for item in t})
+        expected = {}
+        for size in range(1, len(universe) + 1):
+            for combo in combinations(universe, size):
+                candidate = frozenset(combo)
+                count = sum(1 for t in transactions if candidate <= t)
+                if count / len(transactions) >= min_support - 1e-9:
+                    expected[candidate] = count
+        assert apriori(transactions, min_support) == expected
+
+
+class TestStructureBuilder:
+    @given(
+        st.lists(
+            st.lists(st.sampled_from("pqrs"), max_size=5), min_size=1, max_size=10
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_rebuild_terminates_well_formed(self, instances):
+        """For arbitrary (even order-inconsistent) instances, the cascade
+        must terminate with a well-formed, simplified model over the
+        recorded labels."""
+        record = _record_with_counts(instances)
+        model = build_structure(record)
+        cm.check_well_formed(model)
+        assert cm.declared_labels(model) <= set(record.labels)
+
+    @given(
+        st.lists(
+            st.lists(st.sampled_from("pqrs"), max_size=5), min_size=1, max_size=10
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_rebuild_covers_every_instance_multiset(self, instances):
+        """Recording disregards order and keeps only tag sets, counts and
+        co-repetition groups (Section 3.2), so the sound guarantee is
+        *multiset* coverage: for every recorded instance, some ordering
+        of its tags is a word of the rebuilt model."""
+        from itertools import permutations
+
+        record = _record_with_counts(instances)
+        model = build_structure(record)
+        automaton = ContentAutomaton(model)
+        for instance in instances:
+            accepted = any(
+                automaton.accepts(list(permutation))
+                for permutation in set(permutations(instance))
+            )
+            assert accepted, (serialize_content_model(model), instance)
+
+
+def _record_with_counts(instances):
+    """make_context plus the empty/text counters the real recorder sets."""
+    record = make_context(instances).record
+    record.empty_count = sum(1 for instance in instances if not instance)
+    return record

@@ -1,0 +1,124 @@
+"""Property-based tests for the extension subsystems.
+
+- adaptation: for any DTD and any (arbitrarily mangled) document, the
+  adapted document is *valid* against that DTD;
+- automaton edit alignment: the edit script's keep/delete operations
+  partition the input, and applying the script yields an accepted word;
+- XSD: DTD → schema → DTD is the identity (DTDs are a strict subset);
+  schema serialize/parse is the identity on generated schemas;
+- persistence: extended-DTD round-trips evolve identically for random
+  recorded workloads.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.adaptation import DocumentAdapter
+from repro.core.evolution import EvolutionConfig, evolve_dtd
+from repro.core.extended_dtd import ExtendedDTD
+from repro.core.persistence import extended_from_json, extended_to_json
+from repro.core.recorder import Recorder
+from repro.dtd.automaton import ContentAutomaton, Validator
+from repro.generators.documents import (
+    AddDrift,
+    CompositeDrift,
+    DocumentGenerator,
+    DropDrift,
+    OperatorDrift,
+)
+from repro.generators.random_dtd import RandomDTDGenerator
+from repro.xsd.convert import dtd_to_schema, schema_to_dtd
+from repro.xsd.io import parse_schema, serialize_schema
+from tests.test_property_based import content_models, elements
+
+from repro.xmltree.document import Document
+
+
+class TestAdaptationProperties:
+    @given(st.integers(0, 10_000), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_adapted_drifted_documents_are_valid(self, dtd_seed, drift_seed):
+        dtd = RandomDTDGenerator(seed=dtd_seed % 17, element_count=7).generate()
+        document = DocumentGenerator(dtd, seed=dtd_seed).generate()
+        drift = CompositeDrift(
+            [
+                AddDrift(0.4, seed=drift_seed),
+                DropDrift(0.3, seed=drift_seed + 1),
+                OperatorDrift(0.3, seed=drift_seed + 2),
+            ]
+        )
+        mangled = drift.apply(document)
+        report = DocumentAdapter(dtd).adapt(mangled)
+        assert Validator(dtd).is_valid(report.document)
+
+    @given(elements())
+    @settings(max_examples=40, deadline=None)
+    def test_arbitrary_documents_adapt_to_valid(self, element):
+        dtd = RandomDTDGenerator(seed=5, element_count=6).generate()
+        report = DocumentAdapter(dtd).adapt(Document(element))
+        assert Validator(dtd).is_valid(report.document)
+
+
+class TestEditAlignmentProperties:
+    @given(content_models(), st.lists(st.sampled_from("abcd"), max_size=6))
+    @settings(max_examples=120, deadline=None)
+    def test_script_is_consistent_and_lands_in_the_language(self, model, tags):
+        automaton = ContentAutomaton(model)
+        cost, script = automaton.edit_alignment(tags)
+        consumed = [
+            operand for kind, operand in script if kind in ("keep", "delete")
+        ]
+        assert consumed == list(range(len(tags)))  # input fully consumed, in order
+        word = []
+        for kind, operand in script:
+            if kind == "keep":
+                word.append(tags[operand])
+            elif kind == "insert":
+                word.append(operand)
+        assert automaton.accepts(word), (word, script)
+        assert cost >= 0.0
+
+    @given(content_models(), st.lists(st.sampled_from("abcd"), max_size=6))
+    @settings(max_examples=80, deadline=None)
+    def test_accepted_words_cost_zero(self, model, tags):
+        automaton = ContentAutomaton(model)
+        if automaton.accepts(tags):
+            cost, script = automaton.edit_alignment(tags)
+            assert cost == 0.0
+            assert all(kind == "keep" for kind, _operand in script)
+
+
+class TestXSDProperties:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_dtd_schema_dtd_identity(self, seed):
+        dtd = RandomDTDGenerator(seed=seed % 23, element_count=7).generate()
+        report = schema_to_dtd(dtd_to_schema(dtd))
+        assert report.lossless
+        assert report.result == dtd
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_schema_io_round_trip(self, seed):
+        dtd = RandomDTDGenerator(seed=seed % 23, element_count=7).generate()
+        schema = dtd_to_schema(dtd)
+        assert parse_schema(serialize_schema(schema)) == schema
+
+
+class TestPersistenceProperties:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_snapshot_evolves_identically(self, seed):
+        dtd = RandomDTDGenerator(seed=seed % 11, element_count=6).generate()
+        documents = AddDrift(0.3, seed=seed).apply_many(
+            DocumentGenerator(dtd, seed=seed).generate_many(8)
+        )
+        extended = ExtendedDTD(dtd)
+        recorder = Recorder(extended)
+        for document in documents:
+            recorder.record(document)
+        restored = extended_from_json(extended_to_json(extended))
+        config = EvolutionConfig(psi=0.2)
+        assert (
+            evolve_dtd(restored, config).new_dtd
+            == evolve_dtd(extended, config).new_dtd
+        )

@@ -1,0 +1,127 @@
+"""Unit tests for the recording phase (Section 3, Figure 3)."""
+
+import pytest
+
+from repro.core.extended_dtd import ExtendedDTD
+from repro.core.recorder import Recorder
+from repro.generators.scenarios import figure3_dtd, figure3_workload
+from repro.xmltree.parser import parse_document
+
+
+def _recorded(documents, dtd):
+    extended = ExtendedDTD(dtd)
+    recorder = Recorder(extended)
+    for document in documents:
+        recorder.record(document)
+    return extended
+
+
+class TestExample2:
+    """Example 2: the extended DTD after classifying D1 and D2."""
+
+    @pytest.fixture
+    def extended(self, fig3_dtd, fig3_docs):
+        return _recorded(fig3_docs, fig3_dtd)
+
+    def test_labels_found_for_a(self, extended):
+        assert set(extended.records["a"].labels) == {"b", "c", "d", "e"}
+
+    def test_bc_group_recorded(self, extended):
+        assert extended.records["a"].groups[frozenset("bc")] > 0
+
+    def test_d_repeatable_and_optional(self, extended):
+        record = extended.records["a"]
+        stats = record.label_stats["d"]
+        assert stats.is_ever_repeated
+        # optional: some sequences lack d
+        assert any("d" not in sequence for sequence in record.sequences)
+
+    def test_every_instance_non_valid(self, extended, fig3_docs):
+        record = extended.records["a"]
+        assert record.invalid_count == len(fig3_docs)
+        assert record.valid_count == 0
+
+    def test_sequences_are_tag_sets(self, extended):
+        assert set(extended.records["a"].sequences) <= {
+            frozenset("bcd"),
+            frozenset("bce"),
+        }
+
+    def test_plus_records_for_d_and_e(self, extended):
+        record = extended.records["a"]
+        assert set(record.plus_records) == {"d", "e"}
+        assert record.plus_records["d"].text_count > 0  # d holds #PCDATA
+
+    def test_document_counters(self, extended, fig3_docs):
+        assert extended.document_count == len(fig3_docs)
+        assert extended.valid_document_count == 0
+        assert extended.activation_score > 0
+
+
+class TestValidSideRecording:
+    def test_valid_instances_update_valid_stats(self, fig3_dtd):
+        documents = [parse_document("<a><b>x</b><c>y</c></a>")] * 3
+        extended = _recorded(documents, fig3_dtd)
+        record = extended.records["a"]
+        assert record.valid_count == 3
+        assert record.invalid_count == 0
+        assert record.valid_label_stats["b"].instances_with == 3
+        assert record.valid_label_stats["b"].min_occurrences == 1
+
+    def test_documents_with_valid_counter(self, fig3_dtd):
+        documents = [parse_document("<a><b>x</b><c>y</c></a>")] * 2
+        extended = _recorded(documents, fig3_dtd)
+        assert extended.records["a"].documents_with_valid == 2
+        assert extended.valid_document_count == 2
+
+    def test_absent_optional_label_recorded_as_zero(self):
+        from repro.dtd.parser import parse_dtd
+
+        dtd = parse_dtd(
+            "<!ELEMENT r (x, y?)><!ELEMENT x (#PCDATA)><!ELEMENT y (#PCDATA)>"
+        )
+        extended = _recorded([parse_document("<r><x>1</x></r>")], dtd)
+        stats = extended.records["r"].valid_label_stats["y"]
+        assert stats.instances_with == 0
+        assert stats.min_occurrences == 0
+
+
+class TestPlusRecording:
+    def test_nested_plus_structure(self, fig3_dtd):
+        doc = parse_document(
+            "<a><b>x</b><c>y</c><extra><part>1</part><part>2</part></extra></a>"
+        )
+        extended = _recorded([doc], fig3_dtd)
+        record = extended.records["a"]
+        assert "extra" in record.plus_records
+        nested = record.plus_records["extra"]
+        assert nested.invalid_count == 1
+        assert "part" in nested.plus_records
+        assert nested.stats_for("part").max_occurrences == 2
+
+    def test_declared_labels_not_plus_recorded(self, fig3_dtd):
+        # b is declared in the DTD: even when it shows up out of place it
+        # must not get a nested plus record
+        doc = parse_document("<a><c>y</c><b>x</b></a>")
+        extended = _recorded([doc], fig3_dtd)
+        assert "b" not in extended.records["a"].plus_records
+
+    def test_empty_plus_element(self, fig3_dtd):
+        doc = parse_document("<a><b>x</b><c>y</c><flag/></a>")
+        extended = _recorded([doc], fig3_dtd)
+        nested = extended.records["a"].plus_records["flag"]
+        assert nested.empty_count == 1
+        assert nested.text_count == 0
+
+
+class TestEvaluationReuse:
+    def test_record_accepts_precomputed_evaluation(self, fig3_dtd):
+        from repro.similarity.evaluation import evaluate_document
+
+        doc = parse_document("<a><b>x</b><c>y</c><d>z</d></a>")
+        extended = ExtendedDTD(fig3_dtd)
+        recorder = Recorder(extended)
+        evaluation = evaluate_document(doc, fig3_dtd)
+        returned = recorder.record(doc, evaluation)
+        assert returned is evaluation
+        assert extended.records["a"].invalid_count == 1

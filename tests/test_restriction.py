@@ -1,0 +1,94 @@
+"""Unit tests for the restriction of operators (old window)."""
+
+import pytest
+
+from repro.core.extended_dtd import ElementRecord
+from repro.core.restriction import restrict_operators
+from repro.dtd.parser import parse_content_model
+from repro.dtd.serializer import serialize_content_model
+
+
+def _record(valid_count, observations):
+    """Build a record whose valid instances showed the given occurrence
+    profiles: observations maps label -> list of per-instance counts."""
+    record = ElementRecord("e")
+    record.valid_count = valid_count
+    for label, counts in observations.items():
+        stats = record.valid_stats_for(label)
+        for count in counts:
+            stats.observe(count)
+    return record
+
+
+def _restricted(model_source, record, min_valid=1):
+    model = parse_content_model(model_source)
+    return serialize_content_model(restrict_operators(model, record, min_valid))
+
+
+class TestRestrictionTable:
+    def test_paper_example_star_to_plus(self):
+        """"If all the elements a [...] contain at least an element b, it
+        is possible to change the * operator in the + operator"."""
+        record = _record(3, {"b": [1, 2, 3]})
+        assert _restricted("(b*)", record) == "(b+)"
+
+    def test_star_to_bare_when_always_exactly_once(self):
+        record = _record(3, {"b": [1, 1, 1]})
+        assert _restricted("(b*)", record) == "(b)"
+
+    def test_star_to_opt_when_never_repeated(self):
+        record = _record(3, {"b": [1, 0, 1]})
+        assert _restricted("(b*)", record) == "(b?)"
+
+    def test_plus_to_bare(self):
+        record = _record(3, {"b": [1, 1, 1]})
+        assert _restricted("(b+)", record) == "(b)"
+
+    def test_opt_to_bare(self):
+        record = _record(3, {"b": [1, 1, 1]})
+        assert _restricted("(b?)", record) == "(b)"
+
+    def test_unused_or_branch_dropped(self):
+        record = _record(4, {"x": [1, 1, 1, 1], "y": [0, 0, 0, 0]})
+        assert _restricted("(x | y)", record) == "(x)"
+
+    def test_or_branch_kept_when_used_once(self):
+        record = _record(4, {"x": [1, 1, 1, 0], "y": [0, 0, 0, 1]})
+        assert _restricted("(x | y)", record) == "(x | y)"
+
+
+class TestSafety:
+    def test_no_restriction_without_enough_valid_instances(self):
+        record = _record(2, {"b": [1, 1]})
+        assert _restricted("(b*)", record, min_valid=3) == "(b*)"
+
+    def test_no_restriction_when_evidence_is_mixed(self):
+        record = _record(3, {"b": [0, 2, 1]})
+        assert _restricted("(b*)", record) == "(b*)"
+
+    def test_ambiguous_labels_left_alone(self):
+        # b occurs twice in the model: occurrences cannot be attributed
+        record = _record(3, {"b": [1, 1, 1], "c": [1, 1, 1]})
+        assert _restricted("((b?, c) | b)", record) == "((b?, c) | b)"
+
+    def test_never_drops_every_or_branch(self):
+        record = _record(3, {"x": [0, 0, 0], "y": [0, 0, 0]})
+        assert _restricted("(x | y)", record) == "(x | y)"
+
+    def test_input_model_not_mutated(self):
+        model = parse_content_model("(b*)")
+        before = model.to_tuple()
+        restrict_operators(model, _record(3, {"b": [1, 1, 1]}))
+        assert model.to_tuple() == before
+
+
+class TestNesting:
+    def test_restriction_recurses_into_and(self):
+        record = _record(3, {"b": [1, 1, 1], "c": [1, 2, 1]})
+        assert _restricted("(b?, c*)", record) == "(b, c+)"
+
+    def test_composite_unary_bodies_recursed(self):
+        record = _record(3, {"b": [1, 1, 1], "c": [1, 1, 1]})
+        # the unary wraps a group, not a single label: the group's inner
+        # positions may still be restricted
+        assert _restricted("((b?, c)*)", record) == "(b, c)*"

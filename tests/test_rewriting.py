@@ -1,0 +1,153 @@
+"""Unit tests for the DTD re-writing (simplification) rules."""
+
+import pytest
+
+from repro.dtd import content_model as cm
+from repro.dtd.automaton import language_equal
+from repro.dtd.dtd import DTD, ElementDecl
+from repro.dtd.parser import parse_content_model
+from repro.dtd.rewriting import simplify, simplify_dtd
+from repro.dtd.serializer import serialize_content_model
+from repro.xmltree.tree import Tree
+
+
+def _simplified(source):
+    return serialize_content_model(simplify(parse_content_model(source)))
+
+
+class TestIndividualRules:
+    def test_r1_flatten_and(self):
+        model = Tree("AND", [cm.ref("a"), cm.seq("b", "c")])
+        assert simplify(model).to_tuple() == ("AND", ["a", "b", "c"])
+
+    def test_r1_flatten_or(self):
+        model = Tree("OR", [cm.ref("a"), cm.choice("b", "c")])
+        assert simplify(model).to_tuple() == ("OR", ["a", "b", "c"])
+
+    def test_r2_singleton_collapse(self):
+        assert simplify(Tree("AND", [cm.ref("a")])) == cm.ref("a")
+        assert simplify(Tree("OR", [cm.ref("a")])) == cm.ref("a")
+
+    def test_r3_dedupe_or(self):
+        model = cm.choice("a", "b", "a")
+        assert simplify(model).to_tuple() == ("OR", ["a", "b"])
+
+    @pytest.mark.parametrize(
+        "source, expected",
+        [
+            ("((a?)?)", "(a?)"),
+            ("((a*)?)", "(a*)"),
+            ("((a+)?)", "(a*)"),
+            ("((a?)*)", "(a*)"),
+            ("((a*)*)", "(a*)"),
+            ("((a+)*)", "(a*)"),
+            ("((a?)+)", "(a*)"),
+            ("((a*)+)", "(a*)"),
+            ("((a+)+)", "(a+)"),
+        ],
+    )
+    def test_r4_stacking_table(self, source, expected):
+        assert _simplified(source) == expected
+
+    def test_r5_optional_alternative_hoists(self):
+        assert _simplified("(a? | b)") == "(a | b)?"
+
+    def test_r6_suffix_absorption_under_star(self):
+        assert _simplified("((a | b+)*)") == "(a | b)*"
+
+    def test_r6_plus_weakens_with_nullable_alternative(self):
+        assert _simplified("((a? | b)+)") == "(a | b)*"
+
+    def test_r7_empty_in_and(self):
+        model = Tree("AND", [cm.ref("a"), cm.empty()])
+        assert simplify(model) == cm.ref("a")
+
+    def test_r7_empty_in_or_becomes_optional(self):
+        model = Tree("OR", [cm.ref("a"), cm.empty()])
+        assert simplify(model).to_tuple() == ("?", ["a"])
+
+    def test_r8_plus_over_nullable(self):
+        model = cm.plus(cm.seq(cm.opt("a"), cm.star("b")))
+        assert simplify(model).label == cm.STAR
+
+
+class TestLanguagePreservation:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "((a?)+)",
+            "(a? | b)",
+            "((a | b+)*)",
+            "((a, (b, c)), d)",
+            "(a | a | b)",
+            "((a*)?, b)",
+            "((a? | b?)+)",
+            "(((a)))",
+        ],
+    )
+    def test_equivalence(self, source):
+        original = parse_content_model(source)
+        assert language_equal(original, simplify(original), max_length=4)
+
+    @pytest.mark.parametrize(
+        "source",
+        ["(a, b)", "(a | b)", "(a*, b+)", "((a, b)*, (c | d))", "EMPTY", "(#PCDATA)"],
+    )
+    def test_already_simple_models_are_fixpoints(self, source):
+        model = parse_content_model(source)
+        assert simplify(model) == model
+
+    def test_simplification_never_grows(self):
+        for source in ["((a?)+)", "(a? | b | a?)", "((a | b+)*, (c))"]:
+            model = parse_content_model(source)
+            assert simplify(model).size() <= model.size()
+
+
+class TestNormalizeMixed:
+    def test_pcdata_only_passes_through(self):
+        from repro.dtd.rewriting import normalize_mixed
+
+        assert normalize_mixed(cm.pcdata()) == cm.pcdata()
+        assert normalize_mixed(cm.mixed("a", "b")) == cm.mixed("a", "b")
+
+    def test_element_only_model_untouched(self):
+        from repro.dtd.rewriting import normalize_mixed
+
+        model = parse_content_model("(a, b?)")
+        assert normalize_mixed(model) is model
+
+    def test_illegal_text_mix_widened_to_mixed(self):
+        from repro.dtd.rewriting import normalize_mixed
+
+        illegal = Tree("OR", [cm.pcdata(), parse_content_model("(a, b)")])
+        legal = normalize_mixed(illegal)
+        assert cm.is_mixed_model(legal)
+        assert cm.declared_labels(legal) == {"a", "b"}
+
+    def test_result_serializes_and_reparses(self):
+        from repro.dtd.rewriting import normalize_mixed
+
+        illegal = Tree("OR", [cm.pcdata(), cm.mixed("a")])
+        rendered = serialize_content_model(normalize_mixed(illegal))
+        parse_content_model(rendered)  # must not raise
+
+
+class TestDTDLevel:
+    def test_simplify_dtd_preserves_names_and_root(self):
+        dtd = DTD(
+            [
+                ElementDecl("a", parse_content_model("((b?)+)")),
+                ElementDecl("b", cm.pcdata()),
+            ]
+        )
+        dtd.root = "a"
+        simplified = simplify_dtd(dtd)
+        assert simplified.root == "a"
+        assert simplified["a"].content.to_tuple() == ("*", ["b"])
+        assert simplified["b"].content == cm.pcdata()
+
+    def test_input_not_mutated(self):
+        model = parse_content_model("((a?)+)")
+        before = model.to_tuple()
+        simplify(model)
+        assert model.to_tuple() == before

@@ -1,0 +1,169 @@
+"""Robustness tests: hostile, degenerate and i18n inputs across the
+public API surface.  Everything should either work or fail with a
+library exception — never an unrelated traceback."""
+
+import pytest
+
+from repro.classification.classifier import Classifier
+from repro.core.engine import XMLSource
+from repro.core.evolution import EvolutionConfig, evolve_dtd
+from repro.core.extended_dtd import ExtendedDTD
+from repro.core.recorder import Recorder
+from repro.dtd.automaton import Validator
+from repro.dtd.dtd import DTD, ElementDecl
+from repro.dtd import content_model as cm
+from repro.dtd.parser import parse_dtd
+from repro.dtd.serializer import serialize_dtd
+from repro.errors import ReproError
+from repro.similarity.evaluation import evaluate_document, similarity
+from repro.xmltree.parser import parse_document
+from repro.xmltree.serializer import serialize_document
+
+
+class TestUnicode:
+    def test_unicode_tags_parse_and_serialize(self):
+        doc = parse_document("<bücher><böök>ß</böök></bücher>")
+        again = parse_document(serialize_document(doc, xml_declaration=False))
+        assert again == doc
+
+    def test_unicode_dtd_round_trip(self):
+        dtd = parse_dtd("<!ELEMENT bücher (böök*)><!ELEMENT böök (#PCDATA)>")
+        assert parse_dtd(serialize_dtd(dtd)) == dtd
+
+    def test_unicode_similarity_and_validation(self):
+        dtd = parse_dtd("<!ELEMENT bücher (böök*)><!ELEMENT böök (#PCDATA)>")
+        doc = parse_document("<bücher><böök>ß</böök></bücher>")
+        assert Validator(dtd).is_valid(doc)
+        assert similarity(doc, dtd) == 1.0
+
+    def test_unicode_evolution(self):
+        dtd = parse_dtd("<!ELEMENT bücher (böök)><!ELEMENT böök (#PCDATA)>")
+        extended = ExtendedDTD(dtd)
+        recorder = Recorder(extended)
+        for _ in range(6):
+            recorder.record(
+                parse_document("<bücher><böök>x</böök><größe>1</größe></bücher>")
+            )
+        result = evolve_dtd(extended, EvolutionConfig(psi=0.2))
+        assert "größe" in result.new_dtd
+
+    def test_emoji_text_content(self):
+        doc = parse_document("<a>🎉 &#128512;</a>")
+        assert "🎉" in doc.root.text()
+        assert "😀" in doc.root.text()
+
+
+class TestDegenerateStructures:
+    def test_single_element_dtd(self):
+        dtd = parse_dtd("<!ELEMENT only EMPTY>")
+        doc = parse_document("<only/>")
+        assert Validator(dtd).is_valid(doc)
+        assert similarity(doc, dtd) == 1.0
+
+    def test_empty_dtd_object_fails_cleanly(self):
+        empty = DTD(name="void")
+        with pytest.raises(ReproError):
+            empty.root
+
+    def test_element_matching_itself_recursively(self):
+        dtd = parse_dtd("<!ELEMENT a (a?)>")
+        deep = parse_document("<a><a><a/></a></a>")
+        assert similarity(deep, dtd) == 1.0
+
+    def test_huge_or_model(self):
+        names = [f"x{i}" for i in range(60)]
+        source = (
+            f"<!ELEMENT r ({' | '.join(names)})>"
+            + "".join(f"<!ELEMENT {n} EMPTY>" for n in names)
+        )
+        dtd = parse_dtd(source)
+        doc = parse_document("<r><x42/></r>")
+        assert Validator(dtd).is_valid(doc)
+        assert similarity(doc, dtd) == 1.0
+
+    def test_document_with_only_whitespace(self):
+        doc = parse_document("<a>   \n\t  </a>")
+        assert not doc.root.has_text()
+        # XML 1.0: EMPTY forbids any content, even whitespace — the
+        # boolean validator is strict, the similarity measure lenient
+        dtd = parse_dtd("<!ELEMENT a EMPTY>")
+        assert not Validator(dtd).is_valid(doc)
+        assert similarity(doc, dtd) == 1.0
+
+    def test_evolution_with_zero_recorded_documents(self):
+        extended = ExtendedDTD(parse_dtd("<!ELEMENT a (#PCDATA)>"))
+        result = evolve_dtd(extended, EvolutionConfig())
+        assert not result.changed
+
+    def test_record_completely_foreign_document(self):
+        dtd = parse_dtd("<!ELEMENT a (#PCDATA)>")
+        extended = ExtendedDTD(dtd)
+        Recorder(extended).record(parse_document("<zz><yy><xx/></yy></zz>"))
+        assert extended.document_count == 1
+        # nothing is recorded under undeclared roots; no crash either
+        evolve_dtd(extended, EvolutionConfig())
+
+
+class TestHostileInput:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "",
+            "   ",
+            "<",
+            "<a",
+            "<!DOCTYPE a><!DOCTYPE b><a/>",
+            "<a>&#1114112;</a>",  # beyond max codepoint
+            "<a><![CDATA[never closed</a>",
+        ],
+    )
+    def test_bad_xml_raises_library_errors(self, source):
+        with pytest.raises(ReproError):
+            parse_document(source)
+
+    @pytest.mark.parametrize(
+        "source",
+        ["", "<!ELEMENT>", "<!ELEMENT a>", "<!ELEMENT a (b,>", "junk"],
+    )
+    def test_bad_dtd_raises_library_errors(self, source):
+        with pytest.raises(ReproError):
+            dtd = parse_dtd(source)
+            dtd.root  # empty source parses; using it must still fail
+
+    def test_billion_laughs_is_structurally_impossible(self):
+        """The parser supports no general-entity *definitions*, so the
+        classic expansion bomb cannot even be expressed."""
+        bomb = (
+            "<!DOCTYPE a [<!ENTITY x0 'ha'><!ENTITY x1 '&x0;&x0;'>]>"
+            "<a>&x1;</a>"
+        )
+        with pytest.raises(ReproError, match="unknown entity"):
+            parse_document(bomb)
+
+
+class TestEngineMisuse:
+    def test_source_never_mutates_callers_dtd(self):
+        original = parse_dtd(
+            "<!ELEMENT a (b)><!ELEMENT b (#PCDATA)>", name="T"
+        )
+        snapshot = serialize_dtd(original)
+        source = XMLSource(
+            [original], EvolutionConfig(sigma=0.2, tau=0.01, min_documents=3)
+        )
+        for _ in range(6):
+            source.process(parse_document("<a><b>x</b><c>y</c></a>"))
+        assert source.evolution_count >= 1
+        assert serialize_dtd(original) == snapshot  # untouched
+
+    def test_classifier_survives_dtd_with_dangling_reference(self):
+        dtd = DTD(
+            [ElementDecl("a", cm.seq("ghost"))], name="partial"
+        )  # ghost never declared
+        classifier = Classifier([dtd], threshold=0.0)
+        result = classifier.classify(parse_document("<a><ghost/></a>"))
+        assert 0.0 <= result.similarity <= 1.0
+
+    def test_evaluate_against_dangling_reference_dtd(self):
+        dtd = DTD([ElementDecl("a", cm.seq("ghost"))])
+        evaluation = evaluate_document(parse_document("<a><ghost/></a>"), dtd)
+        assert 0.0 <= evaluation.similarity <= 1.0

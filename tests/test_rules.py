@@ -1,0 +1,132 @@
+"""Unit tests for association rules and the mining pipeline."""
+
+import pytest
+
+from repro.mining.itemsets import apriori
+from repro.mining.rules import (
+    AssociationRule,
+    RuleSet,
+    generate_rules,
+    mine_evolution_rules,
+)
+from repro.mining.transactions import absent, augment_with_absent, present
+
+EXAMPLE3 = [frozenset("abc"), frozenset("ab"), frozenset("bcd")]
+
+
+class TestGenerateRules:
+    def test_example3_rule(self):
+        """Example 3: R = c -> a,b has support 1/3 and confidence 1/2."""
+        frequent = apriori(EXAMPLE3, 1 / 3)
+        rules = generate_rules(frequent, 3, min_confidence=0.5)
+        match = [
+            rule
+            for rule in rules
+            if rule.antecedent == frozenset("c") and rule.consequent == frozenset("ab")
+        ]
+        assert len(match) == 1
+        assert match[0].support == pytest.approx(1 / 3)
+        assert match[0].confidence == pytest.approx(1 / 2)
+
+    def test_confidence_filter(self):
+        frequent = apriori(EXAMPLE3, 1 / 3)
+        strict = generate_rules(frequent, 3, min_confidence=1.0)
+        assert all(rule.confidence == 1.0 for rule in strict)
+        # a -> b holds with confidence 1 (both transactions with a have b)
+        assert AssociationRule(frozenset("a"), frozenset("b"), 0, 0) in strict
+
+    def test_multi_antecedent_generation(self):
+        frequent = apriori(EXAMPLE3, 1 / 3)
+        rules = generate_rules(frequent, 3, min_confidence=1.0, max_antecedent=None)
+        assert any(len(rule.antecedent) == 2 for rule in rules)
+
+    def test_zero_transactions(self):
+        assert generate_rules({}, 0) == []
+
+
+class TestRuleSet:
+    def _rules(self):
+        transactions = augment_with_absent(
+            [frozenset("bcd"), frozenset("bce")] * 3, "bcde"
+        )
+        return RuleSet(transactions)
+
+    def test_pairwise_implication(self):
+        rules = self._rules()
+        assert rules.implies(present("b"), present("c"))
+        assert rules.implies(present("d"), absent("e"))
+        assert not rules.implies(present("b"), present("d"))
+
+    def test_implies_all_composes(self):
+        rules = self._rules()
+        assert rules.implies_all(present("d"), [present("b"), present("c")])
+
+    def test_mutual_presence(self):
+        rules = self._rules()
+        assert rules.mutually_present(["b", "c"])
+        assert not rules.mutually_present(["b", "d"])
+        assert not rules.mutually_present(["b"])  # needs at least two
+
+    def test_mutual_exclusion_example5(self):
+        rules = self._rules()
+        assert rules.mutually_exclusive("d", "e")
+        assert not rules.mutually_exclusive("b", "c")
+
+    def test_presence_statistics(self):
+        rules = self._rules()
+        assert rules.always_present("b")
+        assert rules.sometimes_present("d")
+        assert not rules.never_present("d")
+        assert rules.never_present("zz")
+
+    def test_implies_set_requires_support(self):
+        rules = self._rules()
+        # d and e never co-occur: the set antecedent has no support
+        assert not rules.implies_set([present("d"), present("e")], present("b"))
+        assert rules.implies_set([present("b"), present("c")], present("b"))
+
+    def test_implies_any(self):
+        rules = self._rules()
+        assert rules.implies_any(present("b"), ["d", "e"])
+        assert not rules.implies_any(present("b"), ["zz"])
+
+    def test_all_absent_sometimes(self):
+        rules = self._rules()
+        assert not rules.all_absent_sometimes(["b"])
+        assert rules.all_absent_sometimes(["d"])
+        assert not rules.all_absent_sometimes(["d", "e"])  # one is always there
+        assert not rules.all_absent_sometimes([])
+
+    def test_support_of(self):
+        rules = self._rules()
+        assert rules.support_of(present("b")) == 1.0
+        assert rules.support_of(present("d")) == pytest.approx(0.5)
+
+    def test_to_rules_materialises_confidence_one_pairs(self):
+        materialised = self._rules().to_rules()
+        assert all(rule.confidence == 1.0 for rule in materialised)
+        assert any(
+            rule.antecedent == frozenset({present("d")})
+            and rule.consequent == frozenset({absent("e")})
+            for rule in materialised
+        )
+
+
+class TestMiningPipeline:
+    def test_example5_relationships(self):
+        rules = mine_evolution_rules(
+            [frozenset("bcd"), frozenset("bce")] * 5, "bcde", 0.2
+        )
+        assert rules.mutually_present(["b", "c"])
+        assert rules.mutually_exclusive("d", "e")
+
+    def test_mu_discards_rare_sequences(self):
+        sequences = [frozenset("ab")] * 9 + [frozenset("a")]
+        rules = mine_evolution_rules(sequences, "ab", min_support=0.2)
+        # the lone {a} sequence is gone, so a -> b holds with confidence 1
+        assert rules.implies(present("a"), present("b"))
+
+    def test_all_rare_falls_back_to_full_population(self):
+        sequences = [frozenset("a"), frozenset("b"), frozenset("ab")]
+        rules = mine_evolution_rules(sequences, "ab", min_support=0.9)
+        assert len(rules.transactions) == 3

@@ -1,0 +1,72 @@
+"""Unit tests for the schema-to-schema distance metric."""
+
+import pytest
+
+from repro.dtd.parser import parse_dtd
+from repro.metrics.schema_distance import ElementScore, schema_distance
+
+_TRUTH = parse_dtd(
+    "<!ELEMENT a (b, c?)><!ELEMENT b (#PCDATA)><!ELEMENT c (#PCDATA)>"
+)
+
+
+class TestIdentity:
+    def test_self_distance_is_perfect(self):
+        distance = schema_distance(_TRUTH, _TRUTH)
+        assert distance.precision == 1.0
+        assert distance.recall == 1.0
+        assert distance.f1 == 1.0
+        assert not distance.only_candidate
+        assert not distance.only_reference
+
+    def test_language_equivalent_schemas_are_perfect(self):
+        # (b, c?) and (b, (c | b?)... no — use a rewritten equivalent
+        equivalent = parse_dtd(
+            "<!ELEMENT a ((b), (c)?)><!ELEMENT b (#PCDATA)><!ELEMENT c (#PCDATA)>"
+        )
+        assert schema_distance(equivalent, _TRUTH).f1 == 1.0
+
+
+class TestFailureModes:
+    def test_overgeneral_candidate_loses_precision(self):
+        loose = parse_dtd(
+            "<!ELEMENT a ((b | c)*)><!ELEMENT b (#PCDATA)><!ELEMENT c (#PCDATA)>"
+        )
+        distance = schema_distance(loose, _TRUTH)
+        assert distance.recall == 1.0       # everything true is covered
+        assert distance.precision < 1.0     # but much more is admitted
+
+    def test_stale_candidate_loses_recall(self):
+        stale = parse_dtd(
+            "<!ELEMENT a (b)><!ELEMENT b (#PCDATA)><!ELEMENT c (#PCDATA)>"
+        )
+        distance = schema_distance(stale, _TRUTH)
+        assert distance.precision == 1.0    # everything it says is true
+        assert distance.recall < 1.0        # it misses the c? variants
+
+    def test_missing_declaration_costs_recall(self):
+        partial = parse_dtd("<!ELEMENT a (b, c?)><!ELEMENT b (#PCDATA)>")
+        distance = schema_distance(partial, _TRUTH)
+        assert distance.only_reference == ("c",)
+        assert distance.recall < 1.0
+
+    def test_spurious_declaration_costs_precision(self):
+        noisy = parse_dtd(
+            "<!ELEMENT a (b, c?)><!ELEMENT b (#PCDATA)>"
+            "<!ELEMENT c (#PCDATA)><!ELEMENT zz (#PCDATA)>"
+        )
+        distance = schema_distance(noisy, _TRUTH)
+        assert distance.only_candidate == ("zz",)
+        assert distance.precision < 1.0
+
+
+class TestScores:
+    def test_f1_is_harmonic_mean(self):
+        score = ElementScore("x", 0.5, 1.0)
+        assert score.f1 == pytest.approx(2 * 0.5 / 1.5)
+        assert ElementScore("x", 0.0, 0.0).f1 == 0.0
+
+    def test_disjoint_schemas(self):
+        other = parse_dtd("<!ELEMENT q (#PCDATA)>")
+        distance = schema_distance(other, _TRUTH)
+        assert distance.f1 == 0.0

@@ -1,0 +1,84 @@
+"""Randomised soak test: many random DTD/drift combinations through the
+whole pipeline, checking global invariants rather than exact outputs.
+
+Invariants per run:
+
+1. the pipeline never raises;
+2. every evolved DTD serialises and re-parses to itself;
+3. post-evolution quality (mean similarity) never falls below the
+   stale schema's quality on the same population by more than epsilon;
+4. the extended DTD's aggregate storage stays bounded (no document
+   hoarding);
+5. classification of the original valid population still ranks the
+   evolved DTD at least as well as a foreign DTD.
+"""
+
+import pytest
+
+from repro.core.engine import XMLSource
+from repro.core.evolution import EvolutionConfig
+from repro.dtd.parser import parse_dtd
+from repro.dtd.serializer import serialize_dtd
+from repro.generators.documents import (
+    AddDrift,
+    CompositeDrift,
+    DocumentGenerator,
+    DropDrift,
+    OperatorDrift,
+)
+from repro.generators.random_dtd import RandomDTDGenerator
+from repro.metrics.quality import mean_similarity
+
+SEEDS = [1, 2, 3, 5, 8, 13, 21, 34]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_pipeline_soak(seed):
+    dtd = RandomDTDGenerator(
+        seed=seed, element_count=6 + seed % 4, name="soak"
+    ).generate()
+    generator = DocumentGenerator(dtd, seed=seed)
+    base = generator.generate_many(25)
+    drift = CompositeDrift(
+        [
+            AddDrift(0.1 + 0.02 * (seed % 5), new_tags=["extra", "note"], seed=seed),
+            DropDrift(0.05 + 0.02 * (seed % 3), seed=seed + 1),
+            OperatorDrift(0.05 * (seed % 3), seed=seed + 2),
+        ]
+    )
+    drifted = drift.apply_many(base)
+
+    source = XMLSource(
+        [dtd.copy()],
+        EvolutionConfig(
+            sigma=0.25, tau=0.05, psi=0.15, mu=0.05,
+            min_documents=15, min_valid_for_restriction=10,
+        ),
+    )
+    for document in base + drifted:
+        source.process(document)  # invariant 1: never raises
+
+    evolved = source.dtd("soak")
+    # invariant 2: round-trip
+    assert parse_dtd(serialize_dtd(evolved), name="soak") == evolved
+
+    # invariant 3: quality never regresses materially
+    population = base + drifted
+    stale_quality = mean_similarity(dtd, population)
+    evolved_quality = mean_similarity(evolved, population)
+    assert evolved_quality >= stale_quality - 0.05, (
+        seed, stale_quality, evolved_quality
+    )
+
+    # invariant 4: aggregates bounded — far below one cell per element
+    total_elements = sum(document.element_count() for document in population)
+    assert source.extended_dtd("soak").storage_cells() < max(
+        400, 2 * total_elements
+    )
+
+    # invariant 5: the evolved DTD still beats a foreign schema on the
+    # original valid documents
+    foreign = RandomDTDGenerator(seed=seed + 100, name="foreign").generate()
+    foreign_quality = mean_similarity(foreign, base)
+    evolved_on_base = mean_similarity(evolved, base)
+    assert evolved_on_base > foreign_quality

@@ -1,0 +1,143 @@
+"""Unit tests for the new-window structure builder (Section 4.2)."""
+
+import pytest
+
+from repro.core.structure_builder import (
+    DeclSpec,
+    build_plus_declarations,
+    build_structure,
+)
+from repro.dtd import content_model as cm
+from repro.dtd.automaton import ContentAutomaton
+from repro.dtd.serializer import serialize_content_model
+from tests.test_policies import make_context
+
+
+def _record(instances, labels=None, text_instances=0, empty_instances=0):
+    context = make_context(instances, labels)
+    record = context.record
+    record.text_count = text_instances
+    record.empty_count = empty_instances
+    return record
+
+
+def _built(instances, **kwargs):
+    return serialize_content_model(build_structure(_record(instances), **kwargs))
+
+
+class TestExample5:
+    def test_figure5_structure(self):
+        instances = (
+            [["b", "c"] * m + ["d"] * k for m, k in [(1, 1), (2, 2), (3, 1), (2, 3)]]
+            + [["b", "c"] * m + ["e"] for m in [1, 2, 3, 4]]
+        )
+        assert _built(instances) == "((b, c)*, (d+ | e))"
+
+    def test_rebuilt_model_accepts_the_instances(self):
+        instances = (
+            [["b", "c"] * m + ["d"] * k for m, k in [(1, 1), (2, 2), (3, 1)]]
+            + [["b", "c"] * m + ["e"] for m in [1, 2]]
+        )
+        model = build_structure(_record(instances))
+        automaton = ContentAutomaton(model)
+        for instance in instances:
+            assert automaton.accepts(instance), instance
+
+
+class TestContentKinds:
+    def test_no_labels_no_text_is_empty(self):
+        record = _record([[]], labels=[])
+        record.empty_count = 1
+        assert build_structure(record) == cm.empty()
+
+    def test_no_labels_with_text_is_pcdata(self):
+        record = _record([[]], labels=[])
+        record.text_count = 1
+        assert build_structure(record) == cm.pcdata()
+
+    def test_text_and_labels_become_mixed(self):
+        record = _record([["b"], ["c"]], text_instances=1)
+        model = build_structure(record)
+        assert cm.is_mixed_model(model)
+        assert cm.declared_labels(model) == {"b", "c"}
+
+    def test_empty_instances_make_model_optional(self):
+        record = _record([["b"], ["b"]], empty_instances=1)
+        model = build_structure(record)
+        assert cm.nullable(model)
+
+
+class TestSingletons:
+    def test_single_stable_label(self):
+        assert _built([["x"], ["x"]]) == "(x)"
+
+    def test_single_repeated_label(self):
+        assert _built([["x", "x"], ["x"]]) == "(x+)"
+
+    def test_single_optional_label(self):
+        record = _record([["x"], []], labels=["x"])
+        assert serialize_content_model(build_structure(record)) == "(x?)"
+
+
+class TestCascades:
+    def test_or_of_three(self):
+        assert _built([["x"], ["y"], ["z"]]) == "(x | y | z)"
+
+    def test_and_of_stable_labels(self):
+        assert _built([["p", "q"], ["p", "q"]]) == "(p, q)"
+
+    def test_independent_optional_label(self):
+        rendered = _built([["p", "q"], ["p"]])
+        assert rendered == "(p, q?)"
+
+    def test_force_bind_fallback_terminates(self):
+        # two unrelated leaves with no usable rules at all: p appears with
+        # and without q and vice versa -> fallback AND with wrapping
+        rendered = _built([["p", "q"], ["p"], ["q"]])
+        model = build_structure(_record([["p", "q"], ["p"], ["q"]]))
+        automaton = ContentAutomaton(model)
+        for instance in [["p", "q"], ["p"], ["q"]]:
+            assert automaton.accepts(instance), (rendered, instance)
+
+    def test_min_support_prunes_outliers(self):
+        instances = [["b", "c"]] * 9 + [["weird"]]
+        rendered = _built(instances, min_support=0.2)
+        assert "weird" not in rendered
+
+    def test_result_is_well_formed_and_simplified(self):
+        model = build_structure(_record([["b", "c", "b", "c"], ["b", "c"]]))
+        cm.check_well_formed(model)  # raises on malformation
+
+
+class TestPlusDeclarations:
+    def test_recursive_inference(self):
+        record = _record([["b"]])
+        nested = record.plus_record_for("b")
+        nested.invalid_count = 2
+        nested.text_count = 2
+        nested.sequences[frozenset()] = 2
+        specs = build_plus_declarations(record)
+        assert [spec.name for spec in specs] == ["b"]
+        assert specs[0].content == cm.pcdata()
+
+    def test_depth_first_nesting(self):
+        record = _record([["outer"]])
+        outer = record.plus_record_for("outer")
+        outer.invalid_count = 1
+        outer.labels["inner"] = 0
+        outer.sequences[frozenset({"inner"})] = 1
+        outer.stats_for("inner").observe(1)
+        inner = outer.plus_record_for("inner")
+        inner.invalid_count = 1
+        inner.text_count = 1
+        specs = build_plus_declarations(record)
+        assert [spec.name for spec in specs] == ["outer", "inner"]
+
+    def test_known_names_deduplicated(self):
+        record = _record([["b"]])
+        record.plus_record_for("b").text_count = 1
+        specs = build_plus_declarations(record, known_names={"b"})
+        assert specs == []
+
+    def test_declspec_repr(self):
+        assert "DeclSpec" in repr(DeclSpec("x", cm.pcdata()))

@@ -1,0 +1,183 @@
+"""Unit tests for thesaurus-based tag evolution (Section 6 extension)."""
+
+import pytest
+
+from repro.core.evolution import EvolutionConfig, evolve_dtd
+from repro.core.extended_dtd import ExtendedDTD
+from repro.core.recorder import Recorder
+from repro.core.tag_evolution import (
+    detect_renames,
+    merge_renamed_evidence,
+    plan_tag_evolution,
+    rename_in_dtd,
+)
+from repro.dtd.automaton import Validator
+from repro.dtd.parser import parse_dtd
+from repro.dtd.serializer import serialize_content_model, serialize_dtd
+from repro.similarity.tags import ExactTagMatcher, ThesaurusTagMatcher
+from repro.xmltree.parser import parse_document
+
+_THESAURUS = ThesaurusTagMatcher([{"author", "writer"}, {"price", "cost"}])
+
+
+def _recorded(dtd, documents):
+    extended = ExtendedDTD(dtd)
+    recorder = Recorder(extended)
+    for document in documents:
+        recorder.record(document)
+    return extended
+
+
+def _book_dtd():
+    return parse_dtd(
+        """
+        <!ELEMENT book (title, author, price?)>
+        <!ELEMENT title (#PCDATA)>
+        <!ELEMENT author (#PCDATA)>
+        <!ELEMENT price (#PCDATA)>
+        """,
+        name="book",
+    )
+
+
+def _renamed_documents(count=10):
+    """Documents that say <writer> where the DTD says <author>."""
+    return [
+        parse_document("<book><title>t</title><writer>w</writer><price>9</price></book>")
+        for _ in range(count)
+    ]
+
+
+class TestDetection:
+    def test_rename_detected_with_thesaurus(self):
+        extended = _recorded(_book_dtd(), _renamed_documents())
+        record = extended.records["book"]
+        renames = detect_renames(
+            record,
+            _book_dtd()["book"].declared_labels(),
+            extended.dtd,
+            _THESAURUS,
+        )
+        assert renames == {"author": "writer"}
+
+    def test_nothing_detected_with_exact_matcher(self):
+        extended = _recorded(_book_dtd(), _renamed_documents())
+        record = extended.records["book"]
+        renames = detect_renames(
+            record,
+            _book_dtd()["book"].declared_labels(),
+            extended.dtd,
+            ExactTagMatcher(),
+        )
+        assert renames == {}
+
+    def test_co_occurrence_blocks_rename(self):
+        # writer appears *alongside* author: an addition, not a rename
+        documents = [
+            parse_document(
+                "<book><title>t</title><author>a</author><writer>w</writer></book>"
+            )
+            for _ in range(10)
+        ]
+        extended = _recorded(_book_dtd(), documents)
+        renames = detect_renames(
+            extended.records["book"],
+            _book_dtd()["book"].declared_labels(),
+            extended.dtd,
+            _THESAURUS,
+        )
+        assert renames == {}
+
+    def test_minority_usage_blocks_rename(self):
+        documents = _renamed_documents(2) + [
+            parse_document("<book><title>t</title><author>a</author><x/></book>")
+        ] * 10
+        extended = _recorded(_book_dtd(), documents)
+        renames = detect_renames(
+            extended.records["book"],
+            _book_dtd()["book"].declared_labels(),
+            extended.dtd,
+            _THESAURUS,
+            min_fraction=0.5,
+        )
+        assert renames == {}
+
+    def test_plan_aggregates_across_elements(self):
+        extended = _recorded(_book_dtd(), _renamed_documents())
+        assert plan_tag_evolution(extended, _THESAURUS) == {"author": "writer"}
+        assert plan_tag_evolution(extended, None) == {}
+
+
+class TestMerging:
+    def test_evidence_merged_under_new_name(self):
+        extended = _recorded(_book_dtd(), _renamed_documents())
+        record = extended.records["book"]
+        merged = merge_renamed_evidence(record, {"author": "writer"})
+        assert "author" not in merged.labels
+        assert "writer" in merged.labels
+        assert all("author" not in sequence for sequence in merged.sequences)
+        # the nested plus record for writer is dropped (author declared)
+        assert "writer" not in merged.plus_records
+
+    def test_merge_without_renames_is_identity(self):
+        extended = _recorded(_book_dtd(), _renamed_documents())
+        record = extended.records["book"]
+        assert merge_renamed_evidence(record, {}) is record
+
+
+class TestDTDRename:
+    def test_declaration_and_references_renamed(self):
+        dtd = _book_dtd()
+        performed = rename_in_dtd(dtd, {"author": "writer"})
+        assert performed == [("author", "writer")]
+        assert "writer" in dtd and "author" not in dtd
+        assert "writer" in serialize_content_model(dtd["book"].content)
+
+    def test_rename_to_existing_name_skipped(self):
+        dtd = _book_dtd()
+        assert rename_in_dtd(dtd, {"author": "title"}) == []
+
+    def test_root_rename_updates_root(self):
+        dtd = parse_dtd("<!ELEMENT a (b)><!ELEMENT b (#PCDATA)>")
+        rename_in_dtd(dtd, {"a": "alpha"})
+        assert dtd.root == "alpha"
+
+
+class TestEndToEnd:
+    def test_evolution_with_thesaurus_renames(self):
+        documents = _renamed_documents(12)
+        extended = _recorded(_book_dtd(), documents)
+        result = evolve_dtd(
+            extended, EvolutionConfig(psi=0.2), tag_matcher=_THESAURUS
+        )
+        assert "writer" in result.new_dtd
+        assert "author" not in result.new_dtd
+        validator = Validator(result.new_dtd)
+        assert all(validator.is_valid(document) for document in documents)
+        kinds = result.actions_by_kind()
+        assert "renamed" in kinds
+
+    def test_engine_records_exactly_despite_thesaurus_classifier(self):
+        """With a thesaurus, the classifier scores <writer> docs high —
+        but the recorder must still see the deviation, or tag evolution
+        never gets its evidence (regression test for that interaction)."""
+        from repro.core.engine import XMLSource
+
+        source = XMLSource(
+            [_book_dtd()],
+            EvolutionConfig(sigma=0.3, tau=0.05, psi=0.2, min_documents=10),
+            tag_matcher=_THESAURUS,
+        )
+        for document in _renamed_documents(12):
+            source.process(document)
+        assert source.evolution_count >= 1
+        assert "writer" in source.dtd("book")
+        assert "author" not in source.dtd("book")
+
+    def test_without_thesaurus_tag_is_added_not_renamed(self):
+        documents = _renamed_documents(12)
+        extended = _recorded(_book_dtd(), documents)
+        result = evolve_dtd(extended, EvolutionConfig(psi=0.2))
+        # both names survive: author (stale declaration) and writer (new)
+        assert "writer" in result.new_dtd
+        assert "author" in result.new_dtd

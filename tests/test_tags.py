@@ -1,0 +1,51 @@
+"""Unit tests for tag matching (exact and thesaurus)."""
+
+import pytest
+
+from repro.similarity.tags import ExactTagMatcher, ThesaurusTagMatcher
+
+
+class TestExactMatcher:
+    def test_equal_tags(self):
+        matcher = ExactTagMatcher()
+        assert matcher.match("a", "a") == 1.0
+        assert matcher.matches("a", "a")
+
+    def test_different_tags(self):
+        matcher = ExactTagMatcher()
+        assert matcher.match("a", "b") == 0.0
+        assert not matcher.matches("a", "b")
+
+
+class TestThesaurusMatcher:
+    def test_synonyms_scored_with_factor(self):
+        matcher = ThesaurusTagMatcher([{"author", "writer"}], synonym_factor=0.8)
+        assert matcher.match("writer", "author") == 0.8
+        assert matcher.match("author", "writer") == 0.8
+
+    def test_identity_beats_synonymy(self):
+        matcher = ThesaurusTagMatcher([{"author", "writer"}], synonym_factor=0.8)
+        assert matcher.match("author", "author") == 1.0
+
+    def test_unrelated_tags(self):
+        matcher = ThesaurusTagMatcher([{"author", "writer"}])
+        assert matcher.match("author", "title") == 0.0
+        assert matcher.match("title", "chapter") == 0.0
+
+    def test_multiple_groups_do_not_leak(self):
+        matcher = ThesaurusTagMatcher([{"a", "b"}, {"c", "d"}])
+        assert matcher.match("a", "c") == 0.0
+        assert matcher.match("b", "a") > 0.0
+        assert matcher.match("d", "c") > 0.0
+
+    def test_factor_validation(self):
+        with pytest.raises(ValueError):
+            ThesaurusTagMatcher([], synonym_factor=0.0)
+        with pytest.raises(ValueError):
+            ThesaurusTagMatcher([], synonym_factor=1.5)
+
+    def test_canonical_representative(self):
+        matcher = ThesaurusTagMatcher([{"writer", "author", "creator"}])
+        assert matcher.canonical("writer") == "author"
+        assert matcher.canonical("author") == "author"
+        assert matcher.canonical("unknown") == "unknown"

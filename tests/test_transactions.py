@@ -1,0 +1,94 @@
+"""Unit tests for mining transactions and absent-element augmentation."""
+
+import pytest
+
+from repro.errors import MiningError
+from repro.mining.transactions import (
+    Literal,
+    absent,
+    augment_with_absent,
+    filter_frequent_sequences,
+    positive_labels,
+    present,
+    sequence_supports,
+)
+
+
+class TestLiterals:
+    def test_polarity(self):
+        assert present("a").is_present
+        assert not absent("a").is_present
+
+    def test_negate(self):
+        assert present("a").negate() == absent("a")
+        assert absent("a").negate() == present("a")
+
+    def test_repr_uses_overbar_notation(self):
+        assert repr(present("b")) == "b"
+        assert repr(absent("b")) == "¬b"
+
+
+class TestAugmentation:
+    def test_example4(self):
+        """Example 4: sequences {a,b,c}, {a,b}, {b,c,d} over {a,b,c,d}."""
+        sequences = [frozenset("abc"), frozenset("ab"), frozenset("bcd")]
+        transactions = augment_with_absent(sequences, "abcd")
+        assert transactions[0] == frozenset(
+            {present("a"), present("b"), present("c"), absent("d")}
+        )
+        assert transactions[1] == frozenset(
+            {present("a"), present("b"), absent("c"), absent("d")}
+        )
+        assert transactions[2] == frozenset(
+            {absent("a"), present("b"), present("c"), present("d")}
+        )
+
+    def test_transactions_are_total(self):
+        transactions = augment_with_absent([frozenset()], "ab")
+        assert transactions[0] == frozenset({absent("a"), absent("b")})
+
+    def test_stray_labels_rejected(self):
+        with pytest.raises(MiningError, match="outside the universe"):
+            augment_with_absent([frozenset("az")], "ab")
+
+
+class TestSequenceFiltering:
+    def test_keeps_frequent_with_multiplicity(self):
+        common = frozenset({present("a")})
+        rare = frozenset({absent("a")})
+        transactions = [common] * 9 + [rare]
+        kept = filter_frequent_sequences(transactions, min_support=0.2)
+        assert kept == [common] * 9
+
+    def test_support_is_strict(self):
+        """Sequences at exactly the threshold are discarded (support > mu)."""
+        half = frozenset({present("a")})
+        other = frozenset({absent("a")})
+        kept = filter_frequent_sequences([half, other], min_support=0.5)
+        assert kept == []
+
+    def test_zero_threshold_keeps_everything(self):
+        transactions = augment_with_absent(
+            [frozenset("a"), frozenset()], "a"
+        )
+        assert filter_frequent_sequences(transactions, 0.0) == transactions
+
+    def test_bad_threshold(self):
+        with pytest.raises(MiningError):
+            filter_frequent_sequences([], min_support=1.5)
+
+    def test_empty_input(self):
+        assert filter_frequent_sequences([], 0.1) == []
+
+
+class TestHelpers:
+    def test_sequence_supports(self):
+        a = frozenset({present("a")})
+        b = frozenset({absent("a")})
+        supports = sequence_supports([a, a, b, a])
+        assert supports[a] == pytest.approx(0.75)
+        assert supports[b] == pytest.approx(0.25)
+
+    def test_positive_labels(self):
+        transaction = frozenset({present("b"), absent("a"), present("c")})
+        assert positive_labels(transaction) == ("b", "c")

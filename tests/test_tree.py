@@ -1,0 +1,115 @@
+"""Unit tests for the generic labeled tree."""
+
+import pytest
+
+from repro.xmltree.tree import Tree, canonical_key
+
+
+class TestConstruction:
+    def test_leaf(self):
+        tree = Tree.leaf("a")
+        assert tree.label == "a"
+        assert tree.is_leaf
+        assert tree.arity == 0
+
+    def test_children_are_copied_into_a_list(self):
+        children = (Tree.leaf("b"), Tree.leaf("c"))
+        tree = Tree("a", children)
+        assert tree.children == list(children)
+        tree.children.append(Tree.leaf("d"))
+        assert len(children) == 2
+
+    def test_from_tuple_round_trip(self):
+        spec = ("a", ["b", ("c", ["d", "e"])])
+        assert Tree.from_tuple(spec).to_tuple() == spec
+
+    def test_from_tuple_bare_string_is_leaf(self):
+        assert Tree.from_tuple("x") == Tree.leaf("x")
+
+    def test_copy_is_deep(self):
+        original = Tree.from_tuple(("a", ["b"]))
+        clone = original.copy()
+        clone.children[0].label = "mutated"
+        assert original.children[0].label == "b"
+
+
+class TestInspection:
+    def test_size_counts_all_vertices(self):
+        tree = Tree.from_tuple(("a", ["b", ("c", ["d"])]))
+        assert tree.size() == 4
+
+    def test_height(self):
+        assert Tree.leaf("a").height() == 0
+        assert Tree.from_tuple(("a", ["b", ("c", ["d"])])).height() == 2
+
+    def test_child_labels_keeps_order_and_repetitions(self):
+        tree = Tree.from_tuple(("a", ["b", "c", "b"]))
+        assert tree.child_labels() == ["b", "c", "b"]
+
+    def test_alpha_beta_is_a_set(self):
+        tree = Tree.from_tuple(("a", ["b", "c", "b"]))
+        assert tree.alpha_beta() == frozenset({"b", "c"})
+
+    def test_preorder(self):
+        tree = Tree.from_tuple(("a", ["b", ("c", ["d"])]))
+        assert [node.label for node in tree.iter_preorder()] == ["a", "b", "c", "d"]
+
+    def test_postorder(self):
+        tree = Tree.from_tuple(("a", ["b", ("c", ["d"])]))
+        assert [node.label for node in tree.iter_postorder()] == ["b", "d", "c", "a"]
+
+    def test_iter_labeled(self):
+        tree = Tree.from_tuple(("a", ["b", ("b", ["c"])]))
+        assert len(list(tree.iter_labeled("b"))) == 2
+
+    def test_find_returns_first_preorder_match(self):
+        tree = Tree.from_tuple(("a", [("b", ["c"]), "c"]))
+        found = tree.find(lambda node: node.label == "c")
+        assert found is tree.children[0].children[0]
+
+    def test_find_none(self):
+        assert Tree.leaf("a").find(lambda node: node.label == "zz") is None
+
+    def test_paths(self):
+        tree = Tree.from_tuple(("a", ["b", ("c", ["d"])]))
+        assert tree.paths() == [("a", "b"), ("a", "c", "d")]
+
+
+class TestTransformation:
+    def test_map_relabels_every_vertex(self):
+        tree = Tree.from_tuple(("a", ["b"]))
+        assert tree.map(str.upper).to_tuple() == ("A", ["B"])
+
+    def test_replace_by_identity(self):
+        target = Tree.leaf("b")
+        tree = Tree("a", [Tree.leaf("b"), target])
+        replacement = Tree.leaf("z")
+        assert tree.replace(target, replacement)
+        assert tree.children[1] is replacement
+        assert tree.children[0].label == "b"  # the equal-but-distinct one stays
+
+    def test_replace_missing_returns_false(self):
+        tree = Tree.from_tuple(("a", ["b"]))
+        assert not tree.replace(Tree.leaf("b"), Tree.leaf("z"))  # not identical
+
+
+class TestEqualityAndRendering:
+    def test_structural_equality(self):
+        assert Tree.from_tuple(("a", ["b"])) == Tree.from_tuple(("a", ["b"]))
+        assert Tree.from_tuple(("a", ["b"])) != Tree.from_tuple(("a", ["c"]))
+        assert Tree.from_tuple(("a", ["b", "c"])) != Tree.from_tuple(("a", ["c", "b"]))
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(Tree.from_tuple(("a", ["b"]))) == hash(Tree.from_tuple(("a", ["b"])))
+
+    def test_canonical_key_distinguishes_order(self):
+        left = Tree.from_tuple(("a", ["b", "c"]))
+        right = Tree.from_tuple(("a", ["c", "b"]))
+        assert canonical_key(left) != canonical_key(right)
+
+    def test_render(self):
+        tree = Tree.from_tuple(("a", ["b", ("c", ["d"])]))
+        assert tree.render().splitlines() == ["a", "  b", "  c", "    d"]
+
+    def test_repr_of_leaf(self):
+        assert repr(Tree.leaf("a")) == "Tree('a')"

@@ -1,0 +1,177 @@
+"""Unit tests for the evolution trigger language (Section 6 extension)."""
+
+import pytest
+
+from repro.core.engine import XMLSource
+from repro.core.evolution import EvolutionConfig
+from repro.core.extended_dtd import ExtendedDTD
+from repro.generators.scenarios import figure3_dtd, figure3_workload
+from repro.triggers.language import TriggerSyntaxError, parse_trigger, parse_triggers
+from repro.triggers.trigger import KNOWN_METRICS, Trigger, TriggerSet, metrics_environment
+
+
+class TestTokenizerAndParser:
+    def test_minimal_rule(self):
+        rule = parse_trigger("ON catalog WHEN score > 0.2 EVOLVE")
+        assert rule.target == "catalog"
+        assert rule.overrides == {}
+        assert rule.condition.holds({"score": 0.3})
+        assert not rule.condition.holds({"score": 0.1})
+
+    def test_wildcard_target(self):
+        rule = parse_trigger("ON * WHEN documents >= 10 EVOLVE")
+        assert rule.target == "*"
+
+    def test_with_clause(self):
+        rule = parse_trigger(
+            "ON catalog WHEN score > 0.2 EVOLVE WITH psi = 0.1, mu = 0.05"
+        )
+        assert rule.overrides == {"psi": 0.1, "mu": 0.05}
+
+    def test_keywords_are_case_insensitive(self):
+        rule = parse_trigger("on catalog when score > 0.2 evolve with psi = 0.3")
+        assert rule.overrides == {"psi": 0.3}
+
+    def test_boolean_connectives(self):
+        rule = parse_trigger(
+            "ON t WHEN score > 0.2 AND documents >= 50 OR repository > 100 EVOLVE"
+        )
+        assert rule.condition.holds({"score": 0.3, "documents": 50, "repository": 0})
+        assert rule.condition.holds({"score": 0.0, "documents": 0, "repository": 101})
+        assert not rule.condition.holds({"score": 0.3, "documents": 10, "repository": 5})
+
+    def test_parenthesised_condition(self):
+        rule = parse_trigger(
+            "ON t WHEN score > 0.5 AND (documents > 10 OR repository > 10) EVOLVE"
+        )
+        assert rule.condition.holds({"score": 0.6, "documents": 0, "repository": 11})
+        assert not rule.condition.holds({"score": 0.6, "documents": 0, "repository": 0})
+
+    def test_negation(self):
+        rule = parse_trigger("ON t WHEN NOT score < 0.2 EVOLVE")
+        assert rule.condition.holds({"score": 0.2})
+
+    def test_arithmetic(self):
+        rule = parse_trigger(
+            "ON t WHEN invalid_documents / documents > 0.4 EVOLVE"
+        )
+        assert rule.condition.holds({"invalid_documents": 5, "documents": 10})
+        assert not rule.condition.holds({"invalid_documents": 1, "documents": 10})
+
+    def test_arithmetic_precedence(self):
+        rule = parse_trigger("ON t WHEN a + b * 2 == 7 EVOLVE")
+        assert rule.condition.holds({"a": 1, "b": 3})
+
+    def test_division_by_zero_is_infinite(self):
+        rule = parse_trigger("ON t WHEN invalid_documents / documents > 9 EVOLVE")
+        assert rule.condition.holds({"invalid_documents": 1, "documents": 0})
+
+    def test_metrics_collected(self):
+        rule = parse_trigger("ON t WHEN score > 0.1 AND documents > 2 EVOLVE")
+        assert rule.condition.metrics() == {"score", "documents"}
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "WHEN score > 1 EVOLVE",
+            "ON t score > 1 EVOLVE",
+            "ON t WHEN score 1 EVOLVE",
+            "ON t WHEN score > EVOLVE",
+            "ON t WHEN score > 1",
+            "ON t WHEN score > 1 EVOLVE WITH psi",
+            "ON t WHEN score > 1 EVOLVE WITH psi = x",
+            "ON t WHEN score > 1 EVOLVE garbage",
+            "ON t WHEN score ~ 1 EVOLVE",
+        ],
+    )
+    def test_syntax_errors(self, source):
+        with pytest.raises(TriggerSyntaxError):
+            parse_trigger(source)
+
+    def test_unknown_metric_rejected_with_whitelist(self):
+        with pytest.raises(TriggerSyntaxError, match="unknown metric"):
+            parse_trigger("ON t WHEN bogus > 1 EVOLVE", KNOWN_METRICS)
+
+    def test_rule_file(self):
+        rules = parse_triggers(
+            """
+            # comment
+            ON a WHEN score > 0.1 EVOLVE
+
+            ON b WHEN documents > 5 EVOLVE WITH psi = 0.4
+            """
+        )
+        assert [rule.target for rule in rules] == ["a", "b"]
+
+
+class TestTriggerObjects:
+    def test_matching(self):
+        trigger = Trigger.parse("ON catalog WHEN score > 0.2 EVOLVE")
+        assert trigger.matches("catalog")
+        assert not trigger.matches("other")
+        assert Trigger.parse("ON * WHEN score > 0 EVOLVE").matches("anything")
+
+    def test_overrides_applied(self):
+        trigger = Trigger.parse(
+            "ON t WHEN score > 0 EVOLVE WITH psi = 0.4, min_documents = 5"
+        )
+        config = trigger.apply_overrides(EvolutionConfig())
+        assert config.psi == 0.4
+        assert config.min_documents == 5
+        assert isinstance(config.min_documents, int)
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(TriggerSyntaxError, match="unknown parameters"):
+            Trigger.parse("ON t WHEN score > 0 EVOLVE WITH bogus = 1")
+
+    def test_trigger_set_first_match_wins(self):
+        triggers = TriggerSet.parse(
+            """
+            ON t WHEN score > 0.5 EVOLVE WITH psi = 0.1
+            ON * WHEN score > 0.1 EVOLVE WITH psi = 0.4
+            """
+        )
+        fired = triggers.firing_trigger("t", {name: 0.0 for name in KNOWN_METRICS} | {"score": 0.6})
+        assert fired is not None and fired.overrides == {"psi": 0.1}
+        fired = triggers.firing_trigger("t", {name: 0.0 for name in KNOWN_METRICS} | {"score": 0.2})
+        assert fired is not None and fired.overrides == {"psi": 0.4}
+        assert triggers.firing_trigger("t", {name: 0.0 for name in KNOWN_METRICS}) is None
+
+
+class TestMetricsEnvironment:
+    def test_environment_contents(self):
+        extended = ExtendedDTD(figure3_dtd())
+        extended.document_count = 10
+        extended.valid_document_count = 4
+        extended.sum_invalid_fraction = 2.0
+        environment = metrics_environment(extended, repository_size=7)
+        assert environment["score"] == pytest.approx(0.2)
+        assert environment["documents"] == 10
+        assert environment["invalid_documents"] == 6
+        assert environment["repository"] == 7
+        assert set(environment) == set(KNOWN_METRICS)
+
+
+class TestEngineIntegration:
+    def test_trigger_replaces_default_check(self):
+        triggers = TriggerSet.parse(
+            "ON figure3 WHEN documents >= 12 AND score > 0.1 EVOLVE WITH psi = 0.2"
+        )
+        source = XMLSource(
+            [figure3_dtd()],
+            EvolutionConfig(sigma=0.3, tau=9.9, min_documents=10_000),  # default never fires
+            triggers=triggers,
+        )
+        for document in figure3_workload(10, 10, seed=5):
+            source.process(document)
+        assert source.evolution_count >= 1
+        assert source.evolution_log[0].documents_recorded >= 12
+
+    def test_no_matching_trigger_never_evolves(self):
+        triggers = TriggerSet.parse("ON other WHEN score > 0 EVOLVE")
+        source = XMLSource(
+            [figure3_dtd()], EvolutionConfig(sigma=0.3, tau=0.0), triggers=triggers
+        )
+        for document in figure3_workload(5, 5, seed=6):
+            source.process(document)
+        assert source.evolution_count == 0

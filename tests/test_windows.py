@@ -1,0 +1,79 @@
+"""Unit tests for the check phase and the evolution windows."""
+
+import pytest
+
+from repro.core.extended_dtd import ElementRecord, ExtendedDTD
+from repro.core.windows import (
+    Window,
+    activation_score,
+    classify_window,
+    invalidity_ratio,
+    should_evolve,
+)
+from repro.errors import EvolutionError
+from repro.generators.scenarios import figure3_dtd
+
+
+class TestWindowClassification:
+    @pytest.mark.parametrize(
+        "ratio, psi, expected",
+        [
+            (0.0, 0.2, Window.OLD),
+            (0.2, 0.2, Window.OLD),       # inclusive: I(e) in [0, psi]
+            (0.21, 0.2, Window.MISC),
+            (0.5, 0.2, Window.MISC),
+            (0.79, 0.2, Window.MISC),
+            (0.8, 0.2, Window.NEW),       # inclusive: I(e) in [1-psi, 1]
+            (1.0, 0.2, Window.NEW),
+            (0.5, 0.5, Window.OLD),       # psi=0.5: misc window vanishes
+            (0.51, 0.5, Window.NEW),
+            (0.0, 0.0, Window.OLD),       # psi=0: only exact extremes
+            (0.5, 0.0, Window.MISC),
+            (1.0, 0.0, Window.NEW),
+        ],
+    )
+    def test_placement(self, ratio, psi, expected):
+        assert classify_window(ratio, psi) is expected
+
+    def test_psi_bounds(self):
+        with pytest.raises(EvolutionError):
+            classify_window(0.5, psi=0.6)
+        with pytest.raises(EvolutionError):
+            classify_window(0.5, psi=-0.1)
+
+    def test_ratio_bounds(self):
+        with pytest.raises(EvolutionError):
+            classify_window(1.2, psi=0.2)
+
+
+class TestInvalidityRatio:
+    def test_delegates_to_record(self):
+        record = ElementRecord("a")
+        record.valid_count = 1
+        record.invalid_count = 3
+        assert invalidity_ratio(record) == pytest.approx(0.75)
+
+
+class TestActivation:
+    def _extended(self, fractions):
+        extended = ExtendedDTD(figure3_dtd())
+        extended.document_count = len(fractions)
+        extended.sum_invalid_fraction = sum(fractions)
+        return extended
+
+    def test_paper_formula(self):
+        extended = self._extended([0.5, 0.0, 0.25, 0.25])
+        assert activation_score(extended) == pytest.approx(0.25)
+
+    def test_trigger_is_strict(self):
+        extended = self._extended([0.2, 0.2])
+        assert not should_evolve(extended, tau=0.2)
+        assert should_evolve(extended, tau=0.19)
+
+    def test_no_documents_never_triggers(self):
+        extended = self._extended([])
+        assert not should_evolve(extended, tau=0.0)
+
+    def test_negative_tau_rejected(self):
+        with pytest.raises(EvolutionError):
+            should_evolve(self._extended([0.5]), tau=-1.0)

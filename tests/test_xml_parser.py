@@ -1,0 +1,123 @@
+"""Unit tests for the from-scratch XML parser."""
+
+import pytest
+
+from repro.errors import XMLSyntaxError
+from repro.xmltree.parser import XMLParser, parse_document, parse_fragment
+
+
+class TestBasicParsing:
+    def test_elements_and_text(self):
+        doc = parse_document("<a><b>5</b><c>7</c></a>")
+        assert doc.root.tag == "a"
+        assert doc.root.child_tags() == ["b", "c"]
+        assert doc.root.find("b").text() == "5"
+
+    def test_self_closing_element(self):
+        doc = parse_document("<a><b/><c/></a>")
+        assert doc.root.child_tags() == ["b", "c"]
+        assert not doc.root.find("b").children
+
+    def test_attributes(self):
+        doc = parse_document('<a x="1" y=\'two\'><b/></a>')
+        assert doc.root.attributes == {"x": "1", "y": "two"}
+
+    def test_nested_structure(self):
+        doc = parse_document("<a><b><c><d>deep</d></c></b></a>")
+        assert doc.root.to_tree().paths() == [("a", "b", "c", "d", "deep")]
+
+    def test_whitespace_between_elements_is_kept_as_text_nodes(self):
+        doc = parse_document("<a>\n  <b/>\n</a>")
+        assert doc.root.child_tags() == ["b"]
+        assert not doc.root.has_text()
+
+    def test_mixed_content(self):
+        doc = parse_document("<p>hello <b>bold</b> world</p>")
+        assert doc.root.text() == "hello  world"
+        assert doc.root.find("b").text() == "bold"
+
+
+class TestEntitiesAndCData:
+    def test_predefined_entities(self):
+        doc = parse_document("<a>&lt;&gt;&amp;&apos;&quot;</a>")
+        assert doc.root.text() == "<>&'\""
+
+    def test_character_references(self):
+        doc = parse_document("<a>&#65;&#x42;</a>")
+        assert doc.root.text() == "AB"
+
+    def test_entities_in_attributes(self):
+        doc = parse_document('<a x="&lt;1&gt;"/>')
+        assert doc.root.attributes["x"] == "<1>"
+
+    def test_unknown_entity_is_an_error(self):
+        with pytest.raises(XMLSyntaxError, match="unknown entity"):
+            parse_document("<a>&nope;</a>")
+
+    def test_cdata_section(self):
+        doc = parse_document("<a><![CDATA[<not> & parsed]]></a>")
+        assert doc.root.text() == "<not> & parsed"
+
+    def test_comments_are_skipped(self):
+        doc = parse_document("<a><!-- note --><b/></a>")
+        assert doc.root.child_tags() == ["b"]
+
+    def test_processing_instructions_are_skipped(self):
+        doc = parse_document("<a><?php echo ?><b/></a>")
+        assert doc.root.child_tags() == ["b"]
+
+
+class TestProlog:
+    def test_xml_declaration_and_encoding(self):
+        doc = parse_document('<?xml version="1.0" encoding="ISO-8859-1"?><a/>')
+        assert doc.encoding == "ISO-8859-1"
+
+    def test_doctype_with_system_id(self):
+        doc = parse_document('<!DOCTYPE a SYSTEM "a.dtd"><a/>')
+        assert doc.doctype_name == "a"
+        assert doc.doctype_system == "a.dtd"
+
+    def test_doctype_internal_subset_is_captured(self):
+        source = "<!DOCTYPE a [<!ELEMENT a (#PCDATA)>]><a>x</a>"
+        parser = XMLParser(source)
+        parser.parse()
+        assert "<!ELEMENT a (#PCDATA)>" in parser.internal_subset
+
+    def test_leading_comment_before_root(self):
+        doc = parse_document("<!-- prologue --><a/>")
+        assert doc.root.tag == "a"
+
+
+class TestWellFormednessErrors:
+    @pytest.mark.parametrize(
+        "source, message",
+        [
+            ("<a><b></a>", "mismatched closing tag"),
+            ("<a>", "unexpected end of input"),
+            ("<a/><b/>", "content after the root element"),
+            ('<a x="1" x="2"/>', "duplicate attribute"),
+            ("<a x=1/>", "must be quoted"),
+            ('<a x="<"/>', "not allowed in attribute"),
+            ("plain text", "expected the root element"),
+            ("<a><!-- -- --></a>", "not allowed inside a comment"),
+            ("<a>&#xZZ;</a>", "empty hexadecimal"),
+        ],
+    )
+    def test_error_cases(self, source, message):
+        with pytest.raises(XMLSyntaxError, match=message):
+            parse_document(source)
+
+    def test_errors_carry_line_and_column(self):
+        with pytest.raises(XMLSyntaxError) as info:
+            parse_document("<a>\n<b></c>\n</a>")
+        assert info.value.line == 2
+
+
+class TestFragment:
+    def test_parse_fragment(self):
+        root = parse_fragment("  <a><b>1</b></a>  ")
+        assert root.tag == "a"
+
+    def test_fragment_rejects_trailing_content(self):
+        with pytest.raises(XMLSyntaxError):
+            parse_fragment("<a/><b/>")

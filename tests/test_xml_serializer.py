@@ -1,0 +1,73 @@
+"""Unit tests for XML serialization."""
+
+from repro.xmltree.document import Document, element
+from repro.xmltree.parser import parse_document
+from repro.xmltree.serializer import (
+    escape_attribute,
+    escape_text,
+    serialize_document,
+    serialize_element,
+)
+
+
+class TestEscaping:
+    def test_text_escapes(self):
+        assert escape_text("a < b & c > d") == "a &lt; b &amp; c &gt; d"
+
+    def test_attribute_escapes_quotes_too(self):
+        assert escape_attribute('say "hi" & <go>') == "say &quot;hi&quot; &amp; &lt;go&gt;"
+
+
+class TestElementSerialization:
+    def test_empty_element_self_closes(self):
+        assert serialize_element(element("a")) == "<a/>"
+
+    def test_attributes_rendered(self):
+        assert serialize_element(element("a", x="1")) == '<a x="1"/>'
+
+    def test_compact_output(self):
+        root = element("a", element("b", "5"), element("c"))
+        assert serialize_element(root) == "<a><b>5</b><c/></a>"
+
+    def test_pretty_output_indents_element_content(self):
+        root = element("a", element("b", "5"), element("c"))
+        rendered = serialize_element(root, indent="  ")
+        assert rendered == "<a>\n  <b>5</b>\n  <c/>\n</a>"
+
+    def test_pretty_output_keeps_mixed_content_inline(self):
+        root = element("p", "hello ", element("b", "bold"))
+        assert serialize_element(root, indent="  ") == "<p>hello <b>bold</b></p>"
+
+
+class TestRoundTrip:
+    def test_compact_round_trip(self):
+        source = '<a x="1"><b>5 &amp; 6</b><c><d/></c>tail</a>'
+        doc = parse_document(source)
+        again = parse_document(serialize_element(doc.root))
+        assert doc.root == again.root
+
+    def test_document_round_trip_with_doctype(self):
+        source = '<!DOCTYPE a SYSTEM "a.dtd"><a><b>x</b></a>'
+        doc = parse_document(source)
+        rendered = serialize_document(doc)
+        again = parse_document(rendered)
+        assert again.doctype_name == "a"
+        assert again.doctype_system == "a.dtd"
+        assert again.root == doc.root
+
+    def test_pretty_round_trip_preserves_element_structure(self):
+        doc = parse_document("<a><b>x</b><c><d>y</d></c></a>")
+        rendered = serialize_document(doc, indent="  ")
+        again = parse_document(rendered)
+        assert again.root.to_tree() == doc.root.to_tree()
+
+
+class TestDocumentSerialization:
+    def test_xml_declaration_toggle(self):
+        doc = Document(element("a"))
+        assert serialize_document(doc).startswith("<?xml")
+        assert serialize_document(doc, xml_declaration=False) == "<a/>"
+
+    def test_doctype_without_system(self):
+        doc = Document(element("a"), doctype_name="a")
+        assert "<!DOCTYPE a>" in serialize_document(doc)

@@ -1,0 +1,207 @@
+"""Unit tests for the XSD subset (model, conversion, IO, evolution)."""
+
+import pytest
+
+from repro.core.evolution import EvolutionConfig
+from repro.dtd.parser import parse_dtd
+from repro.dtd.serializer import serialize_content_model, serialize_dtd
+from repro.xmltree.parser import parse_document
+from repro.xsd.convert import dtd_to_schema, schema_to_dtd
+from repro.xsd.evolve import evolve_schema
+from repro.xsd.io import parse_schema, serialize_schema
+from repro.xsd.model import (
+    UNBOUNDED,
+    ComplexType,
+    Particle,
+    Schema,
+    SchemaElement,
+    SchemaError,
+    SimpleType,
+)
+
+_SCHEMA_XML = """
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="entry">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element ref="title"/>
+        <xs:element ref="author" maxOccurs="unbounded"/>
+        <xs:choice minOccurs="0">
+          <xs:element ref="journal"/>
+          <xs:element ref="booktitle"/>
+        </xs:choice>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="title" type="xs:string"/>
+  <xs:element name="author" type="xs:string"/>
+  <xs:element name="journal" type="xs:string"/>
+  <xs:element name="booktitle" type="xs:string"/>
+</xs:schema>
+"""
+
+
+class TestModel:
+    def test_particle_bounds_validation(self):
+        with pytest.raises(SchemaError):
+            Particle("a", min_occurs=-1)
+        with pytest.raises(SchemaError):
+            Particle("a", min_occurs=3, max_occurs=2)
+        Particle("a", 2, UNBOUNDED)  # fine
+
+    def test_compositor_validation(self):
+        with pytest.raises(SchemaError):
+            ComplexType("all")
+
+    def test_schema_duplicate_rejected(self):
+        schema = Schema([SchemaElement("a", SimpleType())])
+        with pytest.raises(SchemaError):
+            schema.add(SchemaElement("a", SimpleType()))
+
+    def test_default_root_is_first(self):
+        schema = Schema(
+            [SchemaElement("a", SimpleType()), SchemaElement("b", SimpleType())]
+        )
+        assert schema.root == "a"
+
+    def test_referenced_names_recurse(self):
+        group = ComplexType(
+            "sequence",
+            [Particle("a"), Particle(ComplexType("choice", [Particle("b")]))],
+        )
+        assert set(group.referenced_names()) == {"a", "b"}
+
+
+class TestIO:
+    def test_parse_schema(self):
+        schema = parse_schema(_SCHEMA_XML)
+        assert schema.root == "entry"
+        entry = schema["entry"].type
+        assert entry.compositor == "sequence"
+        author = entry.particles[1]
+        assert author.term == "author"
+        assert author.max_occurs == UNBOUNDED
+        choice = entry.particles[2]
+        assert isinstance(choice.term, ComplexType)
+        assert choice.min_occurs == 0
+        assert schema["title"].is_simple
+
+    def test_round_trip(self):
+        schema = parse_schema(_SCHEMA_XML)
+        again = parse_schema(serialize_schema(schema))
+        assert again == schema
+
+    def test_mixed_round_trip(self):
+        schema = Schema(
+            [
+                SchemaElement(
+                    "p",
+                    ComplexType(
+                        "choice", [Particle("em", 0, UNBOUNDED)], mixed=True
+                    ),
+                ),
+                SchemaElement("em", SimpleType()),
+            ]
+        )
+        assert parse_schema(serialize_schema(schema)) == schema
+
+    @pytest.mark.parametrize(
+        "source, message",
+        [
+            ("<notaschema/>", "expected an xs:schema root"),
+            ("<xs:schema xmlns:xs='x'><xs:bogus/></xs:schema>", "unsupported top-level"),
+            ("<xs:schema xmlns:xs='x'><xs:element/></xs:schema>", "requires a name"),
+            ("<xs:schema xmlns:xs='x'/>", "declares no elements"),
+        ],
+    )
+    def test_parse_errors(self, source, message):
+        with pytest.raises(SchemaError, match=message):
+            parse_schema(source)
+
+
+class TestConversion:
+    def test_dtd_to_schema_bounds(self):
+        dtd = parse_dtd(
+            "<!ELEMENT a (b?, c*, d+)><!ELEMENT b (#PCDATA)>"
+            "<!ELEMENT c (#PCDATA)><!ELEMENT d (#PCDATA)>"
+        )
+        schema = dtd_to_schema(dtd)
+        bounds = [p.occurs_label() for p in schema["a"].type.particles]
+        assert bounds == ["0..1", "0..unbounded", "1..unbounded"]
+
+    def test_dtd_round_trip_is_lossless(self):
+        dtd = parse_dtd(
+            "<!ELEMENT a ((b, c)*, (d | e))><!ELEMENT b (#PCDATA)>"
+            "<!ELEMENT c (#PCDATA)><!ELEMENT d (#PCDATA)><!ELEMENT e (#PCDATA)>"
+        )
+        report = schema_to_dtd(dtd_to_schema(dtd))
+        assert report.lossless
+        assert report.result == dtd
+
+    def test_mixed_content_round_trip(self):
+        dtd = parse_dtd("<!ELEMENT p (#PCDATA | em)*><!ELEMENT em (#PCDATA)>")
+        report = schema_to_dtd(dtd_to_schema(dtd))
+        assert report.lossless
+        assert report.result == dtd
+
+    def test_empty_round_trip(self):
+        dtd = parse_dtd("<!ELEMENT a (b)><!ELEMENT b EMPTY>")
+        report = schema_to_dtd(dtd_to_schema(dtd))
+        assert report.lossless
+        assert report.result == dtd
+
+    def test_rich_bounds_widen_with_report(self):
+        schema = Schema(
+            [
+                SchemaElement(
+                    "a",
+                    ComplexType("sequence", [Particle("b", 2, 5)]),
+                ),
+                SchemaElement("b", SimpleType()),
+            ]
+        )
+        report = schema_to_dtd(schema)
+        assert not report.lossless
+        widening = report.widenings[0]
+        assert widening.original == "2..5"
+        assert widening.widened_to == "1..unbounded"
+        assert serialize_content_model(report.result["a"].content) == "(b+)"
+
+
+class TestSchemaEvolution:
+    def test_new_element_reaches_the_schema(self):
+        schema = parse_schema(_SCHEMA_XML)
+        documents = [
+            parse_document(
+                "<entry><title>t</title><author>a</author>"
+                "<journal>j</journal><doi>x</doi></entry>"
+            )
+        ] * 12
+        result = evolve_schema(schema, documents, EvolutionConfig(psi=0.2))
+        assert result.changed
+        assert "doi" in result.new_schema
+        assert "doi" in set(result.new_schema["entry"].type.referenced_names())
+
+    def test_unchanged_population_keeps_schema(self):
+        schema = parse_schema(_SCHEMA_XML)
+        documents = [
+            parse_document("<entry><title>t</title><author>a</author><journal>j</journal></entry>")
+        ] * 10
+        result = evolve_schema(
+            schema,
+            documents,
+            EvolutionConfig(psi=0.2, restrict_in_old_window=False),
+        )
+        assert not result.dtd_result.changed
+
+    def test_widenings_surface(self):
+        schema = Schema(
+            [
+                SchemaElement("a", ComplexType("sequence", [Particle("b", 2, 3)])),
+                SchemaElement("b", SimpleType()),
+            ]
+        )
+        documents = [parse_document("<a><b>1</b><b>2</b></a>")] * 5
+        result = evolve_schema(schema, documents)
+        assert result.widenings
+        assert result.widenings[0].element == "a"

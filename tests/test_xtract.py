@@ -1,0 +1,109 @@
+"""Unit tests for the XTRACT-style inference baseline."""
+
+import pytest
+
+from repro.baselines.xtract import (
+    generalize_sequence,
+    infer_content_model,
+    infer_dtd,
+)
+from repro.dtd.automaton import ContentAutomaton, Validator
+from repro.dtd.serializer import serialize_content_model
+from repro.generators.documents import DocumentGenerator
+from repro.generators.random_dtd import RandomDTDGenerator
+from repro.xmltree.parser import parse_document
+
+
+class TestGeneralization:
+    def test_run_collapsing(self):
+        assert generalize_sequence(["a", "a", "a", "b"]) == (("a", True), ("b", False))
+
+    def test_periodicity(self):
+        assert generalize_sequence(["a", "b", "a", "b"]) == ((("a", "b"), True),)
+
+    def test_single_symbol_period(self):
+        assert generalize_sequence(["a", "a"]) == (("a", True),)
+
+    def test_no_generalization(self):
+        assert generalize_sequence(["a", "b", "c"]) == (
+            ("a", False),
+            ("b", False),
+            ("c", False),
+        )
+
+    def test_empty_sequence(self):
+        assert generalize_sequence([]) == ()
+
+
+class TestContentModelInference:
+    def test_single_shape(self):
+        model = infer_content_model([["b", "c"], ["b", "c"]])
+        assert serialize_content_model(model) == "(b, c)"
+
+    def test_repetition_inferred(self):
+        model = infer_content_model([["b", "b", "b"], ["b"]])
+        assert serialize_content_model(model) == "(b+)"
+
+    def test_period_inferred(self):
+        model = infer_content_model([["b", "c", "b", "c"], ["b", "c"]])
+        assert serialize_content_model(model) == "(b, c)+"
+
+    def test_alternatives_inferred(self):
+        model = infer_content_model([["b"], ["c"], ["b"]])
+        assert serialize_content_model(model) == "(b | c)"
+
+    def test_text_only(self):
+        assert serialize_content_model(infer_content_model([], has_text=True)) == "(#PCDATA)"
+
+    def test_empty(self):
+        assert serialize_content_model(infer_content_model([[]])) == "EMPTY"
+
+    def test_mixed(self):
+        model = infer_content_model([["b"]], has_text=True)
+        assert serialize_content_model(model) == "(#PCDATA | b)*"
+
+    def test_mdl_prefers_general_model_for_chaotic_data(self):
+        import random
+
+        rng = random.Random(0)
+        alphabet = ["p", "q", "r"]
+        sequences = [
+            [rng.choice(alphabet) for _ in range(rng.randint(0, 6))]
+            for _ in range(40)
+        ]
+        model = infer_content_model(sequences)
+        rendered = serialize_content_model(model)
+        assert rendered == "(p | q | r)*"
+
+    def test_inferred_model_accepts_training_sequences(self):
+        sequences = [["b", "c"], ["b", "c", "c"], ["b"]]
+        model = infer_content_model(sequences)
+        automaton = ContentAutomaton(model)
+        assert all(automaton.accepts(sequence) for sequence in sequences)
+
+
+class TestDTDInference:
+    def test_inferred_dtd_covers_training_set(self):
+        for seed in range(3):
+            dtd = RandomDTDGenerator(seed=seed, element_count=7).generate()
+            documents = DocumentGenerator(dtd, seed=seed).generate_many(20)
+            inferred = infer_dtd(documents)
+            validator = Validator(inferred)
+            assert all(validator.is_valid(document) for document in documents)
+
+    def test_root_is_majority_root_tag(self):
+        documents = [
+            parse_document("<a><b>1</b></a>"),
+            parse_document("<a><b>1</b></a>"),
+            parse_document("<b>1</b>"),
+        ]
+        assert infer_dtd(documents).root == "a"
+
+    def test_zero_documents_rejected(self):
+        with pytest.raises(ValueError):
+            infer_dtd([])
+
+    def test_all_tags_declared(self):
+        documents = [parse_document("<a><b>1</b><c><d/></c></a>")]
+        inferred = infer_dtd(documents)
+        assert set(inferred.element_names()) == {"a", "b", "c", "d"}
