@@ -4,20 +4,40 @@ Not an experiment — a performance dashboard for the substrates every
 experiment sits on (parsing, validation, similarity, mining, policy
 cascade), so regressions show up as benchmark deltas rather than as
 mysteriously slow experiments.
+
+Also runnable as a script for the classification fast-path comparison
+(``repro.perf``): ``PYTHONPATH=src python benchmarks/bench_micro.py
+[--smoke]`` times three classification workloads against a five-DTD
+source with the fast paths on and off, checks the outcomes agree,
+and writes ``benchmarks/results/BENCH_micro.json``.
 """
+
+import json
+import os
+import sys
+import time
 
 import pytest
 
+from repro.classification.classifier import Classifier
 from repro.core.structure_builder import build_structure
 from repro.dtd.automaton import ContentAutomaton, Validator
 from repro.dtd.parser import parse_content_model, parse_dtd
 from repro.generators.documents import DocumentGenerator
-from repro.generators.scenarios import auction_scenario, figure3_workload, figure3_dtd
+from repro.generators.scenarios import (
+    auction_scenario,
+    bibliography_scenario,
+    catalog_scenario,
+    figure3_workload,
+    figure3_dtd,
+    newsfeed_scenario,
+)
 from repro.mining.rules import mine_evolution_rules
+from repro.perf import FastPathConfig, PerfCounters
 from repro.similarity.matcher import StructureMatcher
+from repro.xmltree.document import Element, Text
 from repro.xmltree.parser import parse_document
 from repro.xmltree.serializer import serialize_document
-from tests.test_policies import make_context
 
 _AUCTION_DTD, _MAKE = auction_scenario()
 _DOCUMENT = DocumentGenerator(_AUCTION_DTD, seed=3).generate()
@@ -63,6 +83,9 @@ def test_micro_mining(benchmark):
 
 
 def test_micro_policy_cascade(benchmark):
+    # imported lazily so script mode needs only PYTHONPATH=src
+    from tests.test_policies import make_context
+
     instances = [["b", "c"] * m + ["d"] for m in (1, 2, 3)] + [
         ["b", "c"] * m + ["e"] for m in (1, 2)
     ]
@@ -70,3 +93,152 @@ def test_micro_policy_cascade(benchmark):
 
     model = benchmark(build_structure, record)
     assert model.label == "AND"
+
+
+# ----------------------------------------------------------------------
+# Classification fast paths (repro.perf): on-vs-off comparison
+# ----------------------------------------------------------------------
+
+
+def _five_dtds():
+    dtds = [figure3_dtd()]
+    makers = {}
+    for scenario in (
+        catalog_scenario,
+        bibliography_scenario,
+        newsfeed_scenario,
+        auction_scenario,
+    ):
+        dtd, make = scenario()
+        dtds.append(dtd)
+        makers[dtd.name] = make
+    return dtds, makers
+
+
+def _valid_stream(makers, per_scenario):
+    documents = []
+    for name in sorted(makers):
+        documents.extend(makers[name](per_scenario, seed=41))
+    return documents
+
+
+def _repeated_stream(makers, distinct, repeats):
+    """A few distinct *invalid* documents, each repeated many times.
+
+    Fresh parse per repetition — the structural cache has to earn its
+    hits by fingerprint, not by object identity.
+    """
+    sources = []
+    for index, name in enumerate(sorted(makers)):
+        document = makers[name](1, seed=97 + index)[0]
+        document.root.append(Element("stray", children=[Text("x")]))
+        sources.append(serialize_document(document))
+    xmls = (sources * ((distinct * repeats) // len(sources) + 1))[: distinct * repeats]
+    return [parse_document(xml) for xml in xmls]
+
+
+def _classify_all(classifier, documents):
+    return [
+        (result.dtd_name, result.similarity)
+        for result in map(classifier.classify, documents)
+    ]
+
+
+def test_micro_fastpath_valid_stream(benchmark):
+    dtds, makers = _five_dtds()
+    documents = _valid_stream(makers, per_scenario=3)
+    counters = PerfCounters()
+    classifier = Classifier(dtds, threshold=0.5, counters=counters)
+    outcomes = benchmark(_classify_all, classifier, documents)
+    assert all(name is not None and sim == 1.0 for name, sim in outcomes)
+    assert counters.validity_short_circuits > 0
+
+
+def test_micro_slowpath_valid_stream(benchmark):
+    dtds, makers = _five_dtds()
+    documents = _valid_stream(makers, per_scenario=3)
+    classifier = Classifier(
+        dtds, threshold=0.5, fastpath=FastPathConfig.disabled()
+    )
+    outcomes = benchmark(_classify_all, classifier, documents)
+    assert all(name is not None and sim == 1.0 for name, sim in outcomes)
+
+
+def test_micro_fastpath_repeated_stream(benchmark):
+    dtds, makers = _five_dtds()
+    documents = _repeated_stream(makers, distinct=5, repeats=4)
+    counters = PerfCounters()
+    classifier = Classifier(dtds, threshold=0.3, counters=counters)
+    benchmark(_classify_all, classifier, documents)
+    assert counters.structural_cache_hits > 0
+
+
+# ----------------------------------------------------------------------
+# Script mode: machine-readable fast-path comparison
+# ----------------------------------------------------------------------
+
+
+def _timed_run(dtds, documents, fastpath):
+    counters = PerfCounters()
+    classifier = Classifier(
+        dtds, threshold=0.5, fastpath=fastpath, counters=counters
+    )
+    start = time.perf_counter()
+    outcomes = _classify_all(classifier, documents)
+    elapsed = time.perf_counter() - start
+    return outcomes, elapsed, counters.snapshot()
+
+
+def _compare(name, dtds, documents):
+    fast_outcomes, fast_time, fast_counters = _timed_run(
+        dtds, documents, FastPathConfig()
+    )
+    slow_outcomes, slow_time, slow_counters = _timed_run(
+        dtds, documents, FastPathConfig.disabled()
+    )
+    if fast_outcomes != slow_outcomes:
+        raise AssertionError(f"{name}: fast and slow outcomes diverge")
+    speedup = slow_time / fast_time if fast_time > 0 else float("inf")
+    print(
+        f"{name:<18} {len(documents):>4} docs   "
+        f"fast {fast_time * 1000:8.1f} ms   slow {slow_time * 1000:8.1f} ms   "
+        f"speedup {speedup:5.1f}x"
+    )
+    return {
+        "documents": len(documents),
+        "dtds": len(dtds),
+        "fast_seconds": fast_time,
+        "slow_seconds": slow_time,
+        "speedup": speedup,
+        "fast_counters": fast_counters,
+        "slow_counters": slow_counters,
+    }
+
+
+def main(argv=None):
+    argv = list(sys.argv[1:] if argv is None else argv)
+    smoke = "--smoke" in argv
+    per_scenario, distinct, repeats = (2, 3, 3) if smoke else (10, 8, 25)
+    dtds, makers = _five_dtds()
+    workloads = {
+        "valid_stream": _valid_stream(makers, per_scenario),
+        "repeated_stream": _repeated_stream(makers, distinct, repeats),
+        "mixed_stream": _valid_stream(makers, max(1, per_scenario // 2))
+        + _repeated_stream(makers, distinct, max(1, repeats // 5))
+        + figure3_workload(per_scenario, per_scenario, seed=3),
+    }
+    results = {"smoke": smoke, "workloads": {}}
+    for name, documents in sorted(workloads.items()):
+        results["workloads"][name] = _compare(name, dtds, documents)
+    results_dir = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(results_dir, exist_ok=True)
+    path = os.path.join(results_dir, "BENCH_micro.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {path}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

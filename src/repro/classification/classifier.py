@@ -5,25 +5,137 @@ produce a similarity value above a fixed threshold, it is stored in a
 separate repository, containing unclassified documents.  Otherwise, the
 document is handled as an instance of the DTD for which the evaluation
 produced the highest similarity value." (Section 2)
+
+Fast paths (all exact — see ``docs/API.md``, "Performance
+architecture"):
+
+- **tier 1**: a valid document scores exactly 1.0 (Section 3.1:
+  fullness of the global measure coincides with validity), so a
+  linear-time automaton validation replaces the span DP and the
+  per-element evaluation is synthesized as all-common triples;
+- **tier 3**: :meth:`Classifier.classify` computes a cheap sound upper
+  bound per DTD from tag-vocabulary overlap and evaluates DTDs
+  best-bound-first, skipping every DTD whose bound cannot beat the
+  current best (skipped similarities are still exact — the full
+  ranking is realized lazily on first access).
+
+Both tiers disable themselves when a thesaurus tag matcher is active or
+the similarity weights are degenerate (``alpha`` or ``beta`` of 0), so
+results are bit-identical with the fast paths on or off.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple, Union
 
+from repro.dtd import content_model as cm
+from repro.dtd.automaton import Validator
 from repro.dtd.dtd import DTD
 from repro.errors import ClassificationError
-from repro.similarity.evaluation import DocumentEvaluation, evaluate_document
+from repro.perf import FastPathConfig, PerfCounters
+from repro.similarity.evaluation import (
+    DocumentEvaluation,
+    evaluate_document,
+    valid_document_evaluation,
+)
 from repro.similarity.matcher import StructureMatcher
-from repro.similarity.tags import TagMatcher
-from repro.similarity.triple import SimilarityConfig
-from repro.xmltree.document import Document
+from repro.similarity.tags import ExactTagMatcher, TagMatcher
+from repro.similarity.triple import EvalTriple, SimilarityConfig
+from repro.xmltree.document import Document, Element
+
+Ranking = List[Tuple[str, float]]
+
+
+class _DocumentCensus:
+    """One cheap pass over a document: everything the bounds need."""
+
+    __slots__ = ("tag_counts", "text_count", "weight", "height", "root_tag")
+
+    def __init__(self, document: Document):
+        root = document.root
+        tag_counts: Dict[str, int] = {}
+        text_count = 0
+        stack = [root]
+        while stack:
+            element = stack.pop()
+            tag_counts[element.tag] = tag_counts.get(element.tag, 0) + 1
+            for child in element.children:
+                if isinstance(child, Element):
+                    stack.append(child)
+                elif child.value.strip():
+                    text_count += 1
+        info = root.structure_info()
+        self.tag_counts = tag_counts
+        self.text_count = text_count
+        self.weight = info.weight
+        self.height = info.height
+        self.root_tag = root.tag
+
+
+class _BoundData:
+    """Per-DTD facts for the tier-3 upper bound (computed once)."""
+
+    __slots__ = ("vocabulary", "allows_text", "has_any", "root")
+
+    def __init__(self, dtd: DTD):
+        vocabulary: Set[str] = set()
+        allows_text = False
+        has_any = False
+        for decl in dtd:
+            vocabulary |= decl.declared_labels()
+            for node in decl.content.iter_preorder():
+                if node.label == cm.PCDATA:
+                    allows_text = True
+                elif node.label == cm.ANY:
+                    has_any = True
+        self.vocabulary = frozenset(vocabulary)
+        self.allows_text = allows_text
+        self.has_any = has_any
+        self.root = dtd.root
+
+    def upper_bound(self, census: _DocumentCensus, config: SimilarityConfig) -> float:
+        """A sound upper bound on the document's similarity.
+
+        Element vertices whose tag no content model references can
+        never score common (they are plus, with at least their vertex
+        weight), text leaves need ``#PCDATA`` somewhere, and the root
+        vertex is common only when it equals the DTD root.  With
+        ``u`` such unmatchable weight and ``r`` the root minus, the
+        evaluation of any alignment is at most
+        ``E(u, r, W - u)`` because ``E`` is monotone (increasing in
+        common, decreasing in plus/minus).  ``ANY`` declarations make
+        everything matchable, so they yield the trivial bound 1.0.
+        """
+        if self.has_any:
+            return 1.0
+        unmatchable = 0.0
+        vocabulary = self.vocabulary
+        for tag, count in census.tag_counts.items():
+            if tag not in vocabulary:
+                unmatchable += count
+        root_minus = 0.0
+        if census.root_tag == self.root:
+            if census.root_tag not in vocabulary:
+                # the root vertex itself is anchored onto the DTD root
+                # and scores common even when nothing references its tag
+                unmatchable -= 1.0
+        else:
+            root_minus = 1.0
+            if census.root_tag in vocabulary:
+                # the root vertex is only ever compared to the DTD
+                # root, so it is plus despite its tag being referenced
+                unmatchable += 1.0
+        if not self.allows_text:
+            unmatchable += census.text_count
+        return EvalTriple(
+            plus=unmatchable, minus=root_minus, common=census.weight - unmatchable
+        ).evaluate(config)
 
 
 class ClassificationResult:
     """The outcome of classifying one document."""
 
-    __slots__ = ("document", "dtd_name", "similarity", "evaluation", "ranking")
+    __slots__ = ("document", "dtd_name", "similarity", "evaluation", "_ranking")
 
     def __init__(
         self,
@@ -31,7 +143,7 @@ class ClassificationResult:
         dtd_name: Optional[str],
         similarity: float,
         evaluation: Optional[DocumentEvaluation],
-        ranking: List[Tuple[str, float]],
+        ranking: Union[Ranking, Callable[[], Ranking]],
     ):
         self.document = document
         #: the selected DTD, or ``None`` when below threshold (repository)
@@ -40,8 +152,20 @@ class ClassificationResult:
         self.similarity = similarity
         #: full evaluation against the best DTD (None when no DTD exists)
         self.evaluation = evaluation
-        #: all (dtd name, similarity) pairs, best first
-        self.ranking = ranking
+        self._ranking = ranking
+
+    @property
+    def ranking(self) -> Ranking:
+        """All (dtd name, similarity) pairs, best first.
+
+        When the pruned fast path skipped some DTDs, their exact
+        similarities are computed lazily here on first access (against
+        the DTD set as it was at classification time), so readers see
+        the same full exact ranking the slow path produces.
+        """
+        if callable(self._ranking):
+            self._ranking = self._ranking()
+        return self._ranking
 
     @property
     def accepted(self) -> bool:
@@ -74,6 +198,8 @@ class Classifier:
         threshold: float = 0.5,
         config: SimilarityConfig = SimilarityConfig(),
         tag_matcher: Optional[TagMatcher] = None,
+        fastpath: Optional[FastPathConfig] = None,
+        counters: Optional[PerfCounters] = None,
     ):
         if not 0.0 <= threshold <= 1.0:
             raise ClassificationError(
@@ -82,7 +208,11 @@ class Classifier:
         self.threshold = threshold
         self.config = config
         self.tag_matcher = tag_matcher
+        self.fastpath = fastpath or FastPathConfig()
+        self.counters = counters or PerfCounters()
         self._matchers: Dict[str, StructureMatcher] = {}
+        self._validators: Dict[str, Validator] = {}
+        self._bounds: Dict[str, _BoundData] = {}
         self._dtds: Dict[str, DTD] = {}
         for dtd in dtds:
             self.add_dtd(dtd)
@@ -93,18 +223,25 @@ class Classifier:
         if dtd.name in self._dtds:
             raise ClassificationError(f"duplicate DTD name {dtd.name!r}")
         self._dtds[dtd.name] = dtd
-        self._matchers[dtd.name] = StructureMatcher(
-            dtd, self.config, self.tag_matcher
-        )
+        self._install_dtd(dtd)
 
     def replace_dtd(self, dtd: DTD) -> None:
-        """Swap in an evolved DTD under the same name."""
+        """Swap in an evolved DTD under the same name.
+
+        The matcher (and with it every cached triple) is rebuilt from
+        scratch, so an evolved DTD can never serve stale evaluations.
+        """
         if dtd.name not in self._dtds:
             raise ClassificationError(f"unknown DTD name {dtd.name!r}")
         self._dtds[dtd.name] = dtd
+        self._install_dtd(dtd)
+
+    def _install_dtd(self, dtd: DTD) -> None:
         self._matchers[dtd.name] = StructureMatcher(
-            dtd, self.config, self.tag_matcher
+            dtd, self.config, self.tag_matcher, self.fastpath, self.counters
         )
+        self._validators[dtd.name] = Validator(dtd)
+        self._bounds[dtd.name] = _BoundData(dtd)
 
     def dtd_names(self) -> List[str]:
         return list(self._dtds)
@@ -113,36 +250,169 @@ class Classifier:
         return self._dtds[name]
 
     # ------------------------------------------------------------------
+    # Fast-path applicability
+    # ------------------------------------------------------------------
 
-    def rank(self, document: Document) -> List[Tuple[str, float]]:
+    def _exact_semantics(self) -> bool:
+        """True when the fast paths' exactness preconditions hold.
+
+        A thesaurus matcher lets renamed tags score common (so neither
+        validity nor vocabulary overlap bounds the similarity), and a
+        zero ``alpha``/``beta`` lets the DP tie-break onto optima that
+        are not all-common.
+        """
+        exact_tags = self.tag_matcher is None or isinstance(
+            self.tag_matcher, ExactTagMatcher
+        )
+        return exact_tags and self.config.alpha > 0 and self.config.beta > 0
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+
+    def _score_with(
+        self,
+        matcher: StructureMatcher,
+        validator: Validator,
+        document: Document,
+        tier1: bool,
+    ) -> Tuple[float, bool]:
+        """Exact similarity of one document against one DTD.
+
+        Returns ``(similarity, short_circuited)``; the second flag is
+        True when tier 1 proved the document valid (similarity exactly
+        1.0) without running the span DP.
+        """
+        counters = self.counters
+        if tier1:
+            counters.validations += 1
+            if validator.is_valid(document):
+                counters.validity_short_circuits += 1
+                return 1.0, True
+        similarity = matcher.document_similarity(document.root)
+        matcher.clear_cache()
+        return similarity, False
+
+    def rank(self, document: Document) -> Ranking:
         """Similarity of the document against every DTD, best first.
 
-        Ties break on DTD name for determinism.
+        Ties break on DTD name for determinism.  Always exact and
+        complete (tier-3 pruning applies only to :meth:`classify`,
+        which does not need every similarity eagerly).
         """
         if not self._dtds:
             raise ClassificationError("the classifier holds no DTDs")
+        tier1 = self.fastpath.validity_short_circuit and self._exact_semantics()
         scores = [
-            (name, matcher.document_similarity(document.root))
-            for name, matcher in self._matchers.items()
+            (name, self._score_with(
+                self._matchers[name], self._validators[name], document, tier1
+            )[0])
+            for name in self._dtds
         ]
-        for matcher in self._matchers.values():
-            matcher.clear_cache()
         return sorted(scores, key=lambda pair: (-pair[1], pair[0]))
 
     def classify(self, document: Document) -> ClassificationResult:
         """Pick the best DTD, or none when below the threshold ``sigma``."""
-        ranking = self.rank(document)
-        best_name, best_similarity = ranking[0]
+        if not self._dtds:
+            raise ClassificationError("the classifier holds no DTDs")
+        self.counters.documents_classified += 1
+        tier1 = self.fastpath.validity_short_circuit and self._exact_semantics()
+        short_circuited: Set[str] = set()
+
+        census: Optional[_DocumentCensus] = None
+        tier3 = self.fastpath.pruned_ranking and self._exact_semantics()
+        if tier3:
+            census = _DocumentCensus(document)
+            # beyond max_depth the DP truncates recursion, deflating the
+            # plus totals the bound relies on — fall back to full ranking
+            tier3 = census.height < self.config.max_depth
+
+        if not tier3:
+            evaluated = self.rank(document)
+            ranking: Union[Ranking, Callable[[], Ranking]] = evaluated
+            best_name, best_similarity = evaluated[0]
+            if tier1 and best_similarity == 1.0:
+                # recover whether the winner was a validity short-circuit
+                # (the validator is cached and linear, far cheaper than
+                # re-running the DP-backed evaluation below)
+                if self._validators[best_name].is_valid(document):
+                    short_circuited.add(best_name)
+        else:
+            assert census is not None
+            bounds = {
+                name: data.upper_bound(census, self.config)
+                for name, data in self._bounds.items()
+            }
+            order = sorted(self._dtds, key=lambda name: (-bounds[name], name))
+            evaluated = []
+            skipped: List[str] = []
+            best_seen = float("-inf")
+            for position, name in enumerate(order):
+                if bounds[name] < best_seen:
+                    # bounds are non-increasing from here on: no later
+                    # DTD can reach, let alone beat, the current best
+                    skipped = order[position:]
+                    break
+                similarity, shorted = self._score_with(
+                    self._matchers[name], self._validators[name], document, tier1
+                )
+                evaluated.append((name, similarity))
+                if shorted:
+                    short_circuited.add(name)
+                if similarity > best_seen:
+                    best_seen = similarity
+            evaluated.sort(key=lambda pair: (-pair[1], pair[0]))
+            best_name, best_similarity = evaluated[0]
+            if skipped:
+                self.counters.bound_skips += len(skipped)
+                # realize the exact full ranking lazily, against the
+                # matchers as they are *now* (an evolved DTD swapped in
+                # later must not leak into this result)
+                snapshot = [
+                    (name, self._matchers[name], self._validators[name])
+                    for name in skipped
+                ]
+
+                def realize(
+                    head: Ranking = list(evaluated),
+                    snapshot=snapshot,
+                    tier1: bool = tier1,
+                ) -> Ranking:
+                    tail = [
+                        (name, self._score_with(matcher, validator, document, tier1)[0])
+                        for name, matcher, validator in snapshot
+                    ]
+                    return sorted(head + tail, key=lambda pair: (-pair[1], pair[0]))
+
+                ranking = realize
+            else:
+                ranking = evaluated
+
         if best_similarity < self.threshold:
             return ClassificationResult(
                 document, None, best_similarity, None, ranking
             )
-        evaluation = evaluate_document(
-            document,
-            self._dtds[best_name],
-            self.config,
-            matcher=self._matchers[best_name],
+        evaluation = self._best_evaluation(
+            document, best_name, best_name in short_circuited
         )
         return ClassificationResult(
             document, best_name, best_similarity, evaluation, ranking
+        )
+
+    def _best_evaluation(
+        self, document: Document, name: str, short_circuited: bool
+    ) -> DocumentEvaluation:
+        """Evaluation against the winning DTD, synthesized when tier 1
+        proved validity (and the depth guard allows exact synthesis)."""
+        if (
+            short_circuited
+            and document.root.structure_info().height < self.config.max_depth
+        ):
+            self.counters.synthesized_evaluations += 1
+            return valid_document_evaluation(document, self._dtds[name], self.config)
+        return evaluate_document(
+            document,
+            self._dtds[name],
+            self.config,
+            matcher=self._matchers[name],
         )

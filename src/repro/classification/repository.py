@@ -52,6 +52,17 @@ class Repository:
         self._documents = remaining
         return accepted, len(remaining)
 
+    def take_all(self) -> List[Document]:
+        """Remove and return every held document (drain for re-triage).
+
+        Unlike :meth:`drain_if`, the caller decides each document's
+        fate — used by the engine to classify each repository document
+        exactly once per drain.
+        """
+        documents = self._documents
+        self._documents = []
+        return documents
+
     def clear(self) -> None:
         self._documents.clear()
 

@@ -28,6 +28,8 @@ from repro.core.evolution import EvolutionConfig, EvolutionResult, evolve_dtd
 from repro.core.extended_dtd import ExtendedDTD
 from repro.core.recorder import Recorder
 from repro.dtd.dtd import DTD
+from repro.perf import FastPathConfig, PerfCounters
+from repro.similarity.matcher import StructureMatcher
 from repro.similarity.tags import TagMatcher
 from repro.similarity.triple import SimilarityConfig
 from repro.xmltree.document import Document
@@ -67,6 +69,7 @@ class XMLSource:
         tag_matcher: Optional[TagMatcher] = None,
         auto_evolve: bool = True,
         triggers: Optional["TriggerSet"] = None,
+        fastpath: Optional[FastPathConfig] = None,
     ):
         self.config = config
         self.similarity_config = SimilarityConfig(config.alpha, config.beta)
@@ -74,8 +77,19 @@ class XMLSource:
         #: thesaurus matcher enables renames; the default exact matcher
         #: keeps the feature inert)
         self.tag_matcher = tag_matcher
+        #: fast-path switches shared by the classifier and the recorders
+        #: (exact-by-construction; see repro.perf)
+        self.fastpath = fastpath or FastPathConfig()
+        #: shared hit counters across classification and recording —
+        #: snapshot via :meth:`perf_snapshot`
+        self.perf = PerfCounters()
         self.classifier = Classifier(
-            dtds, config.sigma, self.similarity_config, tag_matcher
+            dtds,
+            config.sigma,
+            self.similarity_config,
+            tag_matcher,
+            fastpath=self.fastpath,
+            counters=self.perf,
         )
         self.extended: Dict[str, ExtendedDTD] = {}
         self.recorders: Dict[str, Recorder] = {}
@@ -94,7 +108,18 @@ class XMLSource:
     def _install(self, dtd: DTD) -> None:
         extended = ExtendedDTD(dtd)
         self.extended[dtd.name] = extended
-        self.recorders[dtd.name] = Recorder(extended, self.similarity_config)
+        # the recorder's matcher always matches tags exactly, but shares
+        # the source's fast-path settings and counters so structural
+        # interning also accelerates the recording phase
+        matcher = StructureMatcher(
+            dtd,
+            self.similarity_config,
+            fastpath=self.fastpath,
+            counters=self.perf,
+        )
+        self.recorders[dtd.name] = Recorder(
+            extended, self.similarity_config, matcher=matcher
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -113,6 +138,12 @@ class XMLSource:
     @property
     def evolution_count(self) -> int:
         return len(self.evolution_log)
+
+    def perf_snapshot(self) -> Dict[str, int]:
+        """Fast-path hit counters as a plain dict (see
+        :class:`repro.perf.PerfCounters`) — benchmarks assert on these
+        to prove the short-circuit and caches actually fire."""
+        return self.perf.snapshot()
 
     # ------------------------------------------------------------------
     # The pipeline
@@ -152,7 +183,14 @@ class XMLSource:
         )
 
     def process_many(self, documents: Iterable[Document]) -> List[ProcessOutcome]:
-        """Process a batch, in order."""
+        """Process a batch, in order.
+
+        The batch path amortises structural work: element fingerprints
+        are computed once per subtree and the matchers' fingerprint-
+        keyed caches persist across the whole batch (and across any
+        repository drains evolution triggers mid-batch), so repeated
+        structures in a stream cost one DP run total.
+        """
         return [self.process(document) for document in documents]
 
     # ------------------------------------------------------------------
@@ -249,19 +287,18 @@ class XMLSource:
         evolution is *not* re-triggered while draining, to keep the
         drain a single pass.
         """
-        recovered_documents, _remaining = self.repository.drain_if(
-            lambda document: self.classifier.classify(document).accepted
-        )
-        for document in recovered_documents:
+        recovered = 0
+        for document in self.repository.take_all():
             classification = self.classifier.classify(document)
-            if classification.dtd_name is None:  # pragma: no cover - raced
+            if classification.dtd_name is None:
                 self.repository.add(document)
                 continue
+            recovered += 1
             evaluation = (
                 classification.evaluation if self.tag_matcher is None else None
             )
             self.recorders[classification.dtd_name].record(document, evaluation)
-        return len(recovered_documents)
+        return recovered
 
     def __repr__(self) -> str:
         return (

@@ -61,10 +61,14 @@ class Recorder:
         self,
         extended: ExtendedDTD,
         config: SimilarityConfig = SimilarityConfig(),
+        matcher: Optional[StructureMatcher] = None,
     ):
         self.extended = extended
         self.config = config
-        self._matcher = StructureMatcher(extended.dtd, config)
+        # an injected matcher lets the pipeline share fast-path settings
+        # and perf counters; recording always matches tags exactly, so
+        # callers must not pass a thesaurus-backed matcher here
+        self._matcher = matcher or StructureMatcher(extended.dtd, config)
 
     # ------------------------------------------------------------------
 

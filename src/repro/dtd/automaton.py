@@ -346,6 +346,9 @@ class Validator:
     def __init__(self, dtd: DTD):
         self.dtd = dtd
         self._automata: Dict[str, ContentAutomaton] = {}
+        # per-declaration facts consulted on every element check:
+        # (is_any, is_empty, allows_pcdata, is_mixed, declared_labels)
+        self._decl_facts: Dict[str, Tuple[bool, bool, bool, bool, FrozenSet[str]]] = {}
 
     def _automaton(self, name: str) -> Optional[ContentAutomaton]:
         if name not in self._automata:
@@ -354,6 +357,22 @@ class Validator:
                 return None
             self._automata[name] = ContentAutomaton(decl.content)
         return self._automata[name]
+
+    def _facts(self, name: str) -> Optional[Tuple[bool, bool, bool, bool, FrozenSet[str]]]:
+        facts = self._decl_facts.get(name)
+        if facts is None:
+            decl = self.dtd.get(name)
+            if decl is None:
+                return None
+            facts = (
+                decl.is_any,
+                decl.is_empty,
+                cm.contains_pcdata(decl.content),
+                decl.is_mixed,
+                decl.declared_labels(),
+            )
+            self._decl_facts[name] = facts
+        return facts
 
     def validate(self, document: Document, check_root: bool = True) -> ValidationReport:
         """Validate a whole document.
@@ -385,8 +404,40 @@ class Validator:
         return ValidationReport(violations, checked)
 
     def is_valid(self, document: Document, check_root: bool = True) -> bool:
-        """Boolean shortcut over :meth:`validate`."""
-        return self.validate(document, check_root).is_valid
+        """Boolean equivalent of :meth:`validate`, but fail-fast.
+
+        Stops at the first violation instead of collecting a full
+        report, and skips path-string construction entirely — this is
+        the hot pre-pass of the classification fast path (tier 1), so
+        the invalid case must stay as cheap as the valid one.
+        """
+        if check_root and document.root.tag != self.dtd.root:
+            return False
+        stack: List[Element] = [document.root]
+        while stack:
+            element = stack.pop()
+            if not self._element_is_valid(element):
+                return False
+            stack.extend(element.element_children())
+        return True
+
+    def _element_is_valid(self, element: Element) -> bool:
+        """One element's checks, mirroring :meth:`_check_element` exactly."""
+        facts = self._facts(element.tag)
+        if facts is None:
+            return False
+        is_any, is_empty, allows_pcdata, is_mixed, allowed = facts
+        if is_any:
+            return True
+        if is_empty:
+            return not element.children
+        if not allows_pcdata and element.has_text():
+            return False
+        if is_mixed:
+            return all(child.tag in allowed for child in element.element_children())
+        automaton = self._automaton(element.tag)
+        assert automaton is not None  # decl exists
+        return automaton.accepts(element.child_tags())
 
     def _check_element(self, element: Element, path: str) -> List[Violation]:
         decl = self.dtd.get(element.tag)

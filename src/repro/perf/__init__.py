@@ -1,0 +1,28 @@
+"""Performance instrumentation and fast-path configuration.
+
+The classification/recording hot loop (Figure 1) has a layered fast
+path — see ``docs/API.md`` ("Performance architecture"):
+
+- **Tier 1 — validity short-circuit** (:class:`FastPathConfig`
+  ``.validity_short_circuit``): a linear-time automaton validation
+  replaces the span DP for conforming documents.  Section 3.1 of the
+  paper grounds this: for the global measure, fullness coincides with
+  validity, so a valid document scores exactly 1.0.
+- **Tier 2 — structural interning cache** (``.structural_cache``):
+  matcher results are keyed by ``(declaration, mode, fingerprint)``
+  where the fingerprint is a Merkle-style hash of the element subtree
+  (:meth:`repro.xmltree.document.Element.structure_info`), so identical
+  subtrees across a document *stream* cost one DP run total.
+- **Tier 3 — pruned ranking** (``.pruned_ranking``): the classifier
+  evaluates DTDs best-upper-bound-first and skips any DTD whose bound
+  cannot beat the current best.
+
+All tiers are semantics-preserving: similarities and classification
+decisions are bit-identical with the fast paths on or off (asserted by
+``tests/test_fastpath.py``).  :class:`PerfCounters` proves at runtime
+that the fast paths actually fire.
+"""
+
+from repro.perf.counters import FastPathConfig, PerfCounters
+
+__all__ = ["FastPathConfig", "PerfCounters"]

@@ -1,0 +1,110 @@
+"""Fast-path configuration and hit counters.
+
+Both classes are plumbing shared by the similarity matcher, the
+classifier, and the :class:`repro.core.engine.XMLSource` pipeline; they
+carry no algorithmic behaviour of their own.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple
+
+
+class FastPathConfig(NamedTuple):
+    """Which classification fast paths are active.
+
+    Every tier is exact — disabling them changes speed, never results.
+    Tiers 1 and 3 additionally disable themselves at runtime whenever a
+    non-exact tag matcher (thesaurus) is installed or the similarity
+    weights make the short-circuit unsound (``alpha``/``beta`` of 0),
+    so a config with everything on is always safe to use.
+
+    Parameters
+    ----------
+    validity_short_circuit:
+        Tier 1: run the Glushkov validator before the span DP; a valid
+        document scores 1.0 with a synthesized all-common evaluation.
+    structural_cache:
+        Tier 2: key matcher results by structural fingerprint (LRU
+        bounded by ``structural_cache_size``) instead of element
+        identity, sharing DP runs across identical subtrees and across
+        documents.
+    pruned_ranking:
+        Tier 3: evaluate DTDs best-upper-bound-first in
+        ``Classifier.classify`` and skip DTDs whose bound cannot beat
+        the current best (the full exact ranking stays available — it
+        is realized lazily on access).
+    structural_cache_size:
+        Maximum number of ``(declaration, mode, fingerprint)`` entries
+        retained per matcher before LRU eviction.
+    """
+
+    validity_short_circuit: bool = True
+    structural_cache: bool = True
+    pruned_ranking: bool = True
+    structural_cache_size: int = 4096
+
+    @classmethod
+    def disabled(cls) -> "FastPathConfig":
+        """All fast paths off — the seed code path, for equivalence tests."""
+        return cls(
+            validity_short_circuit=False,
+            structural_cache=False,
+            pruned_ranking=False,
+        )
+
+
+class PerfCounters:
+    """Mutable hit counters for the classification fast paths.
+
+    One instance is shared by a classifier, its matchers, and its
+    recorders, so a single snapshot describes the whole pipeline.
+    Counting is unconditional and cheap (integer increments); benchmarks
+    and tests read the counters to assert the fast paths actually fire.
+    """
+
+    __slots__ = (
+        "documents_classified",
+        "validations",
+        "validity_short_circuits",
+        "synthesized_evaluations",
+        "structural_cache_hits",
+        "structural_cache_misses",
+        "structural_cache_evictions",
+        "bound_skips",
+        "dp_runs",
+        "dp_cells",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        #: documents that went through ``Classifier.classify``
+        self.documents_classified = 0
+        #: tier-1 validator runs attempted
+        self.validations = 0
+        #: tier-1 hits: valid documents that skipped the span DP
+        self.validity_short_circuits = 0
+        #: tier-1 evaluations synthesized without any DP
+        self.synthesized_evaluations = 0
+        #: tier-2 fingerprint-cache hits (a whole DP run avoided)
+        self.structural_cache_hits = 0
+        #: tier-2 fingerprint-cache misses (DP ran, result interned)
+        self.structural_cache_misses = 0
+        #: tier-2 LRU evictions
+        self.structural_cache_evictions = 0
+        #: tier-3 DTDs skipped because their bound could not win
+        self.bound_skips = 0
+        #: span-DP invocations (one per element-against-declaration)
+        self.dp_runs = 0
+        #: span-DP memo cells computed (the quadratic work unit)
+        self.dp_cells = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """A plain-dict copy (stable key order, JSON-friendly)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.snapshot().items() if v)
+        return f"PerfCounters({inner})"

@@ -26,6 +26,7 @@ from repro.similarity.evaluation import (
     evaluate_document,
     similarity,
     local_similarity,
+    valid_document_evaluation,
 )
 from repro.similarity.tags import TagMatcher, ExactTagMatcher, ThesaurusTagMatcher
 
@@ -38,6 +39,7 @@ __all__ = [
     "evaluate_document",
     "similarity",
     "local_similarity",
+    "valid_document_evaluation",
     "TagMatcher",
     "ExactTagMatcher",
     "ThesaurusTagMatcher",

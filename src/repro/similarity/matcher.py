@@ -45,10 +45,12 @@ recording and evolution granularity.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.dtd import content_model as cm
 from repro.dtd.dtd import DTD
+from repro.perf import FastPathConfig, PerfCounters
 from repro.similarity.tags import ExactTagMatcher, TagMatcher
 from repro.similarity.triple import EvalTriple, SimilarityConfig, best
 from repro.xmltree.document import Element, Text
@@ -104,6 +106,15 @@ class StructureMatcher:
     tag_matcher:
         Tag equality policy; defaults to exact matching.  A thesaurus
         matcher (Section 6 extension) discounts synonym matches.
+    fastpath:
+        Fast-path switches (see :class:`repro.perf.FastPathConfig`).
+        Only ``structural_cache`` matters at this layer: when on, DP
+        results are interned by ``(declaration, mode, fingerprint)`` in
+        an LRU that survives :meth:`clear_cache`, so identical subtrees
+        across a document stream cost one DP run total.
+    counters:
+        Optional shared :class:`repro.perf.PerfCounters`; the matcher
+        bumps cache-hit and DP counters into it.
     """
 
     def __init__(
@@ -111,19 +122,43 @@ class StructureMatcher:
         dtd: DTD,
         config: SimilarityConfig = SimilarityConfig(),
         tag_matcher: Optional[TagMatcher] = None,
+        fastpath: Optional[FastPathConfig] = None,
+        counters: Optional[PerfCounters] = None,
     ):
         self.dtd = dtd
         self.config = config
         self.tags = tag_matcher or ExactTagMatcher()
+        self.fastpath = fastpath or FastPathConfig()
+        self.counters = counters
         self._min_weight_cache: Dict[str, float] = {}
         # keyed by id(element); the element itself is kept as a strong
         # reference so a recycled id can never alias a freed element
         self._global_cache: Dict[int, Tuple[Element, EvalTriple]] = {}
+        # tier 2: (decl name, mode, structural fingerprint) -> triple,
+        # LRU-bounded; structural keys are value-based, so entries stay
+        # correct across documents and across repository drains
+        self._structural_cache: "OrderedDict[Tuple[str, str, bytes], EvalTriple]" = (
+            OrderedDict()
+        )
+        # segment caps are a pure function of the model subtree; the
+        # body tree is pinned alongside the cap so a GC'd-and-recycled
+        # id can never alias (mirrors _global_cache's pinning)
+        self._segment_cap_cache: Dict[int, Tuple[Tree, int]] = {}
 
     def clear_cache(self) -> None:
-        """Drop per-element memoisation (call between unrelated documents
-        to bound memory; declaration-level caches are kept)."""
+        """Drop per-element (identity-keyed) memoisation — call between
+        unrelated documents when the structural cache is off.
+
+        The fingerprint-keyed structural cache is *not* dropped: its
+        keys are value-based and LRU-bounded, so it is both correct and
+        memory-safe across documents (that persistence is the point of
+        tier 2).  Use :meth:`clear_structural_cache` for a full reset.
+        """
         self._global_cache.clear()
+
+    def clear_structural_cache(self) -> None:
+        """Drop the fingerprint-keyed LRU as well (tests, memory audits)."""
+        self._structural_cache.clear()
 
     # ------------------------------------------------------------------
     # Public API
@@ -155,19 +190,55 @@ class StructureMatcher:
         its own tag's (the classifier uses it to anchor a document root
         onto the DTD root even when tags differ).
         """
-        if mode == "global" and decl_name == element.tag:
+        counters = self.counters
+        # the id-keyed per-document cache is consulted *first* even with
+        # the structural cache on: beyond max_depth the DP truncates, so
+        # an element's triple depends on the depth of the first call for
+        # it in this session (document_triple populates these at actual
+        # tree depths; evaluate_document's depth-0 re-reads must see the
+        # same values the legacy path serves)
+        use_id_cache = mode == "global" and decl_name == element.tag
+        if use_id_cache:
             cached = self._global_cache.get(id(element))
             if cached is not None and cached[0] is element:
                 return cached[1]
+        structural_key: Optional[Tuple[str, str, bytes]] = None
+        if self.fastpath.structural_cache:
+            info = element.structure_info()
+            # local triples never recurse, so they are depth-free; global
+            # triples are depth-free only while the max_depth recursion
+            # guard cannot fire anywhere below this element — outside
+            # that window the result depends on the depth it was
+            # computed at and must not be shared
+            if mode == "local" or depth + info.height < self.config.max_depth:
+                structural_key = (decl_name, mode, info.fingerprint)
+                cached_triple = self._structural_cache.get(structural_key)
+                if cached_triple is not None:
+                    self._structural_cache.move_to_end(structural_key)
+                    if counters is not None:
+                        counters.structural_cache_hits += 1
+                    if use_id_cache:
+                        self._global_cache[id(element)] = (element, cached_triple)
+                    return cached_triple
+                if counters is not None:
+                    counters.structural_cache_misses += 1
         decl = self.dtd.get(decl_name)
         if decl is None:
             items = self._items(element, mode)
             return EvalTriple(plus=sum(item.weight for item in items))
         items = self._items(element, mode)
+        if counters is not None:
+            counters.dp_runs += 1
         triple = _SpanMatcher(self, items, mode, depth).match(
             decl.content, 0, len(items)
         )
-        if mode == "global" and decl_name == element.tag:
+        if structural_key is not None:
+            self._structural_cache[structural_key] = triple
+            if len(self._structural_cache) > self.fastpath.structural_cache_size:
+                self._structural_cache.popitem(last=False)
+                if counters is not None:
+                    counters.structural_cache_evictions += 1
+        if use_id_cache:
             self._global_cache[id(element)] = (element, triple)
         return triple
 
@@ -214,10 +285,18 @@ class StructureMatcher:
         return candidates[0] if candidates else None
 
     def _items(self, element: Element, mode: str) -> List[_Item]:
+        # structure_info().weight equals subtree_weight() exactly (both
+        # sum the same integers); the cached form is O(1) amortised
+        use_cached_weight = self.fastpath.structural_cache
         items: List[_Item] = []
         for child in element.children:
             if isinstance(child, Element):
-                weight = subtree_weight(child) if mode == "global" else 1.0
+                if mode != "global":
+                    weight = 1.0
+                elif use_cached_weight:
+                    weight = child.structure_info().weight
+                else:
+                    weight = subtree_weight(child)
                 items.append(_Item(child.tag, child, weight))
             elif child.value.strip():
                 items.append(_Item(_TEXT_TAG, None, 1.0))
@@ -282,8 +361,10 @@ class _SpanMatcher:
         self.mode = mode
         self.depth = depth
         self.config = owner.config
-        self._memo: Dict[Tuple[int, int, int], EvalTriple] = {}
-        self._segment_caps: Dict[int, int] = {}
+        # memo values pin the model vertex they were computed for, so a
+        # recycled id can never alias a collected tree (mirrors the
+        # owner's _global_cache pinning)
+        self._memo: Dict[Tuple[int, int, int], Tuple[Tree, EvalTriple]] = {}
         # prefix sums of item weights for O(1) span-plus costs
         self._prefix = [0.0]
         for item in items:
@@ -313,13 +394,18 @@ class _SpanMatcher:
         alignment score.  Unbounded bodies get no cap.  This turns the
         repetition DP from O(n^2) segments into O(n·cap) on the wide,
         flat elements real documents have.
+
+        The cap is a pure function of the model subtree, so it is
+        cached on the owner (shared across DP runs) with the body tree
+        pinned against id recycling.
         """
-        cached = self._segment_caps.get(id(body))
-        if cached is not None:
-            return cached
+        cache = self.owner._segment_cap_cache
+        cached = cache.get(id(body))
+        if cached is not None and cached[0] is body:
+            return cached[1]
         max_length = _max_word_length(body)
         cap = (1 << 30) if max_length is None else 3 * max_length + 4
-        self._segment_caps[id(body)] = cap
+        cache[id(body)] = (body, cap)
         return cap
 
     # -- the DP --------------------------------------------------------
@@ -327,10 +413,13 @@ class _SpanMatcher:
     def match(self, model: Tree, lo: int, hi: int) -> EvalTriple:
         key = (id(model), lo, hi)
         cached = self._memo.get(key)
-        if cached is not None:
-            return cached
+        if cached is not None and cached[0] is model:
+            return cached[1]
         result = self._compute(model, lo, hi)
-        self._memo[key] = result
+        self._memo[key] = (model, result)
+        counters = self.owner.counters
+        if counters is not None:
+            counters.dp_cells += 1
         return result
 
     def _compute(self, model: Tree, lo: int, hi: int) -> EvalTriple:

@@ -12,7 +12,13 @@ The paper represents both XML documents and DTDs as labeled trees
 """
 
 from repro.xmltree.tree import Tree
-from repro.xmltree.document import Document, Element, Text, PCDATA_LABEL
+from repro.xmltree.document import (
+    Document,
+    Element,
+    StructureInfo,
+    Text,
+    PCDATA_LABEL,
+)
 from repro.xmltree.parser import parse_document, parse_fragment, XMLParser
 from repro.xmltree.serializer import serialize_document, serialize_element
 from repro.xmltree.paths import select, select_one, PathSyntaxError
@@ -21,6 +27,7 @@ __all__ = [
     "Tree",
     "Document",
     "Element",
+    "StructureInfo",
     "Text",
     "PCDATA_LABEL",
     "parse_document",

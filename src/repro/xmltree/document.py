@@ -13,7 +13,8 @@ paper — the structural algorithms operate on the element hierarchy only.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Union
+import hashlib
+from typing import Dict, Iterator, List, NamedTuple, Optional, Sequence, Union
 
 from repro.xmltree.tree import Tree
 
@@ -21,6 +22,32 @@ from repro.xmltree.tree import Tree
 #: In the *document* view, text leaves are labeled with their value,
 #: matching Figure 2(b) of the paper where ``<b>5</b>`` yields leaf "5".
 PCDATA_LABEL = "#PCDATA"
+
+
+class StructureInfo(NamedTuple):
+    """Merkle-style summary of an element subtree.
+
+    ``fingerprint`` hashes exactly the structure the similarity matcher
+    sees: the tag, plus the ordered sequence of element-child
+    fingerprints and non-whitespace text markers (text *values* are
+    deliberately excluded — the matcher scores every text item as one
+    ``#PCDATA`` unit regardless of content).  Two subtrees with equal
+    fingerprints therefore receive identical evaluation triples against
+    any declaration, which is what lets matcher caches key on
+    fingerprints instead of object identity.
+
+    ``height`` is the element-edge height (a childless element has
+    height 0) and ``weight`` the subtree weight — element vertices plus
+    non-whitespace text leaves, the same value as
+    :func:`repro.similarity.matcher.subtree_weight`.
+    """
+
+    fingerprint: bytes
+    height: int
+    weight: float
+
+
+_TEXT_MARK = b"\x00T"
 
 
 class Text:
@@ -57,7 +84,7 @@ class Element:
     ['b']
     """
 
-    __slots__ = ("tag", "attributes", "children")
+    __slots__ = ("tag", "attributes", "children", "_structure")
 
     def __init__(
         self,
@@ -68,6 +95,7 @@ class Element:
         self.tag = tag
         self.attributes: Dict[str, str] = dict(attributes) if attributes else {}
         self.children: List[Child] = list(children) if children else []
+        self._structure: Optional[StructureInfo] = None
 
     # ------------------------------------------------------------------
     # Navigation
@@ -119,12 +147,69 @@ class Element:
         return 1 + sum(child.element_count() for child in self.element_children())
 
     # ------------------------------------------------------------------
+    # Structural fingerprinting
+    # ------------------------------------------------------------------
+
+    def structure_info(self) -> StructureInfo:
+        """The cached :class:`StructureInfo` of this subtree.
+
+        Computed once per element (Merkle-style, bottom-up: each
+        element hashes its tag with its children's fingerprints) and
+        cached on the instance; subtrees shared across a stream of
+        documents are recognised in O(1) after the first pass.
+
+        The cache assumes the subtree is no longer mutated — the
+        pipeline treats parsed documents as immutable.  Code that *does*
+        rewrite a document in place (the adapters mutate fresh copies,
+        which is always safe) must call
+        :meth:`invalidate_structure_info` afterwards.
+        """
+        info = self._structure
+        if info is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(self.tag.encode("utf-8"))
+            digest.update(b"\x00(")
+            height = 0
+            weight = 1.0
+            for child in self.children:
+                if isinstance(child, Element):
+                    child_info = child.structure_info()
+                    digest.update(b"E")
+                    digest.update(child_info.fingerprint)
+                    if child_info.height >= height:
+                        height = child_info.height + 1
+                    weight += child_info.weight
+                elif child.value.strip():
+                    digest.update(_TEXT_MARK)
+                    weight += 1.0
+            info = StructureInfo(digest.digest(), height, weight)
+            self._structure = info
+        return info
+
+    def structural_fingerprint(self) -> bytes:
+        """Shortcut for ``structure_info().fingerprint``."""
+        return self.structure_info().fingerprint
+
+    def invalidate_structure_info(self) -> None:
+        """Drop cached structure info for this subtree (recursive).
+
+        Call after mutating an element whose info may already have been
+        computed; ancestors must be invalidated by the caller (elements
+        hold no parent links).
+        """
+        self._structure = None
+        for child in self.children:
+            if isinstance(child, Element):
+                child.invalidate_structure_info()
+
+    # ------------------------------------------------------------------
     # Construction / transformation
     # ------------------------------------------------------------------
 
     def append(self, child: Child) -> "Element":
         """Append a child and return ``self`` (chainable)."""
         self.children.append(child)
+        self._structure = None
         return self
 
     def copy(self) -> "Element":
