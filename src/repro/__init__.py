@@ -24,7 +24,9 @@ Quickstart::
 Subpackages: :mod:`repro.xmltree` and :mod:`repro.dtd` (substrates),
 :mod:`repro.similarity` (classification measure), :mod:`repro.mining`
 (association rules), :mod:`repro.core` (recording + evolution + the
-pipeline engine), :mod:`repro.classification`, :mod:`repro.generators`,
+pipeline engine), :mod:`repro.pipeline` (the staged Figure-1 loop and
+its lifecycle event bus), :mod:`repro.classification` (classifier,
+repository, pluggable document stores), :mod:`repro.generators`,
 :mod:`repro.baselines`, :mod:`repro.metrics`.
 """
 
@@ -54,6 +56,7 @@ from repro.similarity import (
     local_similarity,
 )
 from repro.classification import Classifier, Repository
+from repro.classification.stores import DocumentStore, JsonlStore, MemoryStore
 from repro.core import (
     ExtendedDTD,
     Recorder,
@@ -64,6 +67,7 @@ from repro.core import (
     build_structure,
     XMLSource,
 )
+from repro.pipeline import EventBus, Pipeline
 from repro.errors import ReproError
 
 __version__ = "1.0.0"
@@ -90,6 +94,11 @@ __all__ = [
     "local_similarity",
     "Classifier",
     "Repository",
+    "DocumentStore",
+    "MemoryStore",
+    "JsonlStore",
+    "EventBus",
+    "Pipeline",
     "ExtendedDTD",
     "Recorder",
     "Window",

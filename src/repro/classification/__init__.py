@@ -11,10 +11,26 @@ numeric rank in the range [0, 1]."
   against every DTD of the source and applies the threshold ``sigma``;
 - :class:`~repro.classification.repository.Repository` holds the
   documents no DTD describes well enough, for later re-classification
-  against the evolved DTD set.
+  against the evolved DTD set;
+- :mod:`repro.classification.stores` supplies the pluggable storage
+  backends the repository delegates to (in-memory or spill-to-disk).
 """
 
 from repro.classification.classifier import Classifier, ClassificationResult
 from repro.classification.repository import Repository
+from repro.classification.stores import (
+    DocumentStore,
+    JsonlStore,
+    MemoryStore,
+    make_store,
+)
 
-__all__ = ["Classifier", "ClassificationResult", "Repository"]
+__all__ = [
+    "Classifier",
+    "ClassificationResult",
+    "Repository",
+    "DocumentStore",
+    "MemoryStore",
+    "JsonlStore",
+    "make_store",
+]

@@ -6,65 +6,57 @@ classified again against the restructured set of DTDs in order to check
 whether the similarity is now above the threshold ``sigma`` for some DTD
 in the source so that the document can be considered as instance of such
 DTD."
+
+The repository itself is policy only; the actual document storage is a
+pluggable :class:`~repro.classification.stores.DocumentStore` (in-memory
+by default, spill-to-disk via
+:class:`~repro.classification.stores.JsonlStore`).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, List, Tuple
+from typing import Iterator, List, Optional
 
+from repro.classification.stores import DocumentStore, DrainPredicate, MemoryStore
 from repro.xmltree.document import Document
 
 
 class Repository:
     """An ordered store of documents no DTD currently describes."""
 
-    def __init__(self):
-        self._documents: List[Document] = []
+    def __init__(self, store: Optional[DocumentStore] = None):
+        self._store: DocumentStore = store if store is not None else MemoryStore()
+
+    @property
+    def store(self) -> DocumentStore:
+        """The backing :class:`DocumentStore`."""
+        return self._store
 
     def add(self, document: Document) -> None:
-        self._documents.append(document)
+        self._store.add(document)
 
     def __len__(self) -> int:
-        return len(self._documents)
+        return len(self._store)
 
     def __iter__(self) -> Iterator[Document]:
-        return iter(self._documents)
+        return iter(self._store)
 
     def is_empty(self) -> bool:
-        return not self._documents
+        return len(self._store) == 0
 
-    def drain_if(
-        self, accepts: Callable[[Document], bool]
-    ) -> Tuple[List[Document], int]:
-        """Remove and return the documents ``accepts`` now classifies.
+    def drain(self, accepts: Optional[DrainPredicate] = None) -> List[Document]:
+        """Remove and return documents, for re-triage after an evolution.
 
-        Returns (accepted documents, number still held).  Used after
-        every evolution to re-try the repository against the evolved
-        DTD set.
+        The one drain semantics of the store protocol: with no predicate
+        every held document is removed and returned (the engine's drain —
+        each document is then classified exactly once per pass); with an
+        ``accepts`` predicate only matching documents are removed, and
+        the rest stay, in order.
         """
-        accepted: List[Document] = []
-        remaining: List[Document] = []
-        for document in self._documents:
-            if accepts(document):
-                accepted.append(document)
-            else:
-                remaining.append(document)
-        self._documents = remaining
-        return accepted, len(remaining)
-
-    def take_all(self) -> List[Document]:
-        """Remove and return every held document (drain for re-triage).
-
-        Unlike :meth:`drain_if`, the caller decides each document's
-        fate — used by the engine to classify each repository document
-        exactly once per drain.
-        """
-        documents = self._documents
-        self._documents = []
-        return documents
+        return self._store.drain(accepts)
 
     def clear(self) -> None:
-        self._documents.clear()
+        self._store.clear()
 
     def __repr__(self) -> str:
-        return f"Repository({len(self._documents)} documents)"
+        return f"Repository({len(self._store)} documents)"

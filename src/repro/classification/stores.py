@@ -1,0 +1,198 @@
+"""Pluggable document stores backing the repository.
+
+The repository of Section 2 is, operationally, an ordered multiset of
+documents with exactly three lifecycle operations: *deposit* (a document
+no DTD describes well enough), *inspection* (iteration, for snapshots
+and clustering), and *drain* (remove documents for re-classification
+after an evolution).  :class:`DocumentStore` captures that contract so
+the backing representation can vary without touching the pipeline:
+
+- :class:`MemoryStore` — a plain in-process list (the seed behaviour);
+- :class:`JsonlStore` — spill-to-disk, one JSON-encoded XML document per
+  line, so a very large repository does not live in RAM.
+
+Drain semantics (the single, consolidated API): ``drain(accepts=None)``
+removes and returns the documents ``accepts`` matches — all of them when
+``accepts`` is ``None`` — while non-matching documents stay, in order.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Callable, Iterator, List, Optional, Union
+
+try:  # Protocol is typing-only plumbing; 3.9+ always has it
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - pre-3.8 fallback, never hit
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+
+from repro.xmltree.document import Document
+from repro.xmltree.parser import parse_document
+from repro.xmltree.serializer import serialize_document
+
+#: what an ``accepts`` predicate looks like
+DrainPredicate = Callable[[Document], bool]
+
+
+@runtime_checkable
+class DocumentStore(Protocol):
+    """The storage contract behind :class:`~repro.classification.repository.Repository`.
+
+    Implementations must preserve insertion order and must not copy
+    semantics: a drained document is *gone* from the store (disk-backed
+    stores return structurally identical re-parsed documents).
+    """
+
+    def add(self, document: Document) -> None:
+        """Append one document."""
+
+    def __len__(self) -> int:
+        """Number of documents currently held."""
+
+    def __iter__(self) -> Iterator[Document]:
+        """Iterate the held documents in insertion order (no removal)."""
+
+    def drain(self, accepts: Optional[DrainPredicate] = None) -> List[Document]:
+        """Remove and return matching documents (all when ``accepts`` is
+        ``None``); non-matching documents stay, in order."""
+
+    def clear(self) -> None:
+        """Discard every held document."""
+
+
+class MemoryStore:
+    """The in-RAM store — a plain ordered list (the seed behaviour)."""
+
+    def __init__(self) -> None:
+        self._documents: List[Document] = []
+
+    def add(self, document: Document) -> None:
+        self._documents.append(document)
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self._documents)
+
+    def drain(self, accepts: Optional[DrainPredicate] = None) -> List[Document]:
+        if accepts is None:
+            drained = self._documents
+            self._documents = []
+            return drained
+        drained: List[Document] = []
+        remaining: List[Document] = []
+        for document in self._documents:
+            (drained if accepts(document) else remaining).append(document)
+        self._documents = remaining
+        return drained
+
+    def clear(self) -> None:
+        self._documents.clear()
+
+    def __repr__(self) -> str:
+        return f"MemoryStore({len(self._documents)} documents)"
+
+
+class JsonlStore:
+    """A spill-to-disk store: one JSON-encoded XML document per line.
+
+    Documents are serialized on :meth:`add` and re-parsed on access, so
+    only a line count lives in RAM; a million-document repository costs
+    a file, not a heap.  Opening an existing path resumes it (the line
+    count is recovered by scanning once).
+
+    When ``path`` is omitted a private temporary file is created and
+    removed again by :meth:`close`.
+    """
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        if path is None:
+            handle, path = tempfile.mkstemp(prefix="repro-repository-", suffix=".jsonl")
+            os.close(handle)
+            self._owns_path = True
+        else:
+            self._owns_path = False
+        self.path = path
+        self._count = 0
+        if os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as lines:
+                self._count = sum(1 for line in lines if line.strip())
+        else:  # make the file exist so iteration/drain never special-case
+            open(path, "w", encoding="utf-8").close()
+
+    def add(self, document: Document) -> None:
+        xml = serialize_document(document, xml_declaration=False)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(xml) + "\n")
+        self._count += 1
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[Document]:
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                if line.strip():
+                    yield parse_document(json.loads(line))
+
+    def drain(self, accepts: Optional[DrainPredicate] = None) -> List[Document]:
+        documents = list(self)
+        if accepts is None:
+            drained, remaining = documents, []
+        else:
+            drained, remaining = [], []
+            for document in documents:
+                (drained if accepts(document) else remaining).append(document)
+        with open(self.path, "w", encoding="utf-8") as handle:
+            for document in remaining:
+                xml = serialize_document(document, xml_declaration=False)
+                handle.write(json.dumps(xml) + "\n")
+        self._count = len(remaining)
+        return drained
+
+    def clear(self) -> None:
+        open(self.path, "w", encoding="utf-8").close()
+        self._count = 0
+
+    def close(self) -> None:
+        """Delete the backing file if this store created it."""
+        if self._owns_path and os.path.exists(self.path):
+            os.remove(self.path)
+        self._count = 0
+
+    def __repr__(self) -> str:
+        return f"JsonlStore({self._count} documents at {self.path!r})"
+
+
+#: the named backends ``make_store`` (and the CLI ``--store`` flag) accept
+STORE_KINDS = ("memory", "jsonl")
+
+
+def store_kind(store: DocumentStore) -> str:
+    """The snapshot tag for a store instance (unknown backends persist
+    as ``memory`` — the documents themselves are always inlined)."""
+    return "jsonl" if isinstance(store, JsonlStore) else "memory"
+
+
+def make_store(
+    spec: Union[None, str, DocumentStore] = None, path: Optional[str] = None
+) -> DocumentStore:
+    """Resolve a store spec: ``None``/``"memory"`` → :class:`MemoryStore`,
+    ``"jsonl"`` → :class:`JsonlStore` (optionally at ``path``), and any
+    :class:`DocumentStore` instance passes through unchanged."""
+    if spec is None or spec == "memory":
+        return MemoryStore()
+    if spec == "jsonl":
+        return JsonlStore(path)
+    if isinstance(spec, str):
+        raise ValueError(
+            f"unknown store kind {spec!r} (expected one of {', '.join(STORE_KINDS)})"
+        )
+    return spec

@@ -12,11 +12,16 @@ Subcommands::
     dtdevolve infer docs...
         Infer a DTD from scratch (the XTRACT-style baseline).
 
-    dtdevolve run --state state.json [--dtd schema.dtd] [--triggers rules.txt] docs...
+    dtdevolve run --state state.json [--dtd schema.dtd] [--triggers rules.txt]
+                  [--store {memory,jsonl}] [--checkpoint-every N]
+                  [--no-fastpath] [--report-perf] docs...
         Drive the full pipeline statefully: load (or initialise) a
         source snapshot, process the documents — classifying, recording
         and auto-evolving — and write the snapshot back.  Prints the
-        outcome per document and any evolutions.
+        outcome per document and any evolutions.  ``--store`` picks the
+        repository backend, ``--checkpoint-every`` snapshots mid-run,
+        ``--no-fastpath`` forces the reference classification path, and
+        ``--report-perf`` prints the fast-path hit counters.
 
     dtdevolve adapt --dtd schema.dtd docs...
         Adapt each document to the DTD (Section 6); writes the adapted
@@ -92,17 +97,22 @@ def _cmd_infer(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    import json
     import os
 
     from repro.core.engine import XMLSource
     from repro.core.persistence import load_source, save_source
+    from repro.perf import FastPathConfig
     from repro.triggers.trigger import TriggerSet
 
     triggers = None
     if args.triggers:
         triggers = TriggerSet.parse(_read(args.triggers))
+    fastpath = FastPathConfig.disabled() if args.no_fastpath else None
     if os.path.exists(args.state):
-        source = load_source(args.state, triggers=triggers)
+        source = load_source(
+            args.state, triggers=triggers, fastpath=fastpath, store=args.store
+        )
     else:
         if not args.dtd:
             print(
@@ -114,9 +124,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
             sigma=args.sigma, tau=args.tau, psi=args.psi, mu=args.mu,
             min_documents=args.min_documents,
         )
-        source = XMLSource([parse_dtd(_read(args.dtd))], config, triggers=triggers)
-    for path in args.documents:
-        outcome = source.process(parse_document(_read(path)))
+        source = XMLSource(
+            [parse_dtd(_read(args.dtd))],
+            config,
+            triggers=triggers,
+            fastpath=fastpath,
+            store=args.store,
+        )
+    outcomes = source.process_many(
+        [parse_document(_read(path)) for path in args.documents],
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_path=args.state,
+    )
+    for path, outcome in zip(args.documents, outcomes):
         target = outcome.dtd_name or "<repository>"
         line = f"{path}: {target} (similarity {outcome.similarity:.3f})"
         if outcome.evolved:
@@ -126,6 +146,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         sys.stdout.write(serialize_dtd(source.dtd(name)))
     save_source(source, args.state)
     print(f"state saved to {args.state}", file=sys.stderr)
+    if args.report_perf:
+        print(json.dumps(source.perf_snapshot(), indent=1))
     return 0
 
 
@@ -182,6 +204,32 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--psi", type=float, default=0.2)
     run.add_argument("--mu", type=float, default=0.0)
     run.add_argument("--min-documents", type=int, default=10, dest="min_documents")
+    run.add_argument(
+        "--store",
+        choices=["memory", "jsonl"],
+        default=None,
+        help="repository backend (default: what the snapshot used, or memory)",
+    )
+    run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        dest="checkpoint_every",
+        metavar="N",
+        help="snapshot the state file after every N documents (0 = only at the end)",
+    )
+    run.add_argument(
+        "--no-fastpath",
+        action="store_true",
+        dest="no_fastpath",
+        help="disable the exact classification fast paths (reference code path)",
+    )
+    run.add_argument(
+        "--report-perf",
+        action="store_true",
+        dest="report_perf",
+        help="print the fast-path hit counters (perf_snapshot) after the run",
+    )
     run.add_argument("documents", nargs="+", help="XML document files")
     run.set_defaults(handler=_cmd_run)
 

@@ -14,8 +14,9 @@ Modules, following the phases of Figure 1:
 - :mod:`repro.core.structure_builder` — exhaustive policy application
   rebuilding an element's declaration (new window);
 - :mod:`repro.core.evolution` — the evolution phase over a whole DTD;
-- :mod:`repro.core.engine` — the end-to-end source pipeline
-  (classify → record → check → evolve → re-classify repository).
+- :mod:`repro.core.engine` — the end-to-end source facade
+  (classify → record → check → evolve → re-classify repository), a thin
+  front over the composable stages of :mod:`repro.pipeline`.
 """
 
 from repro.core.extended_dtd import ExtendedDTD, ElementRecord, ValidLabelStats, PlusLabelStats
@@ -25,7 +26,7 @@ from repro.core.restriction import restrict_operators
 from repro.core.policies import Policy, EvolutionContext, default_policies, basic_policies
 from repro.core.structure_builder import build_structure
 from repro.core.evolution import EvolutionConfig, EvolutionResult, ElementAction, evolve_dtd
-from repro.core.engine import XMLSource, ProcessOutcome
+from repro.core.engine import XMLSource, ProcessOutcome, EvolutionEvent
 
 __all__ = [
     "ExtendedDTD",
@@ -49,4 +50,5 @@ __all__ = [
     "evolve_dtd",
     "XMLSource",
     "ProcessOutcome",
+    "EvolutionEvent",
 ]

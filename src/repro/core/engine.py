@@ -9,6 +9,15 @@ unclassified documents, and the iterated loop of the approach:
 "This cycle includes all the activities in our approach, but the ones
 in the initialization phase."
 
+The class is a thin facade: the loop itself lives in
+:mod:`repro.pipeline` as composable stages driven by a
+:class:`~repro.pipeline.stages.Pipeline`, every phase transition is
+announced on the :attr:`XMLSource.events` bus, and the repository's
+documents live in a pluggable
+:class:`~repro.classification.stores.DocumentStore`.  The facade keeps
+the paper's Figure-1 vocabulary — ``process`` *is* the cycle — while the
+pipeline underneath stays open for recomposition.
+
 Usage::
 
     source = XMLSource([dtd], EvolutionConfig(sigma=0.4, tau=0.1))
@@ -16,47 +25,32 @@ Usage::
         outcome = source.process(document)
     source.dtd("catalog")          # the current (possibly evolved) DTD
     source.evolution_log           # every evolution that happened
+
+    from repro.pipeline import EvolutionFinished
+    source.events.subscribe(EvolutionFinished, print)   # observe the loop
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, NamedTuple, Optional
+from typing import Dict, Iterable, List, Optional, Union
 
 from repro.classification.classifier import ClassificationResult, Classifier
 from repro.classification.repository import Repository
-from repro.core.evolution import EvolutionConfig, EvolutionResult, evolve_dtd
+from repro.classification.stores import DocumentStore, make_store
+from repro.core.evolution import EvolutionConfig
 from repro.core.extended_dtd import ExtendedDTD
 from repro.core.recorder import Recorder
 from repro.dtd.dtd import DTD
 from repro.perf import FastPathConfig, PerfCounters
+from repro.pipeline.context import EvolutionEvent, ProcessOutcome
+from repro.pipeline.events import EventBus, RepositoryDrained
+from repro.pipeline.stages import Pipeline
 from repro.similarity.matcher import StructureMatcher
 from repro.similarity.tags import TagMatcher
 from repro.similarity.triple import SimilarityConfig
 from repro.xmltree.document import Document
 
-
-class ProcessOutcome(NamedTuple):
-    """What happened to one processed document."""
-
-    document: Document
-    #: the DTD the document was classified into (None → repository)
-    dtd_name: Optional[str]
-    similarity: float
-    #: names of DTDs whose evolution this document triggered
-    evolved: List[str]
-    #: documents recovered from the repository by those evolutions
-    recovered: int
-
-
-class EvolutionEvent(NamedTuple):
-    """One entry of the evolution log."""
-
-    dtd_name: str
-    #: how many documents had been recorded when the trigger fired
-    documents_recorded: int
-    activation_score: float
-    result: EvolutionResult
-    recovered_from_repository: int
+__all__ = ["XMLSource", "ProcessOutcome", "EvolutionEvent"]
 
 
 class XMLSource:
@@ -70,6 +64,7 @@ class XMLSource:
         auto_evolve: bool = True,
         triggers: Optional["TriggerSet"] = None,
         fastpath: Optional[FastPathConfig] = None,
+        store: Union[None, str, DocumentStore] = None,
     ):
         self.config = config
         self.similarity_config = SimilarityConfig(config.alpha, config.beta)
@@ -95,7 +90,10 @@ class XMLSource:
         self.recorders: Dict[str, Recorder] = {}
         for name in self.classifier.dtd_names():
             self._install(self.classifier.dtd(name))
-        self.repository = Repository()
+        #: unclassified documents, backed by the configured store
+        #: (``None``/``"memory"`` in RAM, ``"jsonl"`` spilled to disk, or
+        #: any :class:`DocumentStore` instance)
+        self.repository = Repository(make_store(store))
         self.evolution_log: List[EvolutionEvent] = []
         #: check the activation condition after every document; turn off
         #: to drive evolution manually via :meth:`evolve_now`
@@ -104,6 +102,14 @@ class XMLSource:
         #: (Section 6's "evolution trigger language")
         self.triggers = triggers
         self.documents_processed = 0
+        #: the lifecycle event bus — register observers here (see
+        #: :mod:`repro.pipeline.events`)
+        self.events = EventBus()
+        # the evolution log is itself a bus subscriber: every drain that
+        # closes an evolution carries the completed log entry
+        self.events.subscribe(RepositoryDrained, self._log_evolution)
+        #: the staged Figure-1 loop this facade delegates to
+        self.pipeline = Pipeline(self, self.events)
 
     def _install(self, dtd: DTD) -> None:
         extended = ExtendedDTD(dtd)
@@ -120,6 +126,10 @@ class XMLSource:
         self.recorders[dtd.name] = Recorder(
             extended, self.similarity_config, matcher=matcher
         )
+
+    def _log_evolution(self, event: RepositoryDrained) -> None:
+        if event.evolution is not None:
+            self.evolution_log.append(event.evolution)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -150,39 +160,20 @@ class XMLSource:
     # ------------------------------------------------------------------
 
     def classify(self, document: Document) -> ClassificationResult:
-        """Classification phase only (no recording)."""
+        """Classification phase only (no recording, no events)."""
         return self.classifier.classify(document)
 
     def process(self, document: Document) -> ProcessOutcome:
         """Run one document through the full Figure-1 loop."""
         self.documents_processed += 1
-        classification = self.classifier.classify(document)
-        if not classification.accepted:
-            self.repository.add(document)
-            return ProcessOutcome(
-                document, None, classification.similarity, [], 0
-            )
-        name = classification.dtd_name
-        assert name is not None
-        # With a thesaurus matcher, the classifier's evaluation scores
-        # synonym matches as (near-)valid — reusing it would hide the
-        # very deviations tag evolution needs.  Recording always uses
-        # exact tag matching (the recorder's own matcher); the cheap
-        # reuse path stays for the exact-matching default.
-        evaluation = classification.evaluation if self.tag_matcher is None else None
-        self.recorders[name].record(document, evaluation)
-        evolved: List[str] = []
-        recovered = 0
-        if self.auto_evolve:
-            event = self._check_phase(name)
-            if event is not None:
-                evolved.append(name)
-                recovered = event.recovered_from_repository
-        return ProcessOutcome(
-            document, name, classification.similarity, evolved, recovered
-        )
+        return self.pipeline.run(document).outcome()
 
-    def process_many(self, documents: Iterable[Document]) -> List[ProcessOutcome]:
+    def process_many(
+        self,
+        documents: Iterable[Document],
+        checkpoint_every: int = 0,
+        checkpoint_path: Optional[str] = None,
+    ) -> List[ProcessOutcome]:
         """Process a batch, in order.
 
         The batch path amortises structural work: element fingerprints
@@ -190,36 +181,25 @@ class XMLSource:
         keyed caches persist across the whole batch (and across any
         repository drains evolution triggers mid-batch), so repeated
         structures in a stream cost one DP run total.
+
+        With ``checkpoint_every`` set (and a ``checkpoint_path``), the
+        source snapshots itself to that path after every
+        ``checkpoint_every`` documents, so a long stream survives
+        interruption mid-run; the snapshot is the same format
+        :func:`repro.core.persistence.save_source` writes.
         """
-        return [self.process(document) for document in documents]
+        outcomes: List[ProcessOutcome] = []
+        for index, document in enumerate(documents, start=1):
+            outcomes.append(self.process(document))
+            if checkpoint_every and checkpoint_path and index % checkpoint_every == 0:
+                from repro.core.persistence import save_source
+
+                save_source(self, checkpoint_path)
+        return outcomes
 
     # ------------------------------------------------------------------
     # Evolution
     # ------------------------------------------------------------------
-
-    def _check_phase(self, name: str) -> Optional["EvolutionEvent"]:
-        """Decide whether to evolve ``name`` now.
-
-        With a trigger set installed, the first matching rule whose
-        condition holds fires (with its parameter overrides); otherwise
-        the paper's default check — ``min_documents`` recorded and
-        activation score above ``tau`` — applies.
-        """
-        extended = self.extended[name]
-        if self.triggers is not None:
-            from repro.triggers.trigger import metrics_environment
-
-            environment = metrics_environment(extended, len(self.repository))
-            trigger = self.triggers.firing_trigger(name, environment)
-            if trigger is None:
-                return None
-            return self.evolve_now(name, trigger.apply_overrides(self.config))
-        if (
-            extended.document_count >= self.config.min_documents
-            and extended.should_evolve(self.config.tau)
-        ):
-            return self.evolve_now(name)
-        return None
 
     def evolve_now(
         self, name: str, config: Optional[EvolutionConfig] = None
@@ -228,24 +208,7 @@ class XMLSource:
         this automatically when ``auto_evolve`` is on).  ``config``
         overrides the source's evolution parameters for this run only
         (trigger WITH clauses use it)."""
-        extended = self.extended[name]
-        result = evolve_dtd(
-            extended, config or self.config, tag_matcher=self.tag_matcher
-        )
-        event_documents = extended.document_count
-        event_score = extended.activation_score
-
-        # adopt the evolved DTD and start a fresh recording period
-        self.classifier.replace_dtd(result.new_dtd)
-        self._install(result.new_dtd)
-        self.extended[name].evolution_count = extended.evolution_count + 1
-
-        recovered = self._reclassify_repository()
-        event = EvolutionEvent(
-            name, event_documents, event_score, result, recovered
-        )
-        self.evolution_log.append(event)
-        return event
+        return self.pipeline.evolve(name, config)
 
     def mine_repository(
         self,
@@ -280,25 +243,9 @@ class XMLSource:
         return names
 
     def _reclassify_repository(self) -> int:
-        """Re-classify repository documents against the evolved set.
-
-        Recovered documents go through the normal record path (they are
-        now instances of a DTD and must count toward future triggers);
-        evolution is *not* re-triggered while draining, to keep the
-        drain a single pass.
-        """
-        recovered = 0
-        for document in self.repository.take_all():
-            classification = self.classifier.classify(document)
-            if classification.dtd_name is None:
-                self.repository.add(document)
-                continue
-            recovered += 1
-            evaluation = (
-                classification.evaluation if self.tag_matcher is None else None
-            )
-            self.recorders[classification.dtd_name].record(document, evaluation)
-        return recovered
+        """Re-classify repository documents against the evolved set
+        (one standalone pass of the drain stage)."""
+        return self.pipeline.drain()
 
     def __repr__(self) -> str:
         return (

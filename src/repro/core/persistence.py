@@ -6,12 +6,20 @@ cannot recompute — the (possibly evolved) DTD set, every extended-DTD
 record, the document-level counters, and the repository — to plain
 JSON, and restores it into a fully working :class:`XMLSource`.
 
-Runtime-only collaborators (trigger sets, tag matchers) are *not*
-serialised; pass them again at load time.
+The repository is read and restored through the
+:class:`~repro.classification.stores.DocumentStore` protocol: format 2
+snapshots tag which backend held the documents (``memory`` or
+``jsonl``), and loading re-materialises into that backend unless the
+caller overrides it with ``store=``.  Format 1 snapshots (a plain
+document list) still load.
+
+Runtime-only collaborators (trigger sets, tag matchers, fast-path
+configs) are *not* serialised; pass them again at load time.
 
 Round-trip guarantee (tested): saving and loading a source yields one
 whose next evolution produces exactly the same DTD as the original
-would have.
+would have — including snapshots taken mid-batch between two
+``process_many`` checkpoints.
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict
 
+from repro.classification.stores import store_kind
 from repro.core.engine import XMLSource
 from repro.core.evolution import EvolutionConfig
 from repro.core.extended_dtd import ElementRecord, ExtendedDTD
@@ -27,7 +36,9 @@ from repro.xmltree.parser import parse_document
 from repro.xmltree.serializer import serialize_document
 from repro.xmltree.tree import Tree
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+#: snapshot formats :func:`source_from_json` can restore
+SUPPORTED_FORMATS = (1, 2)
 
 
 # ----------------------------------------------------------------------
@@ -196,7 +207,12 @@ def config_from_json(data: Dict[str, Any]) -> EvolutionConfig:
 
 
 def source_to_json(source: XMLSource) -> Dict[str, Any]:
-    """Snapshot an :class:`XMLSource` (triggers/tag matchers excluded)."""
+    """Snapshot an :class:`XMLSource` (triggers/tag matchers excluded).
+
+    The repository section records the backing store kind alongside the
+    documents themselves (read through the store protocol), so a
+    restored source lands on the same backend by default.
+    """
     return {
         "format": FORMAT_VERSION,
         "config": config_to_json(source.config),
@@ -205,10 +221,13 @@ def source_to_json(source: XMLSource) -> Dict[str, Any]:
         "extended": [
             extended_to_json(source.extended[name]) for name in source.dtd_names()
         ],
-        "repository": [
-            serialize_document(document, xml_declaration=False)
-            for document in source.repository
-        ],
+        "repository": {
+            "store": store_kind(source.repository.store),
+            "documents": [
+                serialize_document(document, xml_declaration=False)
+                for document in source.repository
+            ],
+        },
     }
 
 
@@ -216,10 +235,26 @@ def source_from_json(
     data: Dict[str, Any],
     tag_matcher=None,
     triggers=None,
+    fastpath=None,
+    store=None,
 ) -> XMLSource:
-    """Restore a source snapshot (re-supply runtime collaborators)."""
-    if data.get("format") != FORMAT_VERSION:
-        raise ValueError(f"unsupported snapshot format {data.get('format')!r}")
+    """Restore a source snapshot (re-supply runtime collaborators).
+
+    ``store`` overrides the snapshot's repository backend (a kind name
+    or a :class:`~repro.classification.stores.DocumentStore` instance);
+    left ``None``, format-2 snapshots restore into the backend they were
+    saved from and format-1 snapshots into memory.
+    """
+    version = data.get("format")
+    if version not in SUPPORTED_FORMATS:
+        raise ValueError(f"unsupported snapshot format {version!r}")
+    repository_data = data["repository"]
+    if version == 1:
+        # v1 wrote the repository as a bare list of XML strings
+        saved_kind, documents = "memory", repository_data
+    else:
+        saved_kind = repository_data.get("store", "memory")
+        documents = repository_data["documents"]
     config = config_from_json(data["config"])
     extended_list = [extended_from_json(entry) for entry in data["extended"]]
     source = XMLSource(
@@ -228,6 +263,8 @@ def source_from_json(
         tag_matcher=tag_matcher,
         auto_evolve=data["auto_evolve"],
         triggers=triggers,
+        fastpath=fastpath,
+        store=store if store is not None else saved_kind,
     )
     for extended in extended_list:
         source.extended[extended.name] = extended
@@ -238,7 +275,7 @@ def source_from_json(
             extended, source.similarity_config
         )
     source.documents_processed = data["documents_processed"]
-    for xml in data["repository"]:
+    for xml in documents:
         source.repository.add(parse_document(xml))
     return source
 
@@ -249,8 +286,11 @@ def save_source(source: XMLSource, path: str) -> None:
         json.dump(source_to_json(source), handle, indent=1)
 
 
-def load_source(path: str, tag_matcher=None, triggers=None) -> XMLSource:
-    """Read a source snapshot from a JSON file."""
+def load_source(
+    path: str, tag_matcher=None, triggers=None, fastpath=None, store=None
+) -> XMLSource:
+    """Read a source snapshot from a JSON file (see
+    :func:`source_from_json` for the keyword collaborators)."""
     with open(path, "r", encoding="utf-8") as handle:
         data = json.load(handle)
-    return source_from_json(data, tag_matcher, triggers)
+    return source_from_json(data, tag_matcher, triggers, fastpath, store)

@@ -1,0 +1,95 @@
+"""Per-document state threaded through the pipeline stages.
+
+A :class:`PipelineContext` is created by the
+:class:`~repro.pipeline.stages.Pipeline` driver for every processed
+document (and for every manually forced evolution), passed through each
+stage in turn, and finally collapsed into the
+:class:`ProcessOutcome` the engine's public API returns.  Stages
+communicate exclusively through it — no stage holds per-document state
+of its own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, NamedTuple, Optional, Tuple
+
+from repro.classification.classifier import ClassificationResult
+from repro.xmltree.document import Document
+
+if TYPE_CHECKING:  # break the repro.core <-> repro.pipeline cycle
+    from repro.core.evolution import EvolutionConfig, EvolutionResult
+
+
+class ProcessOutcome(NamedTuple):
+    """What happened to one processed document."""
+
+    document: Document
+    #: the DTD the document was classified into (None → repository)
+    dtd_name: Optional[str]
+    similarity: float
+    #: names of DTDs whose evolution this document triggered
+    evolved: List[str]
+    #: documents recovered from the repository by those evolutions
+    recovered: int
+
+
+class EvolutionEvent(NamedTuple):
+    """One entry of the evolution log."""
+
+    dtd_name: str
+    #: how many documents had been recorded when the trigger fired
+    documents_recorded: int
+    activation_score: float
+    result: EvolutionResult
+    recovered_from_repository: int
+
+
+@dataclass
+class PipelineContext:
+    """Everything the stages know about the document in flight.
+
+    ``document`` is ``None`` for stage runs not tied to a document
+    (a forced :meth:`~repro.core.engine.XMLSource.evolve_now`, a
+    standalone repository drain).
+    """
+
+    document: Optional[Document]
+    #: filled by the classify stage
+    classification: Optional[ClassificationResult] = None
+    #: the accepting DTD (None while unclassified or deposited)
+    dtd_name: Optional[str] = None
+    #: set by the check stage when the evolution phase must run:
+    #: ``(dtd name, per-run config override or None)``
+    evolve_request: Optional[Tuple[str, Optional[EvolutionConfig]]] = None
+    #: set by the evolve stage for the drain stage to finish the log
+    #: entry: ``(dtd name, documents recorded, activation score, result)``
+    pending_evolution: Optional[Tuple[str, int, float, EvolutionResult]] = None
+    #: names of DTDs evolved while this document was in flight
+    evolved: List[str] = field(default_factory=list)
+    #: repository documents recovered by those evolutions
+    recovered: int = 0
+    #: completed log entries produced during this run
+    evolution_events: List[EvolutionEvent] = field(default_factory=list)
+    #: set when the remaining stages must be skipped
+    halted: bool = False
+
+    def halt(self) -> None:
+        """Stop the pipeline after the current stage."""
+        self.halted = True
+
+    @property
+    def similarity(self) -> float:
+        """Best similarity seen by classification (0.0 before it ran)."""
+        return self.classification.similarity if self.classification else 0.0
+
+    def outcome(self) -> ProcessOutcome:
+        """Collapse into the engine's public per-document result."""
+        assert self.document is not None
+        return ProcessOutcome(
+            self.document,
+            self.dtd_name,
+            self.similarity,
+            self.evolved,
+            self.recovered,
+        )

@@ -1,0 +1,193 @@
+"""Typed lifecycle events and the subscription bus.
+
+Every phase transition of the Figure-1 loop is announced on an
+:class:`EventBus` as a typed, immutable event.  The engine's own
+bookkeeping — the evolution log, bus-mirrored perf counters — rides the
+same seam user observers do, so anything a future observability layer
+needs (metrics export, audit trails, replication hooks) subscribes
+without touching the pipeline:
+
+    source.events.subscribe(EvolutionFinished, on_evolution)
+    source.events.subscribe_all(audit_logger)
+
+Event catalogue, in emission order for one processed document::
+
+    DocumentClassified                  every document
+    DocumentDeposited                   below-sigma documents only
+    DocumentRecorded                    accepted documents only
+    EvolutionStarted                    when the check phase fires
+    EvolutionFinished                   the evolved DTD was adopted
+    RepositoryDrained                   after every evolution (also after
+                                        standalone drains, e.g.
+                                        ``mine_repository``)
+
+Each event carries ``perf_delta`` — the fast-path counter increments
+(:class:`repro.perf.PerfCounters` keys) attributed to the work since the
+previous event.  Summing the deltas reproduces the engine's counters
+exactly; :func:`subscribe_counters` does that into a ``PerfCounters`` of
+your own.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, NamedTuple, Optional, Type
+
+from repro.core.evolution import EvolutionResult
+from repro.pipeline.context import EvolutionEvent
+from repro.perf import PerfCounters
+from repro.xmltree.document import Document
+
+#: the empty delta shared by default-constructed events
+_NO_DELTA: Mapping[str, int] = {}
+
+
+class DocumentClassified(NamedTuple):
+    """The classification phase ran for one document."""
+
+    document: Document
+    #: the accepting DTD, or ``None`` when the document is headed for
+    #: the repository
+    dtd_name: Optional[str]
+    similarity: float
+    accepted: bool
+    perf_delta: Mapping[str, int] = _NO_DELTA
+
+
+class DocumentDeposited(NamedTuple):
+    """A below-``sigma`` document entered the repository."""
+
+    document: Document
+    similarity: float
+    #: repository size after the deposit
+    repository_size: int
+    perf_delta: Mapping[str, int] = _NO_DELTA
+
+
+class DocumentRecorded(NamedTuple):
+    """The recording phase folded one document into its extended DTD."""
+
+    document: Document
+    dtd_name: str
+    #: documents recorded in the current recording period, this one
+    #: included
+    documents_recorded: int
+    perf_delta: Mapping[str, int] = _NO_DELTA
+
+
+class EvolutionStarted(NamedTuple):
+    """The check phase fired; the evolution phase is about to run."""
+
+    dtd_name: str
+    documents_recorded: int
+    activation_score: float
+    perf_delta: Mapping[str, int] = _NO_DELTA
+
+
+class EvolutionFinished(NamedTuple):
+    """The evolution phase adopted the evolved DTD (the repository
+    re-classification follows; its outcome arrives as
+    :class:`RepositoryDrained`)."""
+
+    dtd_name: str
+    result: EvolutionResult
+    documents_recorded: int
+    activation_score: float
+    perf_delta: Mapping[str, int] = _NO_DELTA
+
+
+class RepositoryDrained(NamedTuple):
+    """A repository re-classification pass finished.
+
+    ``evolution`` carries the completed log entry when the drain closed
+    an evolution (the engine's evolution log subscribes on exactly
+    that); it is ``None`` for standalone drains.
+    """
+
+    recovered: int
+    #: documents still unclassified after the pass
+    remaining: int
+    evolution: Optional[EvolutionEvent] = None
+    perf_delta: Mapping[str, int] = _NO_DELTA
+
+
+#: every event type the pipeline emits, in first-possible-emission order
+LIFECYCLE_EVENTS = (
+    DocumentClassified,
+    DocumentDeposited,
+    DocumentRecorded,
+    EvolutionStarted,
+    EvolutionFinished,
+    RepositoryDrained,
+)
+
+Handler = Callable[[object], None]
+
+
+class EventBus:
+    """A minimal synchronous publish/subscribe hub.
+
+    Handlers run inline on the emitting thread, in subscription order —
+    type-specific subscribers first, then catch-all subscribers.
+    Exceptions propagate to the emitter (observers are trusted
+    collaborators, not sandboxed plugins).
+    """
+
+    def __init__(self) -> None:
+        self._handlers: Dict[Type, List[Handler]] = {}
+        self._catch_all: List[Handler] = []
+
+    def subscribe(self, event_type: Type, handler: Handler) -> Handler:
+        """Call ``handler(event)`` for every event of ``event_type``.
+        Returns the handler, for symmetry with :meth:`unsubscribe`."""
+        self._handlers.setdefault(event_type, []).append(handler)
+        return handler
+
+    def subscribe_all(self, handler: Handler) -> Handler:
+        """Call ``handler(event)`` for every emitted event."""
+        self._catch_all.append(handler)
+        return handler
+
+    def unsubscribe(self, event_type: Type, handler: Handler) -> None:
+        """Remove a type-specific subscription (no-op if absent)."""
+        handlers = self._handlers.get(event_type, [])
+        if handler in handlers:
+            handlers.remove(handler)
+
+    def unsubscribe_all(self, handler: Handler) -> None:
+        """Remove a catch-all subscription (no-op if absent)."""
+        if handler in self._catch_all:
+            self._catch_all.remove(handler)
+
+    def emit(self, event: object) -> None:
+        """Deliver ``event`` to its type's subscribers, then to the
+        catch-all subscribers."""
+        for handler in tuple(self._handlers.get(type(event), ())):
+            handler(event)
+        for handler in tuple(self._catch_all):
+            handler(event)
+
+    def subscriber_count(self, event_type: Optional[Type] = None) -> int:
+        """How many handlers would see an event of ``event_type``
+        (all catch-alls plus that type's subscribers); with no argument,
+        the total number of registered handlers."""
+        if event_type is None:
+            return sum(map(len, self._handlers.values())) + len(self._catch_all)
+        return len(self._handlers.get(event_type, [])) + len(self._catch_all)
+
+
+def subscribe_counters(bus: EventBus, counters: PerfCounters) -> Handler:
+    """Mirror the pipeline's perf deltas into ``counters``.
+
+    After any sequence of engine calls, the mirrored counters equal the
+    directly wired ones (``XMLSource.perf_snapshot()``) — the bus is a
+    complete account of the fast-path work.  Returns the installed
+    handler (detach with ``bus.unsubscribe_all(handler)``).
+    """
+
+    def apply_delta(event: object) -> None:
+        delta = getattr(event, "perf_delta", None)
+        if delta:
+            for name, increment in delta.items():
+                setattr(counters, name, getattr(counters, name) + increment)
+
+    return bus.subscribe_all(apply_delta)

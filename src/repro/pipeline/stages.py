@@ -1,0 +1,351 @@
+"""The Figure-1 phases as composable pipeline stages.
+
+Each paper phase is one :class:`Stage` — classification, recording, the
+check, evolution, and the repository drain — run in order by a
+:class:`Pipeline` driver that threads a per-document
+:class:`~repro.pipeline.context.PipelineContext` through them.  The
+stages own no per-document state and share the source's collaborators
+(classifier, recorders, extended DTDs, repository), so the composition
+— not the stages — decides what a "process one document" means.  The
+:class:`~repro.core.engine.XMLSource` facade keeps the public API and
+delegates here.
+
+Stage table::
+
+    ClassifyStage   classification phase; deposits below-sigma documents
+    RecordStage     recording phase (accepted documents only)
+    CheckStage      activation condition / trigger rules → evolve request
+    EvolveStage     evolution phase; adopts the evolved DTD
+    DrainStage      repository re-classification after an evolution
+                    (also runnable standalone)
+
+Every stage announces its transition on the pipeline's
+:class:`~repro.pipeline.events.EventBus`; the behaviour visible through
+the facade is bit-identical to the pre-pipeline monolith (asserted by
+``tests/test_engine.py`` / ``tests/test_fastpath.py`` running
+unchanged).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+try:
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - pre-3.8 fallback, never hit
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+
+from repro.core.evolution import EvolutionConfig, evolve_dtd
+from repro.pipeline.context import EvolutionEvent, PipelineContext
+from repro.pipeline.events import (
+    DocumentClassified,
+    DocumentDeposited,
+    DocumentRecorded,
+    EventBus,
+    EvolutionFinished,
+    EvolutionStarted,
+    RepositoryDrained,
+)
+from repro.xmltree.document import Document
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine → stages)
+    from repro.core.engine import XMLSource
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """One phase of the loop: mutate the context (and the shared source
+    state), emit lifecycle events, optionally halt the run."""
+
+    #: the phase name, as in Figure 1
+    name: str
+
+    def run(self, ctx: PipelineContext) -> None:
+        """Execute this phase for the document in ``ctx``."""
+
+
+class _SourceStage:
+    """Shared plumbing: every stage sees the source and the pipeline
+    (for the bus and the perf-delta bookkeeping)."""
+
+    name = "stage"
+
+    def __init__(self, source: "XMLSource", pipeline: "Pipeline") -> None:
+        self.source = source
+        self.pipeline = pipeline
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class ClassifyStage(_SourceStage):
+    """Classification phase: rank against every DTD, apply ``sigma``;
+    below-threshold documents are deposited and the run halts."""
+
+    name = "classify"
+
+    def run(self, ctx: PipelineContext) -> None:
+        source, document = self.source, ctx.document
+        classification = source.classifier.classify(document)
+        ctx.classification = classification
+        self.pipeline.emit(
+            DocumentClassified(
+                document,
+                classification.dtd_name,
+                classification.similarity,
+                classification.accepted,
+                self.pipeline.perf_delta(),
+            )
+        )
+        if not classification.accepted:
+            source.repository.add(document)
+            self.pipeline.emit(
+                DocumentDeposited(
+                    document,
+                    classification.similarity,
+                    len(source.repository),
+                    self.pipeline.perf_delta(),
+                )
+            )
+            ctx.halt()
+            return
+        ctx.dtd_name = classification.dtd_name
+
+
+class RecordStage(_SourceStage):
+    """Recording phase: fold the document into its DTD's aggregates."""
+
+    name = "record"
+
+    def run(self, ctx: PipelineContext) -> None:
+        source, name = self.source, ctx.dtd_name
+        assert name is not None
+        # With a thesaurus matcher, the classifier's evaluation scores
+        # synonym matches as (near-)valid — reusing it would hide the
+        # very deviations tag evolution needs.  Recording always uses
+        # exact tag matching (the recorder's own matcher); the cheap
+        # reuse path stays for the exact-matching default.
+        evaluation = (
+            ctx.classification.evaluation if source.tag_matcher is None else None
+        )
+        source.recorders[name].record(ctx.document, evaluation)
+        self.pipeline.emit(
+            DocumentRecorded(
+                ctx.document,
+                name,
+                source.extended[name].document_count,
+                self.pipeline.perf_delta(),
+            )
+        )
+
+
+class CheckStage(_SourceStage):
+    """Check phase: decide whether to evolve the document's DTD now.
+
+    With a trigger set installed, the first matching rule whose
+    condition holds fires (with its parameter overrides); otherwise the
+    paper's default check — ``min_documents`` recorded and activation
+    score above ``tau`` — applies.  The decision lands in
+    ``ctx.evolve_request``; this stage never evolves anything itself.
+    """
+
+    name = "check"
+
+    def run(self, ctx: PipelineContext) -> None:
+        source = self.source
+        if not source.auto_evolve:
+            ctx.halt()
+            return
+        name = ctx.dtd_name
+        assert name is not None
+        extended = source.extended[name]
+        if source.triggers is not None:
+            from repro.triggers.trigger import metrics_environment
+
+            environment = metrics_environment(extended, len(source.repository))
+            trigger = source.triggers.firing_trigger(name, environment)
+            if trigger is None:
+                ctx.halt()
+                return
+            ctx.evolve_request = (name, trigger.apply_overrides(source.config))
+            return
+        if (
+            extended.document_count >= source.config.min_documents
+            and extended.should_evolve(source.config.tau)
+        ):
+            ctx.evolve_request = (name, None)
+        else:
+            ctx.halt()
+
+
+class EvolveStage(_SourceStage):
+    """Evolution phase: evolve the requested DTD and adopt the result;
+    the drain stage completes the log entry."""
+
+    name = "evolve"
+
+    def run(self, ctx: PipelineContext) -> None:
+        if ctx.evolve_request is None:
+            ctx.halt()
+            return
+        name, config = ctx.evolve_request
+        self.execute(ctx, name, config)
+
+    def execute(
+        self, ctx: PipelineContext, name: str, config: Optional[EvolutionConfig]
+    ) -> None:
+        """Evolve ``name`` now (also the entry point for forced
+        evolutions via ``XMLSource.evolve_now``)."""
+        source = self.source
+        extended = source.extended[name]
+        documents_recorded = extended.document_count
+        activation_score = extended.activation_score
+        self.pipeline.emit(
+            EvolutionStarted(
+                name, documents_recorded, activation_score, self.pipeline.perf_delta()
+            )
+        )
+        result = evolve_dtd(
+            extended, config or source.config, tag_matcher=source.tag_matcher
+        )
+        # adopt the evolved DTD and start a fresh recording period
+        source.classifier.replace_dtd(result.new_dtd)
+        source._install(result.new_dtd)
+        source.extended[name].evolution_count = extended.evolution_count + 1
+        self.pipeline.emit(
+            EvolutionFinished(
+                name,
+                result,
+                documents_recorded,
+                activation_score,
+                self.pipeline.perf_delta(),
+            )
+        )
+        ctx.pending_evolution = (name, documents_recorded, activation_score, result)
+        ctx.evolved.append(name)
+
+
+class DrainStage(_SourceStage):
+    """Repository re-classification: retry every held document against
+    the (evolved) DTD set.
+
+    Recovered documents go through the normal record path (they are now
+    instances of a DTD and must count toward future triggers);
+    evolution is *not* re-triggered while draining, to keep the drain a
+    single pass.  When the drain closes an evolution, the completed
+    :class:`EvolutionEvent` rides the :class:`RepositoryDrained` event
+    (that is where the engine's evolution log subscribes).
+    """
+
+    name = "drain"
+
+    def run(self, ctx: PipelineContext) -> None:
+        source = self.source
+        recovered = 0
+        for document in source.repository.drain():
+            classification = source.classifier.classify(document)
+            if classification.dtd_name is None:
+                source.repository.add(document)
+                continue
+            recovered += 1
+            evaluation = (
+                classification.evaluation if source.tag_matcher is None else None
+            )
+            source.recorders[classification.dtd_name].record(document, evaluation)
+        event: Optional[EvolutionEvent] = None
+        if ctx.pending_evolution is not None:
+            name, documents_recorded, activation_score, result = ctx.pending_evolution
+            event = EvolutionEvent(
+                name, documents_recorded, activation_score, result, recovered
+            )
+            ctx.evolution_events.append(event)
+            ctx.pending_evolution = None
+        ctx.recovered += recovered
+        self.pipeline.emit(
+            RepositoryDrained(
+                recovered, len(source.repository), event, self.pipeline.perf_delta()
+            )
+        )
+
+
+class Pipeline:
+    """Drives the staged Figure-1 loop for one source.
+
+    ``stages`` is the per-document composition — classify → record →
+    check → evolve → drain — each stage free to halt the rest;
+    :meth:`evolve` and :meth:`drain` run the tail of the pipeline alone
+    for forced evolutions and standalone drains.
+    """
+
+    def __init__(self, source: "XMLSource", bus: EventBus) -> None:
+        self.source = source
+        self.bus = bus
+        self.classify_stage = ClassifyStage(source, self)
+        self.record_stage = RecordStage(source, self)
+        self.check_stage = CheckStage(source, self)
+        self.evolve_stage = EvolveStage(source, self)
+        self.drain_stage = DrainStage(source, self)
+        self.stages: Tuple[Stage, ...] = (
+            self.classify_stage,
+            self.record_stage,
+            self.check_stage,
+            self.evolve_stage,
+            self.drain_stage,
+        )
+        #: counter values already attributed to an emitted event
+        self._perf_attributed: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Event plumbing
+    # ------------------------------------------------------------------
+
+    def emit(self, event: object) -> None:
+        self.bus.emit(event)
+
+    def perf_delta(self) -> Dict[str, int]:
+        """Counter increments since the previous emitted event (sparse:
+        zero entries are dropped), attributing them to the next one."""
+        snapshot = self.source.perf.snapshot()
+        delta = {
+            name: value - self._perf_attributed.get(name, 0)
+            for name, value in snapshot.items()
+        }
+        self._perf_attributed = snapshot
+        return {name: value for name, value in delta.items() if value}
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def run(self, document: Document) -> PipelineContext:
+        """One document through the full loop."""
+        ctx = PipelineContext(document)
+        for stage in self.stages:
+            if ctx.halted:
+                break
+            stage.run(ctx)
+        return ctx
+
+    def evolve(
+        self, name: str, config: Optional[EvolutionConfig] = None
+    ) -> EvolutionEvent:
+        """Force the evolution phase (plus its drain) for one DTD."""
+        ctx = PipelineContext(document=None)
+        self.evolve_stage.execute(ctx, name, config)
+        self.drain_stage.run(ctx)
+        return ctx.evolution_events[-1]
+
+    def drain(self) -> int:
+        """A standalone repository re-classification pass; returns how
+        many documents were recovered."""
+        ctx = PipelineContext(document=None)
+        self.drain_stage.run(ctx)
+        return ctx.recovered
+
+    def __repr__(self) -> str:
+        names = " → ".join(stage.name for stage in self.stages)
+        return f"Pipeline({names})"

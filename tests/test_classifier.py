@@ -96,16 +96,23 @@ class TestRepository:
         assert list(repository) == documents
         assert not repository.is_empty()
 
-    def test_drain_if_partitions(self):
+    def test_drain_partitions(self):
         repository = Repository()
         for xml in ["<a/>", "<b/>", "<a/>"]:
             repository.add(parse_document(xml))
-        accepted, remaining = repository.drain_if(
+        accepted = repository.drain(
             lambda document: document.root.tag == "a"
         )
         assert len(accepted) == 2
-        assert remaining == 1
         assert len(repository) == 1
+
+    def test_drain_without_predicate_takes_all(self):
+        repository = Repository()
+        documents = [parse_document("<a/>"), parse_document("<b/>")]
+        for document in documents:
+            repository.add(document)
+        assert repository.drain() == documents
+        assert repository.is_empty()
 
     def test_clear(self):
         repository = Repository()

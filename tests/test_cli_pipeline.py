@@ -1,0 +1,125 @@
+"""CLI coverage for the pipeline-era ``run`` flags: ``--store``,
+``--checkpoint-every``, ``--no-fastpath``, and ``--report-perf``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+_DTD = """
+<!ELEMENT a (b, c)>
+<!ELEMENT b (#PCDATA)>
+<!ELEMENT c (#PCDATA)>
+"""
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    dtd_path = tmp_path / "schema.dtd"
+    dtd_path.write_text(_DTD)
+    documents = []
+    for index in range(12):
+        path = tmp_path / f"doc{index}.xml"
+        if index < 6:
+            path.write_text("<a><b>x</b><c>y</c><d>z</d></a>")
+        else:
+            path.write_text("<a><b>x</b><c>y</c><e>w</e></a>")
+        documents.append(str(path))
+    return str(dtd_path), documents
+
+
+class TestReportPerf:
+    def test_prints_perf_snapshot(self, workspace, tmp_path, capsys):
+        dtd_path, documents = workspace
+        state = str(tmp_path / "state.json")
+        assert (
+            main(
+                ["run", "--state", state, "--dtd", dtd_path, "--sigma", "0.3",
+                 "--report-perf"]
+                + documents[:3]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        payload = output[output.index("{"):]
+        snapshot = json.loads(payload[: payload.index("}") + 1])
+        assert snapshot["documents_classified"] == 3
+        assert "dp_runs" in snapshot
+
+    def test_no_fastpath_disables_the_counters(self, workspace, tmp_path, capsys):
+        dtd_path, documents = workspace
+        state = str(tmp_path / "state.json")
+        assert (
+            main(
+                ["run", "--state", state, "--dtd", dtd_path, "--sigma", "0.3",
+                 "--no-fastpath", "--report-perf"]
+                + documents[:3]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        payload = output[output.index("{"):]
+        snapshot = json.loads(payload[: payload.index("}") + 1])
+        assert snapshot["validity_short_circuits"] == 0
+        assert snapshot["bound_skips"] == 0
+
+
+class TestNoFastpathOutcomes:
+    def test_same_classification_lines_as_default(self, workspace, tmp_path, capsys):
+        dtd_path, documents = workspace
+
+        def run_lines(extra, state_name):
+            state = str(tmp_path / state_name)
+            assert (
+                main(
+                    ["run", "--state", state, "--dtd", dtd_path, "--sigma", "0.3"]
+                    + extra
+                    + documents
+                )
+                == 0
+            )
+            out = capsys.readouterr().out
+            return [line for line in out.splitlines() if "similarity" in line]
+
+        assert run_lines([], "a.json") == run_lines(["--no-fastpath"], "b.json")
+
+
+class TestStoreFlag:
+    def test_jsonl_store_runs_and_resumes(self, workspace, tmp_path, capsys):
+        dtd_path, documents = workspace
+        state = str(tmp_path / "state.json")
+        assert (
+            main(
+                ["run", "--state", state, "--dtd", dtd_path, "--sigma", "0.3",
+                 "--store", "jsonl", "--min-documents", "12"]
+                + documents[:6]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        with open(state) as handle:
+            assert json.load(handle)["repository"]["store"] == "jsonl"
+        # the resumed run respects the snapshot's backend and evolves
+        assert main(["run", "--state", state] + documents[6:]) == 0
+        assert "evolved" in capsys.readouterr().out
+
+
+class TestCheckpointEvery:
+    def test_state_file_appears_before_the_run_ends(self, workspace, tmp_path, capsys):
+        dtd_path, documents = workspace
+        state = str(tmp_path / "state.json")
+        assert (
+            main(
+                ["run", "--state", state, "--dtd", dtd_path, "--sigma", "0.3",
+                 "--checkpoint-every", "2"]
+                + documents[:5]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        with open(state) as handle:
+            data = json.load(handle)
+        # the final save covers all 5; a checkpointed run is loadable
+        assert data["documents_processed"] == 5
+        assert main(["run", "--state", state] + documents[5:6]) == 0

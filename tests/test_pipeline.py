@@ -1,0 +1,332 @@
+"""Tests for the staged pipeline and its lifecycle event bus
+(repro.pipeline): stage composition, event sequences, bus-mirrored perf
+counters, and the memory-vs-jsonl store equivalence of the full engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.classification.stores import JsonlStore, MemoryStore
+from repro.core.engine import XMLSource
+from repro.core.evolution import EvolutionConfig
+from repro.dtd.serializer import serialize_dtd
+from repro.generators.scenarios import figure3_dtd, figure3_workload
+from repro.perf import PerfCounters
+from repro.pipeline import (
+    LIFECYCLE_EVENTS,
+    DocumentClassified,
+    DocumentDeposited,
+    DocumentRecorded,
+    EventBus,
+    EvolutionFinished,
+    EvolutionStarted,
+    Pipeline,
+    RepositoryDrained,
+    Stage,
+    subscribe_counters,
+)
+from repro.pipeline.context import PipelineContext
+from repro.triggers.trigger import TriggerSet
+from repro.xmltree.parser import parse_document
+
+
+def _source(**overrides):
+    defaults = dict(sigma=0.3, tau=0.15, psi=0.2, mu=0.0, min_documents=20)
+    config_overrides = {
+        key: overrides.pop(key)
+        for key in list(overrides)
+        if key in EvolutionConfig._fields
+    }
+    defaults.update(config_overrides)
+    return XMLSource([figure3_dtd()], EvolutionConfig(**defaults), **overrides)
+
+
+# ----------------------------------------------------------------------
+# The event bus
+# ----------------------------------------------------------------------
+
+
+class TestEventBus:
+    def test_typed_subscription_and_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        handler = bus.subscribe(DocumentDeposited, seen.append)
+        deposited = DocumentDeposited(None, 0.1, 1)
+        bus.emit(deposited)
+        bus.emit(EvolutionStarted("x", 1, 0.5))  # different type: unseen
+        assert seen == [deposited]
+        bus.unsubscribe(DocumentDeposited, handler)
+        bus.emit(deposited)
+        assert seen == [deposited]
+
+    def test_catch_all_sees_everything(self):
+        bus = EventBus()
+        seen = []
+        handler = bus.subscribe_all(seen.append)
+        events = [DocumentDeposited(None, 0.1, 1), EvolutionStarted("x", 1, 0.5)]
+        for event in events:
+            bus.emit(event)
+        assert seen == events
+        bus.unsubscribe_all(handler)
+        bus.emit(events[0])
+        assert len(seen) == 2
+
+    def test_subscriber_count(self):
+        bus = EventBus()
+        bus.subscribe(DocumentClassified, lambda e: None)
+        bus.subscribe_all(lambda e: None)
+        assert bus.subscriber_count(DocumentClassified) == 2
+        assert bus.subscriber_count(EvolutionStarted) == 1
+        assert bus.subscriber_count() == 2
+
+    def test_unsubscribe_missing_is_noop(self):
+        bus = EventBus()
+        bus.unsubscribe(DocumentClassified, print)
+        bus.unsubscribe_all(print)
+
+
+# ----------------------------------------------------------------------
+# Stage composition
+# ----------------------------------------------------------------------
+
+
+class TestPipelineComposition:
+    def test_source_exposes_the_staged_pipeline(self):
+        source = _source()
+        assert isinstance(source.pipeline, Pipeline)
+        assert [stage.name for stage in source.pipeline.stages] == [
+            "classify",
+            "record",
+            "check",
+            "evolve",
+            "drain",
+        ]
+
+    def test_stages_satisfy_the_protocol(self):
+        source = _source()
+        for stage in source.pipeline.stages:
+            assert isinstance(stage, Stage)
+
+    def test_run_returns_a_context(self):
+        source = _source()
+        ctx = source.pipeline.run(parse_document("<a><b>x</b><c>y</c></a>"))
+        assert isinstance(ctx, PipelineContext)
+        assert ctx.dtd_name == "figure3"
+        assert ctx.similarity == 1.0
+        assert ctx.outcome().dtd_name == "figure3"
+
+    def test_rejected_document_halts_after_classify(self):
+        source = _source(sigma=0.9)
+        ctx = source.pipeline.run(parse_document("<zzz><qqq/></zzz>"))
+        assert ctx.halted
+        assert ctx.dtd_name is None
+        assert len(source.repository) == 1
+        assert source.extended_dtd("figure3").document_count == 0
+
+
+# ----------------------------------------------------------------------
+# Lifecycle event sequences
+# ----------------------------------------------------------------------
+
+
+class _Recorder:
+    """A test observer: records (event type name, event) pairs."""
+
+    def __init__(self, source):
+        self.events = []
+        source.events.subscribe_all(self.events.append)
+
+    @property
+    def names(self):
+        return [type(event).__name__ for event in self.events]
+
+
+class TestLifecycleEvents:
+    def test_accepted_document_sequence(self):
+        source = _source()
+        observed = _Recorder(source)
+        source.process(parse_document("<a><b>x</b><c>y</c></a>"))
+        assert observed.names == ["DocumentClassified", "DocumentRecorded"]
+        classified, recorded = observed.events
+        assert classified.dtd_name == "figure3"
+        assert classified.accepted
+        assert classified.similarity == 1.0
+        assert recorded.dtd_name == "figure3"
+        assert recorded.documents_recorded == 1
+
+    def test_rejected_document_sequence(self):
+        source = _source(sigma=0.9)
+        observed = _Recorder(source)
+        source.process(parse_document("<zzz><qqq/></zzz>"))
+        assert observed.names == ["DocumentClassified", "DocumentDeposited"]
+        classified, deposited = observed.events
+        assert not classified.accepted
+        assert classified.dtd_name is None
+        assert deposited.repository_size == 1
+        assert deposited.similarity == classified.similarity
+
+    def test_triggered_evolution_full_sequence(self):
+        """The acceptance sequence: a subscriber observes
+        EvolutionStarted → EvolutionFinished → RepositoryDrained for a
+        triggered evolution, with consistent payloads."""
+        source = _source()
+        observed = _Recorder(source)
+        for document in figure3_workload(15, 15, seed=11):
+            source.process(document)
+        assert source.evolution_count == 1
+        evolution_names = [
+            name
+            for name in observed.names
+            if name in ("EvolutionStarted", "EvolutionFinished", "RepositoryDrained")
+        ]
+        assert evolution_names == [
+            "EvolutionStarted",
+            "EvolutionFinished",
+            "RepositoryDrained",
+        ]
+        started = next(e for e in observed.events if isinstance(e, EvolutionStarted))
+        finished = next(e for e in observed.events if isinstance(e, EvolutionFinished))
+        drained = next(e for e in observed.events if isinstance(e, RepositoryDrained))
+        event = source.evolution_log[0]
+        assert started.dtd_name == finished.dtd_name == "figure3"
+        assert started.documents_recorded == event.documents_recorded == 20
+        assert started.activation_score == event.activation_score > 0.15
+        assert finished.result is event.result
+        assert drained.evolution is event
+        assert drained.recovered == event.recovered_from_repository
+
+    def test_evolution_log_is_a_bus_subscriber(self):
+        """The log entry appears exactly when RepositoryDrained carries
+        the completed evolution — forced evolutions included."""
+        source = _source()
+        source.auto_evolve = False
+        for document in figure3_workload(15, 15, seed=11):
+            source.process(document)
+        assert source.evolution_log == []
+        event = source.evolve_now("figure3")
+        assert source.evolution_log == [event]
+
+    def test_standalone_drain_has_no_evolution_payload(self):
+        source = _source(sigma=0.9)
+        observed = _Recorder(source)
+        source.process(parse_document("<zzz><qqq/></zzz>"))
+        recovered = source._reclassify_repository()
+        assert recovered == 0
+        drained = observed.events[-1]
+        assert isinstance(drained, RepositoryDrained)
+        assert drained.evolution is None
+        assert drained.remaining == 1
+        assert source.evolution_log == []
+
+    def test_trigger_rules_flow_through_the_check_stage(self):
+        triggers = TriggerSet.parse(
+            "ON * WHEN documents >= 3 AND score > 0.01 EVOLVE\n"
+        )
+        source = _source(sigma=0.3, triggers=triggers)
+        observed = _Recorder(source)
+        for document in figure3_workload(4, 4, seed=5):
+            source.process(document)
+        assert source.evolution_count >= 1
+        assert "EvolutionStarted" in observed.names
+
+    def test_every_lifecycle_event_type_fires_somewhere(self):
+        source = _source(sigma=0.6, tau=0.01, min_documents=5)
+        observed = _Recorder(source)
+        documents = [
+            parse_document("<a>" + "<b>x</b><c>y</c>" * 2 + "<d>z</d></a>")
+            for _ in range(6)
+        ]
+        documents += [
+            parse_document("<a><b>x</b><c>y</c><c>y</c></a>") for _ in range(6)
+        ]
+        for document in documents:
+            source.process(document)
+        assert {type(event) for event in observed.events} == set(LIFECYCLE_EVENTS)
+
+
+# ----------------------------------------------------------------------
+# Perf counters over the bus
+# ----------------------------------------------------------------------
+
+
+class TestPerfOverBus:
+    def _assert_bus_matches_direct(self, source, documents):
+        mirrored = PerfCounters()
+        subscribe_counters(source.events, mirrored)
+        for document in documents:
+            source.process(document)
+        assert mirrored.snapshot() == source.perf_snapshot()
+        assert mirrored.documents_classified > 0
+
+    def test_deltas_reproduce_direct_wiring(self):
+        self._assert_bus_matches_direct(_source(), figure3_workload(15, 15, seed=11))
+
+    def test_deltas_cover_deposits_and_drains(self):
+        source = _source(sigma=0.6, tau=0.01, min_documents=5)
+        documents = [
+            parse_document("<a>" + "<b>x</b><c>y</c>" * 2 + "<d>z</d></a>")
+            for _ in range(6)
+        ] + [parse_document("<a><b>x</b><c>y</c><c>y</c></a>") for _ in range(6)]
+        self._assert_bus_matches_direct(source, documents)
+
+    def test_deltas_are_sparse(self):
+        source = _source()
+        observed = _Recorder(source)
+        source.process(parse_document("<a><b>x</b><c>y</c></a>"))
+        for event in observed.events:
+            assert all(value != 0 for value in event.perf_delta.values())
+
+
+# ----------------------------------------------------------------------
+# Store equivalence through the full engine
+# ----------------------------------------------------------------------
+
+
+class TestStoreEquivalence:
+    def test_memory_and_jsonl_sources_agree(self, tmp_path):
+        """One workload through a MemoryStore source and a JsonlStore
+        source: identical outcomes, evolution logs, evolved DTDs, and
+        repository contents (the acceptance equivalence)."""
+        config = EvolutionConfig(sigma=0.55, tau=0.1, min_documents=5)
+        documents = figure3_workload(15, 15, seed=3)
+        memory = XMLSource([figure3_dtd()], config, store=MemoryStore())
+        jsonl = XMLSource(
+            [figure3_dtd()],
+            config,
+            store=JsonlStore(str(tmp_path / "repository.jsonl")),
+        )
+        memory_outcomes = memory.process_many([d.copy() for d in documents])
+        jsonl_outcomes = jsonl.process_many([d.copy() for d in documents])
+        for ours, theirs in zip(memory_outcomes, jsonl_outcomes):
+            assert ours.dtd_name == theirs.dtd_name
+            assert ours.similarity == theirs.similarity
+            assert ours.evolved == theirs.evolved
+            assert ours.recovered == theirs.recovered
+        assert len(memory.evolution_log) == len(jsonl.evolution_log) > 0
+        for ours, theirs in zip(memory.evolution_log, jsonl.evolution_log):
+            assert ours.dtd_name == theirs.dtd_name
+            assert ours.documents_recorded == theirs.documents_recorded
+            assert ours.activation_score == theirs.activation_score
+            assert ours.recovered_from_repository == theirs.recovered_from_repository
+            assert serialize_dtd(ours.result.new_dtd) == serialize_dtd(
+                theirs.result.new_dtd
+            )
+        for name in memory.dtd_names():
+            assert serialize_dtd(memory.dtd(name)) == serialize_dtd(jsonl.dtd(name))
+        from repro.xmltree.serializer import serialize_document
+
+        assert [
+            serialize_document(d, xml_declaration=False) for d in memory.repository
+        ] == [serialize_document(d, xml_declaration=False) for d in jsonl.repository]
+
+    def test_store_kinds_accepted_by_name(self, tmp_path):
+        memory = XMLSource([figure3_dtd()], store="memory")
+        jsonl = XMLSource([figure3_dtd()], store="jsonl")
+        assert isinstance(memory.repository.store, MemoryStore)
+        assert isinstance(jsonl.repository.store, JsonlStore)
+        jsonl.repository.store.close()
+
+    def test_unknown_store_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown store kind"):
+            XMLSource([figure3_dtd()], store="bogus")

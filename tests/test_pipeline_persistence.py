@@ -1,0 +1,208 @@
+"""Persistence across the staged pipeline: format-2 snapshots, the v1
+backward-compat loader, mid-batch checkpoints, and the acceptance
+scenario — save/load between ``process_many`` batches that straddle an
+evolution must continue exactly like the uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.classification.stores import JsonlStore, MemoryStore
+from repro.core.engine import XMLSource
+from repro.core.evolution import EvolutionConfig
+from repro.core.persistence import (
+    FORMAT_VERSION,
+    load_source,
+    save_source,
+    source_from_json,
+    source_to_json,
+)
+from repro.dtd.serializer import serialize_dtd
+from repro.generators.scenarios import figure3_dtd, figure3_workload
+from repro.xmltree.serializer import serialize_document
+
+
+_CONFIG = EvolutionConfig(sigma=0.55, tau=0.1, min_documents=5)
+
+
+def _fresh_source(**kwargs):
+    return XMLSource([figure3_dtd()], _CONFIG, **kwargs)
+
+
+def _workload():
+    # 30 documents; with min_documents=5 the evolution fires mid-stream,
+    # so any split around the middle straddles it
+    return figure3_workload(15, 15, seed=3)
+
+
+def _state(source):
+    """Everything the acceptance criterion compares."""
+    return {
+        "dtds": {name: serialize_dtd(source.dtd(name)) for name in source.dtd_names()},
+        "evolution_log": [
+            (
+                event.dtd_name,
+                event.documents_recorded,
+                event.activation_score,
+                serialize_dtd(event.result.new_dtd),
+                event.recovered_from_repository,
+            )
+            for event in source.evolution_log
+        ],
+        "repository": [
+            serialize_document(document, xml_declaration=False)
+            for document in source.repository
+        ],
+        "documents_processed": source.documents_processed,
+    }
+
+
+class TestMidBatchEvolutionRoundTrip:
+    @pytest.mark.parametrize("split", [4, 10, 20])
+    def test_save_load_between_batches_straddling_an_evolution(
+        self, tmp_path, split
+    ):
+        documents = _workload()
+        uninterrupted = _fresh_source()
+        uninterrupted.process_many([d.copy() for d in documents])
+
+        interrupted = _fresh_source()
+        interrupted.process_many([d.copy() for d in documents[:split]])
+        evolutions_before_snapshot = len(interrupted.evolution_log)
+        path = str(tmp_path / "mid.json")
+        save_source(interrupted, path)
+        resumed = load_source(path)
+        assert resumed.evolution_log == []  # the log is runtime history
+        resumed.process_many([d.copy() for d in documents[split:]])
+
+        # the restored source's next evolution, evolution log, and
+        # repository are identical to the uninterrupted run (the resumed
+        # log holds exactly the post-snapshot continuation)
+        expected = _state(uninterrupted)
+        actual = _state(resumed)
+        assert actual["dtds"] == expected["dtds"]
+        assert actual["repository"] == expected["repository"]
+        assert actual["documents_processed"] == expected["documents_processed"]
+        assert (
+            actual["evolution_log"]
+            == expected["evolution_log"][evolutions_before_snapshot:]
+        )
+        assert len(expected["evolution_log"]) > 0
+
+    def test_split_exactly_at_the_evolution_boundary(self, tmp_path):
+        documents = _workload()
+        probe = _fresh_source()
+        trigger_index = None
+        for index, document in enumerate(probe.process_many([d.copy() for d in documents])):
+            if document.evolved:
+                trigger_index = index
+                break
+        assert trigger_index is not None
+        split = trigger_index + 1  # snapshot immediately after the evolution
+
+        uninterrupted = _fresh_source()
+        uninterrupted.process_many([d.copy() for d in documents])
+        interrupted = _fresh_source()
+        interrupted.process_many([d.copy() for d in documents[:split]])
+        assert len(interrupted.evolution_log) == 1
+        path = str(tmp_path / "boundary.json")
+        save_source(interrupted, path)
+        resumed = load_source(path)
+        resumed.process_many([d.copy() for d in documents[split:]])
+        assert _state(resumed)["dtds"] == _state(uninterrupted)["dtds"]
+        assert _state(resumed)["repository"] == _state(uninterrupted)["repository"]
+
+
+class TestCheckpointEvery:
+    def test_checkpoints_are_written_and_loadable(self, tmp_path):
+        path = str(tmp_path / "checkpoint.json")
+        source = _fresh_source()
+        documents = _workload()[:7]
+        source.process_many(
+            [d.copy() for d in documents], checkpoint_every=3, checkpoint_path=path
+        )
+        assert os.path.exists(path)
+        checkpoint = load_source(path)
+        # the last checkpoint landed at document 6 of 7
+        assert checkpoint.documents_processed == 6
+
+    def test_checkpointing_does_not_change_the_run(self, tmp_path):
+        documents = _workload()
+        plain = _fresh_source()
+        plain_outcomes = plain.process_many([d.copy() for d in documents])
+        checkpointed = _fresh_source()
+        checkpointed_outcomes = checkpointed.process_many(
+            [d.copy() for d in documents],
+            checkpoint_every=5,
+            checkpoint_path=str(tmp_path / "c.json"),
+        )
+        for ours, theirs in zip(plain_outcomes, checkpointed_outcomes):
+            assert ours.dtd_name == theirs.dtd_name
+            assert ours.similarity == theirs.similarity
+            assert ours.evolved == theirs.evolved
+        assert _state(plain) == _state(checkpointed)
+
+    def test_checkpoint_every_without_path_is_ignored(self):
+        source = _fresh_source()
+        outcomes = source.process_many(
+            [d.copy() for d in _workload()[:3]], checkpoint_every=1
+        )
+        assert len(outcomes) == 3
+
+
+class TestFormatVersions:
+    def test_snapshots_are_format_2(self):
+        source = _fresh_source()
+        data = source_to_json(source)
+        assert FORMAT_VERSION == 2
+        assert data["format"] == 2
+        assert data["repository"] == {"store": "memory", "documents": []}
+
+    def test_store_kind_round_trips(self, tmp_path):
+        source = _fresh_source(store=JsonlStore(str(tmp_path / "r.jsonl")))
+        source.process_many([d.copy() for d in _workload()[:4]])
+        data = source_to_json(source)
+        assert data["repository"]["store"] == "jsonl"
+        restored = source_from_json(data)
+        assert isinstance(restored.repository.store, JsonlStore)
+        assert len(restored.repository) == len(source.repository)
+        restored.repository.store.close()
+
+    def test_store_override_at_load_time(self, tmp_path):
+        source = _fresh_source(store=JsonlStore(str(tmp_path / "r.jsonl")))
+        restored = source_from_json(source_to_json(source), store="memory")
+        assert isinstance(restored.repository.store, MemoryStore)
+
+    def test_v1_snapshot_still_loads(self):
+        """A pre-pipeline snapshot (format 1, repository as a bare list)
+        restores into a working source."""
+        source = XMLSource([figure3_dtd()], EvolutionConfig(sigma=0.9))
+        for document in _workload()[:3]:
+            source.process(document.copy())
+        assert len(source.repository) > 0
+        data = source_to_json(source)
+        v1 = dict(data)
+        v1["format"] = 1
+        v1["repository"] = data["repository"]["documents"]
+        v1 = json.loads(json.dumps(v1))
+        restored = source_from_json(v1)
+        assert isinstance(restored.repository.store, MemoryStore)
+        assert len(restored.repository) == len(source.repository)
+        assert restored.documents_processed == source.documents_processed
+
+    def test_unknown_format_still_rejected(self):
+        with pytest.raises(ValueError, match="unsupported snapshot format"):
+            source_from_json({"format": 3})
+
+    def test_fastpath_collaborator_resupplied_at_load(self, tmp_path):
+        from repro.perf import FastPathConfig
+
+        source = _fresh_source()
+        path = str(tmp_path / "s.json")
+        save_source(source, path)
+        restored = load_source(path, fastpath=FastPathConfig.disabled())
+        assert not restored.fastpath.validity_short_circuit

@@ -1,0 +1,177 @@
+"""Unit tests for the pluggable document stores (repro.classification.stores)."""
+
+import os
+
+import pytest
+
+from repro.classification.repository import Repository
+from repro.classification.stores import (
+    DocumentStore,
+    JsonlStore,
+    MemoryStore,
+    make_store,
+    store_kind,
+)
+from repro.xmltree.parser import parse_document
+from repro.xmltree.serializer import serialize_document
+
+
+def _documents():
+    return [
+        parse_document("<a><b>x</b></a>"),
+        parse_document("<b/>"),
+        parse_document("<a><c>y</c></a>"),
+    ]
+
+
+def _xml(document):
+    return serialize_document(document, xml_declaration=False)
+
+
+@pytest.fixture(params=["memory", "jsonl"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        return MemoryStore()
+    return JsonlStore(str(tmp_path / "repo.jsonl"))
+
+
+class TestStoreContract:
+    """Both backends satisfy the one DocumentStore contract."""
+
+    def test_satisfies_protocol(self, store):
+        assert isinstance(store, DocumentStore)
+
+    def test_add_len_iter_order(self, store):
+        documents = _documents()
+        for document in documents:
+            store.add(document)
+        assert len(store) == 3
+        assert [_xml(d) for d in store] == [_xml(d) for d in documents]
+
+    def test_drain_takes_all(self, store):
+        documents = _documents()
+        for document in documents:
+            store.add(document)
+        drained = store.drain()
+        assert [_xml(d) for d in drained] == [_xml(d) for d in documents]
+        assert len(store) == 0
+        assert list(store) == []
+
+    def test_drain_with_predicate_keeps_rest_in_order(self, store):
+        for document in _documents():
+            store.add(document)
+        drained = store.drain(lambda d: d.root.tag == "a")
+        assert [d.root.tag for d in drained] == ["a", "a"]
+        assert len(store) == 1
+        assert [d.root.tag for d in store] == ["b"]
+
+    def test_drain_empty(self, store):
+        assert store.drain() == []
+        assert store.drain(lambda d: True) == []
+
+    def test_clear(self, store):
+        for document in _documents():
+            store.add(document)
+        store.clear()
+        assert len(store) == 0
+        assert list(store) == []
+
+    def test_add_after_drain(self, store):
+        for document in _documents():
+            store.add(document)
+        store.drain()
+        store.add(parse_document("<late/>"))
+        assert len(store) == 1
+        assert next(iter(store)).root.tag == "late"
+
+
+class TestJsonlStore:
+    def test_round_trips_structure(self, tmp_path):
+        store = JsonlStore(str(tmp_path / "r.jsonl"))
+        document = parse_document(
+            '<a id="1"><b>text &amp; entities</b><c/><!-- gone --></a>'
+        )
+        store.add(document)
+        again = next(iter(store))
+        assert _xml(again) == _xml(document)
+
+    def test_resumes_existing_file(self, tmp_path):
+        path = str(tmp_path / "r.jsonl")
+        first = JsonlStore(path)
+        for document in _documents():
+            first.add(document)
+        second = JsonlStore(path)
+        assert len(second) == 3
+        assert [d.root.tag for d in second] == ["a", "b", "a"]
+
+    def test_drain_rewrites_file(self, tmp_path):
+        path = str(tmp_path / "r.jsonl")
+        store = JsonlStore(path)
+        for document in _documents():
+            store.add(document)
+        store.drain(lambda d: d.root.tag == "a")
+        with open(path) as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == 1
+        assert len(JsonlStore(path)) == 1
+
+    def test_temporary_file_is_owned_and_removed(self):
+        store = JsonlStore()
+        store.add(parse_document("<a/>"))
+        path = store.path
+        assert os.path.exists(path)
+        store.close()
+        assert not os.path.exists(path)
+        assert len(store) == 0
+
+    def test_named_file_survives_close(self, tmp_path):
+        path = str(tmp_path / "kept.jsonl")
+        store = JsonlStore(path)
+        store.add(parse_document("<a/>"))
+        store.close()
+        assert os.path.exists(path)
+
+
+class TestMakeStore:
+    def test_default_and_memory(self):
+        assert isinstance(make_store(), MemoryStore)
+        assert isinstance(make_store("memory"), MemoryStore)
+
+    def test_jsonl_with_and_without_path(self, tmp_path):
+        named = make_store("jsonl", str(tmp_path / "x.jsonl"))
+        assert isinstance(named, JsonlStore)
+        anonymous = make_store("jsonl")
+        assert isinstance(anonymous, JsonlStore)
+        anonymous.close()
+
+    def test_instance_passes_through(self):
+        store = MemoryStore()
+        assert make_store(store) is store
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown store kind"):
+            make_store("sqlite")
+
+    def test_store_kind_tags(self, tmp_path):
+        assert store_kind(MemoryStore()) == "memory"
+        assert store_kind(JsonlStore(str(tmp_path / "k.jsonl"))) == "jsonl"
+
+
+class TestRepositoryDelegation:
+    def test_defaults_to_memory(self):
+        assert isinstance(Repository().store, MemoryStore)
+
+    def test_delegates_to_configured_store(self, tmp_path):
+        backing = JsonlStore(str(tmp_path / "repo.jsonl"))
+        repository = Repository(backing)
+        repository.add(parse_document("<a/>"))
+        assert len(repository) == 1
+        assert len(backing) == 1
+        assert not repository.is_empty()
+        assert repository.drain()[0].root.tag == "a"
+        assert repository.is_empty()
+
+    def test_repr_counts(self):
+        repository = Repository()
+        repository.add(parse_document("<a/>"))
+        assert "1 documents" in repr(repository)
