@@ -9,7 +9,11 @@ Also runnable as a script for the classification fast-path comparison
 (``repro.perf``): ``PYTHONPATH=src python benchmarks/bench_micro.py
 [--smoke]`` times three classification workloads against a five-DTD
 source with the fast paths on and off, checks the outcomes agree,
-and writes ``benchmarks/results/BENCH_micro.json``.
+and writes ``benchmarks/results/BENCH_micro.json``.  The script also
+runs the engine batch serially and with ``workers=4``
+(``repro.parallel``), asserts the outcomes are identical, and records
+both timings plus the machine's CPU count — the speedup is only
+meaningful on a multi-core box, so judge it against ``cpu_count``.
 """
 
 import json
@@ -174,6 +178,67 @@ def test_micro_fastpath_repeated_stream(benchmark):
 
 
 # ----------------------------------------------------------------------
+# Engine batch: serial vs parallel (repro.parallel)
+# ----------------------------------------------------------------------
+
+
+def _engine_corpus(makers, per_scenario):
+    """A mixed engine workload: valid documents from every scenario plus
+    a drifting Figure-3 stream that evolves mid-batch."""
+    return _valid_stream(makers, per_scenario) + figure3_workload(
+        per_scenario * 2, per_scenario * 2, seed=11
+    )
+
+
+def _engine_run(dtds, documents, workers):
+    from repro.core.engine import XMLSource
+    from repro.core.evolution import EvolutionConfig
+
+    source = XMLSource(
+        [dtd.copy() for dtd in dtds],
+        EvolutionConfig(sigma=0.4, tau=0.05, min_documents=25),
+    )
+    start = time.perf_counter()
+    outcomes = source.process_many(
+        [document.copy() for document in documents], workers=workers
+    )
+    elapsed = time.perf_counter() - start
+    view = [
+        (outcome.dtd_name, outcome.similarity, tuple(outcome.evolved))
+        for outcome in outcomes
+    ]
+    return view, elapsed, source
+
+
+def _engine_compare(dtds, documents, workers):
+    serial_view, serial_time, serial_source = _engine_run(dtds, documents, 0)
+    parallel_view, parallel_time, parallel_source = _engine_run(
+        dtds, documents, workers
+    )
+    if serial_view != parallel_view:
+        raise AssertionError("engine_parallel: serial and parallel outcomes diverge")
+    if serial_source.evolution_count != parallel_source.evolution_count:
+        raise AssertionError("engine_parallel: evolution counts diverge")
+    speedup = serial_time / parallel_time if parallel_time > 0 else float("inf")
+    cpu_count = os.cpu_count() or 1
+    print(
+        f"{'engine_parallel':<18} {len(documents):>4} docs   "
+        f"serial {serial_time * 1000:8.1f} ms   "
+        f"workers={workers} {parallel_time * 1000:8.1f} ms   "
+        f"speedup {speedup:5.2f}x  (cpus {cpu_count})"
+    )
+    return {
+        "documents": len(documents),
+        "workers": workers,
+        "cpu_count": cpu_count,
+        "evolutions": serial_source.evolution_count,
+        "serial_seconds": serial_time,
+        "parallel_seconds": parallel_time,
+        "speedup": speedup,
+    }
+
+
+# ----------------------------------------------------------------------
 # Script mode: machine-readable fast-path comparison
 # ----------------------------------------------------------------------
 
@@ -230,6 +295,10 @@ def main(argv=None):
     results = {"smoke": smoke, "workloads": {}}
     for name, documents in sorted(workloads.items()):
         results["workloads"][name] = _compare(name, dtds, documents)
+    engine_per_scenario = 15 if smoke else 125  # 8x per scenario -> 120 / 1000
+    results["engine_parallel"] = _engine_compare(
+        dtds, _engine_corpus(makers, engine_per_scenario), workers=4
+    )
     results_dir = os.path.join(os.path.dirname(__file__), "results")
     os.makedirs(results_dir, exist_ok=True)
     path = os.path.join(results_dir, "BENCH_micro.json")

@@ -135,7 +135,15 @@ class _BoundData:
 class ClassificationResult:
     """The outcome of classifying one document."""
 
-    __slots__ = ("document", "dtd_name", "similarity", "evaluation", "_ranking")
+    __slots__ = (
+        "document",
+        "dtd_name",
+        "similarity",
+        "evaluation",
+        "_ranking",
+        "evaluated",
+        "pruned",
+    )
 
     def __init__(
         self,
@@ -144,6 +152,8 @@ class ClassificationResult:
         similarity: float,
         evaluation: Optional[DocumentEvaluation],
         ranking: Union[Ranking, Callable[[], Ranking]],
+        evaluated: Optional[Ranking] = None,
+        pruned: Tuple[str, ...] = (),
     ):
         self.document = document
         #: the selected DTD, or ``None`` when below threshold (repository)
@@ -153,6 +163,16 @@ class ClassificationResult:
         #: full evaluation against the best DTD (None when no DTD exists)
         self.evaluation = evaluation
         self._ranking = ranking
+        #: the ``(name, similarity)`` pairs actually scored (best first);
+        #: equals the full ranking unless tier-3 pruning skipped DTDs
+        self.evaluated = (
+            evaluated if evaluated is not None
+            else (ranking if not callable(ranking) else [])
+        )
+        #: DTD names whose exact score was pruned (realized lazily via
+        #: :attr:`ranking`); picklable parallel workers ship these two
+        #: fields instead of forcing the lazy realization
+        self.pruned = pruned
 
     @property
     def ranking(self) -> Ranking:
@@ -365,39 +385,51 @@ class Classifier:
             best_name, best_similarity = evaluated[0]
             if skipped:
                 self.counters.bound_skips += len(skipped)
-                # realize the exact full ranking lazily, against the
-                # matchers as they are *now* (an evolved DTD swapped in
-                # later must not leak into this result)
-                snapshot = [
-                    (name, self._matchers[name], self._validators[name])
-                    for name in skipped
-                ]
-
-                def realize(
-                    head: Ranking = list(evaluated),
-                    snapshot=snapshot,
-                    tier1: bool = tier1,
-                ) -> Ranking:
-                    tail = [
-                        (name, self._score_with(matcher, validator, document, tier1)[0])
-                        for name, matcher, validator in snapshot
-                    ]
-                    return sorted(head + tail, key=lambda pair: (-pair[1], pair[0]))
-
-                ranking = realize
+                ranking = self.deferred_ranking(document, evaluated, tuple(skipped))
             else:
                 ranking = evaluated
 
+        pruned = tuple(skipped) if tier3 else ()
         if best_similarity < self.threshold:
             return ClassificationResult(
-                document, None, best_similarity, None, ranking
+                document, None, best_similarity, None, ranking,
+                evaluated=evaluated, pruned=pruned,
             )
         evaluation = self._best_evaluation(
             document, best_name, best_name in short_circuited
         )
         return ClassificationResult(
-            document, best_name, best_similarity, evaluation, ranking
+            document, best_name, best_similarity, evaluation, ranking,
+            evaluated=evaluated, pruned=pruned,
         )
+
+    def deferred_ranking(
+        self, document: Document, head: Ranking, pruned: Tuple[str, ...]
+    ) -> Callable[[], Ranking]:
+        """A callable realizing the exact full ranking lazily.
+
+        ``head`` holds the already-scored pairs and ``pruned`` the DTD
+        names tier-3 skipped.  The matchers and validators are captured
+        *now* (an evolved DTD swapped in later must not leak into the
+        realization), so the callable stays exact for the DTD set at
+        classification time.  The parallel merge path rebuilds worker
+        results through this, preserving the serial path's laziness.
+        """
+        snapshot = [
+            (name, self._matchers[name], self._validators[name])
+            for name in pruned
+        ]
+        tier1 = self.fastpath.validity_short_circuit and self._exact_semantics()
+        head = list(head)
+
+        def realize() -> Ranking:
+            tail = [
+                (name, self._score_with(matcher, validator, document, tier1)[0])
+                for name, matcher, validator in snapshot
+            ]
+            return sorted(head + tail, key=lambda pair: (-pair[1], pair[0]))
+
+        return realize
 
     def _best_evaluation(
         self, document: Document, name: str, short_circuited: bool

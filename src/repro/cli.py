@@ -14,14 +14,16 @@ Subcommands::
 
     dtdevolve run --state state.json [--dtd schema.dtd] [--triggers rules.txt]
                   [--store {memory,jsonl}] [--checkpoint-every N]
-                  [--no-fastpath] [--report-perf] docs...
+                  [--workers N] [--no-fastpath] [--report-perf] docs...
         Drive the full pipeline statefully: load (or initialise) a
         source snapshot, process the documents — classifying, recording
         and auto-evolving — and write the snapshot back.  Prints the
         outcome per document and any evolutions.  ``--store`` picks the
         repository backend, ``--checkpoint-every`` snapshots mid-run,
-        ``--no-fastpath`` forces the reference classification path, and
-        ``--report-perf`` prints the fast-path hit counters.
+        ``--workers`` classifies the batch across worker processes
+        (identical results, see ``repro.parallel``), ``--no-fastpath``
+        forces the reference classification path, and ``--report-perf``
+        prints the fast-path hit counters.
 
     dtdevolve adapt --dtd schema.dtd docs...
         Adapt each document to the DTD (Section 6); writes the adapted
@@ -135,6 +137,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         [parse_document(_read(path)) for path in args.documents],
         checkpoint_every=args.checkpoint_every,
         checkpoint_path=args.state,
+        workers=args.workers,
     )
     for path, outcome in zip(args.documents, outcomes):
         target = outcome.dtd_name or "<repository>"
@@ -217,6 +220,14 @@ def build_parser() -> argparse.ArgumentParser:
         dest="checkpoint_every",
         metavar="N",
         help="snapshot the state file after every N documents (0 = only at the end)",
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="classify the batch across N worker processes "
+        "(0/1 = serial; results are identical either way)",
     )
     run.add_argument(
         "--no-fastpath",

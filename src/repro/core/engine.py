@@ -163,16 +163,28 @@ class XMLSource:
         """Classification phase only (no recording, no events)."""
         return self.classifier.classify(document)
 
-    def process(self, document: Document) -> ProcessOutcome:
-        """Run one document through the full Figure-1 loop."""
+    def process(
+        self,
+        document: Document,
+        classification: Optional[ClassificationResult] = None,
+    ) -> ProcessOutcome:
+        """Run one document through the full Figure-1 loop.
+
+        ``classification`` injects a precomputed result for this
+        document against the *current* DTD set (the parallel merge path
+        uses this); the classify stage then skips the classifier call
+        but deposits, records, checks and evolves exactly as usual.
+        """
         self.documents_processed += 1
-        return self.pipeline.run(document).outcome()
+        return self.pipeline.run(document, classification).outcome()
 
     def process_many(
         self,
         documents: Iterable[Document],
         checkpoint_every: int = 0,
         checkpoint_path: Optional[str] = None,
+        workers: int = 0,
+        chunk_size: int = 0,
     ) -> List[ProcessOutcome]:
         """Process a batch, in order.
 
@@ -182,12 +194,25 @@ class XMLSource:
         repository drains evolution triggers mid-batch), so repeated
         structures in a stream cost one DP run total.
 
+        With ``workers`` of 2 or more, classification fans out across a
+        process pool in classify-parallel / evolve-serial epochs (see
+        :mod:`repro.parallel`); results — outcomes, repository, events,
+        evolution log — are bit-identical to the serial path, which
+        ``workers`` of 0 or 1 selects exactly.  ``chunk_size`` forces a
+        shard size (0 = automatic).
+
         With ``checkpoint_every`` set (and a ``checkpoint_path``), the
         source snapshots itself to that path after every
         ``checkpoint_every`` documents, so a long stream survives
         interruption mid-run; the snapshot is the same format
         :func:`repro.core.persistence.save_source` writes.
         """
+        if workers and workers > 1:
+            from repro.parallel.driver import ParallelDriver
+
+            return ParallelDriver(self, workers, chunk_size=chunk_size).process(
+                list(documents), checkpoint_every, checkpoint_path
+            )
         outcomes: List[ProcessOutcome] = []
         for index, document in enumerate(documents, start=1):
             outcomes.append(self.process(document))

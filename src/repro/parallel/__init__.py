@@ -1,0 +1,61 @@
+"""Parallel batch classification over an immutable DTD-set snapshot.
+
+The Figure-1 loop mutates the DTD set only at evolution points; between
+them, classifying a batch against the frozen set is embarrassingly
+parallel.  :meth:`repro.core.engine.XMLSource.process_many` with
+``workers=N`` shards the pending documents across a
+``ProcessPoolExecutor`` and merges the results back **in submission
+order**, replaying each worker-computed classification through the
+normal serial pipeline stages, so rankings, evaluations, repository
+deposits, the evolution log, and the lifecycle event sequence are
+bit-identical to the serial path (asserted by
+``tests/test_parallel_differential.py``).
+
+Evolution stays serialized through *epochs*:
+
+1. **snapshot** — the current DTD set, classification threshold and
+   similarity/fast-path configuration are frozen into a picklable
+   :class:`~repro.parallel.snapshot.ClassifierSnapshot` (pickled once
+   per epoch);
+2. **classify-parallel** — the remaining documents are cut into
+   chunks; each worker process rebuilds the classifier from the
+   snapshot once per epoch (keeping a per-worker structural-fingerprint
+   cache warm across its chunks) and ships back compact
+   :class:`~repro.parallel.snapshot.DocumentPayload` results;
+3. **evolve-serial** — the driver merges chunk results in order,
+   running the record/check/evolve/drain stages in-process per
+   document; the moment an evolution fires, the snapshot is stale, the
+   epoch ends, unmerged shard results are discarded, and the remainder
+   of the batch is re-sharded against a fresh snapshot.
+
+Graceful degradation: a shard whose worker dies (or whose documents
+poison it) is retried once — on a fresh pool if the old one broke — and
+then falls back to in-process serial classification, announced by
+:class:`~repro.parallel.events.ShardRetried` and
+:class:`~repro.parallel.events.ParallelFallback` warning events rather
+than failing the batch.  Worker fast-path counters fold into the
+engine's :class:`~repro.perf.PerfCounters` through the duplicate-safe
+:meth:`~repro.perf.PerfCounters.merge`, so ``perf_snapshot()`` (and its
+bus mirror) still accounts for all classification work.
+"""
+
+from repro.parallel.driver import ParallelDriver
+from repro.parallel.events import ParallelFallback, ShardRetried
+from repro.parallel.snapshot import (
+    ChunkResult,
+    ClassifierSnapshot,
+    DocumentPayload,
+    payload_from,
+    rebuild_classification,
+)
+
+__all__ = [
+    "ParallelDriver",
+    "ParallelFallback",
+    "ShardRetried",
+    "ChunkResult",
+    "ClassifierSnapshot",
+    "DocumentPayload",
+    "payload_from",
+    "rebuild_classification",
+]

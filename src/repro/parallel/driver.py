@@ -1,0 +1,222 @@
+"""The classify-parallel / evolve-serial epoch driver.
+
+``XMLSource.process_many(..., workers=N)`` delegates here.  The driver
+owns a ``ProcessPoolExecutor`` for the duration of one batch and runs
+the epoch loop described in :mod:`repro.parallel`: snapshot, fan out
+chunks, merge strictly in submission order through the serial pipeline
+stages, and restart the epoch whenever an evolution invalidates the
+snapshot.  All engine state mutation happens on the parent process —
+workers only ever *read* a frozen snapshot — so the merged run is
+bit-identical to the serial one.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.classification.classifier import ClassificationResult
+from repro.parallel.events import ParallelFallback, ShardRetried
+from repro.parallel.snapshot import ClassifierSnapshot, rebuild_classification
+from repro.parallel.worker import classify_chunk
+from repro.pipeline.context import ProcessOutcome
+from repro.xmltree.document import Document
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine → driver)
+    from repro.core.engine import XMLSource
+
+#: chunks per worker targeted by auto chunk sizing — small enough that
+#: an early-epoch evolution discards little speculative work, large
+#: enough that per-chunk pickling stays amortised
+_CHUNKS_PER_WORKER = 4
+
+
+class ParallelDriver:
+    """Drives one parallel batch for one source."""
+
+    def __init__(self, source: "XMLSource", workers: int, chunk_size: int = 0):
+        if workers < 2:
+            raise ValueError(f"ParallelDriver needs workers >= 2, got {workers}")
+        self.source = source
+        self.workers = workers
+        #: documents per shard; 0 = auto (pending / (workers * 4))
+        self.chunk_size = chunk_size
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def _retire_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    # Event plumbing
+    # ------------------------------------------------------------------
+
+    def _emit(self, event: object) -> None:
+        self.source.pipeline.emit(event)
+
+    def _delta(self):
+        return self.source.pipeline.perf_delta()
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def process(
+        self,
+        documents: List[Document],
+        checkpoint_every: int = 0,
+        checkpoint_path: Optional[str] = None,
+    ) -> List[ProcessOutcome]:
+        source = self.source
+        outcomes: List[ProcessOutcome] = []
+        if source.tag_matcher is not None:
+            # thesaurus matchers are stateful and not parallel-safe;
+            # degrade to the serial path for the whole batch
+            self._emit(
+                ParallelFallback(
+                    0, -1, len(documents),
+                    "thesaurus tag matcher installed; classifying in process",
+                    self._delta(),
+                )
+            )
+            for index, document in enumerate(documents, start=1):
+                outcomes.append(source.process(document))
+                self._checkpoint(index, checkpoint_every, checkpoint_path)
+            return outcomes
+        epoch = 0
+        position = 0
+        try:
+            while position < len(documents):
+                epoch += 1
+                position += self._run_epoch(
+                    epoch,
+                    documents[position:],
+                    outcomes,
+                    position,
+                    checkpoint_every,
+                    checkpoint_path,
+                )
+        finally:
+            self._retire_pool()
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # One epoch
+    # ------------------------------------------------------------------
+
+    def _chunks(self, pending: List[Document]) -> List[List[Document]]:
+        size = self.chunk_size
+        if size <= 0:
+            size = max(
+                1, math.ceil(len(pending) / (self.workers * _CHUNKS_PER_WORKER))
+            )
+        return [pending[i:i + size] for i in range(0, len(pending), size)]
+
+    def _run_epoch(
+        self,
+        epoch: int,
+        pending: List[Document],
+        outcomes: List[ProcessOutcome],
+        base_index: int,
+        checkpoint_every: int,
+        checkpoint_path: Optional[str],
+    ) -> int:
+        """Classify ``pending`` against a fresh snapshot and merge until
+        the batch ends or an evolution stales the snapshot.  Returns how
+        many documents were merged."""
+        source = self.source
+        snapshot_bytes = pickle.dumps(
+            ClassifierSnapshot.of(source), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        chunks = self._chunks(pending)
+        pool = self._ensure_pool()
+        futures: List[Future] = [
+            pool.submit(classify_chunk, epoch, snapshot_bytes, chunk)
+            for chunk in chunks
+        ]
+        merged = 0
+        try:
+            for shard_index, (chunk, future) in enumerate(zip(chunks, futures)):
+                classifications = self._shard_classifications(
+                    epoch, snapshot_bytes, shard_index, chunk, future
+                )
+                for document, classification in zip(chunk, classifications):
+                    outcome = source.process(document, classification)
+                    outcomes.append(outcome)
+                    merged += 1
+                    self._checkpoint(
+                        base_index + merged, checkpoint_every, checkpoint_path
+                    )
+                    if outcome.evolved:
+                        # the snapshot is stale; unmerged shard results
+                        # are discarded and the remainder re-sharded
+                        return merged
+        finally:
+            for future in futures:
+                future.cancel()
+        return merged
+
+    def _shard_classifications(
+        self,
+        epoch: int,
+        snapshot_bytes: bytes,
+        shard_index: int,
+        chunk: List[Document],
+        future: Future,
+    ) -> List[ClassificationResult]:
+        """One shard's results, with retry-once and serial fallback."""
+        source = self.source
+        try:
+            result = future.result()
+        except Exception as error:  # dead worker, poison document, ...
+            if isinstance(error, BrokenExecutor):
+                self._retire_pool()
+            self._emit(
+                ShardRetried(epoch, shard_index, len(chunk), repr(error), self._delta())
+            )
+            try:
+                retry = self._ensure_pool().submit(
+                    classify_chunk, epoch, snapshot_bytes, chunk
+                )
+                result = retry.result()
+            except Exception as retry_error:
+                if isinstance(retry_error, BrokenExecutor):
+                    self._retire_pool()
+                self._emit(
+                    ParallelFallback(
+                        epoch, shard_index, len(chunk), repr(retry_error), self._delta()
+                    )
+                )
+                # in-process classification: same classifier the serial
+                # path would use, so results stay bit-identical
+                return [source.classifier.classify(document) for document in chunk]
+        source.perf.merge(result.counters, key=result.worker_key)
+        return [
+            rebuild_classification(source.classifier, document, payload)
+            for document, payload in zip(chunk, result.payloads)
+        ]
+
+    # ------------------------------------------------------------------
+
+    def _checkpoint(
+        self, index: int, checkpoint_every: int, checkpoint_path: Optional[str]
+    ) -> None:
+        if checkpoint_every and checkpoint_path and index % checkpoint_every == 0:
+            from repro.core.persistence import save_source
+
+            save_source(self.source, checkpoint_path)
+
+    def __repr__(self) -> str:
+        return f"ParallelDriver(workers={self.workers})"

@@ -1,0 +1,46 @@
+"""Warning events of the parallel classification driver.
+
+Both ride the engine's normal :class:`~repro.pipeline.events.EventBus`
+(subscribe exactly like the lifecycle events) and carry the same sparse
+``perf_delta`` attribution, so the bus-mirrored counters stay a
+complete account even across retries and fallbacks.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, NamedTuple
+
+_NO_DELTA: Mapping[str, int] = {}
+
+
+class ShardRetried(NamedTuple):
+    """A shard's worker task failed; the shard is being resubmitted.
+
+    Emitted at most once per shard (retry-once semantics); a second
+    failure produces :class:`ParallelFallback` instead.
+    """
+
+    epoch: int
+    shard_index: int
+    #: documents in the shard
+    documents: int
+    #: repr of the failure (a dead worker surfaces as BrokenProcessPool)
+    error: str
+    perf_delta: Mapping[str, int] = _NO_DELTA
+
+
+class ParallelFallback(NamedTuple):
+    """Parallel classification was abandoned for part (or all) of the
+    batch; the affected documents are classified serially in-process.
+
+    ``shard_index`` is ``-1`` when the whole batch degraded (e.g. a
+    thesaurus tag matcher, which is not parallel-safe, is installed).
+    The batch still completes with bit-identical results — this event
+    is the warning that it did so without the worker pool.
+    """
+
+    epoch: int
+    shard_index: int
+    documents: int
+    reason: str
+    perf_delta: Mapping[str, int] = _NO_DELTA

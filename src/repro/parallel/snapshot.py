@@ -1,0 +1,211 @@
+"""The picklable wire format between the driver and its workers.
+
+Three shapes cross the process boundary:
+
+- :class:`ClassifierSnapshot` — the frozen classification state of one
+  epoch (DTD set, ``sigma``, similarity and fast-path configuration),
+  pickled once per epoch and shipped with every chunk so workers can
+  rebuild lazily and cache per epoch;
+- :class:`DocumentPayload` — one document's classification result as
+  plain tuples: the decision, the eagerly-scored ranking head, the
+  names tier-3 pruning skipped (laziness is *preserved* across the
+  boundary — the parent rebuilds the deferred tail against its own
+  matchers), and the evaluation triples for accepted documents;
+- :class:`ChunkResult` — a shard's payloads plus the worker's
+  cumulative counter snapshot, keyed for duplicate-safe merging.
+
+:func:`payload_from` and :func:`rebuild_classification` are exact
+inverses up to object identity: the rebuilt
+:class:`~repro.classification.classifier.ClassificationResult` is bound
+to the parent's document and DTD objects, with float-identical
+similarities and triples (pickle round-trips floats bit-exactly).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.classification.classifier import ClassificationResult, Classifier
+from repro.dtd.dtd import DTD
+from repro.perf import FastPathConfig, PerfCounters
+from repro.similarity.evaluation import DocumentEvaluation, ElementEvaluation
+from repro.similarity.triple import EvalTriple, SimilarityConfig
+from repro.xmltree.document import Document
+
+#: (plus, minus, common)
+TripleTuple = Tuple[float, float, float]
+#: (declared, local triple, global triple) per element, preorder
+ElementTuple = Tuple[bool, TripleTuple, TripleTuple]
+
+
+class ClassifierSnapshot:
+    """Immutable, picklable classification state for one epoch."""
+
+    __slots__ = ("dtds", "threshold", "config", "fastpath")
+
+    def __init__(
+        self,
+        dtds: Iterable[DTD],
+        threshold: float,
+        config: SimilarityConfig,
+        fastpath: FastPathConfig,
+    ):
+        self.dtds: Tuple[DTD, ...] = tuple(dtds)
+        self.threshold = threshold
+        self.config = config
+        self.fastpath = fastpath
+
+    @classmethod
+    def of(cls, source: "XMLSource") -> "ClassifierSnapshot":
+        """Freeze ``source``'s current classification state.
+
+        Only exact tag matching is parallel-safe (a thesaurus matcher
+        is stateful and unpicklable in general); the driver degrades to
+        serial before ever snapshotting such a source.
+        """
+        return cls(
+            (source.classifier.dtd(name) for name in source.dtd_names()),
+            source.classifier.threshold,
+            source.similarity_config,
+            source.fastpath,
+        )
+
+    def build_classifier(self, counters: Optional[PerfCounters] = None) -> Classifier:
+        """Reconstruct a classifier (worker side, once per epoch)."""
+        return Classifier(
+            self.dtds,
+            self.threshold,
+            self.config,
+            tag_matcher=None,
+            fastpath=self.fastpath,
+            counters=counters,
+        )
+
+    def __repr__(self) -> str:
+        names = [dtd.name for dtd in self.dtds]
+        return f"ClassifierSnapshot(dtds={names!r}, sigma={self.threshold})"
+
+
+class DocumentPayload:
+    """One classification result, flattened to picklable primitives."""
+
+    __slots__ = ("dtd_name", "similarity", "evaluated", "pruned",
+                 "document_triple", "elements")
+
+    def __init__(
+        self,
+        dtd_name: Optional[str],
+        similarity: float,
+        evaluated: Tuple[Tuple[str, float], ...],
+        pruned: Tuple[str, ...],
+        document_triple: Optional[TripleTuple],
+        elements: Optional[Tuple[ElementTuple, ...]],
+    ):
+        self.dtd_name = dtd_name
+        self.similarity = similarity
+        self.evaluated = evaluated
+        self.pruned = pruned
+        self.document_triple = document_triple
+        self.elements = elements
+
+    def __repr__(self) -> str:
+        target = self.dtd_name or "<repository>"
+        return f"DocumentPayload({target!r}, {self.similarity:.3f})"
+
+
+class ChunkResult:
+    """What one worker task returns for one chunk of documents."""
+
+    __slots__ = ("worker_key", "counters", "payloads")
+
+    def __init__(
+        self,
+        worker_key: str,
+        counters: Dict[str, int],
+        payloads: List[DocumentPayload],
+    ):
+        #: stable per-process identity — the duplicate-safe merge key
+        self.worker_key = worker_key
+        #: the worker's *cumulative* counter snapshot (monotone per key)
+        self.counters = counters
+        self.payloads = payloads
+
+    def __repr__(self) -> str:
+        return f"ChunkResult({self.worker_key!r}, {len(self.payloads)} payloads)"
+
+
+def payload_from(result: ClassificationResult) -> DocumentPayload:
+    """Flatten a classification result without realizing lazy work.
+
+    The eagerly-scored ranking head and the pruned names travel instead
+    of the full ranking, so tier-3 pruning's savings survive the
+    process boundary.
+    """
+    document_triple: Optional[TripleTuple] = None
+    elements: Optional[Tuple[ElementTuple, ...]] = None
+    evaluation = result.evaluation
+    if evaluation is not None:
+        document_triple = tuple(evaluation.triple)
+        elements = tuple(
+            (entry.declared, tuple(entry.local_triple), tuple(entry.global_triple))
+            for entry in evaluation.elements
+        )
+    return DocumentPayload(
+        result.dtd_name,
+        result.similarity,
+        tuple(result.evaluated),
+        tuple(result.pruned),
+        document_triple,
+        elements,
+    )
+
+
+def rebuild_classification(
+    classifier: Classifier, document: Document, payload: DocumentPayload
+) -> ClassificationResult:
+    """Rebind a worker payload to the parent's live objects.
+
+    Must run while the classifier still holds the epoch's DTD set
+    (the driver merges strictly before any evolution): the evaluation
+    attaches to the parent's DTD instance and the deferred ranking tail
+    captures the parent's matchers, exactly as a serial classification
+    at this point would have.
+    """
+    head = list(payload.evaluated)
+    if payload.pruned:
+        ranking = classifier.deferred_ranking(document, head, payload.pruned)
+    else:
+        ranking = head
+    evaluation: Optional[DocumentEvaluation] = None
+    if payload.dtd_name is not None:
+        config = classifier.config
+        dtd = classifier.dtd(payload.dtd_name)
+        assert payload.elements is not None and payload.document_triple is not None
+        element_evaluations = [
+            ElementEvaluation(
+                element,
+                declared,
+                EvalTriple(*local_triple),
+                EvalTriple(*global_triple),
+                config,
+            )
+            for element, (declared, local_triple, global_triple) in zip(
+                document.root.iter_elements(), payload.elements
+            )
+        ]
+        evaluation = DocumentEvaluation(
+            document,
+            dtd,
+            EvalTriple(*payload.document_triple),
+            element_evaluations,
+            config,
+        )
+    return ClassificationResult(
+        document,
+        payload.dtd_name,
+        payload.similarity,
+        evaluation,
+        ranking,
+        evaluated=head,
+        pruned=payload.pruned,
+    )

@@ -1,0 +1,61 @@
+"""Worker-process side of parallel classification.
+
+Each pool process keeps a tiny module-global state: one
+:class:`~repro.perf.PerfCounters` for its whole lifetime (so reported
+snapshots are cumulative and monotone — what the duplicate-safe merge
+on the parent expects) and one rebuilt classifier per epoch, cached so
+the structural-fingerprint cache stays warm across every chunk the
+worker handles within an epoch.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import uuid
+from typing import Dict, List
+
+from repro.classification.classifier import Classifier
+from repro.parallel.snapshot import ChunkResult, DocumentPayload, payload_from
+from repro.perf import PerfCounters
+from repro.xmltree.document import Document
+
+#: per-process state; forked children inherit the parent's (empty) dicts
+#: and populate their own copies
+_CLASSIFIERS: Dict[int, Classifier] = {}
+_COUNTERS: List[PerfCounters] = []
+_WORKER_KEY: List[str] = []
+
+
+def _worker_counters() -> PerfCounters:
+    if not _COUNTERS:
+        _COUNTERS.append(PerfCounters())
+    return _COUNTERS[0]
+
+
+def _worker_key() -> str:
+    # pid alone could recycle across pool recreations; the uuid pins
+    # the key to this exact process lifetime
+    if not _WORKER_KEY:
+        _WORKER_KEY.append(f"{os.getpid()}:{uuid.uuid4().hex}")
+    return _WORKER_KEY[0]
+
+
+def _classifier_for(epoch: int, snapshot_bytes: bytes) -> Classifier:
+    classifier = _CLASSIFIERS.get(epoch)
+    if classifier is None:
+        snapshot = pickle.loads(snapshot_bytes)
+        classifier = snapshot.build_classifier(_worker_counters())
+        _CLASSIFIERS[epoch] = classifier
+    return classifier
+
+
+def classify_chunk(
+    epoch: int, snapshot_bytes: bytes, documents: List[Document]
+) -> ChunkResult:
+    """Classify one chunk against the epoch's frozen DTD set."""
+    classifier = _classifier_for(epoch, snapshot_bytes)
+    payloads: List[DocumentPayload] = [
+        payload_from(classifier.classify(document)) for document in documents
+    ]
+    return ChunkResult(_worker_key(), _worker_counters().snapshot(), payloads)

@@ -23,6 +23,6 @@ decisions are bit-identical with the fast paths on or off (asserted by
 that the fast paths actually fire.
 """
 
-from repro.perf.counters import FastPathConfig, PerfCounters
+from repro.perf.counters import COUNTER_NAMES, FastPathConfig, PerfCounters
 
-__all__ = ["FastPathConfig", "PerfCounters"]
+__all__ = ["COUNTER_NAMES", "FastPathConfig", "PerfCounters"]

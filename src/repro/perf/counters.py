@@ -7,7 +7,7 @@ carry no algorithmic behaviour of their own.
 
 from __future__ import annotations
 
-from typing import Dict, NamedTuple
+from typing import Dict, Mapping, NamedTuple, Optional
 
 
 class FastPathConfig(NamedTuple):
@@ -54,6 +54,22 @@ class FastPathConfig(NamedTuple):
         )
 
 
+#: the counter fields, in snapshot order (``_sources`` bookkeeping for
+#: :meth:`PerfCounters.merge` is deliberately not a counter)
+COUNTER_NAMES = (
+    "documents_classified",
+    "validations",
+    "validity_short_circuits",
+    "synthesized_evaluations",
+    "structural_cache_hits",
+    "structural_cache_misses",
+    "structural_cache_evictions",
+    "bound_skips",
+    "dp_runs",
+    "dp_cells",
+)
+
+
 class PerfCounters:
     """Mutable hit counters for the classification fast paths.
 
@@ -61,22 +77,19 @@ class PerfCounters:
     recorders, so a single snapshot describes the whole pipeline.
     Counting is unconditional and cheap (integer increments); benchmarks
     and tests read the counters to assert the fast paths actually fire.
+
+    Counters from other processes (parallel classification workers)
+    fold in through :meth:`merge`, which is commutative and — when the
+    reporter passes a stable ``key`` — duplicate-safe: a worker that
+    re-reports its cumulative totals (every chunk result does, and a
+    retried shard may report twice) contributes only the increment
+    since its previous report.
     """
 
-    __slots__ = (
-        "documents_classified",
-        "validations",
-        "validity_short_circuits",
-        "synthesized_evaluations",
-        "structural_cache_hits",
-        "structural_cache_misses",
-        "structural_cache_evictions",
-        "bound_skips",
-        "dp_runs",
-        "dp_cells",
-    )
+    __slots__ = COUNTER_NAMES + ("_sources",)
 
     def __init__(self) -> None:
+        self._sources: Dict[str, Dict[str, int]] = {}
         self.reset()
 
     def reset(self) -> None:
@@ -100,10 +113,46 @@ class PerfCounters:
         self.dp_runs = 0
         #: span-DP memo cells computed (the quadratic work unit)
         self.dp_cells = 0
+        self._sources.clear()
 
     def snapshot(self) -> Dict[str, int]:
         """A plain-dict copy (stable key order, JSON-friendly)."""
-        return {name: getattr(self, name) for name in self.__slots__}
+        return {name: getattr(self, name) for name in COUNTER_NAMES}
+
+    def merge(
+        self, snapshot: Mapping[str, int], key: Optional[str] = None
+    ) -> Dict[str, int]:
+        """Fold an externally produced counter snapshot into this one.
+
+        Without ``key``, ``snapshot`` is a plain *delta* and is added
+        as-is (commutative: merging deltas in any order yields the same
+        totals).
+
+        With ``key``, ``snapshot`` is the reporter's *cumulative*
+        totals and the merge is duplicate-safe: only the increment over
+        that key's previously merged snapshot is added, so the same
+        report applied twice (a retried shard re-reporting, a worker
+        reporting after every chunk) never double-counts.  Reporters'
+        cumulative counters must be monotone, which per-process
+        counters are by construction.
+
+        Returns the increments actually applied (sparse).
+        """
+        if key is None:
+            applied = {
+                name: value for name, value in snapshot.items() if value
+            }
+        else:
+            previous = self._sources.get(key, {})
+            applied = {}
+            for name, value in snapshot.items():
+                increment = value - previous.get(name, 0)
+                if increment:
+                    applied[name] = increment
+            self._sources[key] = dict(snapshot)
+        for name, increment in applied.items():
+            setattr(self, name, getattr(self, name) + increment)
+        return applied
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{k}={v}" for k, v in self.snapshot().items() if v)

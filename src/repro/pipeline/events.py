@@ -30,8 +30,10 @@ your own.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Callable, Dict, List, Mapping, NamedTuple, Optional, Type
 
+from repro.classification.classifier import ClassificationResult
 from repro.core.evolution import EvolutionResult
 from repro.pipeline.context import EvolutionEvent
 from repro.perf import PerfCounters
@@ -51,6 +53,9 @@ class DocumentClassified(NamedTuple):
     similarity: float
     accepted: bool
     perf_delta: Mapping[str, int] = _NO_DELTA
+    #: the full :class:`ClassificationResult` (ranking, evaluation) —
+    #: observers that only need the decision can ignore it
+    result: Optional[ClassificationResult] = None
 
 
 class DocumentDeposited(NamedTuple):
@@ -175,19 +180,36 @@ class EventBus:
         return len(self._handlers.get(event_type, [])) + len(self._catch_all)
 
 
+#: how many recently applied events the counter mirror remembers for
+#: duplicate suppression (strong references, so ``id()`` cannot recycle
+#: within the window)
+_SEEN_EVENT_WINDOW = 256
+
+
 def subscribe_counters(bus: EventBus, counters: PerfCounters) -> Handler:
     """Mirror the pipeline's perf deltas into ``counters``.
 
     After any sequence of engine calls, the mirrored counters equal the
     directly wired ones (``XMLSource.perf_snapshot()``) — the bus is a
-    complete account of the fast-path work.  Returns the installed
-    handler (detach with ``bus.unsubscribe_all(handler)``).
+    complete account of the fast-path work.  The mirror is
+    duplicate-safe: an event object replayed onto the bus (a retried
+    parallel shard re-announcing itself, an observer re-emitting for
+    another bus) is applied at most once within a bounded recency
+    window.  Returns the installed handler (detach with
+    ``bus.unsubscribe_all(handler)``).
     """
+    seen: "OrderedDict[int, object]" = OrderedDict()
 
     def apply_delta(event: object) -> None:
         delta = getattr(event, "perf_delta", None)
-        if delta:
-            for name, increment in delta.items():
-                setattr(counters, name, getattr(counters, name) + increment)
+        if not delta:
+            return
+        key = id(event)
+        if seen.get(key) is event:
+            return  # the same event object, replayed — already counted
+        seen[key] = event
+        while len(seen) > _SEEN_EVENT_WINDOW:
+            seen.popitem(last=False)
+        counters.merge(delta)
 
     return bus.subscribe_all(apply_delta)

@@ -53,6 +53,7 @@ from repro.pipeline.events import (
 from repro.xmltree.document import Document
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine → stages)
+    from repro.classification.classifier import ClassificationResult
     from repro.core.engine import XMLSource
 
 
@@ -84,14 +85,22 @@ class _SourceStage:
 
 class ClassifyStage(_SourceStage):
     """Classification phase: rank against every DTD, apply ``sigma``;
-    below-threshold documents are deposited and the run halts."""
+    below-threshold documents are deposited and the run halts.
+
+    A context arriving with ``ctx.classification`` already set (the
+    parallel merge path injects worker-computed results) skips the
+    classifier call; everything downstream — the deposit, the events,
+    the halt — is identical either way.
+    """
 
     name = "classify"
 
     def run(self, ctx: PipelineContext) -> None:
         source, document = self.source, ctx.document
-        classification = source.classifier.classify(document)
-        ctx.classification = classification
+        classification = ctx.classification
+        if classification is None:
+            classification = source.classifier.classify(document)
+            ctx.classification = classification
         self.pipeline.emit(
             DocumentClassified(
                 document,
@@ -99,6 +108,7 @@ class ClassifyStage(_SourceStage):
                 classification.similarity,
                 classification.accepted,
                 self.pipeline.perf_delta(),
+                result=classification,
             )
         )
         if not classification.accepted:
@@ -321,9 +331,20 @@ class Pipeline:
     # Entry points
     # ------------------------------------------------------------------
 
-    def run(self, document: Document) -> PipelineContext:
-        """One document through the full loop."""
+    def run(
+        self,
+        document: Document,
+        classification: Optional["ClassificationResult"] = None,
+    ) -> PipelineContext:
+        """One document through the full loop.
+
+        A precomputed ``classification`` (from a parallel worker, for
+        the same document against the *current* DTD set) is injected
+        into the context and the classify stage reuses it instead of
+        re-classifying; callers are responsible for its freshness.
+        """
         ctx = PipelineContext(document)
+        ctx.classification = classification
         for stage in self.stages:
             if ctx.halted:
                 break

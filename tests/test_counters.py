@@ -1,0 +1,182 @@
+"""``PerfCounters.merge`` and the counter-bus subscriber.
+
+Workers report *cumulative* snapshots after every chunk, and a retried
+shard makes the same worker report the same ground twice — the merge
+must be duplicate-safe (keyed diffs), commutative across workers, and
+the event-bus subscriber must not double-apply a redelivered event.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.perf import COUNTER_NAMES, PerfCounters
+from repro.pipeline.events import (
+    DocumentClassified,
+    EventBus,
+    subscribe_counters,
+)
+from repro.pipeline.events import _SEEN_EVENT_WINDOW
+
+
+def _snapshot(**values):
+    snapshot = {name: 0 for name in COUNTER_NAMES}
+    snapshot.update(values)
+    return snapshot
+
+
+# ----------------------------------------------------------------------
+# Keyless merge: plain commutative addition
+# ----------------------------------------------------------------------
+
+
+def test_keyless_merge_adds():
+    counters = PerfCounters()
+    applied = counters.merge({"dp_runs": 3, "validations": 2, "bound_skips": 0})
+    assert applied == {"dp_runs": 3, "validations": 2}
+    assert counters.dp_runs == 3 and counters.validations == 2
+
+
+def test_keyless_merge_is_commutative():
+    deltas = [
+        {"dp_runs": 2, "dp_cells": 40},
+        {"validations": 5},
+        {"dp_runs": 1, "structural_cache_hits": 7},
+    ]
+    forward, backward = PerfCounters(), PerfCounters()
+    for delta in deltas:
+        forward.merge(delta)
+    for delta in reversed(deltas):
+        backward.merge(delta)
+    assert forward.snapshot() == backward.snapshot()
+
+
+# ----------------------------------------------------------------------
+# Keyed merge: cumulative reports, duplicate-safe
+# ----------------------------------------------------------------------
+
+
+def test_keyed_merge_applies_only_the_diff():
+    counters = PerfCounters()
+    counters.merge(_snapshot(dp_runs=4, validations=2), key="w1")
+    applied = counters.merge(_snapshot(dp_runs=7, validations=2), key="w1")
+    assert applied == {"dp_runs": 3}
+    assert counters.dp_runs == 7 and counters.validations == 2
+
+
+def test_retried_shard_reporting_twice_does_not_double_count():
+    """The driver's retry path: after a retry the worker re-reports a
+    cumulative snapshot covering ground already merged."""
+    counters = PerfCounters()
+    first = _snapshot(documents_classified=5, dp_runs=9)
+    counters.merge(first, key="w1")
+    # the retry re-delivers the identical cumulative snapshot
+    applied = counters.merge(dict(first), key="w1")
+    assert applied == {}
+    assert counters.documents_classified == 5 and counters.dp_runs == 9
+    # ...and later honest progress still lands
+    counters.merge(_snapshot(documents_classified=8, dp_runs=11), key="w1")
+    assert counters.documents_classified == 8 and counters.dp_runs == 11
+
+
+def test_keyed_merge_is_commutative_across_workers():
+    reports = [
+        ("w1", _snapshot(dp_runs=3, documents_classified=2)),
+        ("w2", _snapshot(dp_runs=5, documents_classified=4)),
+        ("w1", _snapshot(dp_runs=6, documents_classified=3)),
+        ("w2", _snapshot(dp_runs=5, documents_classified=4)),  # duplicate
+        ("w3", _snapshot(validations=9)),
+    ]
+    expected = {"dp_runs": 6 + 5, "documents_classified": 3 + 4, "validations": 9}
+    for seed in range(6):
+        # within one worker, cumulative order is preserved (the driver
+        # merges a worker's reports in completion order); across workers
+        # any interleaving must yield the same totals
+        per_worker = {}
+        for key, snapshot in reports:
+            per_worker.setdefault(key, []).append(snapshot)
+        order = [key for key, _ in reports]
+        random.Random(seed).shuffle(order)
+        counters = PerfCounters()
+        for key in order:
+            counters.merge(per_worker[key].pop(0), key=key)
+        got = {k: v for k, v in counters.snapshot().items() if v}
+        assert got == expected, seed
+
+
+def test_keyed_merge_latest_wins_after_pool_restart():
+    """A fresh worker process reuses nothing: new key, full snapshot
+    counts from zero."""
+    counters = PerfCounters()
+    counters.merge(_snapshot(dp_runs=4), key="123:aaaa")
+    counters.merge(_snapshot(dp_runs=2), key="123:bbbb")  # recycled pid, new uuid
+    assert counters.dp_runs == 6
+
+
+def test_reset_clears_per_source_memory():
+    counters = PerfCounters()
+    counters.merge(_snapshot(dp_runs=4), key="w1")
+    counters.reset()
+    assert counters.dp_runs == 0
+    counters.merge(_snapshot(dp_runs=4), key="w1")
+    assert counters.dp_runs == 4
+
+
+# ----------------------------------------------------------------------
+# The bus subscriber
+# ----------------------------------------------------------------------
+
+
+def _classified(delta):
+    return DocumentClassified(None, "dtd", 1.0, True, perf_delta=delta)
+
+
+def test_subscriber_accumulates_deltas():
+    bus, counters = EventBus(), PerfCounters()
+    subscribe_counters(bus, counters)
+    bus.emit(_classified({"dp_runs": 2}))
+    bus.emit(_classified({"dp_runs": 1, "validations": 4}))
+    assert counters.dp_runs == 3 and counters.validations == 4
+
+
+def test_subscriber_ignores_redelivered_event_object():
+    """The same event *object* delivered twice (an observer re-emitting,
+    or two buses sharing a subscriber) must count once; an equal-valued
+    but distinct event still counts."""
+    bus, counters = EventBus(), PerfCounters()
+    subscribe_counters(bus, counters)
+    event = _classified({"dp_runs": 2})
+    bus.emit(event)
+    bus.emit(event)
+    assert counters.dp_runs == 2
+    bus.emit(_classified({"dp_runs": 2}))
+    assert counters.dp_runs == 4
+
+
+def test_subscriber_window_is_bounded():
+    bus, counters = EventBus(), PerfCounters()
+    subscribe_counters(bus, counters)
+    for _ in range(_SEEN_EVENT_WINDOW * 2):
+        bus.emit(_classified({"dp_runs": 1}))
+    assert counters.dp_runs == _SEEN_EVENT_WINDOW * 2
+
+
+def test_subscriber_mirrors_perf_snapshot_on_a_serial_run():
+    """The engine invariant the duplicate guard must preserve: summing
+    the bus ``perf_delta``s reconstructs ``perf_snapshot()`` exactly."""
+    from repro.core.engine import XMLSource
+    from repro.core.evolution import EvolutionConfig
+    from repro.generators.scenarios import figure3_dtd, figure3_workload
+
+    source = XMLSource([figure3_dtd()], EvolutionConfig(sigma=0.2))
+    mirror = PerfCounters()
+    subscribe_counters(source.events, mirror)
+    merged = PerfCounters()
+    handle = source.events.subscribe_all(
+        lambda event: None
+    )  # unrelated observer must not perturb counting
+    for document in figure3_workload(6, 2, seed=9):
+        source.process(document)
+    source.events.unsubscribe_all(handle)
+    merged.merge(source.perf_snapshot())
+    assert mirror.snapshot() == merged.snapshot() == source.perf_snapshot()

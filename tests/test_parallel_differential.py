@@ -1,0 +1,294 @@
+"""Differential serial/parallel harness (``repro.parallel``).
+
+Every scenario runs twice through freshly built engines — once serially,
+once with ``workers=4`` — and the two runs must be **bit-identical** in
+everything observable: per-document outcomes, full exact rankings,
+evaluation triples, repository contents, the evolution log, the final
+DTD serializations, and the lifecycle event sequence (modulo
+``perf_delta``, whose attribution legitimately depends on scheduling).
+Scenarios include runs where evolution triggers mid-batch, which forces
+the driver through multiple classify-parallel / evolve-serial epochs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import XMLSource
+from repro.core.evolution import EvolutionConfig
+from repro.dtd.serializer import serialize_dtd
+from repro.generators.scenarios import (
+    bibliography_scenario,
+    catalog_scenario,
+    figure3_dtd,
+    figure3_workload,
+    newsfeed_scenario,
+)
+from repro.pipeline.events import (
+    DocumentClassified,
+    DocumentDeposited,
+    DocumentRecorded,
+    EvolutionFinished,
+    EvolutionStarted,
+    RepositoryDrained,
+)
+from repro.xmltree.document import Element, Text
+from repro.xmltree.serializer import serialize_document
+
+WORKERS = 4
+
+
+# ----------------------------------------------------------------------
+# Run fingerprinting
+# ----------------------------------------------------------------------
+
+
+def _event_view(event):
+    """An event's comparable projection (``perf_delta`` excluded — its
+    attribution depends on worker scheduling; ``result`` compared
+    separately through the ranking/evaluation views)."""
+    if isinstance(event, DocumentClassified):
+        return (
+            "classified",
+            serialize_document(event.document),
+            event.dtd_name,
+            event.similarity,
+            event.accepted,
+        )
+    if isinstance(event, DocumentDeposited):
+        return (
+            "deposited",
+            serialize_document(event.document),
+            event.similarity,
+            event.repository_size,
+        )
+    if isinstance(event, DocumentRecorded):
+        return (
+            "recorded",
+            serialize_document(event.document),
+            event.dtd_name,
+            event.documents_recorded,
+        )
+    if isinstance(event, EvolutionStarted):
+        return (
+            "evolution_started",
+            event.dtd_name,
+            event.documents_recorded,
+            event.activation_score,
+        )
+    if isinstance(event, EvolutionFinished):
+        return (
+            "evolution_finished",
+            event.dtd_name,
+            event.documents_recorded,
+            event.activation_score,
+            serialize_dtd(event.result.new_dtd),
+            tuple((action.name, action.action) for action in event.result.actions),
+        )
+    if isinstance(event, RepositoryDrained):
+        return ("drained", event.recovered, event.remaining)
+    return (type(event).__name__,)
+
+
+def _evaluation_view(result):
+    if result.evaluation is None:
+        return None
+    return (
+        tuple(result.evaluation.triple),
+        tuple(
+            (entry.declared, tuple(entry.local_triple), tuple(entry.global_triple))
+            for entry in result.evaluation.elements
+        ),
+    )
+
+
+def _run(build_source, documents, workers, chunk_size=0):
+    """One engine run; returns every comparable artefact."""
+    source = build_source()
+    events = []
+    source.events.subscribe_all(events.append)
+    outcomes = source.process_many(
+        [document.copy() for document in documents],
+        workers=workers,
+        chunk_size=chunk_size,
+    )
+    classifications = [
+        event.result for event in events if isinstance(event, DocumentClassified)
+    ]
+    return {
+        "outcomes": [
+            (outcome.dtd_name, outcome.similarity, tuple(outcome.evolved),
+             outcome.recovered)
+            for outcome in outcomes
+        ],
+        # realizes any lazy tails — full exact rankings either way
+        "rankings": [tuple(result.ranking) for result in classifications],
+        "evaluations": [_evaluation_view(result) for result in classifications],
+        "repository": [
+            serialize_document(document) for document in source.repository
+        ],
+        "evolution_log": [
+            (entry.dtd_name, entry.documents_recorded, entry.activation_score,
+             serialize_dtd(entry.result.new_dtd), entry.recovered_from_repository)
+            for entry in source.evolution_log
+        ],
+        "dtds": {
+            name: serialize_dtd(source.dtd(name)) for name in source.dtd_names()
+        },
+        "events": [_event_view(event) for event in events],
+        "perf": source.perf_snapshot(),
+        "source": source,
+    }
+
+
+_COMPARED = (
+    "outcomes", "rankings", "evaluations", "repository",
+    "evolution_log", "dtds", "events",
+)
+
+
+def assert_differential(build_source, documents, chunk_size=0, workers=WORKERS):
+    serial = _run(build_source, documents, workers=0)
+    parallel = _run(build_source, documents, workers=workers, chunk_size=chunk_size)
+    for key in _COMPARED:
+        assert serial[key] == parallel[key], f"serial/parallel diverge on {key}"
+    # cross-worker aggregation: every merged document was classified
+    # somewhere (workers may additionally count discarded-epoch work)
+    assert (
+        parallel["perf"]["documents_classified"]
+        >= serial["perf"]["documents_classified"] - serial["perf"].get("drained", 0)
+    )
+    return serial, parallel
+
+
+# ----------------------------------------------------------------------
+# Corpora
+# ----------------------------------------------------------------------
+
+
+def _mutated(documents, seed):
+    """Structurally perturbed copies: stray elements force real DP work
+    and below-sigma deposits."""
+    import random
+
+    rng = random.Random(seed)
+    mutated = []
+    for document in documents:
+        copy = document.copy()
+        for _ in range(rng.randint(1, 3)):
+            copy.root.append(Element(f"stray{rng.randint(0, 2)}",
+                                     children=[Text("x")]))
+        mutated.append(copy)
+    return mutated
+
+
+def _multi_dtd_corpus(per_scenario, seed):
+    dtds, documents = [], []
+    for scenario in (catalog_scenario, bibliography_scenario, newsfeed_scenario):
+        dtd, make = scenario()
+        dtds.append(dtd)
+        clean = make(per_scenario, seed=seed)
+        documents.extend(clean)
+        documents.extend(_mutated(clean[: per_scenario // 2], seed + 1))
+    import random
+
+    random.Random(seed).shuffle(documents)
+    return dtds, documents
+
+
+# ----------------------------------------------------------------------
+# Scenarios
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [11, 29])
+def test_differential_classification_only(seed):
+    """Multi-DTD mixed corpus, evolution disabled: one epoch, pure
+    classify-parallel throughput."""
+    dtds, documents = _multi_dtd_corpus(per_scenario=6, seed=seed)
+
+    def build():
+        return XMLSource(
+            [dtd for dtd in dtds],
+            EvolutionConfig(sigma=0.7, min_documents=10 ** 9),
+        )
+
+    serial, _parallel = assert_differential(build, documents)
+    assert any(name is None for name, *_ in serial["outcomes"])  # deposits
+    assert any(name is not None for name, *_ in serial["outcomes"])
+
+
+def test_differential_evolution_mid_batch():
+    """The Figure-3 workload evolves mid-batch: the driver must flush
+    stale shards and re-shard across epochs."""
+    documents = figure3_workload(30, 30, seed=7)
+
+    def build():
+        return XMLSource(
+            [figure3_dtd()],
+            EvolutionConfig(sigma=0.4, tau=0.05, min_documents=8),
+        )
+
+    serial, parallel = assert_differential(build, documents, chunk_size=5)
+    assert serial["source"].evolution_count >= 1
+    assert parallel["source"].evolution_count == serial["source"].evolution_count
+
+
+def test_differential_multiple_evolutions_and_recovery():
+    """A two-phase drift (D1 then D2) triggers several evolutions and
+    recovers deposited documents from the repository."""
+    documents = figure3_workload(25, 0, seed=3) + figure3_workload(0, 25, seed=4)
+
+    def build():
+        return XMLSource(
+            [figure3_dtd()],
+            EvolutionConfig(sigma=0.4, tau=0.05, min_documents=6),
+        )
+
+    serial, _parallel = assert_differential(build, documents, chunk_size=4)
+    assert serial["source"].evolution_count >= 2
+    assert sum(outcome[3] for outcome in serial["outcomes"]) > 0  # recovered
+    assert any(name is None for name, *_ in serial["outcomes"])  # deposits
+
+
+def test_differential_tiny_batch_more_workers_than_documents():
+    documents = figure3_workload(2, 1, seed=13)
+
+    def build():
+        return XMLSource([figure3_dtd()], EvolutionConfig(sigma=0.2))
+
+    assert_differential(build, documents, workers=8)
+
+
+def test_differential_chunk_size_irrelevant_to_results():
+    """The shard layout is a scheduling detail: any chunk size produces
+    the same artefacts."""
+    documents = figure3_workload(12, 12, seed=21)
+
+    def build():
+        return XMLSource(
+            [figure3_dtd()],
+            EvolutionConfig(sigma=0.4, tau=0.05, min_documents=8),
+        )
+
+    baseline = _run(build, documents, workers=0)
+    for chunk_size in (1, 3, 50):
+        candidate = _run(build, documents, workers=WORKERS, chunk_size=chunk_size)
+        for key in _COMPARED:
+            assert baseline[key] == candidate[key], (chunk_size, key)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", [5, 17, 23])
+def test_differential_corpus_sweep(seed):
+    """Larger seeded corpora over the realistic scenario DTDs, with
+    evolution armed — the broad differential sweep."""
+    dtds, documents = _multi_dtd_corpus(per_scenario=10, seed=seed)
+
+    def build():
+        return XMLSource(
+            [dtd for dtd in dtds],
+            EvolutionConfig(sigma=0.45, tau=0.05, min_documents=7),
+        )
+
+    assert_differential(build, documents, chunk_size=6)

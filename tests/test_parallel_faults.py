@@ -1,0 +1,231 @@
+"""Graceful degradation of the parallel driver (``repro.parallel``).
+
+Faults are injected through pickling: a *poison* document raises inside
+the worker when it is unpickled (the pool survives), a *lethal* document
+kills the worker process outright (the pool breaks).  Either way the
+driver must retry the shard once, then fall back to in-process serial
+classification — emitting ``ShardRetried`` / ``ParallelFallback`` — and
+still deliver a batch result identical to the serial run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.engine import XMLSource
+from repro.core.evolution import EvolutionConfig
+from repro.generators.scenarios import figure3_dtd, figure3_workload
+from repro.parallel.driver import ParallelDriver
+from repro.parallel.events import ParallelFallback, ShardRetried
+from repro.similarity.tags import ThesaurusTagMatcher
+from repro.xmltree.document import Document
+
+
+def _broken_document():
+    # unpickles into a Document with no attributes set: the worker's
+    # classify call raises AttributeError, but the process survives
+    return Document.__new__(Document)
+
+
+class PoisonDocument(Document):
+    """Classifiable in the parent, broken after a pickle round-trip."""
+
+    def __reduce__(self):
+        return (_broken_document, ())
+
+
+class LethalDocument(Document):
+    """Kills the worker process during unpickling."""
+
+    def __reduce__(self):
+        return (os._exit, (13,))
+
+
+def _source(min_documents=10 ** 9):
+    return XMLSource(
+        [figure3_dtd()],
+        EvolutionConfig(sigma=0.4, tau=0.05, min_documents=min_documents),
+    )
+
+
+def _collect(source, *event_types):
+    collected = {event_type: [] for event_type in event_types}
+    for event_type in event_types:
+        source.events.subscribe(event_type, collected[event_type].append)
+    return collected
+
+
+def _as(cls, document):
+    return cls(document.root.copy())
+
+
+def _serial_outcomes(documents):
+    return [
+        (outcome.dtd_name, outcome.similarity, tuple(outcome.evolved))
+        for outcome in _source().process_many([d.copy() for d in documents])
+    ]
+
+
+@pytest.mark.parametrize("fault", [PoisonDocument, LethalDocument])
+def test_faulty_shard_retries_once_then_falls_back(fault):
+    """A single shard holding a deterministic fault: exactly one retry,
+    exactly one fallback, and the batch still completes with outcomes
+    identical to serial."""
+    documents = figure3_workload(6, 0, seed=42)
+    expected = _serial_outcomes(documents)
+    batch = [d.copy() for d in documents]
+    batch[3] = _as(fault, batch[3])
+
+    source = _source()
+    events = _collect(source, ShardRetried, ParallelFallback)
+    # one chunk >= batch, so the fault hits the only shard
+    outcomes = source.process_many(batch, workers=2, chunk_size=100)
+
+    assert len(events[ShardRetried]) == 1
+    assert len(events[ParallelFallback]) == 1
+    retried = events[ShardRetried][0]
+    fallen = events[ParallelFallback][0]
+    assert retried.documents == len(batch)
+    assert fallen.shard_index == retried.shard_index == 0
+    assert [
+        (o.dtd_name, o.similarity, tuple(o.evolved)) for o in outcomes
+    ] == expected
+
+
+def test_healthy_shards_stay_parallel_around_a_dead_worker():
+    """Only the poisoned shard degrades; the rest of the batch is still
+    classified in workers, and results match serial."""
+    documents = figure3_workload(12, 0, seed=43)
+    expected = _serial_outcomes(documents)
+    batch = [d.copy() for d in documents]
+    batch[5] = _as(LethalDocument, batch[5])
+
+    source = _source()
+    events = _collect(source, ShardRetried, ParallelFallback)
+    outcomes = source.process_many(batch, workers=2, chunk_size=3)
+
+    # the lethal shard degrades exactly once; a broken pool may surface
+    # the same failure on other in-flight shards, each retried at most
+    # once on a fresh pool
+    assert len(events[ParallelFallback]) == 1
+    assert len(events[ShardRetried]) >= 1
+    assert [
+        (o.dtd_name, o.similarity, tuple(o.evolved)) for o in outcomes
+    ] == expected
+
+
+def test_fallback_classification_is_bit_identical_to_serial():
+    """The in-process fallback path goes through the very classifier the
+    serial path uses, so similarities match exactly, not approximately."""
+    documents = figure3_workload(4, 4, seed=44)
+    expected = _serial_outcomes(documents)
+    batch = [d.copy() for d in documents]
+    batch[0] = _as(PoisonDocument, batch[0])
+
+    source = _source()
+    outcomes = source.process_many(batch, workers=2, chunk_size=100)
+    assert [
+        (o.dtd_name, o.similarity, tuple(o.evolved)) for o in outcomes
+    ] == expected
+
+
+@pytest.mark.parametrize("workers", [0, 1])
+def test_low_worker_counts_degenerate_to_exact_serial_path(workers, monkeypatch):
+    """``workers=0`` and ``workers=1`` never touch the parallel driver
+    at all — proven by replacing it with a tripwire."""
+
+    class Tripwire:
+        def __init__(self, *args, **kwargs):
+            raise AssertionError("ParallelDriver must not be constructed")
+
+    import repro.parallel.driver as driver_module
+
+    monkeypatch.setattr(driver_module, "ParallelDriver", Tripwire)
+
+    documents = figure3_workload(5, 0, seed=45)
+    source = _source()
+    events = _collect(source, ShardRetried, ParallelFallback)
+    outcomes = source.process_many(
+        [d.copy() for d in documents], workers=workers
+    )
+    assert len(outcomes) == len(documents)
+    assert not events[ShardRetried] and not events[ParallelFallback]
+    assert [
+        (o.dtd_name, o.similarity, tuple(o.evolved)) for o in outcomes
+    ] == _serial_outcomes(documents)
+
+
+def test_driver_rejects_fewer_than_two_workers():
+    with pytest.raises(ValueError):
+        ParallelDriver(_source(), workers=1)
+
+
+def test_thesaurus_matcher_forces_whole_batch_serial_fallback():
+    """Stateful tag matchers are not parallel-safe: the driver must
+    degrade the entire batch up front (one ``ParallelFallback`` with
+    ``shard_index == -1``) and match a serial run with the same
+    matcher."""
+    synonyms = [{"writer", "author"}, {"name", "title"}]
+    documents = figure3_workload(5, 2, seed=46)
+
+    def build():
+        return XMLSource(
+            [figure3_dtd()],
+            EvolutionConfig(sigma=0.4, tau=0.05, min_documents=10 ** 9),
+            tag_matcher=ThesaurusTagMatcher(synonyms, 0.8),
+        )
+
+    serial = build()
+    expected = [
+        (o.dtd_name, o.similarity)
+        for o in serial.process_many([d.copy() for d in documents])
+    ]
+
+    source = build()
+    events = _collect(source, ShardRetried, ParallelFallback)
+    outcomes = source.process_many(
+        [d.copy() for d in documents], workers=4
+    )
+    assert len(events[ParallelFallback]) == 1
+    fallback = events[ParallelFallback][0]
+    assert fallback.shard_index == -1
+    assert fallback.documents == len(documents)
+    assert not events[ShardRetried]
+    assert [(o.dtd_name, o.similarity) for o in outcomes] == expected
+
+
+def test_retry_succeeds_when_fault_is_transient(tmp_path):
+    """A fault that only fires once (armed through a sentinel file)
+    is absorbed by the single retry: one ``ShardRetried``, zero
+    ``ParallelFallback``, full batch delivered."""
+    sentinel = tmp_path / "armed"
+    sentinel.write_text("armed")
+
+    class TransientDocument(Document):
+        def __reduce__(self):
+            return (_maybe_broken, (str(sentinel), self.root.copy()))
+
+    documents = figure3_workload(6, 0, seed=47)
+    expected = _serial_outcomes(documents)
+    batch = [d.copy() for d in documents]
+    batch[2] = _as(TransientDocument, batch[2])
+
+    source = _source()
+    events = _collect(source, ShardRetried, ParallelFallback)
+    outcomes = source.process_many(batch, workers=2, chunk_size=100)
+
+    assert len(events[ShardRetried]) == 1
+    assert not events[ParallelFallback]
+    assert [
+        (o.dtd_name, o.similarity, tuple(o.evolved)) for o in outcomes
+    ] == expected
+
+
+def _maybe_broken(sentinel_path, root):
+    """First unpickle (sentinel present) fails; the retry succeeds."""
+    if os.path.exists(sentinel_path):
+        os.unlink(sentinel_path)
+        raise RuntimeError("transient worker fault")
+    return Document(root)

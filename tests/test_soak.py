@@ -29,6 +29,8 @@ from repro.generators.documents import (
 from repro.generators.random_dtd import RandomDTDGenerator
 from repro.metrics.quality import mean_similarity
 
+pytestmark = [pytest.mark.slow, pytest.mark.soak]
+
 SEEDS = [1, 2, 3, 5, 8, 13, 21, 34]
 
 
