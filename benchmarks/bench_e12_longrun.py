@@ -7,8 +7,10 @@ optional parts vanish, operators get violated, and one era later the
 drift becomes the norm).  The source evolves autonomously through the
 check phase.
 
-Reported per era: evolutions so far, repository size, and the quality
-of the *current* DTD against that era's documents — the series should
+Reported per era: evolutions so far, repository size, the quality
+of the *current* DTD against that era's documents, and the era's
+evolution/drain wall-clock (from the engine's phase timers,
+:mod:`repro.perf`) — the series should
 show similarity dipping when a new drift era starts and recovering
 after the next evolution (the adaptive sawtooth), with the repository
 draining after evolutions.
@@ -100,21 +102,30 @@ def test_e12_longrun(benchmark):
             "era", "drift",
             "evolutions", "repository",
             "era coverage", "era similarity", "dtd size",
+            "evolve ms", "drain ms",
         ],
     )
     series = []
+    previous = source.perf_snapshot()
     for index, (label, documents) in enumerate(eras, start=1):
         for document in documents:
             source.process(document)
         current = source.dtd(dtd.name)
         report = assess(current, documents, volume_length=4)
         series.append((label, source.evolution_count, report))
+        # per-era evolution/drain wall-clock from the engine's phase
+        # timers (repro.perf) — zero in eras with no evolution
+        snapshot = source.perf_snapshot()
+        evolve_ms = (snapshot["evolve_ns"] - previous["evolve_ns"]) / 1e6
+        drain_ms = (snapshot["drain_ns"] - previous["drain_ns"]) / 1e6
+        previous = snapshot
         table.add_row(
             [
                 index, label,
                 source.evolution_count, len(source.repository),
                 fmt(report.coverage), fmt(report.mean_similarity),
                 report.conciseness,
+                fmt(evolve_ms, 1), fmt(drain_ms, 1),
             ]
         )
     emit(table, "e12_longrun")

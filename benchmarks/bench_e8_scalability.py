@@ -22,6 +22,7 @@ from repro.baselines.naive_evolution import NaiveEvolver
 from repro.core.evolution import EvolutionConfig, evolve_dtd
 from repro.core.extended_dtd import ExtendedDTD
 from repro.core.recorder import Recorder
+from repro.perf import PerfCounters
 from repro.generators.documents import AddDrift, CompositeDrift, DropDrift
 from repro.generators.scenarios import catalog_scenario
 from repro.metrics.report import Table
@@ -46,6 +47,7 @@ def test_e8_scalability(benchmark):
             "N docs",
             "record ms/doc",
             "evolve ms",
+            "mine/build/rw/restr ms",
             "extended-DTD cells",
             "naive stored cells",
             "cells ratio",
@@ -63,9 +65,23 @@ def test_e8_scalability(benchmark):
             recorder.record(document)
         record_ms = (time.perf_counter() - start) * 1000 / count
 
+        counters = PerfCounters()
         start = time.perf_counter()
-        evolve_dtd(extended, CONFIG)
+        evolve_dtd(extended, CONFIG, counters=counters)
         evolve_ms = (time.perf_counter() - start) * 1000
+
+        # the evolution-phase timers (repro.perf): where the evolve
+        # wall-clock goes — mining / structure build / rewrite / restrict
+        timers = counters.timings()
+        phases = "/".join(
+            fmt(timers[name] / 1e6, 1)
+            for name in (
+                "evolve_mine_ns",
+                "evolve_build_ns",
+                "evolve_rewrite_ns",
+                "evolve_restrict_ns",
+            )
+        )
 
         naive.add_many(documents)
         extended_cells = extended.storage_cells()
@@ -76,6 +92,7 @@ def test_e8_scalability(benchmark):
                 count,
                 fmt(record_ms, 2),
                 fmt(evolve_ms, 1),
+                phases,
                 extended_cells,
                 naive_cells,
                 fmt(naive_cells / extended_cells, 1),

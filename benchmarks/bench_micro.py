@@ -14,6 +14,11 @@ runs the engine batch serially and with ``workers=4``
 (``repro.parallel``), asserts the outcomes are identical, and records
 both timings plus the machine's CPU count — the speedup is only
 meaningful on a multi-core box, so judge it against ``cpu_count``.
+Finally it times repeated evolutions over unchanged evidence cold
+(reference path) vs warm (element memos + the mined-rule memo carried
+between calls, ``repro.perf``), asserts the evolved DTDs stay
+bit-identical, and records the warm speedup and replay counters under
+``evolution_incremental``.
 """
 
 import json
@@ -239,6 +244,82 @@ def _engine_compare(dtds, documents, workers):
 
 
 # ----------------------------------------------------------------------
+# Incremental evolution: cold vs warm repeated evolutions (repro.perf)
+# ----------------------------------------------------------------------
+
+
+def _recorded_figure3_source(documents):
+    """A source with Figure-3 drift recorded but not yet evolved, so
+    repeated ``evolve_dtd`` calls see the same (mining-heavy) evidence."""
+    from repro.core.engine import XMLSource
+    from repro.core.evolution import EvolutionConfig
+
+    source = XMLSource(
+        [figure3_dtd()],
+        EvolutionConfig(sigma=0.3, tau=0.05),
+        auto_evolve=False,
+    )
+    for document in documents:
+        source.process(document)
+    return source
+
+
+def _evolution_incremental_compare(documents, repeats):
+    """Time ``repeats`` evolutions over unchanged evidence: cold (the
+    reference path recomputes every element each time) vs warm (element
+    memos carried between calls + the shared mined-rule memo).  The
+    evolved DTDs must stay bit-identical."""
+    from repro.core.evolution import evolve_dtd
+    from repro.dtd.serializer import serialize_dtd
+    from repro.mining.memo import MinedRuleMemo
+
+    source = _recorded_figure3_source(documents)
+    extended = source.extended["figure3"]
+    config = source.config
+
+    reference = FastPathConfig.disabled()
+    start = time.perf_counter()
+    for _ in range(repeats):
+        cold = evolve_dtd(extended, config, fastpath=reference)
+    cold_time = time.perf_counter() - start
+
+    counters = PerfCounters()
+    rule_memo = MinedRuleMemo()
+    fast = FastPathConfig()
+    extended.element_memos = {}
+    start = time.perf_counter()
+    for _ in range(repeats):
+        warm = evolve_dtd(
+            extended, config, fastpath=fast, counters=counters, rule_memo=rule_memo
+        )
+        # carry the memos exactly as EvolveStage does between evolutions
+        extended.element_memos = warm.element_memos
+    warm_time = time.perf_counter() - start
+
+    if serialize_dtd(cold.new_dtd) != serialize_dtd(warm.new_dtd):
+        raise AssertionError("evolution_incremental: cold and warm DTDs diverge")
+    if counters.evolution_element_skips == 0:
+        raise AssertionError("evolution_incremental: warm runs never replayed")
+    speedup = cold_time / warm_time if warm_time > 0 else float("inf")
+    print(
+        f"{'evolution_incr':<18} {len(documents):>4} docs x{repeats:<3}  "
+        f"cold {cold_time * 1000:8.1f} ms   warm {warm_time * 1000:8.1f} ms   "
+        f"speedup {speedup:5.1f}x"
+    )
+    return {
+        "documents": len(documents),
+        "repeats": repeats,
+        "cold_seconds": cold_time,
+        "warm_seconds": warm_time,
+        "speedup": speedup,
+        "element_skips": counters.evolution_element_skips,
+        "mined_rule_hits": counters.mined_rule_hits,
+        "mined_rule_misses": counters.mined_rule_misses,
+        "timers": counters.timings(),
+    }
+
+
+# ----------------------------------------------------------------------
 # Script mode: machine-readable fast-path comparison
 # ----------------------------------------------------------------------
 
@@ -298,6 +379,11 @@ def main(argv=None):
     engine_per_scenario = 15 if smoke else 125  # 8x per scenario -> 120 / 1000
     results["engine_parallel"] = _engine_compare(
         dtds, _engine_corpus(makers, engine_per_scenario), workers=4
+    )
+    evolve_docs, evolve_repeats = (16, 5) if smoke else (120, 10)
+    results["evolution_incremental"] = _evolution_incremental_compare(
+        figure3_workload(evolve_docs // 2, evolve_docs // 2, seed=7),
+        evolve_repeats,
     )
     results_dir = os.path.join(os.path.dirname(__file__), "results")
     os.makedirs(results_dir, exist_ok=True)

@@ -313,6 +313,27 @@ class Classifier:
         matcher.clear_cache()
         return similarity, False
 
+    def acceptance_bound(
+        self, document: Document, name: str
+    ) -> Optional[float]:
+        """A sound upper bound on ``document``'s similarity against one
+        DTD, or ``None`` when no sound bound is available.
+
+        This is the tier-3 vocabulary-overlap bound exposed for the
+        pruned post-evolution drain: a repository document whose bound
+        against the evolved DTD stays below ``sigma`` provably cannot
+        be recovered by it.  Unavailable (``None``) under inexact
+        semantics (thesaurus matcher, degenerate weights) or beyond the
+        DP depth guard; an ``ANY`` declaration yields the trivial bound
+        1.0, so callers never skip unsoundly.
+        """
+        if not self._exact_semantics():
+            return None
+        census = _DocumentCensus(document)
+        if census.height >= self.config.max_depth:
+            return None
+        return self._bounds[name].upper_bound(census, self.config)
+
     def rank(self, document: Document) -> Ranking:
         """Similarity of the document against every DTD, best first.
 

@@ -22,8 +22,10 @@ Subcommands::
         repository backend, ``--checkpoint-every`` snapshots mid-run,
         ``--workers`` classifies the batch across worker processes
         (identical results, see ``repro.parallel``), ``--no-fastpath``
-        forces the reference classification path, and ``--report-perf``
-        prints the fast-path hit counters.
+        forces the reference classification and evolution paths, and
+        ``--report-perf`` prints the fast-path hit counters plus the
+        evolution/drain phase timers (the ``*_ns`` entries, wall-clock
+        nanoseconds).
 
     dtdevolve adapt --dtd schema.dtd docs...
         Adapt each document to the DTD (Section 6); writes the adapted
@@ -239,7 +241,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--report-perf",
         action="store_true",
         dest="report_perf",
-        help="print the fast-path hit counters (perf_snapshot) after the run",
+        help="print the fast-path hit counters and phase timers "
+        "(perf_snapshot) after the run",
     )
     run.add_argument("documents", nargs="+", help="XML document files")
     run.set_defaults(handler=_cmd_run)

@@ -41,6 +41,7 @@ from repro.core.evolution import EvolutionConfig
 from repro.core.extended_dtd import ExtendedDTD
 from repro.core.recorder import Recorder
 from repro.dtd.dtd import DTD
+from repro.mining.memo import MinedRuleMemo
 from repro.perf import FastPathConfig, PerfCounters
 from repro.pipeline.context import EvolutionEvent, ProcessOutcome
 from repro.pipeline.events import EventBus, RepositoryDrained
@@ -75,9 +76,13 @@ class XMLSource:
         #: fast-path switches shared by the classifier and the recorders
         #: (exact-by-construction; see repro.perf)
         self.fastpath = fastpath or FastPathConfig()
-        #: shared hit counters across classification and recording —
-        #: snapshot via :meth:`perf_snapshot`
+        #: shared hit counters and phase timers across classification,
+        #: recording and evolution — snapshot via :meth:`perf_snapshot`
         self.perf = PerfCounters()
+        #: engine-wide mined-rule memo shared by every evolution (all
+        #: DTDs); ``None`` when the fast path is off.  Not persisted —
+        #: a loaded source starts with a cold memo.
+        self.rule_memo = MinedRuleMemo() if self.fastpath.mined_rule_cache else None
         self.classifier = Classifier(
             dtds,
             config.sigma,
@@ -150,9 +155,12 @@ class XMLSource:
         return len(self.evolution_log)
 
     def perf_snapshot(self) -> Dict[str, int]:
-        """Fast-path hit counters as a plain dict (see
+        """Fast-path hit counters and phase timers as a plain dict (see
         :class:`repro.perf.PerfCounters`) — benchmarks assert on these
-        to prove the short-circuit and caches actually fire."""
+        to prove the short-circuit and caches actually fire.  The
+        ``*_ns`` entries are wall-clock nanoseconds of the evolution
+        phases (total / mine / build / rewrite / restrict) and the
+        repository drain."""
         return self.perf.snapshot()
 
     # ------------------------------------------------------------------

@@ -14,7 +14,11 @@ caller overrides it with ``store=``.  Format 1 snapshots (a plain
 document list) still load.
 
 Runtime-only collaborators (trigger sets, tag matchers, fast-path
-configs) are *not* serialised; pass them again at load time.
+configs) are *not* serialised; pass them again at load time.  The same
+goes for the incremental-evolution caches (per-element evolution memos
+and the mined-rule memo): a loaded source starts them cold and they are
+rebuilt — exactly — by the next evolution, so persistence never has to
+version fingerprint formats.
 
 Round-trip guarantee (tested): saving and loading a source yields one
 whose next evolution produces exactly the same DTD as the original

@@ -31,6 +31,7 @@ Two content kinds short-circuit the cascade:
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import List, Optional
 
 from repro.core.extended_dtd import ElementRecord
@@ -48,12 +49,25 @@ from repro.mining.transactions import present
 from repro.xmltree.tree import Tree
 
 
+@contextmanager
+def _timed(counters, name: str):
+    """``counters.timer(name)`` when counters are present, else a no-op
+    (the builder runs in plenty of untimed contexts — tests, benches)."""
+    if counters is None:
+        yield
+    else:
+        with counters.timer(name):
+            yield
+
+
 def build_structure(
     record: ElementRecord,
     min_support: float = 0.0,
     rules: Optional[RuleSet] = None,
     policies: Optional[List[Policy]] = None,
     apply_rewriting: bool = True,
+    rule_memo=None,
+    counters=None,
 ) -> Tree:
     """Rebuild a content model from recorded evidence.
 
@@ -71,6 +85,14 @@ def build_structure(
         Policy list override (used by the ablation benchmarks).
     apply_rewriting:
         Run the simplification rules on the result (Section 4.1).
+    rule_memo:
+        A :class:`repro.mining.memo.MinedRuleMemo`; when given (and no
+        pre-mined ``rules``), mining goes through the memo so identical
+        transaction multisets are mined once engine-wide.
+    counters:
+        A :class:`repro.perf.PerfCounters`; phase wall-clock lands in
+        the ``evolve_mine_ns`` / ``evolve_build_ns`` /
+        ``evolve_rewrite_ns`` timers and the memo hit counters.
     """
     labels = record.ordered_labels()
     if not labels:
@@ -81,28 +103,40 @@ def build_structure(
         return cm.mixed(*labels)
 
     if rules is None:
-        rules = mine_evolution_rules(record.sequence_list(), labels, min_support)
+        with _timed(counters, "evolve_mine_ns"):
+            if rule_memo is not None:
+                rules = rule_memo.mine(record, labels, min_support, counters)
+            else:
+                rules = mine_evolution_rules(
+                    record.sequence_list(), labels, min_support
+                )
     context = EvolutionContext(record, rules)
 
-    # labels only seen in discarded (non-representative) sequences carry
-    # no surviving evidence: drop them, as the paper drops the sequences
-    representative = [
-        label for label in labels if rules.support_of(present(label)) > 0
-    ]
-    if representative:
-        labels = representative
+    with _timed(counters, "evolve_build_ns"):
+        # labels only seen in discarded (non-representative) sequences
+        # carry no surviving evidence: drop them, as the paper drops the
+        # sequences
+        representative = [
+            label for label in labels if rules.support_of(present(label)) > 0
+        ]
+        if representative:
+            labels = representative
 
-    working_set: List[Tree] = [Tree.leaf(label) for label in labels]
-    if len(working_set) == 1:
-        result = basic_policies(working_set[0], context)
-    else:
-        result = _run_cascade(working_set, context, policies or default_policies())
-    # an element observed with no children at all makes the whole model optional
-    if record.empty_count > 0 and not cm.nullable(result):
-        result = Tree(cm.OPT, [result])
-    if apply_rewriting:
-        result = simplify(result)
-    result = refine_order(result, record)
+        working_set: List[Tree] = [Tree.leaf(label) for label in labels]
+        if len(working_set) == 1:
+            result = basic_policies(working_set[0], context)
+        else:
+            result = _run_cascade(
+                working_set, context, policies or default_policies()
+            )
+        # an element observed with no children at all makes the whole
+        # model optional
+        if record.empty_count > 0 and not cm.nullable(result):
+            result = Tree(cm.OPT, [result])
+    with _timed(counters, "evolve_rewrite_ns"):
+        if apply_rewriting:
+            result = simplify(result)
+        result = refine_order(result, record)
     cm.check_well_formed(result)
     return result
 
@@ -200,6 +234,8 @@ def build_plus_declarations(
     record: ElementRecord,
     min_support: float = 0.0,
     known_names: Optional[set] = None,
+    rule_memo=None,
+    counters=None,
 ) -> List["DeclSpec"]:
     """Infer declarations for the *plus* labels nested under a record.
 
@@ -207,6 +243,11 @@ def build_plus_declarations(
     considering as DTD an empty DTD, their actual structure can be
     extracted" (Example 5, tree (4)).  Returns one spec per plus label,
     depth-first, deduplicated against ``known_names``.
+
+    The spec *names*, in order, equal :func:`plus_declaration_trace`
+    over the same record and starting ``known_names`` — incremental
+    evolution relies on that correspondence to validate a memo replay
+    without rebuilding any structure.
     """
     known = known_names if known_names is not None else set()
     specs: List[DeclSpec] = []
@@ -214,9 +255,40 @@ def build_plus_declarations(
         if label in known:
             continue
         known.add(label)
-        specs.append(DeclSpec(label, build_structure(nested, min_support)))
-        specs.extend(build_plus_declarations(nested, min_support, known))
+        specs.append(
+            DeclSpec(
+                label,
+                build_structure(
+                    nested, min_support, rule_memo=rule_memo, counters=counters
+                ),
+            )
+        )
+        specs.extend(
+            build_plus_declarations(
+                nested, min_support, known, rule_memo=rule_memo, counters=counters
+            )
+        )
     return specs
+
+
+def plus_declaration_trace(record: ElementRecord, known_names: set) -> List[str]:
+    """The names :func:`build_plus_declarations` *would* declare, in
+    order, given ``known_names`` — the same traversal without building
+    any content model (mutates ``known_names`` exactly the same way).
+
+    Incremental evolution runs this dry-run against the current
+    ``known_names`` and replays the memoized specs only when the trace
+    matches, because the declared set depends on what *earlier* elements
+    already declared this round.
+    """
+    trace: List[str] = []
+    for label, nested in record.plus_records.items():
+        if label in known_names:
+            continue
+        known_names.add(label)
+        trace.append(label)
+        trace.extend(plus_declaration_trace(nested, known_names))
+    return trace
 
 
 class DeclSpec:

@@ -10,8 +10,13 @@ package implements that substrate from scratch:
 - :mod:`repro.mining.rules` — association rules with support and
   confidence (Example 3), rule generation, the :class:`RuleSet` the
   heuristic policies query, and the end-to-end
-  :func:`mine_evolution_rules` pipeline (steps 1–4 of Section 4.2).
+  :func:`mine_evolution_rules` pipeline (steps 1–4 of Section 4.2);
+- :mod:`repro.mining.memo` — the :class:`MinedRuleMemo` LRU sharing
+  mined rule sets across elements, DTDs and evolutions (keyed by the
+  transaction-multiset fingerprint and ``mu``).
 """
+
+from repro.mining.memo import MinedRuleMemo
 
 from repro.mining.transactions import (
     Literal,
@@ -42,4 +47,5 @@ __all__ = [
     "RuleSet",
     "generate_rules",
     "mine_evolution_rules",
+    "MinedRuleMemo",
 ]

@@ -1,0 +1,98 @@
+"""Mined-rule memoization (the evolution-phase analogue of the
+classifier's structural interning cache).
+
+The evolution phase mines association rules per element from the
+element's transaction multiset (the recorded sequences).  Across
+elements, DTDs and successive evolutions the same evidence recurs —
+steady streams re-accumulate identical multisets between evolutions,
+and sibling elements often share shapes — so
+:class:`MinedRuleMemo` keys the complete
+:func:`repro.mining.rules.mine_evolution_rules` output (a
+:class:`~repro.mining.rules.RuleSet`) by a fingerprint of the
+transaction multiset, the label list, and the support threshold ``mu``.
+
+Sharing cached :class:`RuleSet` instances is safe because a rule set is
+immutable after construction: every query reads the index built by
+``_build()`` and nothing mutates it afterwards.  The memo is an LRU
+bounded by ``max_entries`` (mirroring the tier-2 structural cache in
+:class:`repro.similarity.matcher.StructureMatcher`).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.mining.rules import RuleSet, mine_evolution_rules
+
+#: default LRU capacity — rule sets are small (single-literal index
+#: over the element's labels), so this is generous
+DEFAULT_MAX_ENTRIES = 256
+
+
+class MinedRuleMemo:
+    """An LRU memo over :func:`mine_evolution_rules`.
+
+    One instance is shared engine-wide (all DTDs, all evolutions); the
+    engine builds it when ``FastPathConfig.mined_rule_cache`` is on and
+    threads it through ``evolve_dtd`` into the structure builder.
+    """
+
+    __slots__ = ("max_entries", "_entries", "hits", "misses", "evictions")
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Tuple, RuleSet]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def key_for(record, labels, min_support: float) -> Tuple:
+        """The memo key: transaction-multiset fingerprint + parameters.
+
+        ``record`` needs only a ``sequences`` counter (both
+        :class:`~repro.core.extended_dtd.ElementRecord` and its nested
+        plus records qualify).  The label list keeps its order — the
+        mining output is order-independent, but keying conservatively
+        never costs correctness, only a duplicate entry.
+        """
+        transactions = tuple(
+            sorted(
+                (tuple(sorted(sequence)), count)
+                for sequence, count in record.sequences.items()
+            )
+        )
+        return (transactions, tuple(labels), min_support)
+
+    def mine(self, record, labels, min_support: float, counters=None) -> RuleSet:
+        """Return the rules for ``record``, mining only on a memo miss."""
+        key = self.key_for(record, labels, min_support)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            if counters is not None:
+                counters.mined_rule_hits += 1
+            return cached
+        rules = mine_evolution_rules(record.sequence_list(), labels, min_support)
+        self._entries[key] = rules
+        self.misses += 1
+        if counters is not None:
+            counters.mined_rule_misses += 1
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return rules
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"MinedRuleMemo(entries={len(self._entries)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

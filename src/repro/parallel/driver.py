@@ -8,6 +8,14 @@ stages, and restart the epoch whenever an evolution invalidates the
 snapshot.  All engine state mutation happens on the parent process —
 workers only ever *read* a frozen snapshot — so the merged run is
 bit-identical to the serial one.
+
+The evolve-serial gap between epochs is the driver's Amdahl term: every
+evolution runs on the parent while the pool idles.  Incremental
+evolution (dirty-element replay, the mined-rule memo) and the pruned
+post-evolution drain (see :mod:`repro.perf`) shorten exactly that gap,
+so they compound with parallel classification; workers themselves never
+evolve, and the evolution timers they report in their cumulative
+snapshots are simply zero.
 """
 
 from __future__ import annotations

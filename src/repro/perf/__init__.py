@@ -17,12 +17,34 @@ path — see ``docs/API.md`` ("Performance architecture"):
   evaluates DTDs best-upper-bound-first and skips any DTD whose bound
   cannot beat the current best.
 
-All tiers are semantics-preserving: similarities and classification
-decisions are bit-identical with the fast paths on or off (asserted by
-``tests/test_fastpath.py``).  :class:`PerfCounters` proves at runtime
-that the fast paths actually fire.
+The evolution phase has its own layered fast path (see ``docs/API.md``,
+"Incremental evolution"):
+
+- **dirty-element tracking** (``.incremental_evolution``): an element
+  whose recorded-aggregate fingerprint, declaration and parameters are
+  unchanged since the previous evolution replays its previous outcome;
+- **mined-rule memoization** (``.mined_rule_cache``): an LRU keyed by
+  the transaction-multiset fingerprint and ``mu`` shares
+  ``mine_evolution_rules`` output across elements, DTDs and evolutions;
+- **pruned drain** (``.pruned_drain``): after an evolution, repository
+  documents whose sound upper bound against the evolved DTD stays
+  below ``sigma`` are skipped without constructing evaluations.
+
+All tiers are semantics-preserving: similarities, classification
+decisions and evolved DTDs are bit-identical with the fast paths on or
+off (asserted by ``tests/test_fastpath.py`` and
+``tests/test_evolution_incremental.py``).  :class:`PerfCounters` proves
+at runtime that the fast paths actually fire, and its
+:meth:`~PerfCounters.timer` facility (:data:`TIMER_NAMES`) reports
+wall-clock phase timings for the evolution phases (mine / build /
+rewrite / restrict) and the drain.
 """
 
-from repro.perf.counters import COUNTER_NAMES, FastPathConfig, PerfCounters
+from repro.perf.counters import (
+    COUNTER_NAMES,
+    TIMER_NAMES,
+    FastPathConfig,
+    PerfCounters,
+)
 
-__all__ = ["COUNTER_NAMES", "FastPathConfig", "PerfCounters"]
+__all__ = ["COUNTER_NAMES", "TIMER_NAMES", "FastPathConfig", "PerfCounters"]

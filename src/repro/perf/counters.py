@@ -1,23 +1,28 @@
-"""Fast-path configuration and hit counters.
+"""Fast-path configuration, hit counters, and phase timers.
 
-Both classes are plumbing shared by the similarity matcher, the
-classifier, and the :class:`repro.core.engine.XMLSource` pipeline; they
-carry no algorithmic behaviour of their own.
+All classes are plumbing shared by the similarity matcher, the
+classifier, the evolution phase, and the
+:class:`repro.core.engine.XMLSource` pipeline; they carry no algorithmic
+behaviour of their own.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, NamedTuple, Optional
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Mapping, NamedTuple, Optional
 
 
 class FastPathConfig(NamedTuple):
-    """Which classification fast paths are active.
+    """Which classification and evolution fast paths are active.
 
     Every tier is exact — disabling them changes speed, never results.
     Tiers 1 and 3 additionally disable themselves at runtime whenever a
     non-exact tag matcher (thesaurus) is installed or the similarity
     weights make the short-circuit unsound (``alpha``/``beta`` of 0),
-    so a config with everything on is always safe to use.
+    so a config with everything on is always safe to use.  The
+    evolution-side paths likewise sit out whenever tag renames are in
+    play or the soundness preconditions of the drain bound fail.
 
     Parameters
     ----------
@@ -34,6 +39,20 @@ class FastPathConfig(NamedTuple):
         ``Classifier.classify`` and skip DTDs whose bound cannot beat
         the current best (the full exact ranking stays available — it
         is realized lazily on access).
+    incremental_evolution:
+        Dirty-element tracking in the evolution phase: elements whose
+        recorded aggregates fingerprint to the same value as at the
+        previous evolution (and whose declaration and parameters are
+        unchanged) replay the previous outcome instead of re-running
+        window classification, mining and ``build_structure``.
+    mined_rule_cache:
+        LRU memo over ``mine_evolution_rules`` keyed by the
+        transaction-multiset fingerprint and ``mu``, so identical
+        evidence across elements, DTDs and evolutions never re-mines.
+    pruned_drain:
+        After an evolution, skip repository documents whose sound
+        vocabulary-overlap upper bound against the evolved DTD stays
+        below ``sigma`` — they provably cannot be recovered.
     structural_cache_size:
         Maximum number of ``(declaration, mode, fingerprint)`` entries
         retained per matcher before LRU eviction.
@@ -42,6 +61,9 @@ class FastPathConfig(NamedTuple):
     validity_short_circuit: bool = True
     structural_cache: bool = True
     pruned_ranking: bool = True
+    incremental_evolution: bool = True
+    mined_rule_cache: bool = True
+    pruned_drain: bool = True
     structural_cache_size: int = 4096
 
     @classmethod
@@ -51,8 +73,23 @@ class FastPathConfig(NamedTuple):
             validity_short_circuit=False,
             structural_cache=False,
             pruned_ranking=False,
+            incremental_evolution=False,
+            mined_rule_cache=False,
+            pruned_drain=False,
         )
 
+
+#: wall-clock phase timers (integer nanoseconds); they live in the same
+#: snapshot/merge machinery as the counters, so event ``perf_delta``s
+#: and worker reports carry them with no extra plumbing
+TIMER_NAMES = (
+    "evolve_ns",
+    "evolve_mine_ns",
+    "evolve_build_ns",
+    "evolve_rewrite_ns",
+    "evolve_restrict_ns",
+    "drain_ns",
+)
 
 #: the counter fields, in snapshot order (``_sources`` bookkeeping for
 #: :meth:`PerfCounters.merge` is deliberately not a counter)
@@ -67,16 +104,21 @@ COUNTER_NAMES = (
     "bound_skips",
     "dp_runs",
     "dp_cells",
-)
+    "evolution_element_skips",
+    "mined_rule_hits",
+    "mined_rule_misses",
+    "drain_prune_skips",
+) + TIMER_NAMES
 
 
 class PerfCounters:
-    """Mutable hit counters for the classification fast paths.
+    """Mutable hit counters and phase timers for the fast paths.
 
-    One instance is shared by a classifier, its matchers, and its
-    recorders, so a single snapshot describes the whole pipeline.
-    Counting is unconditional and cheap (integer increments); benchmarks
-    and tests read the counters to assert the fast paths actually fire.
+    One instance is shared by a classifier, its matchers, its recorders,
+    and the evolution phase, so a single snapshot describes the whole
+    pipeline.  Counting is unconditional and cheap (integer increments);
+    benchmarks and tests read the counters to assert the fast paths
+    actually fire.
 
     Counters from other processes (parallel classification workers)
     fold in through :meth:`merge`, which is commutative and — when the
@@ -84,12 +126,21 @@ class PerfCounters:
     re-reports its cumulative totals (every chunk result does, and a
     retried shard may report twice) contributes only the increment
     since its previous report.
+
+    Timers (:data:`TIMER_NAMES`) accumulate monotonic wall-clock
+    nanoseconds via the :meth:`timer` context manager.  They are plain
+    monotone integers, so snapshot/merge/keyed-diff semantics apply to
+    them unchanged; nested spans of the *same* timer count once (only
+    the outermost span accumulates), while differently named spans may
+    overlap freely (``evolve_ns`` wraps the per-phase timers, so it is
+    always at least their sum for non-overlapping phases).
     """
 
-    __slots__ = COUNTER_NAMES + ("_sources",)
+    __slots__ = COUNTER_NAMES + ("_sources", "_active_timers")
 
     def __init__(self) -> None:
         self._sources: Dict[str, Dict[str, int]] = {}
+        self._active_timers: Dict[str, int] = {}
         self.reset()
 
     def reset(self) -> None:
@@ -113,11 +164,48 @@ class PerfCounters:
         self.dp_runs = 0
         #: span-DP memo cells computed (the quadratic work unit)
         self.dp_cells = 0
+        #: elements that replayed their previous evolution outcome
+        #: (window classification, mining and build skipped)
+        self.evolution_element_skips = 0
+        #: mined-rule memo hits (a whole mining run avoided)
+        self.mined_rule_hits = 0
+        #: mined-rule memo misses (mining ran, rules interned)
+        self.mined_rule_misses = 0
+        #: repository documents skipped by the pruned post-evolution
+        #: drain (provably still below sigma)
+        self.drain_prune_skips = 0
+        for name in TIMER_NAMES:
+            setattr(self, name, 0)
         self._sources.clear()
+        self._active_timers.clear()
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Accumulate monotonic wall-clock time under timer ``name``.
+
+        Nestable: re-entering the same timer does not double-count (the
+        outermost span owns the accumulation); distinct timers nest and
+        overlap freely.
+        """
+        depth = self._active_timers.get(name, 0) + 1
+        self._active_timers[name] = depth
+        start = time.perf_counter_ns() if depth == 1 else 0
+        try:
+            yield
+        finally:
+            self._active_timers[name] = depth - 1
+            if depth == 1:
+                del self._active_timers[name]
+                elapsed = time.perf_counter_ns() - start
+                setattr(self, name, getattr(self, name) + elapsed)
 
     def snapshot(self) -> Dict[str, int]:
         """A plain-dict copy (stable key order, JSON-friendly)."""
         return {name: getattr(self, name) for name in COUNTER_NAMES}
+
+    def timings(self) -> Dict[str, int]:
+        """The timer fields alone (nanoseconds), for phase reporting."""
+        return {name: getattr(self, name) for name in TIMER_NAMES}
 
     def merge(
         self, snapshot: Mapping[str, int], key: Optional[str] = None
@@ -134,7 +222,7 @@ class PerfCounters:
         report applied twice (a retried shard re-reporting, a worker
         reporting after every chunk) never double-counts.  Reporters'
         cumulative counters must be monotone, which per-process
-        counters are by construction.
+        counters — timers included — are by construction.
 
         Returns the increments actually applied (sparse).
         """

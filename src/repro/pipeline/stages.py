@@ -219,13 +219,25 @@ class EvolveStage(_SourceStage):
                 name, documents_recorded, activation_score, self.pipeline.perf_delta()
             )
         )
-        result = evolve_dtd(
-            extended, config or source.config, tag_matcher=source.tag_matcher
-        )
+        # the timer closes before EvolutionFinished is emitted, so its
+        # wall-clock rides that event's perf_delta (the subscribe_counters
+        # mirror must reconstruct perf_snapshot() exactly)
+        with source.perf.timer("evolve_ns"):
+            result = evolve_dtd(
+                extended,
+                config or source.config,
+                tag_matcher=source.tag_matcher,
+                fastpath=source.fastpath,
+                counters=source.perf,
+                rule_memo=source.rule_memo,
+            )
         # adopt the evolved DTD and start a fresh recording period
         source.classifier.replace_dtd(result.new_dtd)
         source._install(result.new_dtd)
         source.extended[name].evolution_count = extended.evolution_count + 1
+        # carry the per-element memos across the recording reset so the
+        # *next* evolution can replay elements whose evidence is unchanged
+        source.extended[name].element_memos = result.element_memos
         self.pipeline.emit(
             EvolutionFinished(
                 name,
@@ -249,6 +261,21 @@ class DrainStage(_SourceStage):
     single pass.  When the drain closes an evolution, the completed
     :class:`EvolutionEvent` rides the :class:`RepositoryDrained` event
     (that is where the engine's evolution log subscribes).
+
+    **Pruning** (``FastPathConfig.pruned_drain``): a drain that closes
+    an evolution re-evaluates only the documents the evolution could
+    have flipped.  The invariant — every repository document sat below
+    ``sigma`` against *every* DTD when it was last examined, and only
+    the evolved DTD has changed since — means a document whose sound
+    vocabulary-overlap bound against the evolved DTD stays below
+    ``sigma`` is provably still unclassifiable; it is put back without
+    constructing a single evaluation.  When the evolution changed no
+    declaration at all, every document is skipped outright.  Skipped
+    documents re-enter the repository in drain order, so the surviving
+    order (and every downstream artefact) is bit-identical to the
+    unpruned pass; standalone drains (after ``mine_repository`` adds
+    brand-new DTDs) never prune, because the invariant does not cover
+    DTDs the documents have not seen.
     """
 
     name = "drain"
@@ -256,16 +283,37 @@ class DrainStage(_SourceStage):
     def run(self, ctx: PipelineContext) -> None:
         source = self.source
         recovered = 0
-        for document in source.repository.drain():
-            classification = source.classifier.classify(document)
-            if classification.dtd_name is None:
-                source.repository.add(document)
-                continue
-            recovered += 1
-            evaluation = (
-                classification.evaluation if source.tag_matcher is None else None
-            )
-            source.recorders[classification.dtd_name].record(document, evaluation)
+        prune_name: Optional[str] = None
+        prune_unchanged = False
+        if ctx.pending_evolution is not None and source.fastpath.pruned_drain:
+            prune_name = ctx.pending_evolution[0]
+            prune_unchanged = not ctx.pending_evolution[3].changed_declarations()
+        sigma = source.classifier.threshold
+        with source.perf.timer("drain_ns"):
+            for document in source.repository.drain():
+                if prune_name is not None:
+                    bound = (
+                        0.0
+                        if prune_unchanged
+                        else source.classifier.acceptance_bound(
+                            document, prune_name
+                        )
+                    )
+                    if bound is not None and bound < sigma:
+                        source.repository.add(document)
+                        source.perf.drain_prune_skips += 1
+                        continue
+                classification = source.classifier.classify(document)
+                if classification.dtd_name is None:
+                    source.repository.add(document)
+                    continue
+                recovered += 1
+                evaluation = (
+                    classification.evaluation if source.tag_matcher is None else None
+                )
+                source.recorders[classification.dtd_name].record(
+                    document, evaluation
+                )
         event: Optional[EvolutionEvent] = None
         if ctx.pending_evolution is not None:
             name, documents_recorded, activation_score, result = ctx.pending_evolution

@@ -1,0 +1,381 @@
+"""Differential harness for incremental evolution and the pruned drain.
+
+Every scenario runs twice through freshly built engines — once with the
+full fast-path config (dirty-element replay, mined-rule memo, pruned
+drain, plus the PR-1 classification tiers), once with
+``FastPathConfig.disabled()`` (the seed reference path) — and the two
+runs must be **bit-identical** in everything observable: per-document
+outcomes, full exact rankings, evaluation triples, repository contents,
+the evolution log, the final DTD serializations, and the lifecycle
+event sequence (pattern of ``tests/test_parallel_differential.py``,
+whose run-fingerprinting helpers this module reuses).  Scenarios
+include E12-style long runs with several evolutions and a
+mid-batch-evolution parallel run with ``workers=4``.
+
+Also here: the drain determinism regression (insertion order and
+recovered counts identical across ``MemoryStore`` and ``JsonlStore``,
+with and without pruning) and unit tests for the memo/fingerprint/timer
+machinery itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.test_parallel_differential import (
+    _COMPARED,
+    _multi_dtd_corpus,
+    _run,
+)
+
+from repro.core.engine import XMLSource
+from repro.core.evolution import EvolutionConfig, evolve_dtd
+from repro.dtd.serializer import serialize_dtd
+from repro.generators.scenarios import figure3_dtd, figure3_workload
+from repro.mining.memo import MinedRuleMemo
+from repro.perf import TIMER_NAMES, FastPathConfig, PerfCounters
+from repro.xmltree.serializer import serialize_document
+
+FAST = FastPathConfig()
+REFERENCE = FastPathConfig.disabled()
+
+
+def assert_fast_slow_identical(build_source, documents, workers=0, chunk_size=0):
+    """Incremental+pruned vs. the reference path: every artefact equal."""
+    fast = _run(
+        lambda: build_source(FAST), documents,
+        workers=workers, chunk_size=chunk_size,
+    )
+    slow = _run(lambda: build_source(REFERENCE), documents, workers=0)
+    for key in _COMPARED:
+        assert fast[key] == slow[key], f"fast/reference diverge on {key}"
+    return fast, slow
+
+
+# ----------------------------------------------------------------------
+# Engine-level differential scenarios
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [3, 7])
+def test_differential_long_run_multiple_evolutions(seed):
+    """An E12-style long drift: two drift phases force several
+    evolutions (each followed by a pruned drain) on one DTD."""
+    documents = (
+        figure3_workload(25, 0, seed=seed) + figure3_workload(0, 25, seed=seed + 1)
+    )
+
+    def build(fastpath):
+        return XMLSource(
+            [figure3_dtd()],
+            EvolutionConfig(sigma=0.4, tau=0.05, min_documents=6),
+            fastpath=fastpath,
+        )
+
+    fast, _slow = assert_fast_slow_identical(build, documents)
+    assert fast["source"].evolution_count >= 2
+    # the repository held documents across the evolutions, so the
+    # pruned drain had real candidates to rule on
+    assert any(name is None for name, *_ in fast["outcomes"])
+
+
+def test_differential_multi_dtd_corpus():
+    """Mixed corpus over three scenario DTDs with evolution armed:
+    pruning must stay sound when only one DTD of several evolved."""
+    dtds, documents = _multi_dtd_corpus(per_scenario=8, seed=19)
+
+    def build(fastpath):
+        return XMLSource(
+            [dtd.copy() for dtd in dtds],
+            EvolutionConfig(sigma=0.45, tau=0.05, min_documents=7),
+            fastpath=fastpath,
+        )
+
+    fast, _slow = assert_fast_slow_identical(build, documents)
+    assert fast["source"].evolution_count >= 1
+
+
+def test_differential_parallel_mid_batch_evolution():
+    """The acceptance scenario: incremental+pruned with ``workers=4``
+    and evolutions triggering mid-batch, against the serial reference
+    path — bit-identical artefacts end to end."""
+    documents = figure3_workload(30, 30, seed=7)
+
+    def build(fastpath):
+        return XMLSource(
+            [figure3_dtd()],
+            EvolutionConfig(sigma=0.4, tau=0.05, min_documents=8),
+            fastpath=fastpath,
+        )
+
+    fast, _slow = assert_fast_slow_identical(
+        build, documents, workers=4, chunk_size=5
+    )
+    assert fast["source"].evolution_count >= 1
+
+
+def test_differential_repeated_eras_replays_elements():
+    """Repeated identical evidence across recording periods: the second
+    evolution must replay unchanged elements (the warm path actually
+    fires) while staying bit-identical to the reference."""
+    documents = figure3_workload(12, 12, seed=5)
+
+    def build(fastpath):
+        return XMLSource(
+            [figure3_dtd()],
+            EvolutionConfig(sigma=0.2, min_documents=10 ** 9),
+            fastpath=fastpath,
+        )
+
+    def era_run(fastpath):
+        source = build(fastpath)
+        for document in documents:
+            source.process(document.copy())
+        source.evolve_now("figure3")
+        for document in documents:
+            source.process(document.copy())
+        source.evolve_now("figure3")
+        return source
+
+    fast = era_run(FAST)
+    slow = era_run(REFERENCE)
+    assert serialize_dtd(fast.dtd("figure3")) == serialize_dtd(slow.dtd("figure3"))
+    assert [
+        serialize_dtd(entry.result.new_dtd) for entry in fast.evolution_log
+    ] == [serialize_dtd(entry.result.new_dtd) for entry in slow.evolution_log]
+    assert fast.perf.evolution_element_skips > 0
+    assert fast.perf.mined_rule_hits + fast.perf.mined_rule_misses > 0
+    assert slow.perf.evolution_element_skips == 0
+    assert slow.perf.mined_rule_hits == 0
+
+
+# ----------------------------------------------------------------------
+# Drain determinism across stores, with and without pruning
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("store_kind", ["memory", "jsonl"])
+@pytest.mark.parametrize("fastpath", [FAST, REFERENCE], ids=["pruned", "unpruned"])
+def test_drain_order_and_counts_across_stores(store_kind, fastpath):
+    """``drain()`` recovers documents in deterministic insertion order
+    and identical counts across MemoryStore and JsonlStore, pruned or
+    not — the surviving repository order is the insertion order."""
+    documents = (
+        figure3_workload(20, 0, seed=11) + figure3_workload(0, 20, seed=12)
+    )
+
+    source = XMLSource(
+        [figure3_dtd()],
+        EvolutionConfig(sigma=0.4, tau=0.05, min_documents=6),
+        fastpath=fastpath,
+        store=store_kind,
+    )
+    outcomes = source.process_many([document.copy() for document in documents])
+    recovered = sum(outcome.recovered for outcome in outcomes)
+    survivors = [serialize_document(document) for document in source.repository]
+
+    # the memory/unpruned run of the same stream is the reference
+    reference = XMLSource(
+        [figure3_dtd()],
+        EvolutionConfig(sigma=0.4, tau=0.05, min_documents=6),
+        fastpath=REFERENCE,
+    )
+    ref_outcomes = reference.process_many(
+        [document.copy() for document in documents]
+    )
+    assert recovered == sum(outcome.recovered for outcome in ref_outcomes)
+    assert survivors == [
+        serialize_document(document) for document in reference.repository
+    ]
+    assert source.evolution_count == reference.evolution_count
+    assert source.evolution_count >= 1
+
+
+# ----------------------------------------------------------------------
+# The machinery itself
+# ----------------------------------------------------------------------
+
+
+def _recorded_source(documents, **config):
+    source = XMLSource(
+        [figure3_dtd()],
+        EvolutionConfig(min_documents=10 ** 9, **config),
+    )
+    for document in documents:
+        source.process(document)
+    return source
+
+
+def test_evolve_dtd_replays_on_identical_evidence():
+    """Two evolve_dtd calls over the same aggregates: the second replays
+    every touched element and produces the identical DTD."""
+    source = _recorded_source(figure3_workload(8, 8, seed=21), sigma=0.2)
+    extended = source.extended["figure3"]
+    counters = PerfCounters()
+    memo = MinedRuleMemo()
+    first = evolve_dtd(
+        extended, source.config, fastpath=FAST, counters=counters, rule_memo=memo
+    )
+    assert counters.evolution_element_skips == 0
+    extended.element_memos = first.element_memos
+    second = evolve_dtd(
+        extended, source.config, fastpath=FAST, counters=counters, rule_memo=memo
+    )
+    assert serialize_dtd(second.new_dtd) == serialize_dtd(first.new_dtd)
+    assert [(a.name, a.action) for a in second.actions] == [
+        (a.name, a.action) for a in first.actions
+    ]
+    assert counters.evolution_element_skips > 0
+    # the reference path agrees bit for bit
+    reference = evolve_dtd(extended, source.config)
+    assert serialize_dtd(reference.new_dtd) == serialize_dtd(second.new_dtd)
+
+
+def test_memo_invalidated_by_new_evidence():
+    """Touching an element's aggregates flips its fingerprint: the next
+    evolution recomputes exactly that element and replays the rest."""
+    source = _recorded_source(figure3_workload(8, 8, seed=23), sigma=0.2)
+    extended = source.extended["figure3"]
+    counters = PerfCounters()
+    first = evolve_dtd(extended, source.config, fastpath=FAST, counters=counters)
+    extended.element_memos = first.element_memos
+    clean = evolve_dtd(extended, source.config, fastpath=FAST, counters=counters)
+    clean_skips = counters.evolution_element_skips
+    assert clean_skips > 0
+    # new evidence lands on one recorded element
+    dirty = next(
+        name for name, record in extended.records.items()
+        if record.instance_count > 0
+    )
+    before = extended.records[dirty].fingerprint()
+    extended.records[dirty].invalid_count += 1
+    assert extended.records[dirty].fingerprint() != before
+    extended.element_memos = clean.element_memos
+    counters.reset()
+    evolve_dtd(extended, source.config, fastpath=FAST, counters=counters)
+    assert counters.evolution_element_skips == clean_skips - 1
+
+
+def test_memo_invalidated_by_config_change():
+    source = _recorded_source(figure3_workload(8, 8, seed=25), sigma=0.2)
+    extended = source.extended["figure3"]
+    counters = PerfCounters()
+    first = evolve_dtd(extended, source.config, fastpath=FAST, counters=counters)
+    extended.element_memos = first.element_memos
+    changed = source.config._replace(psi=source.config.psi + 0.1)
+    evolve_dtd(extended, changed, fastpath=FAST, counters=counters)
+    assert counters.evolution_element_skips == 0
+
+
+def test_mined_rule_memo_shares_across_calls():
+    memo = MinedRuleMemo(max_entries=4)
+    source = _recorded_source(figure3_workload(6, 10, seed=27), sigma=0.2)
+    extended = source.extended["figure3"]
+    counters = PerfCounters()
+    evolve_dtd(extended, source.config, fastpath=FAST, counters=counters,
+               rule_memo=memo)
+    assert counters.mined_rule_misses == memo.misses > 0
+    evolve_dtd(extended, source.config, fastpath=REFERENCE, counters=counters,
+               rule_memo=memo)
+    # incremental replay off, but the rule memo still serves identical
+    # transaction multisets without re-mining
+    assert counters.mined_rule_hits == memo.hits > 0
+    assert len(memo) <= memo.max_entries
+
+
+def test_timers_accumulate_nest_and_reset():
+    counters = PerfCounters()
+    with counters.timer("evolve_ns"):
+        with counters.timer("evolve_mine_ns"):
+            pass
+        # same-name nesting counts once (outermost span owns it)
+        with counters.timer("evolve_ns"):
+            pass
+    assert counters.evolve_ns > 0
+    assert counters.evolve_mine_ns > 0
+    assert counters.evolve_ns >= counters.evolve_mine_ns
+    snapshot = counters.snapshot()
+    for name in TIMER_NAMES:
+        assert name in snapshot
+    # timers ride the keyed duplicate-safe merge like any counter
+    other = PerfCounters()
+    other.merge(snapshot, key="w1")
+    other.merge(dict(snapshot), key="w1")
+    assert other.evolve_ns == counters.evolve_ns
+    counters.reset()
+    assert all(value == 0 for value in counters.snapshot().values())
+
+
+def test_engine_reports_phase_timers():
+    """A run with an evolution populates the evolve/drain timers, and
+    the event mirror still reconstructs the snapshot exactly."""
+    from repro.pipeline.events import subscribe_counters
+
+    source = XMLSource(
+        [figure3_dtd()], EvolutionConfig(sigma=0.4, tau=0.05, min_documents=6)
+    )
+    mirror = PerfCounters()
+    subscribe_counters(source.events, mirror)
+    for document in figure3_workload(10, 10, seed=31):
+        source.process(document)
+    assert source.evolution_count >= 1
+    snapshot = source.perf_snapshot()
+    assert snapshot["evolve_ns"] > 0
+    assert snapshot["drain_ns"] > 0
+    assert mirror.snapshot() == snapshot
+
+
+def test_pruned_drain_skips_and_stays_sound():
+    """With pruning on, hopeless repository documents are skipped (the
+    counter proves it) while recovered counts match the reference."""
+    documents = figure3_workload(20, 0, seed=33) + figure3_workload(0, 20, seed=34)
+
+    def run(fastpath):
+        source = XMLSource(
+            [figure3_dtd()],
+            EvolutionConfig(sigma=0.45, tau=0.05, min_documents=6),
+            fastpath=fastpath,
+        )
+        outcomes = source.process_many([d.copy() for d in documents])
+        return source, sum(outcome.recovered for outcome in outcomes)
+
+    pruned_source, pruned_recovered = run(FAST)
+    reference_source, reference_recovered = run(REFERENCE)
+    assert pruned_recovered == reference_recovered
+    assert len(pruned_source.repository) == len(reference_source.repository)
+    assert pruned_source.evolution_count == reference_source.evolution_count
+    if len(pruned_source.repository) > 0 and pruned_source.evolution_count > 0:
+        assert pruned_source.perf.drain_prune_skips > 0
+    assert reference_source.perf.drain_prune_skips == 0
+
+
+def test_standalone_drain_never_prunes():
+    """``mine_repository``-style standalone drains must re-evaluate
+    everything — the pruning invariant does not cover brand-new DTDs."""
+    source = XMLSource(
+        [figure3_dtd()],
+        EvolutionConfig(sigma=0.99, min_documents=10 ** 9),
+    )
+    for document in figure3_workload(0, 8, seed=35):
+        source.process(document)
+    assert len(source.repository) > 0
+    before = source.perf.drain_prune_skips
+    source._reclassify_repository()
+    assert source.perf.drain_prune_skips == before
+
+
+def test_loaded_source_starts_cold_and_rebuilds_memos(tmp_path):
+    """Persistence round-trip: memos are not serialized; a loaded source
+    evolves bit-identically from a cold cache."""
+    from repro.core.persistence import load_source, save_source
+
+    source = _recorded_source(figure3_workload(8, 8, seed=37), sigma=0.2)
+    path = str(tmp_path / "state.json")
+    save_source(source, path)
+    loaded = load_source(path)
+    assert loaded.extended["figure3"].element_memos == {}
+    original = source.evolve_now("figure3")
+    reloaded = loaded.evolve_now("figure3")
+    assert serialize_dtd(original.result.new_dtd) == serialize_dtd(
+        reloaded.result.new_dtd
+    )
