@@ -14,11 +14,39 @@ table-building runs once outside the timer.
 from __future__ import annotations
 
 import os
+import platform
+import subprocess
+import sys
 from typing import List
 
 from repro.metrics.report import Table
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def run_metadata() -> dict:
+    """Who/where/what produced a result file: python version, platform,
+    CPU count, and (best-effort) the git commit.  Machine-readable
+    benchmark outputs embed this so numbers stay interpretable after
+    the run."""
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=5,
+        ).stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        commit = None
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+        "commit": commit,
+        "argv": list(sys.argv),
+    }
 
 
 def emit(tables, name: str) -> None:

@@ -14,11 +14,17 @@ runs the engine batch serially and with ``workers=4``
 (``repro.parallel``), asserts the outcomes are identical, and records
 both timings plus the machine's CPU count — the speedup is only
 meaningful on a multi-core box, so judge it against ``cpu_count``.
-Finally it times repeated evolutions over unchanged evidence cold
-(reference path) vs warm (element memos + the mined-rule memo carried
-between calls, ``repro.perf``), asserts the evolved DTDs stay
-bit-identical, and records the warm speedup and replay counters under
-``evolution_incremental``.
+It then re-runs the engine batch with a live tracer (``repro.obs``),
+asserts the traced outcomes are identical, the span tree is singly
+rooted, and the traced/untraced ratio stays under 2x (the decision-10
+"disabled tracing is free" guard) — pass ``--emit-metrics`` to embed
+per-span-name latency histogram summaries in the JSON.  Finally it
+times repeated evolutions over unchanged evidence cold (reference
+path) vs warm (element memos + the mined-rule memo carried between
+calls, ``repro.perf``), asserts the evolved DTDs stay bit-identical,
+and records the warm speedup and replay counters under
+``evolution_incremental``.  The JSON carries ``schema_version`` 2 and
+a ``run_metadata`` block (python, platform, cpu_count, commit).
 """
 
 import json
@@ -320,6 +326,81 @@ def _evolution_incremental_compare(documents, repeats):
 
 
 # ----------------------------------------------------------------------
+# Tracing overhead: untraced vs traced engine batch (repro.obs)
+# ----------------------------------------------------------------------
+
+
+def _tracing_overhead_compare(dtds, documents, emit_metrics):
+    """Run the engine batch untraced (the :data:`NULL_TRACER` default)
+    and with a live tracer; the outcomes must be identical and the
+    traced/untraced ratio bounded — DESIGN.md decision 10's "tracing
+    never changes results, disabled tracing is free" guard.  The bound
+    is generous (the traced run does strictly more work); what it
+    catches is tracing leaking into the untraced path."""
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracing import Tracer
+
+    plain_view, plain_time, _ = _engine_run(dtds, documents, 0)
+    tracer = Tracer()
+
+    def traced_run():
+        from repro.core.engine import XMLSource
+        from repro.core.evolution import EvolutionConfig
+
+        source = XMLSource(
+            [dtd.copy() for dtd in dtds],
+            EvolutionConfig(sigma=0.4, tau=0.05, min_documents=25),
+        )
+        start = time.perf_counter()
+        outcomes = source.process_many(
+            [document.copy() for document in documents], trace=tracer
+        )
+        elapsed = time.perf_counter() - start
+        view = [
+            (outcome.dtd_name, outcome.similarity, tuple(outcome.evolved))
+            for outcome in outcomes
+        ]
+        return view, elapsed
+
+    traced_view, traced_time = traced_run()
+    if plain_view != traced_view:
+        raise AssertionError("tracing_overhead: traced outcomes diverge")
+    roots = [span for span in tracer.spans if span.parent_id is None]
+    if len(roots) != 1:
+        raise AssertionError(
+            f"tracing_overhead: expected one root span, got {len(roots)}"
+        )
+    ratio = traced_time / plain_time if plain_time > 0 else float("inf")
+    if ratio >= 2.0:
+        raise AssertionError(
+            f"tracing_overhead: traced run {ratio:.2f}x slower than untraced"
+        )
+    print(
+        f"{'tracing_overhead':<18} {len(documents):>4} docs   "
+        f"plain {plain_time * 1000:8.1f} ms   traced {traced_time * 1000:8.1f} ms   "
+        f"ratio {ratio:5.2f}x  ({len(tracer.spans)} spans)"
+    )
+    result = {
+        "documents": len(documents),
+        "plain_seconds": plain_time,
+        "traced_seconds": traced_time,
+        "ratio": ratio,
+        "spans": len(tracer.spans),
+    }
+    if emit_metrics:
+        registry = MetricsRegistry()
+        registry.observe_spans(tracer.spans)
+        result["span_latency"] = {
+            dict(instrument.labels).get("name", instrument.name): (
+                instrument.summary()
+            )
+            for instrument in registry
+            if instrument.kind == "histogram"
+        }
+    return result
+
+
+# ----------------------------------------------------------------------
 # Script mode: machine-readable fast-path comparison
 # ----------------------------------------------------------------------
 
@@ -362,8 +443,14 @@ def _compare(name, dtds, documents):
 
 
 def main(argv=None):
+    try:  # script mode (sys.path[0] = benchmarks/) vs pytest (rootdir)
+        from _harness import run_metadata
+    except ImportError:
+        from benchmarks._harness import run_metadata
+
     argv = list(sys.argv[1:] if argv is None else argv)
     smoke = "--smoke" in argv
+    emit_metrics = "--emit-metrics" in argv
     per_scenario, distinct, repeats = (2, 3, 3) if smoke else (10, 8, 25)
     dtds, makers = _five_dtds()
     workloads = {
@@ -373,12 +460,19 @@ def main(argv=None):
         + _repeated_stream(makers, distinct, max(1, repeats // 5))
         + figure3_workload(per_scenario, per_scenario, seed=3),
     }
-    results = {"smoke": smoke, "workloads": {}}
+    results = {
+        "schema_version": 2,
+        "run_metadata": run_metadata(),
+        "smoke": smoke,
+        "workloads": {},
+    }
     for name, documents in sorted(workloads.items()):
         results["workloads"][name] = _compare(name, dtds, documents)
     engine_per_scenario = 15 if smoke else 125  # 8x per scenario -> 120 / 1000
-    results["engine_parallel"] = _engine_compare(
-        dtds, _engine_corpus(makers, engine_per_scenario), workers=4
+    engine_corpus = _engine_corpus(makers, engine_per_scenario)
+    results["engine_parallel"] = _engine_compare(dtds, engine_corpus, workers=4)
+    results["tracing_overhead"] = _tracing_overhead_compare(
+        dtds, engine_corpus, emit_metrics
     )
     evolve_docs, evolve_repeats = (16, 5) if smoke else (120, 10)
     results["evolution_incremental"] = _evolution_incremental_compare(

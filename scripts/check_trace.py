@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Validate a Chrome trace-event JSON produced by ``dtdevolve run
+--trace`` (or ``Tracer.write_chrome``).
+
+Checks the structural contract the exporter promises — the one
+``about:tracing`` / Perfetto and the ``report`` subcommand rely on:
+
+- top level: a ``traceEvents`` list plus ``otherData.trace_id``;
+- every event carries ``name``/``ph``/``pid``;
+- complete (``"ph": "X"``) events carry a non-negative numeric ``ts``
+  and ``dur`` (fractional microseconds are fine — Chrome accepts
+  floats), a ``tid``, and ``args`` with ``span_id``/``parent_id``/
+  ``start_ns``/``end_ns`` (``end_ns >= start_ns``);
+- span ids are unique, every non-null ``parent_id`` resolves, and
+  exactly one span is a root — the single-rooted-tree guarantee.
+
+Usage: ``python scripts/check_trace.py trace.json [more.json ...]``
+Exits 0 when every file passes, 1 otherwise.  Stdlib-only on purpose —
+CI runs it without PYTHONPATH.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import List
+
+EVENT_KEYS = ("name", "ph", "pid")
+COMPLETE_KEYS = ("tid", "ts", "dur")
+ARG_KEYS = ("span_id", "parent_id", "start_ns", "end_ns")
+
+
+def _non_negative_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(
+        value, bool
+    ) and value >= 0
+
+
+def check_trace(path: str) -> List[str]:
+    """Every schema violation in ``path`` (empty = valid)."""
+    problems: List[str] = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as error:
+        return [f"unreadable: {error}"]
+    if not isinstance(payload, dict):
+        return ["top level is not a JSON object"]
+    if not isinstance(payload.get("traceEvents"), list):
+        problems.append("missing traceEvents list")
+        return problems
+    trace_id = (payload.get("otherData") or {}).get("trace_id")
+    if not trace_id:
+        problems.append("missing otherData.trace_id")
+    spans = {}
+    roots = 0
+    for index, event in enumerate(payload["traceEvents"]):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key in EVENT_KEYS:
+            if key not in event:
+                problems.append(f"{where}: missing {key!r}")
+        if event.get("ph") != "X":
+            continue  # metadata ("M") and friends carry no interval
+        for key in COMPLETE_KEYS:
+            if key not in event:
+                problems.append(f"{where}: missing {key!r}")
+        for key in ("ts", "dur"):
+            if key in event and not _non_negative_number(event[key]):
+                problems.append(f"{where}: {key} must be a non-negative number")
+        args = event.get("args")
+        if not isinstance(args, dict):
+            problems.append(f"{where}: complete event without args")
+            continue
+        for key in ARG_KEYS:
+            if key not in args:
+                problems.append(f"{where}: args missing {key!r}")
+        span_id = args.get("span_id")
+        if span_id is not None:
+            if span_id in spans:
+                problems.append(f"{where}: duplicate span_id {span_id}")
+            spans[span_id] = args.get("parent_id")
+        start_ns, end_ns = args.get("start_ns"), args.get("end_ns")
+        if (
+            isinstance(start_ns, int)
+            and isinstance(end_ns, int)
+            and end_ns < start_ns
+        ):
+            problems.append(f"{where}: end_ns < start_ns")
+        if args.get("parent_id") is None:
+            roots += 1
+    for span_id, parent_id in spans.items():
+        if parent_id is not None and parent_id not in spans:
+            problems.append(
+                f"span {span_id}: parent_id {parent_id} does not resolve"
+            )
+    if spans and roots != 1:
+        problems.append(f"expected exactly one root span, found {roots}")
+    if not spans:
+        problems.append("no complete span events")
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print("usage: check_trace.py trace.json [more.json ...]", file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv:
+        problems = check_trace(path)
+        if problems:
+            failed = True
+            for problem in problems:
+                print(f"{path}: {problem}", file=sys.stderr)
+        else:
+            print(f"{path}: OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

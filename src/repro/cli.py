@@ -14,7 +14,9 @@ Subcommands::
 
     dtdevolve run --state state.json [--dtd schema.dtd] [--triggers rules.txt]
                   [--store {memory,jsonl}] [--checkpoint-every N]
-                  [--workers N] [--no-fastpath] [--report-perf] docs...
+                  [--workers N] [--no-fastpath] [--report-perf]
+                  [--trace out.json] [--trace-jsonl out.jsonl]
+                  [--metrics out.prom] docs...
         Drive the full pipeline statefully: load (or initialise) a
         source snapshot, process the documents — classifying, recording
         and auto-evolving — and write the snapshot back.  Prints the
@@ -23,9 +25,18 @@ Subcommands::
         ``--workers`` classifies the batch across worker processes
         (identical results, see ``repro.parallel``), ``--no-fastpath``
         forces the reference classification and evolution paths, and
-        ``--report-perf`` prints the fast-path hit counters plus the
+        ``--report-perf`` prints the fast-path hit counters, the
         evolution/drain phase timers (the ``*_ns`` entries, wall-clock
-        nanoseconds).
+        nanoseconds) and derived hit rates, grouped and sorted.
+        ``--trace`` writes a Chrome trace-event JSON of the run
+        (``about:tracing`` / Perfetto), ``--trace-jsonl`` the compact
+        one-span-per-line stream, ``--metrics`` a Prometheus text
+        exposition of counters and span-latency histograms.
+
+    dtdevolve report trace.json [--top N] [--metrics]
+        Render the latency tables of a trace dump (either export
+        format): per-stage percentiles, the slowest documents, the
+        evolution phase breakdown, the worker summary.
 
     dtdevolve adapt --dtd schema.dtd docs...
         Adapt each document to the DTD (Section 6); writes the adapted
@@ -100,6 +111,41 @@ def _cmd_infer(args: argparse.Namespace) -> int:
     return 0
 
 
+def _grouped_perf_report(snapshot) -> dict:
+    """``--report-perf``'s stable shape: counters, timers (every
+    ``TIMER_NAMES`` entry, zeros included), and derived hit rates —
+    each group sorted by key."""
+    from repro.perf.counters import TIMER_NAMES
+
+    counters = {
+        name: value
+        for name, value in sorted(snapshot.items())
+        if name not in TIMER_NAMES
+    }
+    timers = {name: snapshot.get(name, 0) for name in sorted(TIMER_NAMES)}
+
+    def rate(hits: int, total: int) -> float:
+        return hits / total if total else 0.0
+
+    derived = {
+        "mined_rule_hit_rate": rate(
+            snapshot.get("mined_rule_hits", 0),
+            snapshot.get("mined_rule_hits", 0)
+            + snapshot.get("mined_rule_misses", 0),
+        ),
+        "structural_cache_hit_rate": rate(
+            snapshot.get("structural_cache_hits", 0),
+            snapshot.get("structural_cache_hits", 0)
+            + snapshot.get("structural_cache_misses", 0),
+        ),
+        "validity_short_circuit_rate": rate(
+            snapshot.get("validity_short_circuits", 0),
+            snapshot.get("validations", 0),
+        ),
+    }
+    return {"counters": counters, "timers": timers, "derived": derived}
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     import json
     import os
@@ -135,11 +181,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
             fastpath=fastpath,
             store=args.store,
         )
+    tracer = None
+    if args.trace or args.trace_jsonl or args.metrics:
+        from repro.obs.tracing import Tracer
+
+        tracer = Tracer()
     outcomes = source.process_many(
         [parse_document(_read(path)) for path in args.documents],
         checkpoint_every=args.checkpoint_every,
         checkpoint_path=args.state,
         workers=args.workers,
+        trace=tracer,
     )
     for path, outcome in zip(args.documents, outcomes):
         target = outcome.dtd_name or "<repository>"
@@ -151,8 +203,52 @@ def _cmd_run(args: argparse.Namespace) -> int:
         sys.stdout.write(serialize_dtd(source.dtd(name)))
     save_source(source, args.state)
     print(f"state saved to {args.state}", file=sys.stderr)
+    if tracer is not None:
+        if args.trace:
+            tracer.write_chrome(args.trace)
+            print(
+                f"trace {tracer.trace_id} ({len(tracer.spans)} spans) "
+                f"written to {args.trace}",
+                file=sys.stderr,
+            )
+        if args.trace_jsonl:
+            tracer.write_jsonl(args.trace_jsonl)
+            print(f"span stream written to {args.trace_jsonl}", file=sys.stderr)
+        if args.metrics:
+            from repro.obs.metrics import MetricsRegistry
+
+            registry = MetricsRegistry()
+            registry.update_from_perf(source.perf_snapshot())
+            registry.observe_spans(tracer.spans)
+            registry.gauge(
+                "repro_event_dead_letters",
+                "Subscriber exceptions swallowed by the event bus",
+            ).set(source.events.dead_letters)
+            with open(args.metrics, "w", encoding="utf-8") as handle:
+                handle.write(registry.expose())
+            print(f"metrics written to {args.metrics}", file=sys.stderr)
     if args.report_perf:
-        print(json.dumps(source.perf_snapshot(), indent=1))
+        print(json.dumps(_grouped_perf_report(source.perf_snapshot()), indent=1))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.export import load_trace
+    from repro.obs.report import render_report
+
+    try:
+        trace_id, records = load_trace(args.trace)
+    except (ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(render_report(records, trace_id=trace_id, top=args.top))
+    if args.metrics:
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.observe_spans(records)
+        print()
+        sys.stdout.write(registry.expose())
     return 0
 
 
@@ -241,11 +337,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--report-perf",
         action="store_true",
         dest="report_perf",
-        help="print the fast-path hit counters and phase timers "
-        "(perf_snapshot) after the run",
+        help="print the fast-path hit counters, phase timers and derived "
+        "rates (grouped, sorted) after the run",
+    )
+    run.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a Chrome trace-event JSON of the run "
+        "(load in about:tracing or Perfetto)",
+    )
+    run.add_argument(
+        "--trace-jsonl",
+        metavar="PATH",
+        dest="trace_jsonl",
+        help="write the compact one-span-per-line trace stream",
+    )
+    run.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="write a Prometheus text exposition (perf counters, span "
+        "latency histograms, dead-letter count)",
     )
     run.add_argument("documents", nargs="+", help="XML document files")
     run.set_defaults(handler=_cmd_run)
+
+    report = commands.add_parser(
+        "report", help="latency tables from a trace dump (either format)"
+    )
+    report.add_argument("trace", help="trace file (--trace or --trace-jsonl output)")
+    report.add_argument(
+        "--top", type=int, default=5, metavar="N",
+        help="how many slowest documents to list (default 5)",
+    )
+    report.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also print span-latency histograms as Prometheus text",
+    )
+    report.set_defaults(handler=_cmd_report)
 
     adapt = commands.add_parser(
         "adapt", help="adapt documents to a DTD (writes *.adapted.xml)"

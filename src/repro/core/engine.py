@@ -42,6 +42,7 @@ from repro.core.extended_dtd import ExtendedDTD
 from repro.core.recorder import Recorder
 from repro.dtd.dtd import DTD
 from repro.mining.memo import MinedRuleMemo
+from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.perf import FastPathConfig, PerfCounters
 from repro.pipeline.context import EvolutionEvent, ProcessOutcome
 from repro.pipeline.events import EventBus, RepositoryDrained
@@ -66,6 +67,7 @@ class XMLSource:
         triggers: Optional["TriggerSet"] = None,
         fastpath: Optional[FastPathConfig] = None,
         store: Union[None, str, DocumentStore] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.config = config
         self.similarity_config = SimilarityConfig(config.alpha, config.beta)
@@ -79,6 +81,12 @@ class XMLSource:
         #: shared hit counters and phase timers across classification,
         #: recording and evolution — snapshot via :meth:`perf_snapshot`
         self.perf = PerfCounters()
+        #: the observability tracer (``repro.obs``); the no-op default
+        #: costs one flag check per document — install a real
+        #: :class:`~repro.obs.tracing.Tracer` (or pass ``trace=`` to
+        #: :meth:`process_many`) to collect spans
+        self.tracer = tracer or NULL_TRACER
+        self.perf.set_span_sink(self.tracer)
         #: engine-wide mined-rule memo shared by every evolution (all
         #: DTDs); ``None`` when the fast path is off.  Not persisted —
         #: a loaded source starts with a cold memo.
@@ -186,6 +194,12 @@ class XMLSource:
         self.documents_processed += 1
         return self.pipeline.run(document, classification).outcome()
 
+    def set_tracer(self, tracer: Optional[Tracer]) -> None:
+        """Install (or, with ``None``, remove) the observability tracer,
+        re-pointing the perf timers' span sink with it."""
+        self.tracer = tracer or NULL_TRACER
+        self.perf.set_span_sink(self.tracer)
+
     def process_many(
         self,
         documents: Iterable[Document],
@@ -193,6 +207,7 @@ class XMLSource:
         checkpoint_path: Optional[str] = None,
         workers: int = 0,
         chunk_size: int = 0,
+        trace: Optional[Tracer] = None,
     ) -> List[ProcessOutcome]:
         """Process a batch, in order.
 
@@ -214,7 +229,44 @@ class XMLSource:
         ``checkpoint_every`` documents, so a long stream survives
         interruption mid-run; the snapshot is the same format
         :func:`repro.core.persistence.save_source` writes.
+
+        ``trace`` installs a :class:`~repro.obs.tracing.Tracer` for the
+        duration of this batch (restoring the previous tracer after).
+        When tracing is on — via ``trace`` or a tracer installed at
+        construction — the whole batch is wrapped in one ``batch`` root
+        span, so serial and parallel runs alike export a single rooted
+        span tree.  Tracing never changes engine outputs.
         """
+        if trace is not None:
+            previous = self.tracer
+            self.set_tracer(trace)
+            try:
+                return self.process_many(
+                    documents, checkpoint_every, checkpoint_path,
+                    workers, chunk_size,
+                )
+            finally:
+                self.set_tracer(previous)
+        if not self.tracer.enabled:
+            return self._run_batch(
+                documents, checkpoint_every, checkpoint_path, workers, chunk_size
+            )
+        documents = list(documents)
+        with self.tracer.span(
+            "batch", documents=len(documents), workers=workers
+        ):
+            return self._run_batch(
+                documents, checkpoint_every, checkpoint_path, workers, chunk_size
+            )
+
+    def _run_batch(
+        self,
+        documents: Iterable[Document],
+        checkpoint_every: int,
+        checkpoint_path: Optional[str],
+        workers: int,
+        chunk_size: int,
+    ) -> List[ProcessOutcome]:
         if workers and workers > 1:
             from repro.parallel.driver import ParallelDriver
 

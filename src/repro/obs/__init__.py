@@ -1,0 +1,66 @@
+"""Observability: tracing, metrics, and run reports (``repro.obs``).
+
+The layer every serving stack carries, for the Figure-1 engine:
+
+- :mod:`repro.obs.tracing` — a :class:`Tracer` of nested monotonic
+  :class:`Span`\\ s with a per-run ``trace_id``; the engine emits spans
+  for batches, documents, pipeline stages, evolution phases, parallel
+  epochs and worker classifications.  The default
+  :data:`NULL_TRACER` is a shared no-op: tracing costs one flag check
+  until enabled.
+- :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges, and fixed-bucket histograms with p50/p90/p99 summaries and
+  Prometheus text exposition; it mirrors (never replaces)
+  :class:`~repro.perf.PerfCounters`.
+- :mod:`repro.obs.export` — Chrome trace-event JSON
+  (``about:tracing`` / Perfetto) and a compact JSONL stream, with a
+  loader for both.
+- :mod:`repro.obs.report` — the latency tables behind
+  ``dtdevolve report``.
+
+See ``docs/API.md`` ("Observability") for the span naming scheme and
+DESIGN.md decision 10 for the no-op-default rationale.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    load_trace,
+    span_dict,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.report import render_report, stage_latencies
+from repro.obs.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanCollector,
+    Tracer,
+)
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "SpanCollector",
+    "NullTracer",
+    "NULL_TRACER",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "span_dict",
+    "load_trace",
+    "render_report",
+    "stage_latencies",
+]

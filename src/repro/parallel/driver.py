@@ -22,8 +22,9 @@ from __future__ import annotations
 
 import math
 import pickle
+import time
 from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.classification.classifier import ClassificationResult
 from repro.parallel.events import ParallelFallback, ShardRetried
@@ -145,6 +146,7 @@ class ParallelDriver:
         the batch ends or an evolution stales the snapshot.  Returns how
         many documents were merged."""
         source = self.source
+        tracer = source.tracer
         snapshot_bytes = pickle.dumps(
             ClassifierSnapshot.of(source), protocol=pickle.HIGHEST_PROTOCOL
         )
@@ -155,12 +157,32 @@ class ParallelDriver:
             for chunk in chunks
         ]
         merged = 0
+        epoch_span = (
+            tracer.start(
+                "epoch", epoch=epoch, pending=len(pending), shards=len(chunks)
+            )
+            if tracer.enabled
+            else None
+        )
         try:
             for shard_index, (chunk, future) in enumerate(zip(chunks, futures)):
                 classifications = self._shard_classifications(
                     epoch, snapshot_bytes, shard_index, chunk, future
                 )
-                for document, classification in zip(chunk, classifications):
+                for document, (classification, spans) in zip(
+                    chunk, classifications
+                ):
+                    if spans and epoch_span is not None:
+                        # worker clocks are not comparable to ours:
+                        # rebase the shipped spans to land at the merge
+                        # point, parent them under this epoch
+                        tracer.splice(
+                            spans,
+                            parent_id=epoch_span.span_id,
+                            rebase_to=time.perf_counter_ns(),
+                            doc_id=source.documents_processed + 1,
+                            shard=shard_index,
+                        )
                     outcome = source.process(document, classification)
                     outcomes.append(outcome)
                     merged += 1
@@ -172,6 +194,9 @@ class ParallelDriver:
                         # are discarded and the remainder re-sharded
                         return merged
         finally:
+            if epoch_span is not None:
+                epoch_span.set("merged", merged)
+                tracer.finish(epoch_span)
             for future in futures:
                 future.cancel()
         return merged
@@ -183,8 +208,11 @@ class ParallelDriver:
         shard_index: int,
         chunk: List[Document],
         future: Future,
-    ) -> List[ClassificationResult]:
-        """One shard's results, with retry-once and serial fallback."""
+    ) -> List[Tuple[ClassificationResult, Optional[tuple]]]:
+        """One shard's ``(classification, worker spans)`` pairs, with
+        retry-once and serial fallback (fallback pairs carry no spans —
+        the in-process classification is traced by the pipeline's own
+        ``doc`` span)."""
         source = self.source
         try:
             result = future.result()
@@ -209,10 +237,16 @@ class ParallelDriver:
                 )
                 # in-process classification: same classifier the serial
                 # path would use, so results stay bit-identical
-                return [source.classifier.classify(document) for document in chunk]
+                return [
+                    (source.classifier.classify(document), None)
+                    for document in chunk
+                ]
         source.perf.merge(result.counters, key=result.worker_key)
         return [
-            rebuild_classification(source.classifier, document, payload)
+            (
+                rebuild_classification(source.classifier, document, payload),
+                payload.spans,
+            )
             for document, payload in zip(chunk, result.payloads)
         ]
 

@@ -41,7 +41,7 @@ ElementTuple = Tuple[bool, TripleTuple, TripleTuple]
 class ClassifierSnapshot:
     """Immutable, picklable classification state for one epoch."""
 
-    __slots__ = ("dtds", "threshold", "config", "fastpath")
+    __slots__ = ("dtds", "threshold", "config", "fastpath", "traced")
 
     def __init__(
         self,
@@ -49,11 +49,14 @@ class ClassifierSnapshot:
         threshold: float,
         config: SimilarityConfig,
         fastpath: FastPathConfig,
+        traced: bool = False,
     ):
         self.dtds: Tuple[DTD, ...] = tuple(dtds)
         self.threshold = threshold
         self.config = config
         self.fastpath = fastpath
+        #: whether the parent wants per-document worker spans back
+        self.traced = traced
 
     @classmethod
     def of(cls, source: "XMLSource") -> "ClassifierSnapshot":
@@ -68,6 +71,7 @@ class ClassifierSnapshot:
             source.classifier.threshold,
             source.similarity_config,
             source.fastpath,
+            traced=source.tracer.enabled,
         )
 
     def build_classifier(self, counters: Optional[PerfCounters] = None) -> Classifier:
@@ -90,7 +94,7 @@ class DocumentPayload:
     """One classification result, flattened to picklable primitives."""
 
     __slots__ = ("dtd_name", "similarity", "evaluated", "pruned",
-                 "document_triple", "elements")
+                 "document_triple", "elements", "spans")
 
     def __init__(
         self,
@@ -100,6 +104,7 @@ class DocumentPayload:
         pruned: Tuple[str, ...],
         document_triple: Optional[TripleTuple],
         elements: Optional[Tuple[ElementTuple, ...]],
+        spans: Optional[Tuple] = None,
     ):
         self.dtd_name = dtd_name
         self.similarity = similarity
@@ -107,6 +112,10 @@ class DocumentPayload:
         self.pruned = pruned
         self.document_triple = document_triple
         self.elements = elements
+        #: worker-side span records for this document (traced epochs
+        #: only) — tuples from
+        #: :meth:`repro.obs.tracing.SpanCollector.take_records`
+        self.spans = spans
 
     def __repr__(self) -> str:
         target = self.dtd_name or "<repository>"

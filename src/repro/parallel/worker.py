@@ -13,18 +13,20 @@ from __future__ import annotations
 import os
 import pickle
 import uuid
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.classification.classifier import Classifier
+from repro.obs.tracing import SpanCollector
 from repro.parallel.snapshot import ChunkResult, DocumentPayload, payload_from
 from repro.perf import PerfCounters
 from repro.xmltree.document import Document
 
 #: per-process state; forked children inherit the parent's (empty) dicts
 #: and populate their own copies
-_CLASSIFIERS: Dict[int, Classifier] = {}
+_CLASSIFIERS: Dict[int, Tuple[Classifier, bool]] = {}
 _COUNTERS: List[PerfCounters] = []
 _WORKER_KEY: List[str] = []
+_COLLECTOR: List[SpanCollector] = []
 
 
 def _worker_counters() -> PerfCounters:
@@ -41,21 +43,48 @@ def _worker_key() -> str:
     return _WORKER_KEY[0]
 
 
-def _classifier_for(epoch: int, snapshot_bytes: bytes) -> Classifier:
-    classifier = _CLASSIFIERS.get(epoch)
-    if classifier is None:
+def _worker_collector() -> SpanCollector:
+    if not _COLLECTOR:
+        _COLLECTOR.append(SpanCollector())
+    return _COLLECTOR[0]
+
+
+def _classifier_for(epoch: int, snapshot_bytes: bytes) -> Tuple[Classifier, bool]:
+    entry = _CLASSIFIERS.get(epoch)
+    if entry is None:
         snapshot = pickle.loads(snapshot_bytes)
-        classifier = snapshot.build_classifier(_worker_counters())
-        _CLASSIFIERS[epoch] = classifier
-    return classifier
+        entry = (
+            snapshot.build_classifier(_worker_counters()),
+            getattr(snapshot, "traced", False),
+        )
+        _CLASSIFIERS[epoch] = entry
+    return entry
 
 
 def classify_chunk(
     epoch: int, snapshot_bytes: bytes, documents: List[Document]
 ) -> ChunkResult:
-    """Classify one chunk against the epoch's frozen DTD set."""
-    classifier = _classifier_for(epoch, snapshot_bytes)
-    payloads: List[DocumentPayload] = [
-        payload_from(classifier.classify(document)) for document in documents
-    ]
+    """Classify one chunk against the epoch's frozen DTD set.
+
+    On traced epochs each document's classification is wrapped in a
+    ``worker.classify`` span (worker pid attached); the finished span
+    records travel back on the payload for the parent to splice under
+    its epoch span.  Tracing never touches the classification itself —
+    payload contents are byte-identical either way.
+    """
+    classifier, traced = _classifier_for(epoch, snapshot_bytes)
+    if not traced:
+        payloads: List[DocumentPayload] = [
+            payload_from(classifier.classify(document)) for document in documents
+        ]
+        return ChunkResult(_worker_key(), _worker_counters().snapshot(), payloads)
+    collector = _worker_collector()
+    pid = os.getpid()
+    payloads = []
+    for document in documents:
+        with collector.span("worker.classify", worker=pid, root=document.root.tag):
+            result = classifier.classify(document)
+        payload = payload_from(result)
+        payload.spans = collector.take_records()
+        payloads.append(payload)
     return ChunkResult(_worker_key(), _worker_counters().snapshot(), payloads)

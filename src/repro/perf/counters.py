@@ -136,11 +136,14 @@ class PerfCounters:
     always at least their sum for non-overlapping phases).
     """
 
-    __slots__ = COUNTER_NAMES + ("_sources", "_active_timers")
+    __slots__ = COUNTER_NAMES + ("_sources", "_active_timers", "_span_sink")
 
     def __init__(self) -> None:
         self._sources: Dict[str, Dict[str, int]] = {}
         self._active_timers: Dict[str, int] = {}
+        #: an enabled tracer, when the engine wants phase spans mirrored
+        #: off the same timers (see :meth:`set_span_sink`)
+        self._span_sink = None
         self.reset()
 
     def reset(self) -> None:
@@ -179,6 +182,17 @@ class PerfCounters:
         self._sources.clear()
         self._active_timers.clear()
 
+    def set_span_sink(self, tracer) -> None:
+        """Mirror every outermost :meth:`timer` interval as a
+        ``phase.<name-without-_ns>`` span on ``tracer`` (ignored unless
+        the tracer is enabled; ``None`` detaches).  The span rides the
+        tracer's usual stack discipline, so evolution-phase spans nest
+        under whatever stage span is open — the trace and the ``*_ns``
+        counters describe the same intervals by construction."""
+        self._span_sink = (
+            tracer if tracer is not None and tracer.enabled else None
+        )
+
     @contextmanager
     def timer(self, name: str) -> Iterator[None]:
         """Accumulate monotonic wall-clock time under timer ``name``.
@@ -189,6 +203,10 @@ class PerfCounters:
         """
         depth = self._active_timers.get(name, 0) + 1
         self._active_timers[name] = depth
+        sink = self._span_sink if depth == 1 else None
+        # the span opens before the timer clock and closes after it, so
+        # the phase span always brackets the ``*_ns`` interval
+        span = sink.start(f"phase.{name[:-3]}") if sink is not None else None
         start = time.perf_counter_ns() if depth == 1 else 0
         try:
             yield
@@ -198,6 +216,8 @@ class PerfCounters:
                 del self._active_timers[name]
                 elapsed = time.perf_counter_ns() - start
                 setattr(self, name, getattr(self, name) + elapsed)
+                if span is not None:
+                    sink.finish(span)
 
     def snapshot(self) -> Dict[str, int]:
         """A plain-dict copy (stable key order, JSON-friendly)."""

@@ -30,6 +30,7 @@ your own.
 
 from __future__ import annotations
 
+import logging
 from collections import OrderedDict
 from typing import Callable, Dict, List, Mapping, NamedTuple, Optional, Type
 
@@ -133,13 +134,19 @@ class EventBus:
 
     Handlers run inline on the emitting thread, in subscription order —
     type-specific subscribers first, then catch-all subscribers.
-    Exceptions propagate to the emitter (observers are trusted
-    collaborators, not sandboxed plugins).
+
+    A raising handler never aborts the pipeline (a broken observer must
+    not lose the document mid-loop): the exception is logged to the
+    ``repro.obs`` logger, counted on :attr:`dead_letters`, and delivery
+    continues with the next handler.
     """
 
     def __init__(self) -> None:
         self._handlers: Dict[Type, List[Handler]] = {}
         self._catch_all: List[Handler] = []
+        #: events a subscriber raised on (one count per failed delivery,
+        #: not per event) — the observability dead-letter counter
+        self.dead_letters = 0
 
     def subscribe(self, event_type: Type, handler: Handler) -> Handler:
         """Call ``handler(event)`` for every event of ``event_type``.
@@ -165,11 +172,23 @@ class EventBus:
 
     def emit(self, event: object) -> None:
         """Deliver ``event`` to its type's subscribers, then to the
-        catch-all subscribers."""
+        catch-all subscribers.  Subscriber exceptions are isolated (see
+        the class docstring)."""
         for handler in tuple(self._handlers.get(type(event), ())):
-            handler(event)
+            self._deliver(handler, event)
         for handler in tuple(self._catch_all):
+            self._deliver(handler, event)
+
+    def _deliver(self, handler: Handler, event: object) -> None:
+        try:
             handler(event)
+        except Exception:
+            self.dead_letters += 1
+            logging.getLogger("repro.obs").exception(
+                "event subscriber %r raised on %s; delivery continues",
+                handler,
+                type(event).__name__,
+            )
 
     def subscriber_count(self, event_type: Optional[Type] = None) -> int:
         """How many handlers would see an event of ``event_type``

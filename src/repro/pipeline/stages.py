@@ -393,10 +393,57 @@ class Pipeline:
         """
         ctx = PipelineContext(document)
         ctx.classification = classification
+        if self.source.tracer.enabled:
+            return self._run_traced(ctx)
         for stage in self.stages:
             if ctx.halted:
                 break
             stage.run(ctx)
+        return ctx
+
+    #: perf counters surfaced as fast-path hit/miss span attributes on
+    #: the classify stage span
+    _FASTPATH_ATTRS = (
+        "validations",
+        "validity_short_circuits",
+        "structural_cache_hits",
+        "structural_cache_misses",
+        "bound_skips",
+        "dp_runs",
+    )
+
+    def _run_traced(self, ctx: PipelineContext) -> PipelineContext:
+        """The same stage loop, wrapped in observability spans: one
+        ``doc`` root per document, one ``stage.*`` child per executed
+        stage, fast-path deltas as classify-span attributes.  Control
+        flow and engine state transitions are identical to the untraced
+        loop — spans only observe."""
+        source = self.source
+        tracer = source.tracer
+        document = ctx.document
+        with tracer.span(
+            "doc",
+            doc_id=source.documents_processed,
+            root=document.root.tag if document is not None else None,
+        ) as doc_span:
+            for stage in self.stages:
+                if ctx.halted:
+                    break
+                with tracer.span(f"stage.{stage.name}") as stage_span:
+                    if stage is self.classify_stage:
+                        if ctx.classification is not None:
+                            stage_span.set("injected", True)
+                        before = source.perf.snapshot()
+                        stage.run(ctx)
+                        for name in self._FASTPATH_ATTRS:
+                            delta = getattr(source.perf, name) - before[name]
+                            if delta:
+                                stage_span.set(name, delta)
+                    else:
+                        stage.run(ctx)
+            doc_span.set("dtd", ctx.dtd_name)
+            if ctx.evolved:
+                doc_span.set("evolved", list(ctx.evolved))
         return ctx
 
     def evolve(
@@ -404,15 +451,28 @@ class Pipeline:
     ) -> EvolutionEvent:
         """Force the evolution phase (plus its drain) for one DTD."""
         ctx = PipelineContext(document=None)
-        self.evolve_stage.execute(ctx, name, config)
-        self.drain_stage.run(ctx)
+        tracer = self.source.tracer
+        if tracer.enabled:
+            with tracer.span("evolve_now", dtd=name):
+                with tracer.span("stage.evolve"):
+                    self.evolve_stage.execute(ctx, name, config)
+                with tracer.span("stage.drain"):
+                    self.drain_stage.run(ctx)
+        else:
+            self.evolve_stage.execute(ctx, name, config)
+            self.drain_stage.run(ctx)
         return ctx.evolution_events[-1]
 
     def drain(self) -> int:
         """A standalone repository re-classification pass; returns how
         many documents were recovered."""
         ctx = PipelineContext(document=None)
-        self.drain_stage.run(ctx)
+        tracer = self.source.tracer
+        if tracer.enabled:
+            with tracer.span("stage.drain", standalone=True):
+                self.drain_stage.run(ctx)
+        else:
+            self.drain_stage.run(ctx)
         return ctx.recovered
 
     def __repr__(self) -> str:

@@ -1,5 +1,7 @@
-"""CLI coverage for the pipeline-era ``run`` flags: ``--store``,
-``--checkpoint-every``, ``--no-fastpath``, and ``--report-perf``."""
+"""CLI coverage for the pipeline-era ``run`` flags — ``--store``,
+``--checkpoint-every``, ``--no-fastpath``, ``--report-perf``,
+``--trace``/``--trace-jsonl``/``--metrics`` — and the ``report``
+subcommand."""
 
 import json
 
@@ -30,7 +32,9 @@ def workspace(tmp_path):
 
 
 class TestReportPerf:
-    def test_prints_perf_snapshot(self, workspace, tmp_path, capsys):
+    def test_prints_grouped_sorted_report(self, workspace, tmp_path, capsys):
+        from repro.perf.counters import TIMER_NAMES
+
         dtd_path, documents = workspace
         state = str(tmp_path / "state.json")
         assert (
@@ -42,10 +46,17 @@ class TestReportPerf:
             == 0
         )
         output = capsys.readouterr().out
-        payload = output[output.index("{"):]
-        snapshot = json.loads(payload[: payload.index("}") + 1])
-        assert snapshot["documents_classified"] == 3
-        assert "dp_runs" in snapshot
+        report = json.loads(output[output.index("{"):])
+        assert list(report) == ["counters", "timers", "derived"]
+        assert report["counters"]["documents_classified"] == 3
+        assert "dp_runs" in report["counters"]
+        # every group is key-sorted; timers list every TIMER_NAMES entry,
+        # zero-valued ones included (nothing evolved in a 3-document run)
+        for group in ("counters", "timers", "derived"):
+            assert list(report[group]) == sorted(report[group])
+        assert set(report["timers"]) == set(TIMER_NAMES)
+        assert report["timers"]["evolve_ns"] == 0
+        assert 0.0 <= report["derived"]["validity_short_circuit_rate"] <= 1.0
 
     def test_no_fastpath_disables_the_counters(self, workspace, tmp_path, capsys):
         dtd_path, documents = workspace
@@ -59,10 +70,64 @@ class TestReportPerf:
             == 0
         )
         output = capsys.readouterr().out
-        payload = output[output.index("{"):]
-        snapshot = json.loads(payload[: payload.index("}") + 1])
-        assert snapshot["validity_short_circuits"] == 0
-        assert snapshot["bound_skips"] == 0
+        report = json.loads(output[output.index("{"):])
+        assert report["counters"]["validity_short_circuits"] == 0
+        assert report["counters"]["bound_skips"] == 0
+        assert report["derived"]["validity_short_circuit_rate"] == 0.0
+
+
+class TestTraceFlags:
+    def test_trace_exports_and_report_round_trip(
+        self, workspace, tmp_path, capsys
+    ):
+        from repro.obs.export import load_trace
+
+        dtd_path, documents = workspace
+        state = str(tmp_path / "state.json")
+        trace_path = str(tmp_path / "trace.json")
+        jsonl_path = str(tmp_path / "trace.jsonl")
+        metrics_path = str(tmp_path / "metrics.prom")
+        assert (
+            main(
+                ["run", "--state", state, "--dtd", dtd_path, "--sigma", "0.3",
+                 "--trace", trace_path, "--trace-jsonl", jsonl_path,
+                 "--metrics", metrics_path]
+                + documents
+            )
+            == 0
+        )
+        capsys.readouterr()
+        trace_id, chrome_records = load_trace(trace_path)
+        jsonl_id, jsonl_records = load_trace(jsonl_path)
+        assert trace_id and trace_id == jsonl_id
+        assert len(chrome_records) == len(jsonl_records) > len(documents)
+        metrics_text = (tmp_path / "metrics.prom").read_text()
+        assert "repro_perf_documents_classified" in metrics_text
+        assert 'repro_span_seconds_bucket{name="doc"' in metrics_text
+        assert "repro_event_dead_letters 0" in metrics_text
+        assert main(["report", trace_path, "--top", "3"]) == 0
+        report_out = capsys.readouterr().out
+        assert trace_id in report_out
+        assert "stage.classify" in report_out
+
+    def test_report_rejects_bad_input(self, tmp_path, capsys):
+        empty = tmp_path / "empty.json"
+        empty.write_text("")
+        assert main(["report", str(empty)]) == 1
+        assert main(["report", str(tmp_path / "missing.json")]) == 1
+        capsys.readouterr()
+
+    def test_untraced_run_writes_no_trace_files(self, workspace, tmp_path, capsys):
+        dtd_path, documents = workspace
+        state = str(tmp_path / "state.json")
+        assert (
+            main(["run", "--state", state, "--dtd", dtd_path, "--sigma", "0.3"]
+                 + documents[:2])
+            == 0
+        )
+        capsys.readouterr()
+        assert not list(tmp_path.glob("*.prom"))
+        assert not list(tmp_path.glob("trace*"))
 
 
 class TestNoFastpathOutcomes:

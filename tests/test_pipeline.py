@@ -86,6 +86,49 @@ class TestEventBus:
         bus.unsubscribe_all(print)
 
 
+class TestSubscriberIsolation:
+    def test_raising_handler_does_not_stop_delivery(self, caplog):
+        bus = EventBus()
+        seen = []
+
+        def broken(event):
+            raise RuntimeError("observer bug")
+
+        bus.subscribe(DocumentDeposited, broken)
+        bus.subscribe(DocumentDeposited, seen.append)
+        deposited = DocumentDeposited(None, 0.1, 1)
+        with caplog.at_level("ERROR", logger="repro.obs"):
+            bus.emit(deposited)
+        assert seen == [deposited]  # the later subscriber still ran
+        assert bus.dead_letters == 1
+        assert any("repro.obs" == record.name for record in caplog.records)
+
+    def test_raising_subscriber_does_not_abort_the_pipeline(self, caplog):
+        source = _source(min_documents=3, tau=0.05)
+
+        def broken(event):
+            raise RuntimeError("observer bug")
+
+        source.events.subscribe_all(broken)
+        workload = figure3_workload()
+        with caplog.at_level("ERROR", logger="repro.obs"):
+            outcomes = source.process_many(workload)
+        # every document processed, evolution still happened, and the
+        # engine's own log subscriber kept working despite the bad peer
+        assert len(outcomes) == len(workload)
+        assert source.evolution_count >= 1
+        assert source.events.dead_letters > 0
+
+        reference = _source(min_documents=3, tau=0.05)
+        reference_outcomes = reference.process_many(figure3_workload())
+        assert [
+            (o.dtd_name, o.similarity, o.evolved, o.recovered) for o in outcomes
+        ] == [
+            (o.dtd_name, o.similarity, o.evolved, o.recovered)
+            for o in reference_outcomes
+        ]
+
+
 # ----------------------------------------------------------------------
 # Stage composition
 # ----------------------------------------------------------------------
