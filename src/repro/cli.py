@@ -186,13 +186,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro.obs.tracing import Tracer
 
         tracer = Tracer()
-    outcomes = source.process_many(
-        [parse_document(_read(path)) for path in args.documents],
-        checkpoint_every=args.checkpoint_every,
-        checkpoint_path=args.state,
-        workers=args.workers,
-        trace=tracer,
-    )
+    try:
+        outcomes = source.process_many(
+            [parse_document(_read(path)) for path in args.documents],
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_path=args.state,
+            workers=args.workers,
+            trace=tracer,
+        )
+    finally:
+        # shut the persistent worker pool (and any published snapshot)
+        # down even when the batch dies mid-run
+        source.close()
     for path, outcome in zip(args.documents, outcomes):
         target = outcome.dtd_name or "<repository>"
         line = f"{path}: {target} (similarity {outcome.similarity:.3f})"

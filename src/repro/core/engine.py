@@ -32,7 +32,9 @@ Usage::
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Union
+import pickle
+import time
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.classification.classifier import ClassificationResult, Classifier
 from repro.classification.repository import Repository
@@ -101,6 +103,19 @@ class XMLSource:
         )
         self.extended: Dict[str, ExtendedDTD] = {}
         self.recorders: Dict[str, Recorder] = {}
+        #: bumped by every :meth:`_install` (initial DTDs, evolutions,
+        #: repository mining) — the classification state's cheap version
+        #: stamp, keying the pickled-snapshot cache below
+        self._state_version = 0
+        #: ``(cache key, fingerprint, pickled snapshot)`` of the last
+        #: snapshot built, so unchanged epochs skip re-pickling entirely
+        self._snapshot_cache: Optional[Tuple[tuple, str, bytes]] = None
+        #: persistent worker pools keyed by worker count (see
+        #: :meth:`worker_pool`); live until :meth:`close`
+        self._worker_pools: Dict[int, "WorkerPool"] = {}
+        #: shared-memory snapshot publisher, created on first parallel
+        #: batch (see :meth:`snapshot_wire`)
+        self._snapshot_publisher = None
         for name in self.classifier.dtd_names():
             self._install(self.classifier.dtd(name))
         #: unclassified documents, backed by the configured store
@@ -125,6 +140,7 @@ class XMLSource:
         self.pipeline = Pipeline(self, self.events)
 
     def _install(self, dtd: DTD) -> None:
+        self._state_version += 1
         extended = ExtendedDTD(dtd)
         self.extended[dtd.name] = extended
         # the recorder's matcher always matches tags exactly, but shares
@@ -200,6 +216,86 @@ class XMLSource:
         self.tracer = tracer or NULL_TRACER
         self.perf.set_span_sink(self.tracer)
 
+    # ------------------------------------------------------------------
+    # Parallel resources (persistent pools, shared snapshots)
+    # ------------------------------------------------------------------
+
+    def worker_pool(self, workers: int) -> "WorkerPool":
+        """The engine's persistent pool for ``workers`` processes.
+
+        Created lazily on first request and reused by every subsequent
+        parallel ``process_many`` call with the same worker count, so
+        pool spin-up (and the workers' warm snapshot caches) amortise
+        across batches.  Lives until :meth:`close`.
+        """
+        from repro.parallel.pool import WorkerPool
+
+        pool = self._worker_pools.get(workers)
+        if pool is None:
+            pool = WorkerPool(workers, counters=self.perf)
+            self._worker_pools[workers] = pool
+        return pool
+
+    def snapshot_wire(self) -> "SnapshotRef":
+        """Publish the current classification state for workers.
+
+        The pickled :class:`~repro.parallel.snapshot.ClassifierSnapshot`
+        is cached against a cheap state version (bumped on every DTD
+        install: initial set, evolutions, repository mining) plus the
+        tracing flag, so an epoch whose DTD set didn't change reuses the
+        cached bytes without re-pickling (``snapshot_reuses``) — across
+        epochs *and* across ``process_many`` calls.  The bytes are
+        published once per content fingerprint via shared memory (inline
+        pickle fallback), so chunks ship only a small ref.
+        """
+        from repro.parallel.snapshot import (
+            ClassifierSnapshot,
+            SnapshotPublisher,
+            snapshot_fingerprint,
+        )
+
+        key = (self._state_version, self.tracer.enabled)
+        cached = self._snapshot_cache
+        if cached is not None and cached[0] == key:
+            self.perf.snapshot_reuses += 1
+            _, fingerprint, payload = cached
+        else:
+            start = time.perf_counter_ns()
+            payload = pickle.dumps(
+                ClassifierSnapshot.of(self), protocol=pickle.HIGHEST_PROTOCOL
+            )
+            self.perf.snapshot_serialize_ns += time.perf_counter_ns() - start
+            fingerprint = snapshot_fingerprint(payload)
+            self.perf.snapshot_builds += 1
+            self.perf.snapshot_bytes_total += len(payload)
+            self._snapshot_cache = (key, fingerprint, payload)
+        if self._snapshot_publisher is None:
+            self._snapshot_publisher = SnapshotPublisher()
+        return self._snapshot_publisher.publish(fingerprint, payload)
+
+    def close(self) -> None:
+        """Release the engine's parallel resources: shut down every
+        persistent worker pool and unlink the published shared-memory
+        snapshot.  Idempotent, and not terminal — the engine stays
+        usable; pools and snapshots respin lazily on the next parallel
+        batch.  The document store is deliberately *not* closed (a
+        ``jsonl`` store deletes its spill file on close; that decision
+        belongs to whoever configured the store).  An ``atexit`` sweep
+        closes anything still live at interpreter shutdown, so a
+        forgotten ``close()`` never strands worker processes or shared
+        memory (see :mod:`repro.parallel.pool`).
+        """
+        for pool in self._worker_pools.values():
+            pool.close()
+        if self._snapshot_publisher is not None:
+            self._snapshot_publisher.close()
+
+    def __enter__(self) -> "XMLSource":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
     def process_many(
         self,
         documents: Iterable[Document],
@@ -207,6 +303,7 @@ class XMLSource:
         checkpoint_path: Optional[str] = None,
         workers: int = 0,
         chunk_size: int = 0,
+        overlap: bool = True,
         trace: Optional[Tracer] = None,
     ) -> List[ProcessOutcome]:
         """Process a batch, in order.
@@ -217,12 +314,17 @@ class XMLSource:
         repository drains evolution triggers mid-batch), so repeated
         structures in a stream cost one DP run total.
 
-        With ``workers`` of 2 or more, classification fans out across a
-        process pool in classify-parallel / evolve-serial epochs (see
-        :mod:`repro.parallel`); results — outcomes, repository, events,
-        evolution log — are bit-identical to the serial path, which
-        ``workers`` of 0 or 1 selects exactly.  ``chunk_size`` forces a
-        shard size (0 = automatic).
+        With ``workers`` of 2 or more, classification fans out across
+        the engine's persistent worker pool in classify-parallel /
+        evolve-serial epochs (see :mod:`repro.parallel`); results —
+        outcomes, repository, events, evolution log — are bit-identical
+        to the serial path, which ``workers`` of 0 or 1 selects exactly.
+        ``chunk_size`` forces a shard size (0 = automatic); ``overlap``
+        (default on) windows chunk submission so workers classify ahead
+        while the parent merges — ``overlap=False`` submits each
+        epoch's shards up front instead.  The pool persists across
+        calls; release it with :meth:`close` (or use the engine as a
+        context manager).
 
         With ``checkpoint_every`` set (and a ``checkpoint_path``), the
         source snapshots itself to that path after every
@@ -243,20 +345,22 @@ class XMLSource:
             try:
                 return self.process_many(
                     documents, checkpoint_every, checkpoint_path,
-                    workers, chunk_size,
+                    workers, chunk_size, overlap,
                 )
             finally:
                 self.set_tracer(previous)
         if not self.tracer.enabled:
             return self._run_batch(
-                documents, checkpoint_every, checkpoint_path, workers, chunk_size
+                documents, checkpoint_every, checkpoint_path,
+                workers, chunk_size, overlap,
             )
         documents = list(documents)
         with self.tracer.span(
             "batch", documents=len(documents), workers=workers
         ):
             return self._run_batch(
-                documents, checkpoint_every, checkpoint_path, workers, chunk_size
+                documents, checkpoint_every, checkpoint_path,
+                workers, chunk_size, overlap,
             )
 
     def _run_batch(
@@ -266,13 +370,14 @@ class XMLSource:
         checkpoint_path: Optional[str],
         workers: int,
         chunk_size: int,
+        overlap: bool = True,
     ) -> List[ProcessOutcome]:
         if workers and workers > 1:
             from repro.parallel.driver import ParallelDriver
 
-            return ParallelDriver(self, workers, chunk_size=chunk_size).process(
-                list(documents), checkpoint_every, checkpoint_path
-            )
+            return ParallelDriver(
+                self, workers, chunk_size=chunk_size, overlap=overlap
+            ).process(list(documents), checkpoint_every, checkpoint_path)
         outcomes: List[ProcessOutcome] = []
         for index, document in enumerate(documents, start=1):
             outcomes.append(self.process(document))

@@ -138,25 +138,47 @@ def _phase_breakdown(records: List[Dict[str, Any]]) -> Table:
 
 
 def _worker_summary(records: List[Dict[str, Any]]) -> Table:
+    """Spliced ``worker.*`` spans grouped by worker process.
+
+    ``kB shipped`` sums the per-document ``wire_bytes`` shares the
+    driver stamps at splice time (each document's slice of its chunk's
+    measured result bytes); ``pool gen`` lists which pool generation(s)
+    the worker's spans rode — a generation above 1 means the persistent
+    pool was rebuilt after a broken executor.  Traces from before these
+    attrs existed render ``-``.
+    """
     table = Table(
-        "Worker classification spans", ["worker", "spans", "total", "p99"]
+        "Worker classification spans",
+        ["worker", "spans", "total", "p99", "kB shipped", "pool gen"],
     )
     by_worker: Dict[Any, List[int]] = {}
+    shipped: Dict[Any, int] = {}
+    generations: Dict[Any, set] = {}
     for record in records:
         if not record["name"].startswith("worker."):
             continue
-        worker = record["attrs"].get("worker", "?")
+        attrs = record["attrs"]
+        worker = attrs.get("worker", "?")
         by_worker.setdefault(worker, []).append(
             record["end_ns"] - record["start_ns"]
         )
+        wire = attrs.get("wire_bytes")
+        if wire is not None and record["name"] == "worker.classify":
+            shipped[worker] = shipped.get(worker, 0) + wire
+        generation = attrs.get("pool_gen")
+        if generation is not None:
+            generations.setdefault(worker, set()).add(generation)
     for worker, durations in sorted(by_worker.items(), key=lambda kv: str(kv[0])):
         durations.sort()
+        gens = generations.get(worker)
         table.add_row(
             [
                 worker,
                 len(durations),
                 _ms(sum(durations)),
                 _ms(_percentile(durations, 0.99)),
+                f"{shipped[worker] / 1024:.1f}" if worker in shipped else "-",
+                ",".join(str(g) for g in sorted(gens)) if gens else "-",
             ]
         )
     return table

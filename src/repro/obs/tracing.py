@@ -17,8 +17,9 @@ document until somebody installs a real tracer.
 
 Cross-process collection: parallel classification workers run a
 :class:`SpanCollector` (a tracer whose finished spans export as plain
-picklable tuples) and ship the records back inside each
-``DocumentPayload``; the parent's :meth:`Tracer.splice` grafts them
+picklable tuples) and ship the records back batched per chunk on the
+``ChunkResult`` — traced epochs only, untraced chunks carry no span
+field at all; the parent's :meth:`Tracer.splice` grafts them
 under its open epoch span — remapping span ids, rebasing the foreign
 monotonic clock into the local timeline, and stamping worker/document
 attributes — so a ``workers=4`` run still yields one rooted tree.

@@ -3,59 +3,81 @@
 The Figure-1 loop mutates the DTD set only at evolution points; between
 them, classifying a batch against the frozen set is embarrassingly
 parallel.  :meth:`repro.core.engine.XMLSource.process_many` with
-``workers=N`` shards the pending documents across a
-``ProcessPoolExecutor`` and merges the results back **in submission
-order**, replaying each worker-computed classification through the
-normal serial pipeline stages, so rankings, evaluations, repository
-deposits, the evolution log, and the lifecycle event sequence are
-bit-identical to the serial path (asserted by
+``workers=N`` shards the pending documents across the engine's
+**persistent** :class:`~repro.parallel.pool.WorkerPool` and merges the
+results back **in submission order**, replaying each worker-computed
+classification through the normal serial pipeline stages, so rankings,
+evaluations, repository deposits, the evolution log, and the lifecycle
+event sequence are bit-identical to the serial path (asserted by
 ``tests/test_parallel_differential.py``).
 
 Evolution stays serialized through *epochs*:
 
 1. **snapshot** — the current DTD set, classification threshold and
    similarity/fast-path configuration are frozen into a picklable
-   :class:`~repro.parallel.snapshot.ClassifierSnapshot` (pickled once
-   per epoch);
-2. **classify-parallel** — the remaining documents are cut into
-   chunks; each worker process rebuilds the classifier from the
-   snapshot once per epoch (keeping a per-worker structural-fingerprint
-   cache warm across its chunks) and ships back compact
-   :class:`~repro.parallel.snapshot.DocumentPayload` results;
+   :class:`~repro.parallel.snapshot.ClassifierSnapshot`.  The engine
+   pickles it once per *changed* epoch (a cheap state version keys the
+   cache) and publishes the bytes via ``multiprocessing.shared_memory``
+   addressed by content fingerprint, so each chunk ships only a small
+   :class:`~repro.parallel.snapshot.SnapshotRef` (inline-pickle
+   fallback on platforms without shared memory);
+2. **classify-parallel** — the remaining documents are cut into chunks
+   and submitted through a bounded in-flight window (overlap mode, the
+   default: the window tops up before each merge so workers classify
+   ahead while the parent replays merges); each worker rebuilds the
+   classifier once per snapshot fingerprint — keeping it, and its warm
+   structural-fingerprint cache, across epochs and batches — and ships
+   back a chunk-level :class:`~repro.parallel.snapshot.ChunkResult` of
+   compact payload tuples, sparse cumulative counters, and (on traced
+   epochs only) span records;
 3. **evolve-serial** — the driver merges chunk results in order,
    running the record/check/evolve/drain stages in-process per
    document; the moment an evolution fires, the snapshot is stale, the
-   epoch ends, unmerged shard results are discarded, and the remainder
-   of the batch is re-sharded against a fresh snapshot.
+   epoch ends, in-flight shard results are discarded (the unsubmitted
+   remainder was never shipped), and the rest of the batch is
+   re-sharded against a fresh snapshot.
 
 Graceful degradation: a shard whose worker dies (or whose documents
-poison it) is retried once — on a fresh pool if the old one broke — and
-then falls back to in-process serial classification, announced by
+poison it) is retried once — the broken executor is retired and the
+persistent pool respins a fresh one — and then falls back to in-process
+serial classification, announced by
 :class:`~repro.parallel.events.ShardRetried` and
 :class:`~repro.parallel.events.ParallelFallback` warning events rather
 than failing the batch.  Worker fast-path counters fold into the
 engine's :class:`~repro.perf.PerfCounters` through the duplicate-safe
 :meth:`~repro.perf.PerfCounters.merge`, so ``perf_snapshot()`` (and its
 bus mirror) still accounts for all classification work.
+
+Pools and published snapshots live until ``XMLSource.close()`` (or the
+engine's context-manager exit); an ``atexit`` sweep covers anything
+left open (see :mod:`repro.parallel.pool`).
 """
 
 from repro.parallel.driver import ParallelDriver
 from repro.parallel.events import ParallelFallback, ShardRetried
+from repro.parallel.overhead import wire_overhead
+from repro.parallel.pool import WorkerPool
 from repro.parallel.snapshot import (
     ChunkResult,
     ClassifierSnapshot,
-    DocumentPayload,
+    SnapshotPublisher,
+    SnapshotRef,
     payload_from,
     rebuild_classification,
+    snapshot_fingerprint,
 )
 
 __all__ = [
     "ParallelDriver",
     "ParallelFallback",
     "ShardRetried",
+    "WorkerPool",
     "ChunkResult",
     "ClassifierSnapshot",
-    "DocumentPayload",
+    "SnapshotPublisher",
+    "SnapshotRef",
     "payload_from",
     "rebuild_classification",
+    "snapshot_fingerprint",
+    "wire_overhead",
 ]

@@ -1,21 +1,38 @@
 """The classify-parallel / evolve-serial epoch driver.
 
 ``XMLSource.process_many(..., workers=N)`` delegates here.  The driver
-owns a ``ProcessPoolExecutor`` for the duration of one batch and runs
-the epoch loop described in :mod:`repro.parallel`: snapshot, fan out
-chunks, merge strictly in submission order through the serial pipeline
-stages, and restart the epoch whenever an evolution invalidates the
-snapshot.  All engine state mutation happens on the parent process —
-workers only ever *read* a frozen snapshot — so the merged run is
-bit-identical to the serial one.
+borrows the engine's **persistent** :class:`~repro.parallel.pool.WorkerPool`
+(one per worker count, alive across ``process_many`` calls until the
+engine is closed) and runs the epoch loop described in
+:mod:`repro.parallel`: publish the epoch's snapshot, fan out chunks,
+merge strictly in submission order through the serial pipeline stages,
+and restart the epoch whenever an evolution invalidates the snapshot.
+All engine state mutation happens on the parent process — workers only
+ever *read* a frozen snapshot — so the merged run is bit-identical to
+the serial one.
+
+Overhead posture (the reason parallelism pays):
+
+- snapshots are pickled once per *changed* epoch by the engine and
+  shipped as a :class:`~repro.parallel.snapshot.SnapshotRef` — a
+  fingerprint plus a shared-memory block name (or the bytes inline on
+  platforms without shared memory);
+- results come back as chunk-level batches of plain tuples, with span
+  records shipped only on traced epochs and counters as sparse
+  cumulative reports;
+- in **overlap mode** (the default) chunk submission is windowed: the
+  driver keeps ``workers * 4`` shards in flight and tops the window up
+  *before* merging each completed shard, so workers keep classifying
+  upcoming shards while the parent replays merges — and an evolution
+  discards at most a window of speculative work instead of the whole
+  remainder of the batch.
 
 The evolve-serial gap between epochs is the driver's Amdahl term: every
 evolution runs on the parent while the pool idles.  Incremental
 evolution (dirty-element replay, the mined-rule memo) and the pruned
 post-evolution drain (see :mod:`repro.perf`) shorten exactly that gap,
 so they compound with parallel classification; workers themselves never
-evolve, and the evolution timers they report in their cumulative
-snapshots are simply zero.
+evolve, and the evolution timers in their cumulative reports stay zero.
 """
 
 from __future__ import annotations
@@ -23,50 +40,53 @@ from __future__ import annotations
 import math
 import pickle
 import time
-from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from collections import deque
+from concurrent.futures import BrokenExecutor, Future
+from typing import TYPE_CHECKING, Deque, List, Optional, Tuple
 
 from repro.classification.classifier import ClassificationResult
 from repro.parallel.events import ParallelFallback, ShardRetried
-from repro.parallel.snapshot import ClassifierSnapshot, rebuild_classification
+from repro.parallel.snapshot import SnapshotRef, rebuild_classification
 from repro.parallel.worker import classify_chunk
 from repro.pipeline.context import ProcessOutcome
 from repro.xmltree.document import Document
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine → driver)
     from repro.core.engine import XMLSource
+    from repro.parallel.pool import WorkerPool
 
-#: chunks per worker targeted by auto chunk sizing — small enough that
-#: an early-epoch evolution discards little speculative work, large
-#: enough that per-chunk pickling stays amortised
+#: in-flight chunks per worker targeted by the overlap window and by
+#: auto chunk sizing — small enough that an early-epoch evolution
+#: discards little speculative work, large enough that per-chunk
+#: submission overhead stays amortised
 _CHUNKS_PER_WORKER = 4
+
+#: auto chunk sizing never exceeds this many documents per shard in
+#: overlap mode, so the window refills at a granularity that keeps the
+#: merge loop and the workers busy simultaneously
+_MAX_OVERLAP_CHUNK = 32
 
 
 class ParallelDriver:
     """Drives one parallel batch for one source."""
 
-    def __init__(self, source: "XMLSource", workers: int, chunk_size: int = 0):
+    def __init__(
+        self,
+        source: "XMLSource",
+        workers: int,
+        chunk_size: int = 0,
+        overlap: bool = True,
+    ):
         if workers < 2:
             raise ValueError(f"ParallelDriver needs workers >= 2, got {workers}")
         self.source = source
         self.workers = workers
-        #: documents per shard; 0 = auto (pending / (workers * 4))
+        #: documents per shard; 0 = auto (pending / (workers * 4),
+        #: capped at ``_MAX_OVERLAP_CHUNK`` in overlap mode)
         self.chunk_size = chunk_size
-        self._pool: Optional[ProcessPoolExecutor] = None
-
-    # ------------------------------------------------------------------
-    # Pool lifecycle
-    # ------------------------------------------------------------------
-
-    def _ensure_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
-        return self._pool
-
-    def _retire_pool(self) -> None:
-        pool, self._pool = self._pool, None
-        if pool is not None:
-            pool.shutdown(wait=False, cancel_futures=True)
+        #: windowed submission (see module docstring); ``False`` submits
+        #: every shard of the epoch up front
+        self.overlap = overlap
 
     # ------------------------------------------------------------------
     # Event plumbing
@@ -104,21 +124,21 @@ class ParallelDriver:
                 outcomes.append(source.process(document))
                 self._checkpoint(index, checkpoint_every, checkpoint_path)
             return outcomes
+        pool = source.worker_pool(self.workers)
+        pool.lease()
         epoch = 0
         position = 0
-        try:
-            while position < len(documents):
-                epoch += 1
-                position += self._run_epoch(
-                    epoch,
-                    documents[position:],
-                    outcomes,
-                    position,
-                    checkpoint_every,
-                    checkpoint_path,
-                )
-        finally:
-            self._retire_pool()
+        while position < len(documents):
+            epoch += 1
+            position += self._run_epoch(
+                epoch,
+                pool,
+                documents[position:],
+                outcomes,
+                position,
+                checkpoint_every,
+                checkpoint_path,
+            )
         return outcomes
 
     # ------------------------------------------------------------------
@@ -131,31 +151,37 @@ class ParallelDriver:
             size = max(
                 1, math.ceil(len(pending) / (self.workers * _CHUNKS_PER_WORKER))
             )
+            if self.overlap:
+                size = min(size, _MAX_OVERLAP_CHUNK)
         return [pending[i:i + size] for i in range(0, len(pending), size)]
 
     def _run_epoch(
         self,
         epoch: int,
+        pool: "WorkerPool",
         pending: List[Document],
         outcomes: List[ProcessOutcome],
         base_index: int,
         checkpoint_every: int,
         checkpoint_path: Optional[str],
     ) -> int:
-        """Classify ``pending`` against a fresh snapshot and merge until
-        the batch ends or an evolution stales the snapshot.  Returns how
+        """Classify ``pending`` against the current snapshot and merge
+        until the batch ends or an evolution stales it.  Returns how
         many documents were merged."""
         source = self.source
         tracer = source.tracer
-        snapshot_bytes = pickle.dumps(
-            ClassifierSnapshot.of(source), protocol=pickle.HIGHEST_PROTOCOL
-        )
+        ref = source.snapshot_wire()
         chunks = self._chunks(pending)
-        pool = self._ensure_pool()
-        futures: List[Future] = [
-            pool.submit(classify_chunk, epoch, snapshot_bytes, chunk)
-            for chunk in chunks
-        ]
+        window = (
+            self.workers * _CHUNKS_PER_WORKER if self.overlap else len(chunks)
+        )
+        next_chunk = 0
+        in_flight: Deque[Tuple[int, Future]] = deque()
+        while next_chunk < len(chunks) and len(in_flight) < window:
+            in_flight.append(
+                (next_chunk, pool.submit(classify_chunk, ref, chunks[next_chunk]))
+            )
+            next_chunk += 1
         merged = 0
         epoch_span = (
             tracer.start(
@@ -165,9 +191,21 @@ class ParallelDriver:
             else None
         )
         try:
-            for shard_index, (chunk, future) in enumerate(zip(chunks, futures)):
-                classifications = self._shard_classifications(
-                    epoch, snapshot_bytes, shard_index, chunk, future
+            while in_flight:
+                shard_index, future = in_flight.popleft()
+                # top the window up *before* merging: workers classify
+                # ahead while the parent replays this shard's merges
+                if next_chunk < len(chunks):
+                    in_flight.append(
+                        (
+                            next_chunk,
+                            pool.submit(classify_chunk, ref, chunks[next_chunk]),
+                        )
+                    )
+                    next_chunk += 1
+                chunk = chunks[shard_index]
+                classifications, wire_bytes = self._shard_classifications(
+                    epoch, pool, ref, shard_index, chunk, future
                 )
                 for document, (classification, spans) in zip(
                     chunk, classifications
@@ -175,13 +213,19 @@ class ParallelDriver:
                     if spans and epoch_span is not None:
                         # worker clocks are not comparable to ours:
                         # rebase the shipped spans to land at the merge
-                        # point, parent them under this epoch
+                        # point, parent them under this epoch.
+                        # ``wire_bytes`` is this document's share of the
+                        # chunk's measured result bytes, so summing it
+                        # over ``worker.classify`` spans reconstructs
+                        # the shipped total (see ``repro report``).
                         tracer.splice(
                             spans,
                             parent_id=epoch_span.span_id,
                             rebase_to=time.perf_counter_ns(),
                             doc_id=source.documents_processed + 1,
                             shard=shard_index,
+                            pool_gen=pool.generation,
+                            wire_bytes=round(wire_bytes / len(chunk)),
                         )
                     outcome = source.process(document, classification)
                     outcomes.append(outcome)
@@ -190,46 +234,48 @@ class ParallelDriver:
                         base_index + merged, checkpoint_every, checkpoint_path
                     )
                     if outcome.evolved:
-                        # the snapshot is stale; unmerged shard results
-                        # are discarded and the remainder re-sharded
+                        # the snapshot is stale; in-flight shard results
+                        # are discarded, the unsubmitted remainder was
+                        # never shipped, and the rest re-shards
                         return merged
         finally:
             if epoch_span is not None:
                 epoch_span.set("merged", merged)
                 tracer.finish(epoch_span)
-            for future in futures:
+            for _, future in in_flight:
                 future.cancel()
         return merged
 
     def _shard_classifications(
         self,
         epoch: int,
-        snapshot_bytes: bytes,
+        pool: "WorkerPool",
+        ref: SnapshotRef,
         shard_index: int,
         chunk: List[Document],
         future: Future,
-    ) -> List[Tuple[ClassificationResult, Optional[tuple]]]:
-        """One shard's ``(classification, worker spans)`` pairs, with
-        retry-once and serial fallback (fallback pairs carry no spans —
-        the in-process classification is traced by the pipeline's own
-        ``doc`` span)."""
+    ) -> Tuple[List[Tuple[ClassificationResult, Optional[tuple]]], int]:
+        """One shard's ``(classification, worker spans)`` pairs plus the
+        shard's measured wire bytes, with retry-once and serial fallback
+        (fallback pairs carry no spans — the in-process classification
+        is traced by the pipeline's own ``doc`` span)."""
         source = self.source
         try:
             result = future.result()
         except Exception as error:  # dead worker, poison document, ...
             if isinstance(error, BrokenExecutor):
-                self._retire_pool()
+                # discard the broken executor; the pool respins a fresh
+                # one (new generation) on the retry submit below
+                pool.retire()
             self._emit(
                 ShardRetried(epoch, shard_index, len(chunk), repr(error), self._delta())
             )
             try:
-                retry = self._ensure_pool().submit(
-                    classify_chunk, epoch, snapshot_bytes, chunk
-                )
+                retry = pool.submit(classify_chunk, ref, chunk)
                 result = retry.result()
             except Exception as retry_error:
                 if isinstance(retry_error, BrokenExecutor):
-                    self._retire_pool()
+                    pool.retire()
                 self._emit(
                     ParallelFallback(
                         epoch, shard_index, len(chunk), repr(retry_error), self._delta()
@@ -240,15 +286,27 @@ class ParallelDriver:
                 return [
                     (source.classifier.classify(document), None)
                     for document in chunk
-                ]
+                ], 0
         source.perf.merge(result.counters, key=result.worker_key)
-        return [
+        wire_bytes = 0
+        if source.tracer.enabled:
+            # traced runs only: re-measure what this shard shipped so
+            # `repro report` can show bytes-on-the-wire per worker.
+            # Untraced runs never pay this re-pickle.
+            wire_bytes = len(
+                pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+        spans = result.spans
+        pairs = [
             (
                 rebuild_classification(source.classifier, document, payload),
-                payload.spans,
+                spans[position] if spans else None,
             )
-            for document, payload in zip(chunk, result.payloads)
+            for position, (document, payload) in enumerate(
+                zip(chunk, result.payloads)
+            )
         ]
+        return pairs, wire_bytes
 
     # ------------------------------------------------------------------
 
@@ -261,4 +319,6 @@ class ParallelDriver:
             save_source(self.source, checkpoint_path)
 
     def __repr__(self) -> str:
-        return f"ParallelDriver(workers={self.workers})"
+        return (
+            f"ParallelDriver(workers={self.workers}, overlap={self.overlap})"
+        )

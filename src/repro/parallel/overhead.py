@@ -1,0 +1,60 @@
+"""Offline measurement of the parallel driver's wire overhead.
+
+The hot path deliberately never weighs its own traffic (measuring means
+re-pickling); benchmarks call :func:`wire_overhead` instead to record
+the overhead-breakdown trend — how big the pickled snapshot is, how
+long it takes to build, and how many bytes one document's result costs
+on the wire — without perturbing the run being measured.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from typing import TYPE_CHECKING, Dict, Iterable, Union
+
+from repro.parallel.snapshot import ClassifierSnapshot, payload_from
+from repro.xmltree.document import Document
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.engine import XMLSource
+
+
+def wire_overhead(
+    source: "XMLSource", documents: Iterable[Document]
+) -> Dict[str, Union[int, float]]:
+    """Measure what shipping ``source``'s state and results would cost.
+
+    Classifies ``documents`` against a classifier rebuilt from the
+    snapshot exactly as a worker would (own counters, so the source's
+    perf state is untouched) and weighs each flattened payload tuple.
+
+    Returns ``snapshot_bytes`` (one pickled
+    :class:`~repro.parallel.snapshot.ClassifierSnapshot`),
+    ``snapshot_serialize_seconds`` (the build-and-pickle cost paid once
+    per changed epoch), and ``payload_bytes_per_doc`` (mean pickled
+    payload-tuple size — the per-document return traffic, excluding the
+    constant chunk framing).
+    """
+    start = time.perf_counter()
+    payload = pickle.dumps(
+        ClassifierSnapshot.of(source), protocol=pickle.HIGHEST_PROTOCOL
+    )
+    snapshot_serialize_seconds = time.perf_counter() - start
+    classifier = pickle.loads(payload).build_classifier()
+    documents = list(documents)
+    result_bytes = 0
+    for document in documents:
+        result_bytes += len(
+            pickle.dumps(
+                payload_from(classifier.classify(document)),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        )
+    return {
+        "snapshot_bytes": len(payload),
+        "snapshot_serialize_seconds": snapshot_serialize_seconds,
+        "payload_bytes_per_doc": (
+            result_bytes / len(documents) if documents else 0.0
+        ),
+    }

@@ -1,18 +1,33 @@
-"""The picklable wire format between the driver and its workers.
+"""The wire format between the driver and its workers.
 
-Three shapes cross the process boundary:
+Four shapes cross (or describe what crosses) the process boundary:
 
 - :class:`ClassifierSnapshot` — the frozen classification state of one
-  epoch (DTD set, ``sigma``, similarity and fast-path configuration),
-  pickled once per epoch and shipped with every chunk so workers can
-  rebuild lazily and cache per epoch;
-- :class:`DocumentPayload` — one document's classification result as
-  plain tuples: the decision, the eagerly-scored ranking head, the
-  names tier-3 pruning skipped (laziness is *preserved* across the
-  boundary — the parent rebuilds the deferred tail against its own
-  matchers), and the evaluation triples for accepted documents;
-- :class:`ChunkResult` — a shard's payloads plus the worker's
-  cumulative counter snapshot, keyed for duplicate-safe merging.
+  epoch (DTD set, ``sigma``, similarity and fast-path configuration).
+  The engine pickles it **once per changed epoch** and addresses it by
+  content fingerprint; unchanged epochs reuse the cached bytes without
+  re-pickling (``snapshot_reuses`` counter).
+- :class:`SnapshotRef` — what actually ships with every chunk: the
+  fingerprint plus *where the bytes live*.  On platforms with POSIX
+  shared memory the pickled snapshot is published once into a
+  ``multiprocessing.shared_memory`` block and the ref carries only the
+  block name (a few dozen bytes per chunk instead of the whole
+  snapshot); elsewhere — or when shared memory fails — the ref inlines
+  the pickle as a graceful fallback.  Workers cache the rebuilt
+  classifier by fingerprint, so either way an unchanged snapshot is
+  unpickled at most once per worker process.
+- *payload tuples* — one document's classification result as a plain
+  tuple ``(dtd_name, similarity, evaluated, pruned, document_triple,
+  elements)``: the decision, the eagerly-scored ranking head, the names
+  tier-3 pruning skipped (laziness is *preserved* across the boundary —
+  the parent rebuilds the deferred tail against its own matchers), and
+  the evaluation triples for accepted documents.  Tuples pickle to a
+  fraction of the bytes an attribute-bearing class instance costs.
+- :class:`ChunkResult` — a shard's payload tuples plus the worker's
+  sparse cumulative counter report (nonzero entries only, keyed for
+  duplicate-safe merging) and — **only on traced epochs** — the
+  per-document span record batches.  Untraced runs ship no span field
+  content at all (lazy span shipping).
 
 :func:`payload_from` and :func:`rebuild_classification` are exact
 inverses up to object identity: the rebuilt
@@ -23,10 +38,12 @@ similarities and triples (pickle round-trips floats bit-exactly).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+import hashlib
+from typing import Iterable, List, NamedTuple, Optional, Tuple
 
 from repro.classification.classifier import ClassificationResult, Classifier
 from repro.dtd.dtd import DTD
+from repro.parallel.pool import register_for_atexit
 from repro.perf import FastPathConfig, PerfCounters
 from repro.similarity.evaluation import DocumentEvaluation, ElementEvaluation
 from repro.similarity.triple import EvalTriple, SimilarityConfig
@@ -36,6 +53,21 @@ from repro.xmltree.document import Document
 TripleTuple = Tuple[float, float, float]
 #: (declared, local triple, global triple) per element, preorder
 ElementTuple = Tuple[bool, TripleTuple, TripleTuple]
+#: one document's classification on the wire: (dtd_name, similarity,
+#: evaluated head, pruned names, document triple, element tuples)
+PayloadTuple = Tuple[
+    Optional[str],
+    float,
+    Tuple[Tuple[str, float], ...],
+    Tuple[str, ...],
+    Optional[TripleTuple],
+    Optional[Tuple[ElementTuple, ...]],
+]
+
+
+def snapshot_fingerprint(payload: bytes) -> str:
+    """The content address of a pickled snapshot."""
+    return hashlib.blake2b(payload, digest_size=16).hexdigest()
 
 
 class ClassifierSnapshot:
@@ -75,7 +107,7 @@ class ClassifierSnapshot:
         )
 
     def build_classifier(self, counters: Optional[PerfCounters] = None) -> Classifier:
-        """Reconstruct a classifier (worker side, once per epoch)."""
+        """Reconstruct a classifier (worker side, once per fingerprint)."""
         return Classifier(
             self.dtds,
             self.threshold,
@@ -90,60 +122,101 @@ class ClassifierSnapshot:
         return f"ClassifierSnapshot(dtds={names!r}, sigma={self.threshold})"
 
 
-class DocumentPayload:
-    """One classification result, flattened to picklable primitives."""
+class SnapshotRef(NamedTuple):
+    """A chunk-sized handle to one published snapshot.
 
-    __slots__ = ("dtd_name", "similarity", "evaluated", "pruned",
-                 "document_triple", "elements", "spans")
+    Exactly one of ``shm_name`` / ``inline`` is set: shared-memory
+    publication ships the block name and byte length; the fallback
+    inlines the pickle itself.
+    """
 
-    def __init__(
-        self,
-        dtd_name: Optional[str],
-        similarity: float,
-        evaluated: Tuple[Tuple[str, float], ...],
-        pruned: Tuple[str, ...],
-        document_triple: Optional[TripleTuple],
-        elements: Optional[Tuple[ElementTuple, ...]],
-        spans: Optional[Tuple] = None,
-    ):
-        self.dtd_name = dtd_name
-        self.similarity = similarity
-        self.evaluated = evaluated
-        self.pruned = pruned
-        self.document_triple = document_triple
-        self.elements = elements
-        #: worker-side span records for this document (traced epochs
-        #: only) — tuples from
-        #: :meth:`repro.obs.tracing.SpanCollector.take_records`
-        self.spans = spans
+    fingerprint: str
+    shm_name: Optional[str]
+    size: int
+    inline: Optional[bytes]
+
+
+class SnapshotPublisher:
+    """Parent-side snapshot publication, one live snapshot at a time.
+
+    ``publish`` is idempotent per fingerprint: re-publishing the
+    current snapshot returns the existing ref.  A new fingerprint
+    releases the predecessor's shared-memory block first (by then every
+    consumer of the old epoch has been merged or discarded).  When
+    shared memory is unavailable — or creation fails at runtime — the
+    publisher degrades permanently to inline refs, which ship the
+    pickled bytes with every chunk exactly as the pre-shared-memory
+    driver did.
+    """
+
+    def __init__(self, shared: bool = True):
+        self._shared = shared
+        self._current_ref: Optional[SnapshotRef] = None
+        self._current_shm = None
+        register_for_atexit(self)
+
+    def publish(self, fingerprint: str, payload: bytes) -> SnapshotRef:
+        current = self._current_ref
+        if current is not None and current.fingerprint == fingerprint:
+            return current
+        self.release()
+        if self._shared:
+            try:
+                from multiprocessing import shared_memory
+
+                shm = shared_memory.SharedMemory(create=True, size=len(payload))
+                shm.buf[: len(payload)] = payload
+                self._current_shm = shm
+                self._current_ref = SnapshotRef(
+                    fingerprint, shm.name, len(payload), None
+                )
+                return self._current_ref
+            except Exception:
+                # no /dev/shm, SELinux denial, ... — fall back for good
+                self._shared = False
+        self._current_ref = SnapshotRef(fingerprint, None, len(payload), payload)
+        return self._current_ref
+
+    def release(self) -> None:
+        """Unlink the current shared-memory block, if any."""
+        shm, self._current_shm = self._current_shm, None
+        self._current_ref = None
+        if shm is not None:
+            try:
+                shm.close()
+                shm.unlink()
+            except Exception:  # pragma: no cover - already gone
+                pass
+
+    def close(self) -> None:
+        self.release()
 
     def __repr__(self) -> str:
-        target = self.dtd_name or "<repository>"
-        return f"DocumentPayload({target!r}, {self.similarity:.3f})"
+        mode = "shared" if self._shared else "inline"
+        current = self._current_ref.fingerprint[:8] if self._current_ref else None
+        return f"SnapshotPublisher({mode}, current={current})"
 
 
-class ChunkResult:
-    """What one worker task returns for one chunk of documents."""
+class ChunkResult(NamedTuple):
+    """What one worker task returns for one chunk of documents.
 
-    __slots__ = ("worker_key", "counters", "payloads")
+    ``counters`` is the worker's *cumulative* snapshot restricted to
+    nonzero entries — the keyed duplicate-safe merge treats an absent
+    key as unchanged, and per-process counters are monotone, so a key
+    that was ever reported keeps being reported.  ``spans`` is ``None``
+    on untraced epochs; on traced epochs it aligns with ``payloads``
+    (one tuple of span records per document).
+    """
 
-    def __init__(
-        self,
-        worker_key: str,
-        counters: Dict[str, int],
-        payloads: List[DocumentPayload],
-    ):
-        #: stable per-process identity — the duplicate-safe merge key
-        self.worker_key = worker_key
-        #: the worker's *cumulative* counter snapshot (monotone per key)
-        self.counters = counters
-        self.payloads = payloads
-
-    def __repr__(self) -> str:
-        return f"ChunkResult({self.worker_key!r}, {len(self.payloads)} payloads)"
+    #: stable per-process identity — the duplicate-safe merge key
+    worker_key: str
+    #: sparse cumulative counter snapshot (nonzero entries only)
+    counters: dict
+    payloads: Tuple[PayloadTuple, ...]
+    spans: Optional[Tuple[tuple, ...]] = None
 
 
-def payload_from(result: ClassificationResult) -> DocumentPayload:
+def payload_from(result: ClassificationResult) -> PayloadTuple:
     """Flatten a classification result without realizing lazy work.
 
     The eagerly-scored ranking head and the pruned names travel instead
@@ -159,7 +232,7 @@ def payload_from(result: ClassificationResult) -> DocumentPayload:
             (entry.declared, tuple(entry.local_triple), tuple(entry.global_triple))
             for entry in evaluation.elements
         )
-    return DocumentPayload(
+    return (
         result.dtd_name,
         result.similarity,
         tuple(result.evaluated),
@@ -170,9 +243,9 @@ def payload_from(result: ClassificationResult) -> DocumentPayload:
 
 
 def rebuild_classification(
-    classifier: Classifier, document: Document, payload: DocumentPayload
+    classifier: Classifier, document: Document, payload: PayloadTuple
 ) -> ClassificationResult:
-    """Rebind a worker payload to the parent's live objects.
+    """Rebind a worker payload tuple to the parent's live objects.
 
     Must run while the classifier still holds the epoch's DTD set
     (the driver merges strictly before any evolution): the evaluation
@@ -180,16 +253,17 @@ def rebuild_classification(
     captures the parent's matchers, exactly as a serial classification
     at this point would have.
     """
-    head = list(payload.evaluated)
-    if payload.pruned:
-        ranking = classifier.deferred_ranking(document, head, payload.pruned)
+    dtd_name, similarity, evaluated, pruned, document_triple, elements = payload
+    head = list(evaluated)
+    if pruned:
+        ranking = classifier.deferred_ranking(document, head, pruned)
     else:
         ranking = head
     evaluation: Optional[DocumentEvaluation] = None
-    if payload.dtd_name is not None:
+    if dtd_name is not None:
         config = classifier.config
-        dtd = classifier.dtd(payload.dtd_name)
-        assert payload.elements is not None and payload.document_triple is not None
+        dtd = classifier.dtd(dtd_name)
+        assert elements is not None and document_triple is not None
         element_evaluations = [
             ElementEvaluation(
                 element,
@@ -199,22 +273,22 @@ def rebuild_classification(
                 config,
             )
             for element, (declared, local_triple, global_triple) in zip(
-                document.root.iter_elements(), payload.elements
+                document.root.iter_elements(), elements
             )
         ]
         evaluation = DocumentEvaluation(
             document,
             dtd,
-            EvalTriple(*payload.document_triple),
+            EvalTriple(*document_triple),
             element_evaluations,
             config,
         )
     return ClassificationResult(
         document,
-        payload.dtd_name,
-        payload.similarity,
+        dtd_name,
+        similarity,
         evaluation,
         ranking,
         evaluated=head,
-        pruned=payload.pruned,
+        pruned=pruned,
     )

@@ -3,9 +3,17 @@
 Each pool process keeps a tiny module-global state: one
 :class:`~repro.perf.PerfCounters` for its whole lifetime (so reported
 snapshots are cumulative and monotone — what the duplicate-safe merge
-on the parent expects) and one rebuilt classifier per epoch, cached so
-the structural-fingerprint cache stays warm across every chunk the
-worker handles within an epoch.
+on the parent expects) and a small fingerprint-keyed cache of rebuilt
+classifiers.  Because the cache key is the snapshot's *content*
+fingerprint rather than an epoch number, a classifier — and its warm
+structural-fingerprint cache — survives epoch boundaries that didn't
+change the DTD set, and even survives across ``process_many`` calls
+when the persistent pool keeps the process alive.
+
+Snapshot bytes arrive by reference (:class:`SnapshotRef`): either the
+name of a ``multiprocessing.shared_memory`` block the parent published
+once per changed snapshot, or — on platforms without shared memory —
+the pickled bytes inline.  A cache hit never touches the bytes at all.
 """
 
 from __future__ import annotations
@@ -13,17 +21,27 @@ from __future__ import annotations
 import os
 import pickle
 import uuid
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.classification.classifier import Classifier
 from repro.obs.tracing import SpanCollector
-from repro.parallel.snapshot import ChunkResult, DocumentPayload, payload_from
+from repro.parallel.snapshot import (
+    ChunkResult,
+    PayloadTuple,
+    SnapshotRef,
+    payload_from,
+)
 from repro.perf import PerfCounters
 from repro.xmltree.document import Document
 
-#: per-process state; forked children inherit the parent's (empty) dicts
-#: and populate their own copies
-_CLASSIFIERS: Dict[int, Tuple[Classifier, bool]] = {}
+#: rebuilt classifiers a worker keeps warm; two is enough for the
+#: steady state (current snapshot + its predecessor during an epoch
+#: turnover) while bounding memory on long evolution-heavy runs
+_CLASSIFIER_CACHE_SIZE = 2
+
+#: per-process state; forked children inherit the parent's (empty)
+#: containers and populate their own copies
+_CLASSIFIERS: "Dict[str, Tuple[Classifier, bool]]" = {}
 _COUNTERS: List[PerfCounters] = []
 _WORKER_KEY: List[str] = []
 _COLLECTOR: List[SpanCollector] = []
@@ -49,42 +67,72 @@ def _worker_collector() -> SpanCollector:
     return _COLLECTOR[0]
 
 
-def _classifier_for(epoch: int, snapshot_bytes: bytes) -> Tuple[Classifier, bool]:
-    entry = _CLASSIFIERS.get(epoch)
+def _snapshot_bytes(ref: SnapshotRef) -> bytes:
+    """Fetch the pickled snapshot the ref points at (cache-miss path)."""
+    if ref.inline is not None:
+        return ref.inline
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=ref.shm_name)
+    try:
+        return bytes(shm.buf[: ref.size])
+    finally:
+        shm.close()
+
+
+def _classifier_for(ref: SnapshotRef) -> Tuple[Classifier, bool]:
+    entry = _CLASSIFIERS.get(ref.fingerprint)
     if entry is None:
-        snapshot = pickle.loads(snapshot_bytes)
+        snapshot = pickle.loads(_snapshot_bytes(ref))
         entry = (
             snapshot.build_classifier(_worker_counters()),
             getattr(snapshot, "traced", False),
         )
-        _CLASSIFIERS[epoch] = entry
+        while len(_CLASSIFIERS) >= _CLASSIFIER_CACHE_SIZE:
+            _CLASSIFIERS.pop(next(iter(_CLASSIFIERS)))
+        _CLASSIFIERS[ref.fingerprint] = entry
     return entry
 
 
-def classify_chunk(
-    epoch: int, snapshot_bytes: bytes, documents: List[Document]
-) -> ChunkResult:
-    """Classify one chunk against the epoch's frozen DTD set.
+def _sparse_counters() -> Dict[str, int]:
+    """The worker's cumulative snapshot, nonzero entries only.
+
+    Safe to ship sparse because per-process counters are monotone: a
+    key that was ever nonzero stays nonzero, so the parent's keyed
+    diff never sees a reported key disappear.
+    """
+    return {
+        name: value
+        for name, value in _worker_counters().snapshot().items()
+        if value
+    }
+
+
+def classify_chunk(ref: SnapshotRef, documents: List[Document]) -> ChunkResult:
+    """Classify one chunk against the snapshot ``ref`` points at.
 
     On traced epochs each document's classification is wrapped in a
     ``worker.classify`` span (worker pid attached); the finished span
-    records travel back on the payload for the parent to splice under
-    its epoch span.  Tracing never touches the classification itself —
+    records travel back **chunk-level** — one batch per document,
+    aligned with the payload tuples — so untraced runs ship no span
+    field at all.  Tracing never touches the classification itself:
     payload contents are byte-identical either way.
     """
-    classifier, traced = _classifier_for(epoch, snapshot_bytes)
+    classifier, traced = _classifier_for(ref)
     if not traced:
-        payloads: List[DocumentPayload] = [
+        payloads: Tuple[PayloadTuple, ...] = tuple(
             payload_from(classifier.classify(document)) for document in documents
-        ]
-        return ChunkResult(_worker_key(), _worker_counters().snapshot(), payloads)
+        )
+        return ChunkResult(_worker_key(), _sparse_counters(), payloads)
     collector = _worker_collector()
     pid = os.getpid()
-    payloads = []
+    payload_list: List[PayloadTuple] = []
+    span_batches: List[tuple] = []
     for document in documents:
         with collector.span("worker.classify", worker=pid, root=document.root.tag):
             result = classifier.classify(document)
-        payload = payload_from(result)
-        payload.spans = collector.take_records()
-        payloads.append(payload)
-    return ChunkResult(_worker_key(), _worker_counters().snapshot(), payloads)
+        payload_list.append(payload_from(result))
+        span_batches.append(collector.take_records())
+    return ChunkResult(
+        _worker_key(), _sparse_counters(), tuple(payload_list), tuple(span_batches)
+    )

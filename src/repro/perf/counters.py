@@ -81,7 +81,10 @@ class FastPathConfig(NamedTuple):
 
 #: wall-clock phase timers (integer nanoseconds); they live in the same
 #: snapshot/merge machinery as the counters, so event ``perf_delta``s
-#: and worker reports carry them with no extra plumbing
+#: and worker reports carry them with no extra plumbing.
+#: ``snapshot_serialize_ns`` is accumulated directly by the engine's
+#: snapshot cache (not via :meth:`PerfCounters.timer`), so it never
+#: mirrors a ``phase.*`` span.
 TIMER_NAMES = (
     "evolve_ns",
     "evolve_mine_ns",
@@ -89,6 +92,7 @@ TIMER_NAMES = (
     "evolve_rewrite_ns",
     "evolve_restrict_ns",
     "drain_ns",
+    "snapshot_serialize_ns",
 )
 
 #: the counter fields, in snapshot order (``_sources`` bookkeeping for
@@ -108,6 +112,11 @@ COUNTER_NAMES = (
     "mined_rule_hits",
     "mined_rule_misses",
     "drain_prune_skips",
+    "pool_spinups",
+    "pool_reuses",
+    "snapshot_builds",
+    "snapshot_reuses",
+    "snapshot_bytes_total",
 ) + TIMER_NAMES
 
 
@@ -177,6 +186,18 @@ class PerfCounters:
         #: repository documents skipped by the pruned post-evolution
         #: drain (provably still below sigma)
         self.drain_prune_skips = 0
+        #: worker-pool executors created (a persistent pool spins up
+        #: once and is reused across batches; rebuilds after a broken
+        #: pool count again)
+        self.pool_spinups = 0
+        #: parallel batches that found a live executor already waiting
+        self.pool_reuses = 0
+        #: classifier snapshots actually pickled (one per changed epoch)
+        self.snapshot_builds = 0
+        #: epochs that reused the cached snapshot bytes unchanged
+        self.snapshot_reuses = 0
+        #: cumulative pickled-snapshot bytes across all builds
+        self.snapshot_bytes_total = 0
         for name in TIMER_NAMES:
             setattr(self, name, 0)
         self._sources.clear()

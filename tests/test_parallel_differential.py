@@ -292,3 +292,121 @@ def test_differential_corpus_sweep(seed):
         )
 
     assert_differential(build, documents, chunk_size=6)
+
+
+# ----------------------------------------------------------------------
+# Persistent pool, overlap mode, inline-snapshot fallback
+# ----------------------------------------------------------------------
+
+
+def _build_figure3():
+    return XMLSource(
+        [figure3_dtd()],
+        EvolutionConfig(sigma=0.4, tau=0.05, min_documents=8),
+    )
+
+
+def test_differential_persistent_pool_across_batches():
+    """Two ``process_many`` calls on one engine reuse the same pool and
+    — when nothing evolved in between — the same pickled snapshot,
+    while staying bit-identical to two serial calls."""
+    first = figure3_workload(10, 2, seed=31)
+    second = figure3_workload(8, 3, seed=32)
+
+    def run(workers):
+        source = _build_figure3()
+        events = []
+        source.events.subscribe_all(events.append)
+        outcomes = []
+        for batch in (first, second):
+            outcomes.extend(
+                source.process_many(
+                    [document.copy() for document in batch], workers=workers
+                )
+            )
+        view = {
+            "outcomes": [
+                (o.dtd_name, o.similarity, tuple(o.evolved), o.recovered)
+                for o in outcomes
+            ],
+            "repository": [
+                serialize_document(document) for document in source.repository
+            ],
+            "dtds": {
+                name: serialize_dtd(source.dtd(name))
+                for name in source.dtd_names()
+            },
+            "events": [_event_view(event) for event in events],
+        }
+        return view, source
+
+    serial_view, serial_source = run(0)
+    parallel_view, parallel_source = run(WORKERS)
+    try:
+        assert serial_view == parallel_view
+        perf = parallel_source.perf_snapshot()
+        # one executor served both batches...
+        assert perf["pool_spinups"] == 1
+        assert perf["pool_reuses"] >= 1
+        assert parallel_source.worker_pool(WORKERS).generation == 1
+        # ...and at least one epoch shipped a cached snapshot (at
+        # minimum the second batch's first epoch, since no evolution
+        # separates it from the first batch's last)
+        assert perf["snapshot_reuses"] >= 1
+        assert perf["snapshot_builds"] >= 1
+        assert perf["snapshot_bytes_total"] > 0
+        assert serial_source.perf_snapshot()["pool_spinups"] == 0
+    finally:
+        parallel_source.close()
+    # close is idempotent and non-terminal: the pool respins on demand
+    parallel_source.close()
+    assert not parallel_source.worker_pool(WORKERS).live
+
+
+def test_differential_overlap_modes():
+    """Windowed (overlap) and up-front submission are pure scheduling
+    choices: both match serial bit-for-bit, including across a
+    mid-batch evolution."""
+    documents = figure3_workload(20, 20, seed=33)
+    baseline = _run(_build_figure3, documents, workers=0)
+    for overlap in (False, True):
+        source = _build_figure3()
+        events = []
+        source.events.subscribe_all(events.append)
+        outcomes = source.process_many(
+            [document.copy() for document in documents],
+            workers=WORKERS,
+            chunk_size=3,
+            overlap=overlap,
+        )
+        source.close()
+        assert [
+            (o.dtd_name, o.similarity, tuple(o.evolved), o.recovered)
+            for o in outcomes
+        ] == baseline["outcomes"], overlap
+        assert [_event_view(event) for event in events] == baseline["events"]
+        assert {
+            name: serialize_dtd(source.dtd(name)) for name in source.dtd_names()
+        } == baseline["dtds"]
+    assert baseline["source"].evolution_count >= 1
+
+
+def test_differential_inline_snapshot_fallback():
+    """With the shared-memory publisher degraded to inline refs (the
+    spawn-platform fallback), results still match serial exactly."""
+    from repro.parallel.snapshot import SnapshotPublisher
+
+    documents = figure3_workload(12, 8, seed=34)
+    baseline = _run(_build_figure3, documents, workers=0)
+
+    def build_inline():
+        source = _build_figure3()
+        source._snapshot_publisher = SnapshotPublisher(shared=False)
+        return source
+
+    candidate = _run(build_inline, documents, workers=WORKERS, chunk_size=4)
+    for key in _COMPARED:
+        assert baseline[key] == candidate[key], key
+    ref = candidate["source"].snapshot_wire()
+    assert ref.inline is not None and ref.shm_name is None
+    candidate["source"].close()
