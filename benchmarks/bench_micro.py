@@ -28,8 +28,14 @@ times repeated evolutions over unchanged evidence cold (reference
 path) vs warm (element memos + the mined-rule memo carried between
 calls, ``repro.perf``), asserts the evolved DTDs stay bit-identical,
 and records the warm speedup and replay counters under
-``evolution_incremental``.  The JSON carries ``schema_version`` 2 and
-a ``run_metadata`` block (python, platform, cpu_count, commit).
+``evolution_incremental``.  A ``store_scale`` section then times the
+pruned post-evolution drain at growing repository sizes against every
+document-store backend (memory, jsonl, sqlite), asserts the recovered
+documents agree everywhere and that sqlite took the indexed path, and
+records per-size drain latencies — the scan backends are linear in
+repository size, the sqlite index query is sub-linear.  The JSON
+carries ``schema_version`` 2 and a ``run_metadata`` block (python,
+platform, cpu_count, commit).
 """
 
 import json
@@ -464,6 +470,117 @@ def _tracing_overhead_compare(dtds, documents, emit_metrics):
 
 
 # ----------------------------------------------------------------------
+# Store scale: drain latency vs repository size (repro.classification)
+# ----------------------------------------------------------------------
+
+
+def _store_scale_workload(size):
+    """``size`` vocabulary-disjoint, text-free filler documents (their
+    tier-3 bound against Figure 3 is provably 0.0), a fixed handful the
+    evolved DTD genuinely recovers, and the drift that triggers the
+    evolution."""
+    filler = [
+        parse_document(
+            f"<q{i % 17}><r{i % 13}/><s{i % 7}/></q{i % 17}>"
+        )
+        for i in range(size)
+    ]
+    recoverable = [
+        parse_document("<a><b>x</b><c>y</c>" + "<d/>" * count + "</a>")
+        for count in (6, 7, 8)
+    ]
+    drift = [
+        parse_document("<a><b>x</b><c>y</c><d/><d/></a>") for _ in range(8)
+    ]
+    return filler, recoverable, drift
+
+
+def _store_scale_run(kind, size, tmp_dir):
+    from repro.classification.stores import make_store
+    from repro.core.engine import XMLSource
+    from repro.core.evolution import EvolutionConfig
+
+    store = kind
+    if kind in ("jsonl", "sqlite"):
+        store = make_store(
+            kind, os.path.join(tmp_dir, f"scale-{size}.{kind}")
+        )
+    source = XMLSource(
+        [figure3_dtd()],
+        EvolutionConfig(sigma=0.55, tau=0.1, min_documents=5),
+        auto_evolve=False,
+        store=store,
+    )
+    filler, recoverable, drift = _store_scale_workload(size)
+    for document in filler + recoverable + drift:
+        source.process(document)
+    deposited = len(source.repository)
+    start = time.perf_counter()
+    source.evolve_now("figure3")
+    evolve_seconds = time.perf_counter() - start
+    perf = source.perf.snapshot()
+    recovered = source.evolution_log[-1].recovered_from_repository
+    remaining = len(source.repository)
+    source.close()
+    if hasattr(source.repository.store, "close"):
+        source.repository.store.close()
+    return {
+        "size": deposited,
+        "recovered": recovered,
+        "remaining": remaining,
+        "evolve_seconds": evolve_seconds,
+        "drain_seconds": perf["drain_ns"] / 1e9,
+        "drain_prune_skips": perf["drain_prune_skips"],
+        "drain_index_hits": perf["drain_index_hits"],
+        "index_rows": perf["index_rows"],
+    }
+
+
+def _store_scale_compare(sizes):
+    """Drain latency vs repository size per backend.
+
+    Every backend must recover the same documents at every size (the
+    engine-equivalence invariant, re-checked at scale).  The scan
+    backends walk — and for jsonl, re-parse — every deposited document,
+    so their drain latency is linear in repository size; the sqlite
+    indexed drain asks the inverted tag index for the candidate set,
+    which stays constant here, so its latency must grow sub-linearly.
+    """
+    import tempfile
+
+    from repro.classification.stores import STORE_KINDS
+
+    per_kind = {kind: [] for kind in STORE_KINDS}
+    with tempfile.TemporaryDirectory() as tmp_dir:
+        for size in sizes:
+            rows = {
+                kind: _store_scale_run(kind, size, tmp_dir)
+                for kind in STORE_KINDS
+            }
+            recovered = {entry["recovered"] for entry in rows.values()}
+            if len(recovered) != 1:
+                raise AssertionError(
+                    f"store_scale: recovered diverges across backends at "
+                    f"{size} docs: {rows}"
+                )
+            if rows["sqlite"]["drain_index_hits"] != 1:
+                raise AssertionError(
+                    "store_scale: sqlite drain did not take the indexed path"
+                )
+            timing = "   ".join(
+                f"{kind} {rows[kind]['drain_seconds'] * 1000:8.1f} ms"
+                for kind in STORE_KINDS
+            )
+            print(
+                f"{'store_scale':<18} {rows['memory']['size']:>4} docs   "
+                f"{timing}   (index rows {rows['sqlite']['index_rows']})"
+            )
+            for kind in STORE_KINDS:
+                per_kind[kind].append(rows[kind])
+    return per_kind
+
+
+# ----------------------------------------------------------------------
 # Script mode: machine-readable fast-path comparison
 # ----------------------------------------------------------------------
 
@@ -554,6 +671,8 @@ def main(argv=None):
         figure3_workload(evolve_docs // 2, evolve_docs // 2, seed=7),
         evolve_repeats,
     )
+    scale_sizes = (64, 256) if smoke else (256, 1024, 4096)
+    results["store_scale"] = _store_scale_compare(scale_sizes)
     results_dir = os.path.join(os.path.dirname(__file__), "results")
     os.makedirs(results_dir, exist_ok=True)
     path = os.path.join(results_dir, "BENCH_micro.json")

@@ -18,19 +18,23 @@ numeric rank in the range [0, 1]."
 
 from repro.classification.classifier import Classifier, ClassificationResult
 from repro.classification.repository import Repository
+from repro.classification.sharding import ShardedClassifier
 from repro.classification.stores import (
     DocumentStore,
     JsonlStore,
     MemoryStore,
+    SqliteStore,
     make_store,
 )
 
 __all__ = [
     "Classifier",
     "ClassificationResult",
+    "ShardedClassifier",
     "Repository",
     "DocumentStore",
     "MemoryStore",
     "JsonlStore",
+    "SqliteStore",
     "make_store",
 ]

@@ -28,6 +28,12 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple, Union
 
+from repro.classification.stores import (
+    CandidateRow,
+    DocumentProfile,
+    DrainQuery,
+    profile_document,
+)
 from repro.dtd import content_model as cm
 from repro.dtd.automaton import Validator
 from repro.dtd.dtd import DTD
@@ -41,35 +47,16 @@ from repro.similarity.evaluation import (
 from repro.similarity.matcher import StructureMatcher
 from repro.similarity.tags import ExactTagMatcher, TagMatcher
 from repro.similarity.triple import EvalTriple, SimilarityConfig
-from repro.xmltree.document import Document, Element
+from repro.xmltree.document import Document
 
 Ranking = List[Tuple[str, float]]
 
 
-class _DocumentCensus:
-    """One cheap pass over a document: everything the bounds need."""
-
-    __slots__ = ("tag_counts", "text_count", "weight", "height", "root_tag")
-
-    def __init__(self, document: Document):
-        root = document.root
-        tag_counts: Dict[str, int] = {}
-        text_count = 0
-        stack = [root]
-        while stack:
-            element = stack.pop()
-            tag_counts[element.tag] = tag_counts.get(element.tag, 0) + 1
-            for child in element.children:
-                if isinstance(child, Element):
-                    stack.append(child)
-                elif child.value.strip():
-                    text_count += 1
-        info = root.structure_info()
-        self.tag_counts = tag_counts
-        self.text_count = text_count
-        self.weight = info.weight
-        self.height = info.height
-        self.root_tag = root.tag
+#: one cheap pass over a document, everything the bounds need — the
+#: census now lives in :mod:`repro.classification.stores` as
+#: :func:`profile_document` so the indexed store persists the exact
+#: profile the scan path recomputes (this alias keeps internal naming)
+_DocumentCensus = DocumentProfile
 
 
 class _BoundData:
@@ -129,6 +116,33 @@ class _BoundData:
             unmatchable += census.text_count
         return EvalTriple(
             plus=unmatchable, minus=root_minus, common=census.weight - unmatchable
+        ).evaluate(config)
+
+    def upper_bound_row(self, row: CandidateRow, config: SimilarityConfig) -> float:
+        """:meth:`upper_bound` recomputed from a persisted profile row.
+
+        Must agree with :meth:`upper_bound` bit-for-bit: the census
+        loop accumulates integer tag counts into a float, which equals
+        ``float(total_tags - matched)`` exactly (integer arithmetic,
+        well under 2**53), and the root/text adjustments follow the
+        same operation order.  Verified by the store differential
+        tests.
+        """
+        if self.has_any:
+            return 1.0
+        unmatchable = float(row.total_tags - row.matched)
+        root_minus = 0.0
+        if row.root_tag == self.root:
+            if row.root_tag not in self.vocabulary:
+                unmatchable -= 1.0
+        else:
+            root_minus = 1.0
+            if row.root_tag in self.vocabulary:
+                unmatchable += 1.0
+        if not self.allows_text:
+            unmatchable += row.text_count
+        return EvalTriple(
+            plus=unmatchable, minus=root_minus, common=row.weight - unmatchable
         ).evaluate(config)
 
 
@@ -329,10 +343,41 @@ class Classifier:
         """
         if not self._exact_semantics():
             return None
-        census = _DocumentCensus(document)
+        census = profile_document(document)
         if census.height >= self.config.max_depth:
             return None
         return self._bounds[name].upper_bound(census, self.config)
+
+    def drain_query(self, name: str) -> Optional[DrainQuery]:
+        """The pushed-down candidate conditions for an indexed pruned
+        drain against one DTD, or ``None`` when the drain must scan.
+
+        ``None`` mirrors the two cases where :meth:`acceptance_bound`
+        cannot prune: inexact semantics (no sound bound at all) and an
+        ``ANY`` declaration (trivial bound 1.0 for every document, so
+        an index query would just select everything).  The per-document
+        depth guard travels inside the query instead — documents at or
+        beyond ``max_depth`` are always candidates.
+        """
+        if not self._exact_semantics():
+            return None
+        data = self._bounds[name]
+        if data.has_any:
+            return None
+        return DrainQuery(
+            vocabulary=tuple(sorted(data.vocabulary)),
+            allows_text=data.allows_text,
+            dtd_root=data.root,
+            max_depth=self.config.max_depth,
+        )
+
+    def bound_from_row(self, name: str, row: CandidateRow) -> Optional[float]:
+        """:meth:`acceptance_bound` recomputed from a persisted profile
+        row — bit-identical to the census path, including the ``None``
+        beyond the depth guard."""
+        if row.height >= self.config.max_depth:
+            return None
+        return self._bounds[name].upper_bound_row(row, self.config)
 
     def rank(self, document: Document) -> Ranking:
         """Similarity of the document against every DTD, best first.
@@ -357,60 +402,100 @@ class Classifier:
         if not self._dtds:
             raise ClassificationError("the classifier holds no DTDs")
         self.counters.documents_classified += 1
-        tier1 = self.fastpath.validity_short_circuit and self._exact_semantics()
-        short_circuited: Set[str] = set()
+        return self._classify_document(document)
 
-        census: Optional[_DocumentCensus] = None
+    def _classify_document(
+        self, document: Document, census: Optional[_DocumentCensus] = None
+    ) -> ClassificationResult:
+        """The classification body behind :meth:`classify` (guard and
+        counter already applied).  :class:`ShardedClassifier` overrides
+        this to screen DTD shards first, falling back here when the
+        screen cannot soundly restrict the candidate set."""
         tier3 = self.fastpath.pruned_ranking and self._exact_semantics()
         if tier3:
-            census = _DocumentCensus(document)
+            if census is None:
+                census = profile_document(document)
             # beyond max_depth the DP truncates recursion, deflating the
             # plus totals the bound relies on — fall back to full ranking
             tier3 = census.height < self.config.max_depth
-
         if not tier3:
-            evaluated = self.rank(document)
-            ranking: Union[Ranking, Callable[[], Ranking]] = evaluated
-            best_name, best_similarity = evaluated[0]
-            if tier1 and best_similarity == 1.0:
-                # recover whether the winner was a validity short-circuit
-                # (the validator is cached and linear, far cheaper than
-                # re-running the DP-backed evaluation below)
-                if self._validators[best_name].is_valid(document):
-                    short_circuited.add(best_name)
-        else:
-            assert census is not None
-            bounds = {
-                name: data.upper_bound(census, self.config)
-                for name, data in self._bounds.items()
-            }
-            order = sorted(self._dtds, key=lambda name: (-bounds[name], name))
-            evaluated = []
-            skipped: List[str] = []
-            best_seen = float("-inf")
-            for position, name in enumerate(order):
-                if bounds[name] < best_seen:
-                    # bounds are non-increasing from here on: no later
-                    # DTD can reach, let alone beat, the current best
-                    skipped = order[position:]
-                    break
-                similarity, shorted = self._score_with(
-                    self._matchers[name], self._validators[name], document, tier1
-                )
-                evaluated.append((name, similarity))
-                if shorted:
-                    short_circuited.add(name)
-                if similarity > best_seen:
-                    best_seen = similarity
-            evaluated.sort(key=lambda pair: (-pair[1], pair[0]))
-            best_name, best_similarity = evaluated[0]
-            if skipped:
-                self.counters.bound_skips += len(skipped)
-                ranking = self.deferred_ranking(document, evaluated, tuple(skipped))
-            else:
-                ranking = evaluated
+            return self._classify_full(document)
+        assert census is not None
+        return self._classify_pruned(document, census, list(self._dtds), ())
 
-        pruned = tuple(skipped) if tier3 else ()
+    def _classify_full(self, document: Document) -> ClassificationResult:
+        """The complete-ranking path (tier 3 inapplicable)."""
+        tier1 = self.fastpath.validity_short_circuit and self._exact_semantics()
+        short_circuited: Set[str] = set()
+        evaluated = self.rank(document)
+        best_name, best_similarity = evaluated[0]
+        if tier1 and best_similarity == 1.0:
+            # recover whether the winner was a validity short-circuit
+            # (the validator is cached and linear, far cheaper than
+            # re-running the DP-backed evaluation below)
+            if self._validators[best_name].is_valid(document):
+                short_circuited.add(best_name)
+        return self._finish(document, evaluated, evaluated, (), short_circuited)
+
+    def _classify_pruned(
+        self,
+        document: Document,
+        census: _DocumentCensus,
+        names: List[str],
+        extra_pruned: Tuple[str, ...],
+    ) -> ClassificationResult:
+        """The tier-3 best-bound-first loop over ``names``.
+
+        ``extra_pruned`` carries DTD names a caller already proved
+        unable to score above 0.0 (shard screening); like bound-skipped
+        names they join the lazily-realized ranking tail.
+        """
+        tier1 = self.fastpath.validity_short_circuit and self._exact_semantics()
+        short_circuited: Set[str] = set()
+        bounds = {
+            name: self._bounds[name].upper_bound(census, self.config)
+            for name in names
+        }
+        order = sorted(names, key=lambda name: (-bounds[name], name))
+        evaluated: Ranking = []
+        skipped: List[str] = []
+        best_seen = float("-inf")
+        for position, name in enumerate(order):
+            if bounds[name] < best_seen:
+                # bounds are non-increasing from here on: no later
+                # DTD can reach, let alone beat, the current best
+                skipped = order[position:]
+                break
+            similarity, shorted = self._score_with(
+                self._matchers[name], self._validators[name], document, tier1
+            )
+            evaluated.append((name, similarity))
+            if shorted:
+                short_circuited.add(name)
+            if similarity > best_seen:
+                best_seen = similarity
+        evaluated.sort(key=lambda pair: (-pair[1], pair[0]))
+        if skipped:
+            self.counters.bound_skips += len(skipped)
+        pruned = tuple(skipped) + extra_pruned
+        if pruned:
+            ranking: Union[Ranking, Callable[[], Ranking]] = self.deferred_ranking(
+                document, evaluated, pruned
+            )
+        else:
+            ranking = evaluated
+        return self._finish(document, evaluated, ranking, pruned, short_circuited)
+
+    def _finish(
+        self,
+        document: Document,
+        evaluated: Ranking,
+        ranking: Union[Ranking, Callable[[], Ranking]],
+        pruned: Tuple[str, ...],
+        short_circuited: Set[str],
+    ) -> ClassificationResult:
+        """Apply the threshold and build the result."""
+        best_name, best_similarity = evaluated[0]
         if best_similarity < self.threshold:
             return ClassificationResult(
                 document, None, best_similarity, None, ranking,

@@ -15,9 +15,15 @@ by default, spill-to-disk via
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Sequence, Tuple
 
-from repro.classification.stores import DocumentStore, DrainPredicate, MemoryStore
+from repro.classification.stores import (
+    CandidateRow,
+    DocumentStore,
+    DrainPredicate,
+    DrainQuery,
+    MemoryStore,
+)
 from repro.xmltree.document import Document
 
 
@@ -31,6 +37,29 @@ class Repository:
     def store(self) -> DocumentStore:
         """The backing :class:`DocumentStore`."""
         return self._store
+
+    @property
+    def supports_indexed_drain(self) -> bool:
+        """True when the backing store can answer a pruned drain with an
+        index query (see :class:`~repro.classification.stores.SqliteStore`)
+        instead of a whole-repository scan."""
+        return bool(getattr(self._store, "supports_indexed_drain", False))
+
+    def candidates(self, query: DrainQuery) -> List[Tuple[int, CandidateRow]]:
+        """Index-selected ``(insertion id, profile row)`` candidate pairs
+        for one DTD's pruned drain, in insertion order (indexed stores
+        only)."""
+        return self._store.candidates(query)
+
+    def fetch(self, ids: Sequence[int]) -> List[Document]:
+        """The documents behind the given insertion ids, in id order
+        (indexed stores only)."""
+        return self._store.fetch(ids)
+
+    def remove(self, ids: Sequence[int]) -> None:
+        """Delete the documents behind the given insertion ids; all other
+        documents keep their order (indexed stores only)."""
+        self._store.remove(ids)
 
     def add(self, document: Document) -> None:
         self._store.add(document)

@@ -9,19 +9,43 @@ the backing representation can vary without touching the pipeline:
 
 - :class:`MemoryStore` — a plain in-process list (the seed behaviour);
 - :class:`JsonlStore` — spill-to-disk, one JSON-encoded XML document per
-  line, so a very large repository does not live in RAM.
+  line, so a very large repository does not live in RAM;
+- :class:`SqliteStore` — spill-to-disk with a persistent inverted
+  tag→document index, so the pruned post-evolution drain becomes an
+  index lookup instead of a whole-repository scan.
 
 Drain semantics (the single, consolidated API): ``drain(accepts=None)``
 removes and returns the documents ``accepts`` matches — all of them when
 ``accepts`` is ``None`` — while non-matching documents stay, in order.
+
+Indexed capability (optional — duck-typed via
+``supports_indexed_drain``): a store that persists each document's
+tag-vocabulary profile can answer :meth:`SqliteStore.candidates` — the
+sound over-approximation of documents whose tier-3 acceptance bound
+against one DTD may be non-zero — plus :meth:`SqliteStore.fetch` and
+:meth:`SqliteStore.remove` by insertion id.  Plain stores simply lack
+the attribute and the drain falls back to the scan path.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import sqlite3
 import tempfile
-from typing import Callable, Iterator, List, Optional, Union
+import warnings
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    TextIO,
+    Tuple,
+    Union,
+)
 
 try:  # Protocol is typing-only plumbing; 3.9+ always has it
     from typing import Protocol, runtime_checkable
@@ -32,12 +56,91 @@ except ImportError:  # pragma: no cover - pre-3.8 fallback, never hit
         return cls
 
 
-from repro.xmltree.document import Document
+from repro.xmltree.document import Document, Element
 from repro.xmltree.parser import parse_document
 from repro.xmltree.serializer import serialize_document
 
 #: what an ``accepts`` predicate looks like
 DrainPredicate = Callable[[Document], bool]
+
+
+class DocumentProfile(NamedTuple):
+    """Everything the tier-3 vocabulary-overlap bound needs, from one
+    cheap pass over a document.
+
+    This is the single census implementation shared by the classifier
+    (``_DocumentCensus`` is an alias) and the indexed store, so the
+    profile persisted at :meth:`SqliteStore.add` time is byte-for-byte
+    the census the scan path would recompute at drain time.
+    """
+
+    tag_counts: Dict[str, int]
+    text_count: int
+    weight: float
+    height: int
+    root_tag: str
+
+    @property
+    def total_tags(self) -> int:
+        return sum(self.tag_counts.values())
+
+
+def profile_document(document: Document) -> DocumentProfile:
+    """One cheap pass over a document: everything the bounds need."""
+    root = document.root
+    tag_counts: Dict[str, int] = {}
+    text_count = 0
+    stack = [root]
+    while stack:
+        element = stack.pop()
+        tag_counts[element.tag] = tag_counts.get(element.tag, 0) + 1
+        for child in element.children:
+            if isinstance(child, Element):
+                stack.append(child)
+            elif child.value.strip():
+                text_count += 1
+    info = root.structure_info()
+    return DocumentProfile(
+        tag_counts=tag_counts,
+        text_count=text_count,
+        weight=info.weight,
+        height=info.height,
+        root_tag=root.tag,
+    )
+
+
+class DrainQuery(NamedTuple):
+    """The candidate conditions of one DTD, pushed down into the store.
+
+    A stored document's acceptance bound against the DTD is provably
+    exactly 0.0 — hence safely skippable for any ``sigma > 0`` — unless
+    at least one of these holds:
+
+    - some document tag is in ``vocabulary`` (matched weight > 0);
+    - ``height >= max_depth`` (no sound bound: must be classified);
+    - ``root_tag == dtd_root`` (the root vertex anchors common weight);
+    - ``allows_text`` and the document has non-whitespace text leaves.
+
+    ``candidates`` returns exactly the union of those four sets, in
+    insertion order, with the per-document matched-tag total so the
+    caller can recompute the exact bound in Python (never SQL floats).
+    """
+
+    vocabulary: Tuple[str, ...]
+    allows_text: bool
+    dtd_root: str
+    max_depth: int
+
+
+class CandidateRow(NamedTuple):
+    """One candidate's persisted profile, as the bound consumes it."""
+
+    total_tags: int
+    matched: int
+    text_count: int
+    weight: float
+    height: int
+    root_tag: str
 
 
 @runtime_checkable
@@ -108,6 +211,13 @@ class JsonlStore:
     a file, not a heap.  Opening an existing path resumes it (the line
     count is recovered by scanning once).
 
+    Appends go through a lazily-opened handle held until :meth:`close`
+    (or until the file is replaced by a drain), so a deposit burst does
+    not reopen the file per document.  :meth:`drain` streams the file
+    line by line — kept lines are copied verbatim to a sibling temp
+    file that atomically replaces the original — so draining never
+    materializes the whole repository in RAM.
+
     When ``path`` is omitted a private temporary file is created and
     removed again by :meth:`close`.
     """
@@ -121,16 +231,29 @@ class JsonlStore:
             self._owns_path = False
         self.path = path
         self._count = 0
+        self._append: Optional[TextIO] = None
         if os.path.exists(path):
             with open(path, "r", encoding="utf-8") as lines:
                 self._count = sum(1 for line in lines if line.strip())
         else:  # make the file exist so iteration/drain never special-case
             open(path, "w", encoding="utf-8").close()
 
+    def _close_append(self) -> None:
+        # after os.replace the old handle would write to a deleted
+        # inode, so every path that replaces/truncates the file closes
+        # the append handle first
+        if self._append is not None:
+            self._append.close()
+            self._append = None
+
     def add(self, document: Document) -> None:
         xml = serialize_document(document, xml_declaration=False)
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(xml) + "\n")
+        if self._append is None:
+            self._append = open(self.path, "a", encoding="utf-8")
+        self._append.write(json.dumps(xml) + "\n")
+        # keep on-disk state current so concurrent readers (resume,
+        # snapshots taken via a second store on the same path) see it
+        self._append.flush()
         self._count += 1
 
     def __len__(self) -> int:
@@ -143,26 +266,34 @@ class JsonlStore:
                     yield parse_document(json.loads(line))
 
     def drain(self, accepts: Optional[DrainPredicate] = None) -> List[Document]:
-        documents = list(self)
-        if accepts is None:
-            drained, remaining = documents, []
-        else:
-            drained, remaining = [], []
-            for document in documents:
-                (drained if accepts(document) else remaining).append(document)
-        with open(self.path, "w", encoding="utf-8") as handle:
-            for document in remaining:
-                xml = serialize_document(document, xml_declaration=False)
-                handle.write(json.dumps(xml) + "\n")
-        self._count = len(remaining)
+        self._close_append()
+        drained: List[Document] = []
+        remaining = 0
+        keep_path = self.path + ".drain-tmp"
+        with open(self.path, "r", encoding="utf-8") as lines, open(
+            keep_path, "w", encoding="utf-8"
+        ) as keep:
+            for line in lines:
+                if not line.strip():
+                    continue
+                document = parse_document(json.loads(line))
+                if accepts is None or accepts(document):
+                    drained.append(document)
+                else:
+                    keep.write(line)
+                    remaining += 1
+        os.replace(keep_path, self.path)
+        self._count = remaining
         return drained
 
     def clear(self) -> None:
+        self._close_append()
         open(self.path, "w", encoding="utf-8").close()
         self._count = 0
 
     def close(self) -> None:
         """Delete the backing file if this store created it."""
+        self._close_append()
         if self._owns_path and os.path.exists(self.path):
             os.remove(self.path)
         self._count = 0
@@ -171,26 +302,292 @@ class JsonlStore:
         return f"JsonlStore({self._count} documents at {self.path!r})"
 
 
+class SqliteStore:
+    """A spill-to-disk store with a persistent inverted tag index.
+
+    Each document is persisted alongside its :class:`DocumentProfile`
+    (tag vocabulary with counts, text-leaf count, weight, height, root
+    tag) under a monotonically increasing insertion id.  The ``tags``
+    table is the inverted tag→document index that lets the pruned
+    post-evolution drain select candidate documents with an index query
+    (:meth:`candidates`) instead of scanning every document.
+
+    Opening an existing path resumes it — the index is already on disk,
+    so resume costs a row count, not a rebuild.  When ``path`` is
+    omitted a private temporary database is created and removed again
+    by :meth:`close`.
+    """
+
+    #: advertises the indexed-drain capability (duck-typed by DrainStage)
+    supports_indexed_drain = True
+
+    _SCHEMA = (
+        """
+        CREATE TABLE IF NOT EXISTS documents (
+            id INTEGER PRIMARY KEY AUTOINCREMENT,
+            xml TEXT NOT NULL,
+            total_tags INTEGER NOT NULL,
+            text_count INTEGER NOT NULL,
+            weight REAL NOT NULL,
+            height INTEGER NOT NULL,
+            root_tag TEXT NOT NULL
+        )
+        """,
+        """
+        CREATE TABLE IF NOT EXISTS tags (
+            doc_id INTEGER NOT NULL REFERENCES documents(id) ON DELETE CASCADE,
+            tag TEXT NOT NULL,
+            count INTEGER NOT NULL,
+            PRIMARY KEY (tag, doc_id)
+        ) WITHOUT ROWID
+        """,
+        "CREATE INDEX IF NOT EXISTS idx_tags_doc ON tags(doc_id)",
+        "CREATE INDEX IF NOT EXISTS idx_documents_height ON documents(height)",
+        "CREATE INDEX IF NOT EXISTS idx_documents_root ON documents(root_tag)",
+        "CREATE INDEX IF NOT EXISTS idx_documents_text ON documents(text_count)",
+    )
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        if path is None:
+            handle, path = tempfile.mkstemp(prefix="repro-repository-", suffix=".sqlite")
+            os.close(handle)
+            self._owns_path = True
+        else:
+            self._owns_path = False
+        self.path = path
+        self._connection = sqlite3.connect(path)
+        self._connection.execute("PRAGMA foreign_keys = ON")
+        # committed transactions survive a *process* crash either way;
+        # synchronous=OFF only trades OS-crash durability for not
+        # paying an fsync per deposit, which is the right trade for a
+        # re-buildable repository spill
+        self._connection.execute("PRAGMA synchronous = OFF")
+        for statement in self._SCHEMA:
+            self._connection.execute(statement)
+        self._connection.commit()
+        row = self._connection.execute("SELECT COUNT(*) FROM documents").fetchone()
+        self._count = int(row[0])
+
+    # -- plain DocumentStore contract ----------------------------------
+
+    def add(self, document: Document) -> None:
+        xml = serialize_document(document, xml_declaration=False)
+        profile = profile_document(document)
+        cursor = self._connection.execute(
+            "INSERT INTO documents (xml, total_tags, text_count, weight, height, root_tag)"
+            " VALUES (?, ?, ?, ?, ?, ?)",
+            (
+                xml,
+                profile.total_tags,
+                profile.text_count,
+                profile.weight,
+                profile.height,
+                profile.root_tag,
+            ),
+        )
+        doc_id = cursor.lastrowid
+        self._connection.executemany(
+            "INSERT INTO tags (doc_id, tag, count) VALUES (?, ?, ?)",
+            [(doc_id, tag, count) for tag, count in profile.tag_counts.items()],
+        )
+        self._connection.commit()
+        self._count += 1
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[Document]:
+        for (xml,) in self._connection.execute(
+            "SELECT xml FROM documents ORDER BY id"
+        ):
+            yield parse_document(xml)
+
+    def drain(self, accepts: Optional[DrainPredicate] = None) -> List[Document]:
+        if accepts is None:
+            drained = list(self)
+            self.clear()
+            return drained
+        drained: List[Document] = []
+        removed: List[int] = []
+        for doc_id, xml in self._connection.execute(
+            "SELECT id, xml FROM documents ORDER BY id"
+        ).fetchall():
+            document = parse_document(xml)
+            if accepts(document):
+                drained.append(document)
+                removed.append(doc_id)
+        if removed:
+            self.remove(removed)
+        return drained
+
+    def clear(self) -> None:
+        self._connection.execute("DELETE FROM tags")
+        self._connection.execute("DELETE FROM documents")
+        self._connection.commit()
+        self._count = 0
+
+    def close(self) -> None:
+        """Close the connection; delete the file if this store owns it."""
+        self._connection.close()
+        if self._owns_path and os.path.exists(self.path):
+            os.remove(self.path)
+        self._count = 0
+
+    # -- indexed capability --------------------------------------------
+
+    def index_rows(self) -> int:
+        """Number of rows in the inverted tag index (snapshot metadata)."""
+        row = self._connection.execute("SELECT COUNT(*) FROM tags").fetchone()
+        return int(row[0])
+
+    def index_metadata(self) -> Dict[str, object]:
+        """Index description persisted into format-3 snapshots."""
+        return {
+            "kind": "tag-vocabulary",
+            "rows": self.index_rows(),
+            "documents": self._count,
+        }
+
+    def candidates(self, query: DrainQuery) -> List[Tuple[int, CandidateRow]]:
+        """The sound candidate set for one DTD's pruned drain.
+
+        Returns ``(insertion id, profile row)`` pairs in insertion
+        order for exactly the documents matching at least one
+        :class:`DrainQuery` condition; every other document provably
+        has acceptance bound 0.0.  ``matched`` is the summed count of
+        document tags inside the DTD vocabulary — an exact integer, so
+        the caller reproduces the scan path's bound arithmetic
+        bit-for-bit in Python.
+        """
+        connection = self._connection
+        connection.execute(
+            "CREATE TEMP TABLE IF NOT EXISTS drain_vocab (tag TEXT PRIMARY KEY)"
+        )
+        connection.execute("DELETE FROM drain_vocab")
+        connection.executemany(
+            "INSERT OR IGNORE INTO drain_vocab (tag) VALUES (?)",
+            [(tag,) for tag in query.vocabulary],
+        )
+        rows = connection.execute(
+            """
+            SELECT d.id, d.total_tags, COALESCE(m.matched, 0), d.text_count,
+                   d.weight, d.height, d.root_tag
+            FROM documents d
+            JOIN (
+                SELECT DISTINCT t.doc_id AS id
+                FROM tags t JOIN drain_vocab v ON v.tag = t.tag
+                UNION SELECT id FROM documents WHERE height >= :max_depth
+                UNION SELECT id FROM documents WHERE root_tag = :root
+                UNION SELECT id FROM documents WHERE text_count > 0 AND :allows_text
+            ) hits ON hits.id = d.id
+            LEFT JOIN (
+                SELECT t.doc_id, SUM(t.count) AS matched
+                FROM tags t JOIN drain_vocab v ON v.tag = t.tag
+                GROUP BY t.doc_id
+            ) m ON m.doc_id = d.id
+            ORDER BY d.id
+            """,
+            {
+                "max_depth": query.max_depth,
+                "root": query.dtd_root,
+                "allows_text": 1 if query.allows_text else 0,
+            },
+        ).fetchall()
+        connection.execute("DELETE FROM drain_vocab")
+        return [
+            (
+                int(doc_id),
+                CandidateRow(
+                    total_tags=int(total),
+                    matched=int(matched),
+                    text_count=int(text),
+                    weight=float(weight),
+                    height=int(height),
+                    root_tag=root_tag,
+                ),
+            )
+            for doc_id, total, matched, text, weight, height, root_tag in rows
+        ]
+
+    def fetch(self, ids: Sequence[int]) -> List[Document]:
+        """Parse and return the documents with the given insertion ids,
+        in insertion-id order (one batched query per 500 ids)."""
+        documents: List[Document] = []
+        ids = sorted(ids)
+        for start in range(0, len(ids), 500):
+            chunk = ids[start : start + 500]
+            placeholders = ",".join("?" for _ in chunk)
+            for _, xml in self._connection.execute(
+                f"SELECT id, xml FROM documents WHERE id IN ({placeholders})"
+                " ORDER BY id",
+                chunk,
+            ):
+                documents.append(parse_document(xml))
+        return documents
+
+    def remove(self, ids: Sequence[int]) -> None:
+        """Delete the documents (and their index rows) with these ids;
+        every other document keeps its id, hence its insertion order."""
+        removed = 0
+        ids = list(ids)
+        for start in range(0, len(ids), 500):
+            chunk = ids[start : start + 500]
+            placeholders = ",".join("?" for _ in chunk)
+            self._connection.execute(
+                f"DELETE FROM tags WHERE doc_id IN ({placeholders})", chunk
+            )
+            cursor = self._connection.execute(
+                f"DELETE FROM documents WHERE id IN ({placeholders})", chunk
+            )
+            removed += cursor.rowcount
+        self._connection.commit()
+        self._count -= removed
+
+    def __repr__(self) -> str:
+        return f"SqliteStore({self._count} documents at {self.path!r})"
+
+
 #: the named backends ``make_store`` (and the CLI ``--store`` flag) accept
-STORE_KINDS = ("memory", "jsonl")
+STORE_KINDS = ("memory", "jsonl", "sqlite")
 
 
 def store_kind(store: DocumentStore) -> str:
-    """The snapshot tag for a store instance (unknown backends persist
-    as ``memory`` — the documents themselves are always inlined)."""
-    return "jsonl" if isinstance(store, JsonlStore) else "memory"
+    """The snapshot tag for a store instance.
+
+    Unknown third-party backends still persist as ``memory`` (the
+    documents themselves are always inlined in the snapshot, so nothing
+    is lost) — but loudly, so snapshots don't silently lie about their
+    store: a :class:`RuntimeWarning` carries the backend's repr.
+    """
+    if isinstance(store, SqliteStore):
+        return "sqlite"
+    if isinstance(store, JsonlStore):
+        return "jsonl"
+    if isinstance(store, MemoryStore):
+        return "memory"
+    warnings.warn(
+        f"unknown document-store backend {store!r}: the snapshot records it "
+        "as 'memory' and a load will not recreate the custom backend "
+        "(pass store= explicitly when loading)",
+        RuntimeWarning,
+        stacklevel=2,
+    )
+    return "memory"
 
 
 def make_store(
     spec: Union[None, str, DocumentStore] = None, path: Optional[str] = None
 ) -> DocumentStore:
     """Resolve a store spec: ``None``/``"memory"`` → :class:`MemoryStore`,
-    ``"jsonl"`` → :class:`JsonlStore` (optionally at ``path``), and any
-    :class:`DocumentStore` instance passes through unchanged."""
+    ``"jsonl"`` → :class:`JsonlStore`, ``"sqlite"`` → :class:`SqliteStore`
+    (each optionally at ``path``), and any :class:`DocumentStore`
+    instance passes through unchanged."""
     if spec is None or spec == "memory":
         return MemoryStore()
     if spec == "jsonl":
         return JsonlStore(path)
+    if spec == "sqlite":
+        return SqliteStore(path)
     if isinstance(spec, str):
         raise ValueError(
             f"unknown store kind {spec!r} (expected one of {', '.join(STORE_KINDS)})"

@@ -13,7 +13,8 @@ Subcommands::
         Infer a DTD from scratch (the XTRACT-style baseline).
 
     dtdevolve run --state state.json [--dtd schema.dtd] [--triggers rules.txt]
-                  [--store {memory,jsonl}] [--checkpoint-every N]
+                  [--store {memory,jsonl,sqlite}] [--sharded]
+                  [--checkpoint-every N]
                   [--workers N] [--no-fastpath] [--report-perf]
                   [--trace out.json] [--trace-jsonl out.jsonl]
                   [--metrics out.prom] docs...
@@ -161,7 +162,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     fastpath = FastPathConfig.disabled() if args.no_fastpath else None
     if os.path.exists(args.state):
         source = load_source(
-            args.state, triggers=triggers, fastpath=fastpath, store=args.store
+            args.state,
+            triggers=triggers,
+            fastpath=fastpath,
+            store=args.store,
+            sharded=args.sharded,
         )
     else:
         if not args.dtd:
@@ -180,6 +185,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             triggers=triggers,
             fastpath=fastpath,
             store=args.store,
+            sharded=bool(args.sharded),
         )
     tracer = None
     if args.trace or args.trace_jsonl or args.metrics:
@@ -312,9 +318,19 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--min-documents", type=int, default=10, dest="min_documents")
     run.add_argument(
         "--store",
-        choices=["memory", "jsonl"],
+        choices=["memory", "jsonl", "sqlite"],
         default=None,
-        help="repository backend (default: what the snapshot used, or memory)",
+        help="repository backend (default: what the snapshot used, or "
+        "memory); sqlite keeps an inverted tag index so post-evolution "
+        "drains query instead of scan",
+    )
+    run.add_argument(
+        "--sharded",
+        action="store_true",
+        default=None,
+        help="classify against tag-vocabulary DTD shards (exact "
+        "fallback keeps results identical; default: what the snapshot "
+        "used, or unsharded)",
     )
     run.add_argument(
         "--checkpoint-every",

@@ -38,6 +38,7 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.classification.classifier import ClassificationResult, Classifier
 from repro.classification.repository import Repository
+from repro.classification.sharding import ShardedClassifier
 from repro.classification.stores import DocumentStore, make_store
 from repro.core.evolution import EvolutionConfig
 from repro.core.extended_dtd import ExtendedDTD
@@ -70,6 +71,7 @@ class XMLSource:
         fastpath: Optional[FastPathConfig] = None,
         store: Union[None, str, DocumentStore] = None,
         tracer: Optional[Tracer] = None,
+        sharded: bool = False,
     ):
         self.config = config
         self.similarity_config = SimilarityConfig(config.alpha, config.beta)
@@ -93,7 +95,11 @@ class XMLSource:
         #: DTDs); ``None`` when the fast path is off.  Not persisted —
         #: a loaded source starts with a cold memo.
         self.rule_memo = MinedRuleMemo() if self.fastpath.mined_rule_cache else None
-        self.classifier = Classifier(
+        #: classification screens DTD shards (tag-vocabulary clusters)
+        #: before ranking; exact fallback keeps results bit-identical
+        self.sharded = sharded
+        classifier_type = ShardedClassifier if sharded else Classifier
+        self.classifier = classifier_type(
             dtds,
             config.sigma,
             self.similarity_config,

@@ -7,11 +7,14 @@ record, the document-level counters, and the repository — to plain
 JSON, and restores it into a fully working :class:`XMLSource`.
 
 The repository is read and restored through the
-:class:`~repro.classification.stores.DocumentStore` protocol: format 2
-snapshots tag which backend held the documents (``memory`` or
-``jsonl``), and loading re-materialises into that backend unless the
-caller overrides it with ``store=``.  Format 1 snapshots (a plain
-document list) still load.
+:class:`~repro.classification.stores.DocumentStore` protocol: format 3
+snapshots tag which backend held the documents (``memory``, ``jsonl``
+or ``sqlite``) plus the index metadata of an indexed backend and the
+DTD shard map of a sharded classifier, and loading re-materialises into
+that backend (re-indexing document by document) unless the caller
+overrides it with ``store=`` / ``sharded=``.  Format 2 snapshots (no
+index/shard metadata) and format 1 snapshots (a plain document list)
+still load.
 
 Runtime-only collaborators (trigger sets, tag matchers, fast-path
 configs) are *not* serialised; pass them again at load time.  The same
@@ -31,6 +34,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict
 
+from repro.classification.sharding import ShardedClassifier
 from repro.classification.stores import store_kind
 from repro.core.engine import XMLSource
 from repro.core.evolution import EvolutionConfig
@@ -40,9 +44,9 @@ from repro.xmltree.parser import parse_document
 from repro.xmltree.serializer import serialize_document
 from repro.xmltree.tree import Tree
 
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
 #: snapshot formats :func:`source_from_json` can restore
-SUPPORTED_FORMATS = (1, 2)
+SUPPORTED_FORMATS = (1, 2, 3)
 
 
 # ----------------------------------------------------------------------
@@ -214,9 +218,25 @@ def source_to_json(source: XMLSource) -> Dict[str, Any]:
     """Snapshot an :class:`XMLSource` (triggers/tag matchers excluded).
 
     The repository section records the backing store kind alongside the
-    documents themselves (read through the store protocol), so a
-    restored source lands on the same backend by default.
+    documents themselves (read through the store protocol), plus the
+    index description when the backend is indexed, so a restored source
+    lands on the same backend by default.  The classifier section
+    records whether the source classifies sharded and the shard map at
+    snapshot time — the map itself is advisory metadata (a load
+    re-derives the identical clustering deterministically).
     """
+    store = source.repository.store
+    index_metadata = (
+        store.index_metadata()
+        if getattr(store, "supports_indexed_drain", False)
+        else None
+    )
+    classifier = source.classifier
+    shard_map = (
+        [list(shard) for shard in classifier.shard_map()]
+        if isinstance(classifier, ShardedClassifier)
+        else None
+    )
     return {
         "format": FORMAT_VERSION,
         "config": config_to_json(source.config),
@@ -225,8 +245,13 @@ def source_to_json(source: XMLSource) -> Dict[str, Any]:
         "extended": [
             extended_to_json(source.extended[name]) for name in source.dtd_names()
         ],
+        "classifier": {
+            "sharded": source.sharded,
+            "shards": shard_map,
+        },
         "repository": {
-            "store": store_kind(source.repository.store),
+            "store": store_kind(store),
+            "index": index_metadata,
             "documents": [
                 serialize_document(document, xml_declaration=False)
                 for document in source.repository
@@ -241,13 +266,16 @@ def source_from_json(
     triggers=None,
     fastpath=None,
     store=None,
+    sharded=None,
 ) -> XMLSource:
     """Restore a source snapshot (re-supply runtime collaborators).
 
     ``store`` overrides the snapshot's repository backend (a kind name
     or a :class:`~repro.classification.stores.DocumentStore` instance);
-    left ``None``, format-2 snapshots restore into the backend they were
-    saved from and format-1 snapshots into memory.
+    left ``None``, format-2/3 snapshots restore into the backend they
+    were saved from and format-1 snapshots into memory.  ``sharded``
+    likewise overrides the snapshot's classifier mode (format 3; older
+    formats default to unsharded).
     """
     version = data.get("format")
     if version not in SUPPORTED_FORMATS:
@@ -259,6 +287,7 @@ def source_from_json(
     else:
         saved_kind = repository_data.get("store", "memory")
         documents = repository_data["documents"]
+    saved_sharded = bool(data.get("classifier", {}).get("sharded", False))
     config = config_from_json(data["config"])
     extended_list = [extended_from_json(entry) for entry in data["extended"]]
     source = XMLSource(
@@ -269,6 +298,7 @@ def source_from_json(
         triggers=triggers,
         fastpath=fastpath,
         store=store if store is not None else saved_kind,
+        sharded=saved_sharded if sharded is None else sharded,
     )
     for extended in extended_list:
         source.extended[extended.name] = extended
@@ -291,10 +321,15 @@ def save_source(source: XMLSource, path: str) -> None:
 
 
 def load_source(
-    path: str, tag_matcher=None, triggers=None, fastpath=None, store=None
+    path: str,
+    tag_matcher=None,
+    triggers=None,
+    fastpath=None,
+    store=None,
+    sharded=None,
 ) -> XMLSource:
     """Read a source snapshot from a JSON file (see
     :func:`source_from_json` for the keyword collaborators)."""
     with open(path, "r", encoding="utf-8") as handle:
         data = json.load(handle)
-    return source_from_json(data, tag_matcher, triggers, fastpath, store)
+    return source_from_json(data, tag_matcher, triggers, fastpath, store, sharded)

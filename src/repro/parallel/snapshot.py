@@ -42,6 +42,7 @@ import hashlib
 from typing import Iterable, List, NamedTuple, Optional, Tuple
 
 from repro.classification.classifier import ClassificationResult, Classifier
+from repro.classification.sharding import ShardedClassifier, ShardMap
 from repro.dtd.dtd import DTD
 from repro.parallel.pool import register_for_atexit
 from repro.perf import FastPathConfig, PerfCounters
@@ -73,7 +74,7 @@ def snapshot_fingerprint(payload: bytes) -> str:
 class ClassifierSnapshot:
     """Immutable, picklable classification state for one epoch."""
 
-    __slots__ = ("dtds", "threshold", "config", "fastpath", "traced")
+    __slots__ = ("dtds", "threshold", "config", "fastpath", "traced", "shards")
 
     def __init__(
         self,
@@ -82,6 +83,7 @@ class ClassifierSnapshot:
         config: SimilarityConfig,
         fastpath: FastPathConfig,
         traced: bool = False,
+        shards: Optional[ShardMap] = None,
     ):
         self.dtds: Tuple[DTD, ...] = tuple(dtds)
         self.threshold = threshold
@@ -89,6 +91,10 @@ class ClassifierSnapshot:
         self.fastpath = fastpath
         #: whether the parent wants per-document worker spans back
         self.traced = traced
+        #: the parent's DTD shard map when it classifies sharded, so
+        #: worker fan-out screens the same per-shard candidate sets
+        #: (``None`` reconstructs a plain unsharded classifier)
+        self.shards = shards
 
     @classmethod
     def of(cls, source: "XMLSource") -> "ClassifierSnapshot":
@@ -98,16 +104,33 @@ class ClassifierSnapshot:
         is stateful and unpicklable in general); the driver degrades to
         serial before ever snapshotting such a source.
         """
+        classifier = source.classifier
+        shards = (
+            classifier.shard_map()
+            if isinstance(classifier, ShardedClassifier)
+            else None
+        )
         return cls(
             (source.classifier.dtd(name) for name in source.dtd_names()),
             source.classifier.threshold,
             source.similarity_config,
             source.fastpath,
             traced=source.tracer.enabled,
+            shards=shards,
         )
 
     def build_classifier(self, counters: Optional[PerfCounters] = None) -> Classifier:
         """Reconstruct a classifier (worker side, once per fingerprint)."""
+        if self.shards is not None:
+            return ShardedClassifier(
+                self.dtds,
+                self.threshold,
+                self.config,
+                tag_matcher=None,
+                fastpath=self.fastpath,
+                counters=counters,
+                shard_map=self.shards,
+            )
         return Classifier(
             self.dtds,
             self.threshold,

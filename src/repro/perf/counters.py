@@ -112,6 +112,9 @@ COUNTER_NAMES = (
     "mined_rule_hits",
     "mined_rule_misses",
     "drain_prune_skips",
+    "drain_index_hits",
+    "index_rows",
+    "shard_skips",
     "pool_spinups",
     "pool_reuses",
     "snapshot_builds",
@@ -186,6 +189,15 @@ class PerfCounters:
         #: repository documents skipped by the pruned post-evolution
         #: drain (provably still below sigma)
         self.drain_prune_skips = 0
+        #: post-evolution drains answered by a store index query
+        #: instead of a whole-repository scan
+        self.drain_index_hits = 0
+        #: candidate rows returned by store index queries (the documents
+        #: an indexed drain actually examined)
+        self.index_rows = 0
+        #: DTD shards screened out before ranking (every member provably
+        #: scores 0.0 against the document)
+        self.shard_skips = 0
         #: worker-pool executors created (a persistent pool spins up
         #: once and is reused across batches; rebuilds after a broken
         #: pool count again)

@@ -28,7 +28,7 @@ unchanged).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 try:
     from typing import Protocol, runtime_checkable
@@ -276,19 +276,71 @@ class DrainStage(_SourceStage):
     unpruned pass; standalone drains (after ``mine_repository`` adds
     brand-new DTDs) never prune, because the invariant does not cover
     DTDs the documents have not seen.
+
+    **Indexing**: when the store is index-capable (``SqliteStore``) the
+    bound-vs-sigma candidate set is pushed down as an index query
+    instead of scanning every document — see :meth:`_drain_indexed` and
+    DESIGN.md decision 12 for why the results stay bit-identical and
+    order-preserving.
     """
 
     name = "drain"
 
     def run(self, ctx: PipelineContext) -> None:
         source = self.source
-        recovered = 0
         prune_name: Optional[str] = None
         prune_unchanged = False
         if ctx.pending_evolution is not None and source.fastpath.pruned_drain:
             prune_name = ctx.pending_evolution[0]
             prune_unchanged = not ctx.pending_evolution[3].changed_declarations()
         sigma = source.classifier.threshold
+        # The indexed path only applies when the bound-vs-sigma prune is
+        # live at all: a pruning drain (evolved DTD known), a sigma that
+        # can actually reject (``bound < sigma`` is unsatisfiable at
+        # sigma 0 since bounds are >= 0), an index-capable store, and a
+        # pushable query (exact semantics, no ANY).  Everything else
+        # classifies every document anyway, so the scan drain is both
+        # simpler and no slower.
+        query = None
+        indexed = (
+            prune_name is not None
+            and sigma > 0.0
+            and source.repository.supports_indexed_drain
+        )
+        if indexed and not prune_unchanged:
+            query = source.classifier.drain_query(prune_name)
+            indexed = query is not None
+        if indexed:
+            recovered = self._drain_indexed(
+                prune_name, prune_unchanged, query, sigma
+            )
+        else:
+            recovered = self._drain_scan(prune_name, prune_unchanged, sigma)
+        event: Optional[EvolutionEvent] = None
+        if ctx.pending_evolution is not None:
+            name, documents_recorded, activation_score, result = ctx.pending_evolution
+            event = EvolutionEvent(
+                name, documents_recorded, activation_score, result, recovered
+            )
+            ctx.evolution_events.append(event)
+            ctx.pending_evolution = None
+        ctx.recovered += recovered
+        self.pipeline.emit(
+            RepositoryDrained(
+                recovered, len(source.repository), event, self.pipeline.perf_delta()
+            )
+        )
+
+    def _drain_scan(
+        self,
+        prune_name: Optional[str],
+        prune_unchanged: bool,
+        sigma: float,
+    ) -> int:
+        """The whole-repository drain: remove everything, classify what
+        the bound cannot rule out, re-add the rest in drain order."""
+        source = self.source
+        recovered = 0
         with source.perf.timer("drain_ns"):
             for document in source.repository.drain():
                 if prune_name is not None:
@@ -314,20 +366,65 @@ class DrainStage(_SourceStage):
                 source.recorders[classification.dtd_name].record(
                     document, evaluation
                 )
-        event: Optional[EvolutionEvent] = None
-        if ctx.pending_evolution is not None:
-            name, documents_recorded, activation_score, result = ctx.pending_evolution
-            event = EvolutionEvent(
-                name, documents_recorded, activation_score, result, recovered
-            )
-            ctx.evolution_events.append(event)
-            ctx.pending_evolution = None
-        ctx.recovered += recovered
-        self.pipeline.emit(
-            RepositoryDrained(
-                recovered, len(source.repository), event, self.pipeline.perf_delta()
-            )
-        )
+        return recovered
+
+    def _drain_indexed(
+        self,
+        prune_name: str,
+        prune_unchanged: bool,
+        query,
+        sigma: float,
+    ) -> int:
+        """The index-query drain: bit-identical to :meth:`_drain_scan`.
+
+        The store returns the sound candidate over-approximation (every
+        non-candidate provably has bound exactly 0.0 < sigma) in
+        insertion order; the exact bound is then recomputed *in Python*
+        from each candidate's persisted profile — the same float
+        arithmetic as ``acceptance_bound`` — so the classify-vs-skip
+        decisions match the scan path bit for bit.  Only recovered
+        documents are removed; skipped and still-failing documents are
+        never touched, so the surviving order is the original insertion
+        order restricted to survivors — exactly the scan path's
+        re-add-in-drain-order outcome.  An evolution that changed no
+        declaration skips the whole repository without reading a row.
+        """
+        source = self.source
+        recovered = 0
+        with source.perf.timer("drain_ns"):
+            total = len(source.repository)
+            classify_ids: List[int] = []
+            if not prune_unchanged:
+                candidates = source.repository.candidates(query)
+                source.perf.index_rows += len(candidates)
+                for doc_id, row in candidates:
+                    bound = source.classifier.bound_from_row(prune_name, row)
+                    if bound is not None and bound < sigma:
+                        continue
+                    classify_ids.append(doc_id)
+            source.perf.drain_prune_skips += total - len(classify_ids)
+            source.perf.drain_index_hits += 1
+            removed: List[int] = []
+            if classify_ids:
+                for doc_id, document in zip(
+                    classify_ids, source.repository.fetch(classify_ids)
+                ):
+                    classification = source.classifier.classify(document)
+                    if classification.dtd_name is None:
+                        continue
+                    removed.append(doc_id)
+                    recovered += 1
+                    evaluation = (
+                        classification.evaluation
+                        if source.tag_matcher is None
+                        else None
+                    )
+                    source.recorders[classification.dtd_name].record(
+                        document, evaluation
+                    )
+            if removed:
+                source.repository.remove(removed)
+        return recovered
 
 
 class Pipeline:

@@ -1,7 +1,7 @@
-"""Persistence across the staged pipeline: format-2 snapshots, the v1
-backward-compat loader, mid-batch checkpoints, and the acceptance
-scenario — save/load between ``process_many`` batches that straddle an
-evolution must continue exactly like the uninterrupted run.
+"""Persistence across the staged pipeline: format-3 snapshots, the
+v1/v2 backward-compat loaders, mid-batch checkpoints, and the
+acceptance scenario — save/load between ``process_many`` batches that
+straddle an evolution must continue exactly like the uninterrupted run.
 """
 
 from __future__ import annotations
@@ -155,12 +155,73 @@ class TestCheckpointEvery:
 
 
 class TestFormatVersions:
-    def test_snapshots_are_format_2(self):
+    def test_snapshots_are_format_3(self):
         source = _fresh_source()
         data = source_to_json(source)
-        assert FORMAT_VERSION == 2
-        assert data["format"] == 2
-        assert data["repository"] == {"store": "memory", "documents": []}
+        assert FORMAT_VERSION == 3
+        assert data["format"] == 3
+        assert data["repository"] == {
+            "store": "memory",
+            "index": None,
+            "documents": [],
+        }
+        assert data["classifier"] == {"sharded": False, "shards": None}
+
+    def test_sqlite_snapshot_records_index_metadata(self):
+        from repro.classification.stores import SqliteStore
+
+        source = _fresh_source(store="sqlite")
+        source.process_many([d.copy() for d in _workload()[:4]])
+        try:
+            data = source_to_json(source)
+            assert data["repository"]["store"] == "sqlite"
+            index = data["repository"]["index"]
+            assert index["kind"] == "tag-vocabulary"
+            assert index["documents"] == len(source.repository)
+            if len(source.repository):
+                assert index["rows"] > 0
+            restored = source_from_json(data)
+            try:
+                assert isinstance(restored.repository.store, SqliteStore)
+                assert len(restored.repository) == len(source.repository)
+            finally:
+                restored.repository.store.close()
+        finally:
+            source.repository.store.close()
+
+    def test_sharded_snapshot_records_and_restores_shard_map(self):
+        from repro.classification.sharding import ShardedClassifier
+
+        source = _fresh_source(sharded=True)
+        data = source_to_json(source)
+        assert data["classifier"]["sharded"] is True
+        assert data["classifier"]["shards"] == [
+            list(shard) for shard in source.classifier.shard_map()
+        ]
+        restored = source_from_json(data)
+        assert isinstance(restored.classifier, ShardedClassifier)
+        assert restored.classifier.shard_map() == source.classifier.shard_map()
+        unsharded = source_from_json(data, sharded=False)
+        assert not isinstance(unsharded.classifier, ShardedClassifier)
+
+    def test_v2_snapshot_still_loads(self):
+        """A format-2 snapshot (no index/classifier metadata) restores
+        into a working unsharded source."""
+        source = _fresh_source()
+        source.process_many([d.copy() for d in _workload()[:4]])
+        data = source_to_json(source)
+        v2 = dict(data)
+        v2["format"] = 2
+        del v2["classifier"]
+        v2["repository"] = {
+            "store": data["repository"]["store"],
+            "documents": data["repository"]["documents"],
+        }
+        v2 = json.loads(json.dumps(v2))
+        restored = source_from_json(v2)
+        assert isinstance(restored.repository.store, MemoryStore)
+        assert len(restored.repository) == len(source.repository)
+        assert restored.documents_processed == source.documents_processed
 
     def test_store_kind_round_trips(self, tmp_path):
         source = _fresh_source(store=JsonlStore(str(tmp_path / "r.jsonl")))
@@ -196,7 +257,7 @@ class TestFormatVersions:
 
     def test_unknown_format_still_rejected(self):
         with pytest.raises(ValueError, match="unsupported snapshot format"):
-            source_from_json({"format": 3})
+            source_from_json({"format": 99})
 
     def test_fastpath_collaborator_resupplied_at_load(self, tmp_path):
         from repro.perf import FastPathConfig

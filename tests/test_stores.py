@@ -7,13 +7,30 @@ import pytest
 from repro.classification.repository import Repository
 from repro.classification.stores import (
     DocumentStore,
+    DrainQuery,
     JsonlStore,
     MemoryStore,
+    SqliteStore,
     make_store,
+    profile_document,
     store_kind,
 )
 from repro.xmltree.parser import parse_document
 from repro.xmltree.serializer import serialize_document
+
+ALL_STORE_KINDS = ("memory", "jsonl", "sqlite")
+
+
+def selected_store_kinds():
+    """The backends under test — the CI store-matrix job narrows the
+    parameterization via ``REPRO_STORE_KINDS`` (comma/space separated)."""
+    spec = os.environ.get("REPRO_STORE_KINDS", "")
+    chosen = tuple(
+        kind
+        for kind in ALL_STORE_KINDS
+        if kind in spec.replace(",", " ").split()
+    )
+    return chosen or ALL_STORE_KINDS
 
 
 def _documents():
@@ -28,15 +45,21 @@ def _xml(document):
     return serialize_document(document, xml_declaration=False)
 
 
-@pytest.fixture(params=["memory", "jsonl"])
+@pytest.fixture(params=selected_store_kinds())
 def store(request, tmp_path):
     if request.param == "memory":
-        return MemoryStore()
-    return JsonlStore(str(tmp_path / "repo.jsonl"))
+        yield MemoryStore()
+        return
+    if request.param == "jsonl":
+        backend = JsonlStore(str(tmp_path / "repo.jsonl"))
+    else:
+        backend = SqliteStore(str(tmp_path / "repo.sqlite"))
+    yield backend
+    backend.close()
 
 
 class TestStoreContract:
-    """Both backends satisfy the one DocumentStore contract."""
+    """Every backend satisfies the one DocumentStore contract."""
 
     def test_satisfies_protocol(self, store):
         assert isinstance(store, DocumentStore)
@@ -131,6 +154,156 @@ class TestJsonlStore:
         store.close()
         assert os.path.exists(path)
 
+    def test_append_handle_is_lazy_and_reused(self, tmp_path):
+        store = JsonlStore(str(tmp_path / "r.jsonl"))
+        assert store._append is None
+        store.add(parse_document("<a/>"))
+        handle = store._append
+        assert handle is not None
+        store.add(parse_document("<b/>"))
+        assert store._append is handle  # no reopen per append
+        store.close()
+        assert store._append is None
+
+    def test_drain_closes_append_handle_before_replacing_file(self, tmp_path):
+        """After os.replace an old handle would write to a deleted
+        inode; drain must cut it so post-drain appends land in the file."""
+        store = JsonlStore(str(tmp_path / "r.jsonl"))
+        for document in _documents():
+            store.add(document)
+        store.drain(lambda d: d.root.tag == "a")
+        assert store._append is None
+        store.add(parse_document("<late/>"))
+        assert [d.root.tag for d in store] == ["b", "late"]
+        assert len(JsonlStore(store.path)) == 2
+
+    def test_drain_leaves_no_temp_file(self, tmp_path):
+        store = JsonlStore(str(tmp_path / "r.jsonl"))
+        for document in _documents():
+            store.add(document)
+        store.drain()
+        assert os.listdir(str(tmp_path)) == ["r.jsonl"]
+
+
+class TestSqliteStore:
+    def test_round_trips_structure(self, tmp_path):
+        store = SqliteStore(str(tmp_path / "r.sqlite"))
+        document = parse_document(
+            '<a id="1"><b>text &amp; entities</b><c/><!-- gone --></a>'
+        )
+        store.add(document)
+        again = next(iter(store))
+        store.close()
+        assert _xml(again) == _xml(document)
+
+    def test_resumes_existing_file_with_index(self, tmp_path):
+        path = str(tmp_path / "r.sqlite")
+        first = SqliteStore(path)
+        for document in _documents():
+            first.add(document)
+        rows = first.index_rows()
+        first._connection.close()  # crash: never SqliteStore.close()
+        second = SqliteStore(path)
+        assert len(second) == 3
+        assert [d.root.tag for d in second] == ["a", "b", "a"]
+        # the inverted index survived without a rebuild
+        assert second.index_rows() == rows > 0
+        second.close()
+
+    def test_temporary_file_is_owned_and_removed(self):
+        store = SqliteStore()
+        store.add(parse_document("<a/>"))
+        path = store.path
+        assert os.path.exists(path)
+        store.close()
+        assert not os.path.exists(path)
+        assert len(store) == 0
+
+    def test_named_file_survives_close(self, tmp_path):
+        path = str(tmp_path / "kept.sqlite")
+        store = SqliteStore(path)
+        store.add(parse_document("<a/>"))
+        store.close()
+        assert os.path.exists(path)
+
+    def test_insertion_ids_keep_order_across_removals(self, tmp_path):
+        store = SqliteStore(str(tmp_path / "r.sqlite"))
+        for document in _documents():
+            store.add(document)
+        ids = [doc_id for doc_id, _ in store.candidates(
+            DrainQuery(vocabulary=("a", "b", "c"), allows_text=True,
+                       dtd_root="a", max_depth=50)
+        )]
+        store.remove([ids[1]])
+        assert [d.root.tag for d in store] == ["a", "a"]
+        store.add(parse_document("<late/>"))  # appended after the gap
+        assert [d.root.tag for d in store] == ["a", "a", "late"]
+        assert len(store) == 3
+        store.close()
+
+    def test_candidates_select_exactly_the_four_conditions(self, tmp_path):
+        store = SqliteStore(str(tmp_path / "r.sqlite"))
+        documents = [
+            parse_document("<a><b/></a>"),      # vocabulary overlap
+            parse_document("<z><q/></z>"),      # nothing: not a candidate
+            parse_document("<r><s>txt</s></r>"),  # text leaf (if allowed)
+            parse_document("<a><a><a><a/></a></a></a>"),  # deep: height guard
+        ]
+        for document in documents:
+            store.add(document)
+        query = DrainQuery(
+            vocabulary=("a", "b"), allows_text=False, dtd_root="a", max_depth=3
+        )
+        rows = store.candidates(query)
+        # doc 1 (vocab + root), doc 4 (vocab + height >= 3); never doc 2;
+        # doc 3 only when text is allowed
+        assert [doc_id for doc_id, _ in rows] == [1, 4]
+        with_text = store.candidates(query._replace(allows_text=True))
+        assert [doc_id for doc_id, _ in with_text] == [1, 3, 4]
+        by_id = dict(rows)
+        assert by_id[1].matched == 2 and by_id[1].total_tags == 2
+        assert by_id[4].matched == 4 and by_id[4].height == 3
+        store.close()
+
+    def test_candidate_rows_reproduce_the_census(self, tmp_path):
+        """The persisted profile equals profile_document for each doc."""
+        store = SqliteStore(str(tmp_path / "r.sqlite"))
+        documents = [
+            parse_document("<a><b>x</b><c/><b>y</b></a>"),
+            parse_document("<m><n><o>deep</o></n></m>"),
+        ]
+        for document in documents:
+            store.add(document)
+        rows = store.candidates(
+            DrainQuery(vocabulary=(), allows_text=True, dtd_root="none",
+                       max_depth=0)  # height >= 0 selects everything
+        )
+        assert len(rows) == len(documents)
+        for (doc_id, row), document in zip(rows, documents):
+            profile = profile_document(document)
+            assert row.total_tags == profile.total_tags
+            assert row.matched == 0
+            assert row.text_count == profile.text_count
+            assert row.weight == profile.weight
+            assert row.height == profile.height
+            assert row.root_tag == profile.root_tag
+        store.close()
+
+    def test_fetch_returns_id_order(self, tmp_path):
+        store = SqliteStore(str(tmp_path / "r.sqlite"))
+        for document in _documents():
+            store.add(document)
+        fetched = store.fetch([3, 1])
+        assert [d.root.tag for d in fetched] == ["a", "a"]
+        store.close()
+
+    def test_index_metadata_counts(self, tmp_path):
+        store = SqliteStore(str(tmp_path / "r.sqlite"))
+        store.add(parse_document("<a><b/><b/></a>"))  # two tags, 3 elements
+        metadata = store.index_metadata()
+        assert metadata == {"kind": "tag-vocabulary", "rows": 2, "documents": 1}
+        store.close()
+
 
 class TestMakeStore:
     def test_default_and_memory(self):
@@ -148,13 +321,32 @@ class TestMakeStore:
         store = MemoryStore()
         assert make_store(store) is store
 
+    def test_sqlite_with_and_without_path(self, tmp_path):
+        named = make_store("sqlite", str(tmp_path / "x.sqlite"))
+        assert isinstance(named, SqliteStore)
+        named.close()
+        anonymous = make_store("sqlite")
+        assert isinstance(anonymous, SqliteStore)
+        anonymous.close()
+
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError, match="unknown store kind"):
-            make_store("sqlite")
+            make_store("leveldb")
 
     def test_store_kind_tags(self, tmp_path):
         assert store_kind(MemoryStore()) == "memory"
         assert store_kind(JsonlStore(str(tmp_path / "k.jsonl"))) == "jsonl"
+        sqlite_store = SqliteStore(str(tmp_path / "k.sqlite"))
+        assert store_kind(sqlite_store) == "sqlite"
+        sqlite_store.close()
+
+    def test_store_kind_warns_on_unknown_backend(self):
+        class Bogus:
+            def __repr__(self):
+                return "Bogus()"
+
+        with pytest.warns(RuntimeWarning, match=r"Bogus\(\)"):
+            assert store_kind(Bogus()) == "memory"
 
 
 class TestRepositoryDelegation:
