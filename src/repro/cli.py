@@ -34,6 +34,17 @@ Subcommands::
         one-span-per-line stream, ``--metrics`` a Prometheus text
         exposition of counters and span-latency histograms.
 
+    dtdevolve serve --state state.json [--dtd schema.dtd] [--host H --port P]
+                    [--store {memory,jsonl,sqlite}] [--sharded]
+                    [--queue-limit N] [--max-inflight N] [--reader-threads N]
+                    [--checkpoint-every N] [--duration S]
+        Run the async MVCC service (repro.serve): /classify, /deposit,
+        /evolve, /drain, /healthz and /metrics over JSON.  Readers
+        classify against an immutable snapshot version; writes apply
+        serially and publish the next snapshot atomically.  Graceful
+        shutdown (SIGINT/SIGTERM, or after --duration seconds) drains
+        accepted writes and checkpoints to --state.
+
     dtdevolve report trace.json [--top N] [--metrics]
         Render the latency tables of a trace dump (either export
         format): per-stage percentiles, the slowest documents, the
@@ -149,44 +160,12 @@ def _grouped_perf_report(snapshot) -> dict:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     import json
-    import os
 
-    from repro.core.engine import XMLSource
-    from repro.core.persistence import load_source, save_source
-    from repro.perf import FastPathConfig
-    from repro.triggers.trigger import TriggerSet
+    from repro.core.persistence import save_source
 
-    triggers = None
-    if args.triggers:
-        triggers = TriggerSet.parse(_read(args.triggers))
-    fastpath = FastPathConfig.disabled() if args.no_fastpath else None
-    if os.path.exists(args.state):
-        source = load_source(
-            args.state,
-            triggers=triggers,
-            fastpath=fastpath,
-            store=args.store,
-            sharded=args.sharded,
-        )
-    else:
-        if not args.dtd:
-            print(
-                "error: --dtd is required when the state file does not exist",
-                file=sys.stderr,
-            )
-            return 2
-        config = EvolutionConfig(
-            sigma=args.sigma, tau=args.tau, psi=args.psi, mu=args.mu,
-            min_documents=args.min_documents,
-        )
-        source = XMLSource(
-            [parse_dtd(_read(args.dtd))],
-            config,
-            triggers=triggers,
-            fastpath=fastpath,
-            store=args.store,
-            sharded=bool(args.sharded),
-        )
+    source = _load_or_init_source(args)
+    if source is None:
+        return 2
     tracer = None
     if args.trace or args.trace_jsonl or args.metrics:
         from repro.obs.tracing import Tracer
@@ -240,6 +219,101 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"metrics written to {args.metrics}", file=sys.stderr)
     if args.report_perf:
         print(json.dumps(_grouped_perf_report(source.perf_snapshot()), indent=1))
+    return 0
+
+
+def _load_or_init_source(args: argparse.Namespace):
+    """The shared ``run``/``serve`` bootstrap: load the state snapshot
+    if it exists, otherwise initialise a fresh source from ``--dtd``.
+    Returns ``None`` (after printing the error) when neither is
+    possible."""
+    import os
+
+    from repro.core.engine import XMLSource
+    from repro.core.persistence import load_source
+    from repro.perf import FastPathConfig
+    from repro.triggers.trigger import TriggerSet
+
+    triggers = None
+    if getattr(args, "triggers", None):
+        triggers = TriggerSet.parse(_read(args.triggers))
+    fastpath = (
+        FastPathConfig.disabled() if getattr(args, "no_fastpath", False) else None
+    )
+    if os.path.exists(args.state):
+        return load_source(
+            args.state,
+            triggers=triggers,
+            fastpath=fastpath,
+            store=args.store,
+            sharded=args.sharded,
+        )
+    if not args.dtd:
+        print(
+            "error: --dtd is required when the state file does not exist",
+            file=sys.stderr,
+        )
+        return None
+    config = EvolutionConfig(
+        sigma=args.sigma, tau=args.tau, psi=args.psi, mu=args.mu,
+        min_documents=args.min_documents,
+    )
+    return XMLSource(
+        [parse_dtd(_read(args.dtd))],
+        config,
+        triggers=triggers,
+        fastpath=fastpath,
+        store=args.store,
+        sharded=bool(args.sharded),
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import logging
+
+    from repro.core.persistence import save_source
+    from repro.serve import ServeConfig, serve_forever
+
+    # the service announces the *bound* port (essential with --port 0)
+    # and surfaced store warnings on its logger — give it a stderr
+    # handler unless the embedding application configured one already
+    serve_logger = logging.getLogger("repro.serve")
+    if not serve_logger.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter("%(levelname)s %(message)s"))
+        serve_logger.addHandler(handler)
+        serve_logger.setLevel(logging.INFO)
+
+    source = _load_or_init_source(args)
+    if source is None:
+        return 2
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        queue_limit=args.queue_limit,
+        max_inflight=args.max_inflight,
+        reader_threads=args.reader_threads,
+        checkpoint_path=args.state,
+        checkpoint_every=args.checkpoint_every,
+    )
+    print(
+        f"serving {', '.join(source.dtd_names())} "
+        f"(queue limit {config.queue_limit}, "
+        f"checkpointing to {args.state})",
+        file=sys.stderr,
+    )
+    try:
+        service = serve_forever(source, config, duration=args.duration)
+    finally:
+        source.close()
+    for caught in service.store_warnings:
+        print(f"store warning: {caught.message}", file=sys.stderr)
+    save_source(source, args.state)
+    print(
+        f"served {service.applied_writes} writes, "
+        f"{service.checkpoints} checkpoints; state saved to {args.state}",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -381,6 +455,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("documents", nargs="+", help="XML document files")
     run.set_defaults(handler=_cmd_run)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the async MVCC service (classify/deposit/evolve/drain over JSON)",
+    )
+    serve.add_argument("--state", required=True, help="snapshot file (created if absent)")
+    serve.add_argument("--dtd", help="initial DTD (required for a fresh state)")
+    serve.add_argument("--triggers", help="trigger rule file (one rule per line)")
+    serve.add_argument("--sigma", type=float, default=0.5)
+    serve.add_argument("--tau", type=float, default=0.1)
+    serve.add_argument("--psi", type=float, default=0.2)
+    serve.add_argument("--mu", type=float, default=0.0)
+    serve.add_argument("--min-documents", type=int, default=10, dest="min_documents")
+    serve.add_argument(
+        "--store", choices=["memory", "jsonl", "sqlite"], default=None,
+        help="repository backend (default: what the snapshot used, or memory)",
+    )
+    serve.add_argument(
+        "--sharded", action="store_true", default=None,
+        help="classify against tag-vocabulary DTD shards",
+    )
+    serve.add_argument(
+        "--no-fastpath", action="store_true", dest="no_fastpath",
+        help="disable the exact classification fast paths",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8750,
+        help="listen port (0 = ephemeral; default 8750)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=64, dest="queue_limit", metavar="N",
+        help="max queued write ops before 429 backpressure (default 64)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=64, dest="max_inflight", metavar="N",
+        help="max concurrently admitted requests (default 64)",
+    )
+    serve.add_argument(
+        "--reader-threads", type=int, default=4, dest="reader_threads", metavar="N",
+        help="reader pool size for /classify (default 4)",
+    )
+    serve.add_argument(
+        "--checkpoint-every", type=int, default=0, dest="checkpoint_every", metavar="N",
+        help="checkpoint the state file after every N deposits "
+        "(0 = only at shutdown)",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=0.0, metavar="S",
+        help="serve for S seconds then shut down gracefully (0 = until signalled)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     report = commands.add_parser(
         "report", help="latency tables from a trace dump (either format)"

@@ -242,21 +242,31 @@ class XMLSource:
             self._worker_pools[workers] = pool
         return pool
 
-    def snapshot_wire(self) -> "SnapshotRef":
-        """Publish the current classification state for workers.
+    @property
+    def state_version(self) -> int:
+        """The classification state's cheap monotone version stamp,
+        bumped on every DTD install (initial set, evolutions,
+        repository mining).  Deposits and drains do not bump it — only
+        changes that could alter a classification decision do, which is
+        exactly what snapshot consumers (parallel epochs, the serve
+        layer's MVCC holder) key on."""
+        return self._state_version
 
-        The pickled :class:`~repro.parallel.snapshot.ClassifierSnapshot`
-        is cached against a cheap state version (bumped on every DTD
+    def snapshot_payload(self) -> Tuple[str, bytes]:
+        """The current classification state, pickled and content-addressed.
+
+        Returns ``(fingerprint, payload)`` where ``payload`` is the
+        pickled :class:`~repro.parallel.snapshot.ClassifierSnapshot` and
+        ``fingerprint`` its blake2b content address.  The bytes are
+        cached against a cheap state version (bumped on every DTD
         install: initial set, evolutions, repository mining) plus the
-        tracing flag, so an epoch whose DTD set didn't change reuses the
+        tracing flag, so a caller whose DTD set didn't change reuses the
         cached bytes without re-pickling (``snapshot_reuses``) — across
-        epochs *and* across ``process_many`` calls.  The bytes are
-        published once per content fingerprint via shared memory (inline
-        pickle fallback), so chunks ship only a small ref.
+        parallel epochs, ``process_many`` calls, and serve-layer
+        snapshot refreshes alike.
         """
         from repro.parallel.snapshot import (
             ClassifierSnapshot,
-            SnapshotPublisher,
             snapshot_fingerprint,
         )
 
@@ -275,6 +285,19 @@ class XMLSource:
             self.perf.snapshot_builds += 1
             self.perf.snapshot_bytes_total += len(payload)
             self._snapshot_cache = (key, fingerprint, payload)
+        return fingerprint, payload
+
+    def snapshot_wire(self) -> "SnapshotRef":
+        """Publish the current classification state for workers.
+
+        The pickled snapshot comes from :meth:`snapshot_payload` (one
+        pickle per changed epoch); the bytes are published once per
+        content fingerprint via shared memory (inline pickle fallback),
+        so chunks ship only a small ref.
+        """
+        from repro.parallel.snapshot import SnapshotPublisher
+
+        fingerprint, payload = self.snapshot_payload()
         if self._snapshot_publisher is None:
             self._snapshot_publisher = SnapshotPublisher()
         return self._snapshot_publisher.publish(fingerprint, payload)

@@ -331,6 +331,21 @@ class MetricsRegistry:
     # Exposition
     # ------------------------------------------------------------------
 
+    def as_dict(self) -> Dict[str, Any]:
+        """The registry as a JSON-able digest: counters and gauges map
+        to their value, histograms to their :meth:`Histogram.summary`.
+        Labelled instruments key as ``name{k=v,...}`` (sorted labels),
+        so the shape is stable across runs — benchmark outputs
+        (``BENCH_serve.json``) embed this directly."""
+        digest: Dict[str, Any] = {}
+        for (name, labels), instrument in self._instruments.items():
+            key = name + _render_labels(labels)
+            if isinstance(instrument, Histogram):
+                digest[key] = instrument.summary()
+            else:
+                digest[key] = instrument.value
+        return digest
+
     def expose(self) -> str:
         """Prometheus text exposition (format 0.0.4) of every
         instrument, grouped by metric family in registration order."""

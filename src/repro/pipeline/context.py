@@ -33,6 +33,18 @@ class ProcessOutcome(NamedTuple):
     #: documents recovered from the repository by those evolutions
     recovered: int
 
+    def as_json(self) -> dict:
+        """The JSON-able wire shape (document excluded; the caller
+        already has it).  Floats pass through untouched — ``json``
+        round-trips them bit-exactly — so serve-mode responses compare
+        float-identical to batch outcomes."""
+        return {
+            "dtd": self.dtd_name,
+            "similarity": self.similarity,
+            "evolved": list(self.evolved),
+            "recovered": self.recovered,
+        }
+
 
 class EvolutionEvent(NamedTuple):
     """One entry of the evolution log."""

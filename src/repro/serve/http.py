@@ -1,0 +1,218 @@
+"""Minimal HTTP/1.1 plumbing over ``asyncio`` streams.
+
+Deliberately ``http.server``-grade: just enough of RFC 7230 for a JSON
+service on a trusted network segment — request-line + header parsing
+with hard size limits, ``Content-Length`` bodies (no chunked transfer
+coding), keep-alive by default for HTTP/1.1, and a tiny response
+builder.  No routing framework, no middleware; the service routes by
+``(method, path)`` itself.
+
+Everything here is transport: :class:`HttpError` is how handlers signal
+a non-200 outcome (the connection loop renders it as the standard JSON
+error envelope and keeps the connection alive), and
+:func:`json_response` / :func:`error_response` build complete response
+byte strings ready for one ``writer.write``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "HttpError",
+    "Request",
+    "read_request",
+    "json_body",
+    "json_response",
+    "text_response",
+    "error_response",
+]
+
+#: request-line / single-header size cap (bytes)
+MAX_LINE = 8192
+#: header count cap
+MAX_HEADERS = 64
+#: request body cap (bytes) — XML documents are small; 8 MiB is generous
+MAX_BODY = 8 * 1024 * 1024
+
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+Headers = Sequence[Tuple[str, str]]
+
+
+class HttpError(Exception):
+    """A handler-raised HTTP outcome (rendered as the JSON envelope
+    ``{"error": <message>}`` with ``status``)."""
+
+    def __init__(self, status: int, message: str, headers: Headers = ()):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = tuple(headers)
+
+
+class Request:
+    """One parsed request."""
+
+    __slots__ = ("method", "path", "version", "headers", "body")
+
+    def __init__(
+        self,
+        method: str,
+        path: str,
+        version: str,
+        headers: Dict[str, str],
+        body: bytes,
+    ):
+        self.method = method
+        self.path = path
+        self.version = version
+        #: header names lower-cased; duplicate headers keep the last value
+        self.headers = headers
+        self.body = body
+
+    @property
+    def keep_alive(self) -> bool:
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+    def __repr__(self) -> str:
+        return f"Request({self.method} {self.path}, {len(self.body)}B)"
+
+
+async def _read_line(reader: asyncio.StreamReader) -> bytes:
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return b""  # clean EOF between requests
+        raise HttpError(400, "truncated request")
+    except asyncio.LimitOverrunError:
+        raise HttpError(400, "request line too long")
+    if len(line) > MAX_LINE:
+        raise HttpError(400, "request line too long")
+    return line[:-2]
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request off the stream; ``None`` on clean EOF.
+
+    Raises :class:`HttpError` on malformed input (the caller renders it
+    and closes the connection — a client that framed one request wrong
+    cannot be trusted to frame the next one right).
+    """
+    request_line = await _read_line(reader)
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) != 3:
+        raise HttpError(400, "malformed request line")
+    method, target, version = parts
+    if version not in ("HTTP/1.0", "HTTP/1.1"):
+        raise HttpError(400, f"unsupported protocol {version}")
+    headers: Dict[str, str] = {}
+    for _ in range(MAX_HEADERS + 1):
+        line = await _read_line(reader)
+        if not line:
+            break
+        if len(headers) >= MAX_HEADERS:
+            raise HttpError(400, "too many headers")
+        name, separator, value = line.decode("latin-1").partition(":")
+        if not separator:
+            raise HttpError(400, "malformed header")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length_header = headers.get("content-length")
+    if length_header is not None:
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise HttpError(400, "malformed Content-Length")
+        if length < 0:
+            raise HttpError(400, "malformed Content-Length")
+        if length > MAX_BODY:
+            raise HttpError(413, "request body too large")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise HttpError(400, "truncated request body")
+    elif headers.get("transfer-encoding"):
+        raise HttpError(400, "chunked transfer coding not supported")
+    # strip any query string; the service routes on the bare path
+    path = target.split("?", 1)[0]
+    return Request(method, path, version, headers, body)
+
+
+def json_body(request: Request) -> Any:
+    """The request body as parsed JSON (400 on anything else)."""
+    if not request.body:
+        raise HttpError(400, "expected a JSON request body")
+    try:
+        return json.loads(request.body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise HttpError(400, f"invalid JSON body: {error}")
+
+
+def _response(
+    status: int,
+    payload: bytes,
+    content_type: str,
+    headers: Headers,
+    keep_alive: bool,
+) -> bytes:
+    reason = REASONS.get(status, "Unknown")
+    lines: List[str] = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(payload)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in headers:
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + payload
+
+
+def json_response(
+    status: int, body: Any, headers: Headers = (), keep_alive: bool = True
+) -> bytes:
+    """A complete JSON response, ready to write."""
+    payload = json.dumps(body, separators=(",", ":")).encode("utf-8")
+    return _response(status, payload, "application/json", headers, keep_alive)
+
+
+def text_response(
+    status: int, text: str, headers: Headers = (), keep_alive: bool = True
+) -> bytes:
+    """A complete plain-text response (``/metrics`` exposition)."""
+    return _response(
+        status,
+        text.encode("utf-8"),
+        "text/plain; version=0.0.4; charset=utf-8",
+        headers,
+        keep_alive,
+    )
+
+
+def error_response(error: HttpError, keep_alive: bool = True) -> bytes:
+    """The standard error envelope for a handler-raised outcome."""
+    return json_response(
+        error.status,
+        {"error": error.message, "status": error.status},
+        error.headers,
+        keep_alive,
+    )

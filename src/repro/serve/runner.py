@@ -1,0 +1,158 @@
+"""Drivers that own the event loop for a :class:`ReproService`.
+
+Two ways to run the service:
+
+- :class:`ServiceRunner` spins the loop on a daemon thread and blocks
+  until the service is listening — what tests, benchmarks, and anything
+  embedding the service in an existing (threaded) program want.  Usable
+  as a context manager; :meth:`ServiceRunner.stop` performs the
+  graceful shutdown.
+- :func:`serve_forever` runs the service on the calling thread until
+  SIGINT/SIGTERM (or an optional duration elapses), then shuts down
+  gracefully — what the ``dtdevolve serve`` CLI subcommand calls.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+from repro.serve.service import ReproService, ServeConfig
+
+__all__ = ["ServiceRunner", "serve_forever"]
+
+
+class ServiceRunner:
+    """Run a :class:`ReproService` on a dedicated event-loop thread.
+
+    ::
+
+        with ServiceRunner(source, ServeConfig(queue_limit=8)) as runner:
+            port = runner.port
+            ...  # drive it over HTTP from any thread
+        # graceful shutdown happened here
+    """
+
+    def __init__(
+        self,
+        source: "XMLSource",
+        config: ServeConfig = ServeConfig(),
+        tracer: Optional[Tracer] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self.service = ReproService(source, config, tracer=tracer, registry=registry)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def port(self) -> int:
+        port = self.service.port
+        assert port is not None, "runner not started"
+        return port
+
+    def start(self) -> "ServiceRunner":
+        """Start the loop thread and block until the socket is bound
+        (re-raising any startup failure on this thread)."""
+        if self._thread is not None:
+            raise RuntimeError("runner already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-loop", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            self._thread.join()
+            raise self._startup_error
+        return self
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            try:
+                self._loop.run_until_complete(self.service.start())
+            except BaseException as error:
+                self._startup_error = error
+                return
+            finally:
+                self._ready.set()
+            self._loop.run_forever()
+            # stop() already ran service.stop() on the loop; nothing to
+            # drain here beyond cancelling stragglers
+            pending = asyncio.all_tasks(self._loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                self._loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+        finally:
+            self._loop.close()
+
+    def submit(self, coro) -> "concurrent.futures.Future":
+        """Schedule a coroutine on the service loop from any thread."""
+        assert self._loop is not None, "runner not started"
+        return asyncio.run_coroutine_threadsafe(coro, self._loop)
+
+    def stop(self) -> None:
+        """Graceful shutdown, then join the loop thread.  Idempotent."""
+        thread, loop = self._thread, self._loop
+        if thread is None or not thread.is_alive() or loop is None:
+            return
+        self.submit(self.service.stop()).result(timeout=60)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=60)
+
+    def __enter__(self) -> "ServiceRunner":
+        return self.start()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.stop()
+
+
+def serve_forever(
+    source: "XMLSource",
+    config: ServeConfig = ServeConfig(),
+    tracer: Optional[Tracer] = None,
+    registry: Optional[MetricsRegistry] = None,
+    duration: float = 0.0,
+) -> ReproService:
+    """Run the service on this thread until interrupted.
+
+    Returns after a graceful shutdown triggered by SIGINT/SIGTERM or —
+    when ``duration`` is positive — after that many seconds (useful for
+    smoke runs).  Returns the (stopped) service, so callers can inspect
+    counters and surfaced store warnings.
+    """
+    service = ReproService(source, config, tracer=tracer, registry=registry)
+
+    async def _main() -> None:
+        loop = asyncio.get_running_loop()
+        stop_signal = asyncio.Event()
+        with contextlib.ExitStack() as stack:
+            import signal
+
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(signum, stop_signal.set)
+                    stack.callback(loop.remove_signal_handler, signum)
+                except (NotImplementedError, RuntimeError):  # pragma: no cover
+                    pass  # non-main thread / platforms without signals
+            await service.start()
+            try:
+                if duration > 0:
+                    with contextlib.suppress(asyncio.TimeoutError):
+                        await asyncio.wait_for(stop_signal.wait(), timeout=duration)
+                else:
+                    await stop_signal.wait()
+            finally:
+                await service.stop()
+
+    asyncio.run(_main())
+    return service

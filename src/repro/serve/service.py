@@ -1,0 +1,626 @@
+"""``ReproService`` — the async MVCC daemon around one :class:`XMLSource`.
+
+Concurrency model (DESIGN.md decision 13):
+
+- **Readers** (``POST /classify``) never touch the engine.  Each request
+  grabs the current :class:`~repro.serve.holder.ServeSnapshot` with one
+  lock-free read, then classifies on a reader thread pool against a
+  frozen classifier rebuilt from the snapshot's pickled bytes (cached
+  per thread per fingerprint, exactly like parallel workers cache
+  theirs).  A reader that started under epoch *N* finishes under epoch
+  *N* even if an evolution publishes *N+1* mid-flight — snapshot
+  isolation, for free, from immutability.
+- **Writers** (``POST /deposit``, ``/evolve``, ``/drain``) funnel
+  through one bounded :class:`asyncio.Queue` into a single writer task
+  backed by a one-thread executor.  Engine mutations therefore run
+  strictly serially, in admission order — the same total order a batch
+  ``process_many`` would impose — which is what makes served traffic
+  bit-identical to batch runs.  After every applied write the writer
+  refreshes the snapshot holder; the engine's content-addressed pickle
+  cache makes refreshes free unless an evolution actually changed the
+  DTD set.
+- **Admission control**: a full write queue (or too many in-flight
+  requests) answers ``429`` with a ``Retry-After`` hint instead of
+  queueing unboundedly; a service mid-shutdown answers ``503``.  An op
+  that was *accepted* (entered the queue) is never dropped: graceful
+  shutdown drains the queue before checkpointing.
+
+Observability rides the existing seams: per-request spans spliced into
+a :class:`~repro.obs.tracing.Tracer`, request/latency/queue-depth
+instruments in a :class:`~repro.obs.metrics.MetricsRegistry` with
+Prometheus exposition on ``GET /metrics``, and engine perf counters
+mirrored on every scrape.  Checkpoints go through persistence format 3;
+any :class:`RuntimeWarning` a store raises during a checkpoint (e.g.
+``store_kind()`` falling back on an unknown backend) is surfaced — kept
+on :attr:`ReproService.store_warnings`, logged, and counted in
+``repro_serve_store_warnings_total`` — never swallowed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import pickle
+import threading
+import time
+import warnings
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.dtd.serializer import serialize_dtd
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_TRACER, Tracer
+from repro.pipeline.events import DocumentClassified, EvolutionFinished
+from repro.serve import http
+from repro.serve.holder import ServeSnapshot, SnapshotHolder
+from repro.xmltree.parser import parse_document
+
+__all__ = ["ServeConfig", "ReproService"]
+
+logger = logging.getLogger("repro.serve")
+
+#: how many rebuilt classifiers each reader thread keeps (current epoch
+#: plus the one an in-flight request may still reference)
+_READER_CACHE_SIZE = 2
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Service knobs (all admission-control values are per service)."""
+
+    host: str = "127.0.0.1"
+    #: 0 picks an ephemeral port (the bound port lands on
+    #: :attr:`ReproService.port`)
+    port: int = 0
+    #: max write ops admitted but not yet applied (queued or in the
+    #: writer's hands); beyond it answers 429 + ``Retry-After``
+    queue_limit: int = 64
+    #: max requests admitted concurrently across all endpoints
+    #: (healthz/metrics exempt); beyond it answers 429
+    max_inflight: int = 64
+    #: reader thread pool size for ``/classify``
+    reader_threads: int = 4
+    #: the ``Retry-After`` hint on 429 responses, integer seconds
+    retry_after: int = 1
+    #: where graceful shutdown (and periodic checkpoints) snapshot the
+    #: engine (persistence format 3); ``None`` disables checkpointing
+    checkpoint_path: Optional[str] = None
+    #: checkpoint after every N applied deposits (0 = shutdown only)
+    checkpoint_every: int = 0
+    #: how long graceful shutdown waits for open connections to finish
+    #: their in-flight request before cancelling them, seconds
+    shutdown_grace: float = 1.0
+
+
+class _WriteOp:
+    """One queued write: kind, parsed payload, and the future the HTTP
+    handler awaits."""
+
+    __slots__ = ("kind", "payload", "future")
+
+    def __init__(self, kind: str, payload: Any, future: "asyncio.Future"):
+        self.kind = kind
+        self.payload = payload
+        self.future = future
+
+
+class ReproService:
+    """The serve-mode daemon; see the module docstring for semantics.
+
+    Drive it from an event loop (``await service.start()`` / ``await
+    service.stop()``) or through
+    :class:`~repro.serve.runner.ServiceRunner`, which owns a loop on a
+    background thread.
+    """
+
+    def __init__(
+        self,
+        source: "XMLSource",
+        config: ServeConfig = ServeConfig(),
+        tracer: Optional[Tracer] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self.source = source
+        self.config = config
+        self.tracer = tracer or NULL_TRACER
+        self.registry = registry or MetricsRegistry()
+        self.holder = SnapshotHolder()
+        #: warnings surfaced by checkpoint writes (``warnings.WarningMessage``)
+        self.store_warnings: List[warnings.WarningMessage] = []
+        #: completed checkpoint writes
+        self.checkpoints = 0
+        self.port: Optional[int] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._write_queue: Optional["asyncio.Queue[_WriteOp]"] = None
+        self._write_gate: Optional[asyncio.Event] = None
+        self._writer_task: Optional["asyncio.Task"] = None
+        self._writer_executor: Optional[ThreadPoolExecutor] = None
+        self._reader_executor: Optional[ThreadPoolExecutor] = None
+        self._reader_local = threading.local()
+        self._connections: set = set()
+        self._closing = False
+        self._inflight = 0
+        #: write ops admitted but not yet applied — the admission bound
+        #: (an op the writer has dequeued but not finished still counts,
+        #: so ``queue_limit`` is exact, not queue-position-dependent)
+        self._pending_writes = 0
+        #: total writes applied, in application order (the serialization
+        #: witness every write response carries as ``applied_index``)
+        self._applied = 0
+        self._writes_since_checkpoint = 0
+        self._last_classification = None
+        self._routes: Dict[Tuple[str, str], Callable] = {
+            ("GET", "/healthz"): self._handle_healthz,
+            ("GET", "/metrics"): self._handle_metrics,
+            ("POST", "/classify"): self._handle_classify,
+            ("POST", "/deposit"): self._handle_deposit,
+            ("POST", "/evolve"): self._handle_evolve,
+            ("POST", "/drain"): self._handle_drain,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Publish the initial snapshot, start the writer, bind the
+        socket.  The bound port lands on :attr:`port`."""
+        if self._server is not None:
+            raise RuntimeError("service already started")
+        self._loop = asyncio.get_running_loop()
+        self._init_instruments()
+        self._publish_metrics(self.holder.refresh_from(self.source))
+        # unbounded on purpose: admission is enforced by the
+        # _pending_writes counter, which also covers the op the writer
+        # has dequeued but not yet applied
+        self._write_queue = asyncio.Queue()
+        self._write_gate = asyncio.Event()
+        self._write_gate.set()
+        self._writer_executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-writer"
+        )
+        self._reader_executor = ThreadPoolExecutor(
+            max_workers=max(1, self.config.reader_threads),
+            thread_name_prefix="repro-serve-reader",
+        )
+        # the engine announces classification results and evolutions on
+        # its bus; the writer thread is the only emitter, so these
+        # handlers never race
+        self.source.events.subscribe(DocumentClassified, self._remember_classification)
+        self.source.events.subscribe(EvolutionFinished, self._count_evolution)
+        self._writer_task = self._loop.create_task(self._writer_loop())
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        logger.info(
+            "repro serve listening on %s:%d (snapshot v%d, dtds=%s)",
+            self.config.host, self.port,
+            self.holder.version, list(self.holder.current.dtd_names),
+        )
+
+    async def stop(self) -> None:
+        """Graceful shutdown: refuse new writes, drain every accepted
+        one, give open connections a grace period, checkpoint, release
+        the pools.  Idempotent."""
+        if self._server is None:
+            return
+        self._closing = True
+        self.source.events.unsubscribe(
+            DocumentClassified, self._remember_classification
+        )
+        self.source.events.unsubscribe(EvolutionFinished, self._count_evolution)
+        server, self._server = self._server, None
+        server.close()
+        await server.wait_closed()
+        # a suspended writer must resume, or accepted ops would hang
+        self._write_gate.set()
+        await self._write_queue.join()
+        self._writer_task.cancel()
+        try:
+            await self._writer_task
+        except asyncio.CancelledError:
+            pass
+        if self._connections:
+            done, pending = await asyncio.wait(
+                list(self._connections), timeout=self.config.shutdown_grace
+            )
+            for task in pending:
+                task.cancel()
+        await self._loop.run_in_executor(self._writer_executor, self._checkpoint)
+        self._writer_executor.shutdown(wait=True)
+        self._reader_executor.shutdown(wait=True)
+        logger.info(
+            "repro serve stopped (%d writes applied, %d checkpoints)",
+            self._applied, self.checkpoints,
+        )
+
+    def suspend_writes(self) -> None:
+        """Hold the writer loop (queued ops wait; admission control
+        still applies).  Thread-safe once started."""
+        self._loop.call_soon_threadsafe(self._write_gate.clear)
+
+    def resume_writes(self) -> None:
+        """Release a suspended writer loop.  Thread-safe once started."""
+        self._loop.call_soon_threadsafe(self._write_gate.set)
+
+    @property
+    def applied_writes(self) -> int:
+        """Total write ops applied so far."""
+        return self._applied
+
+    # ------------------------------------------------------------------
+    # Metrics plumbing
+    # ------------------------------------------------------------------
+
+    def _init_instruments(self) -> None:
+        """Pre-create every instrument the writer/reader threads touch,
+        so the registry's get-or-create map is only ever mutated on the
+        event-loop thread."""
+        registry = self.registry
+        self._queue_gauge = registry.gauge(
+            "repro_serve_queue_depth",
+            "write ops admitted but not yet applied by the single writer",
+        )
+        self._inflight_gauge = registry.gauge(
+            "repro_serve_inflight", "requests currently admitted"
+        )
+        self._version_gauge = registry.gauge(
+            "repro_serve_snapshot_version", "current MVCC snapshot version"
+        )
+        self._publish_counter = registry.counter(
+            "repro_serve_snapshot_publishes_total", "snapshot versions published"
+        )
+        self._deposit_counter = registry.counter(
+            "repro_serve_deposits_applied_total", "deposits applied by the writer"
+        )
+        self._evolution_counter = registry.counter(
+            "repro_serve_evolutions_total", "evolutions adopted while serving"
+        )
+        self._store_warning_counter = registry.counter(
+            "repro_serve_store_warnings_total",
+            "store warnings surfaced by checkpoint writes",
+        )
+
+    def _publish_metrics(self, snapshot: ServeSnapshot) -> None:
+        self._version_gauge.set(snapshot.version)
+        self._publish_counter.set_to(self.holder.publishes)
+
+    def _remember_classification(self, event: DocumentClassified) -> None:
+        self._last_classification = event.result
+
+    def _count_evolution(self, event: EvolutionFinished) -> None:
+        self._evolution_counter.inc()
+
+    def _observe_request(
+        self, method: str, path: str, status: int, start_ns: int, end_ns: int
+    ) -> None:
+        self.registry.counter(
+            "repro_serve_requests_total", "requests by endpoint and status",
+            endpoint=path, status=str(status),
+        ).inc()
+        self.registry.histogram(
+            "repro_serve_request_seconds", "request latency by endpoint",
+            endpoint=path,
+        ).observe((end_ns - start_ns) / 1e9)
+        if self.tracer.enabled:
+            # a synthetic single-span record spliced in from the loop
+            # thread — the tracer's stack discipline is never touched by
+            # interleaved requests
+            self.tracer.splice(
+                [(1, None, f"request.{path}", start_ns, end_ns, {})],
+                parent_id=None,
+                method=method,
+                status=status,
+            )
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _on_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        try:
+            while True:
+                try:
+                    request = await http.read_request(reader)
+                except http.HttpError as error:
+                    writer.write(http.error_response(error, keep_alive=False))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                keep_alive = request.keep_alive and not self._closing
+                response = await self._dispatch(request, keep_alive)
+                writer.write(response)
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _dispatch(self, request: http.Request, keep_alive: bool) -> bytes:
+        start_ns = time.perf_counter_ns()
+        admitted = False
+        try:
+            handler = self._routes.get((request.method, request.path))
+            if handler is None:
+                if any(path == request.path for _, path in self._routes):
+                    raise http.HttpError(
+                        405, f"method {request.method} not allowed on {request.path}"
+                    )
+                raise http.HttpError(404, f"no such endpoint {request.path}")
+            if handler not in (self._handle_healthz, self._handle_metrics):
+                if self._inflight >= self.config.max_inflight:
+                    raise self._too_busy("max in-flight requests reached")
+                self._inflight += 1
+                self._inflight_gauge.set(self._inflight)
+                admitted = True
+            status, response = await handler(request, keep_alive)
+        except http.HttpError as error:
+            status, response = error.status, http.error_response(error, keep_alive)
+        except Exception:
+            logger.exception(
+                "unhandled error on %s %s", request.method, request.path
+            )
+            error = http.HttpError(500, "internal server error")
+            status, response = 500, http.error_response(error, keep_alive)
+        finally:
+            if admitted:
+                self._inflight -= 1
+                self._inflight_gauge.set(self._inflight)
+        self._observe_request(
+            request.method, request.path, status, start_ns, time.perf_counter_ns()
+        )
+        return response
+
+    def _too_busy(self, message: str) -> http.HttpError:
+        return http.HttpError(
+            429, message,
+            headers=[("Retry-After", str(max(1, self.config.retry_after)))],
+        )
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+
+    def _classifier_for(self, snapshot: ServeSnapshot):
+        """The calling reader thread's classifier for this snapshot
+        (rebuilt from the pickled bytes at most once per fingerprint per
+        thread, small LRU)."""
+        cache = getattr(self._reader_local, "classifiers", None)
+        if cache is None:
+            cache = OrderedDict()
+            self._reader_local.classifiers = cache
+        classifier = cache.get(snapshot.fingerprint)
+        if classifier is None:
+            classifier = pickle.loads(snapshot.payload).build_classifier()
+            cache[snapshot.fingerprint] = classifier
+            while len(cache) > _READER_CACHE_SIZE:
+                cache.popitem(last=False)
+        else:
+            cache.move_to_end(snapshot.fingerprint)
+        return classifier
+
+    def _classify_against(self, snapshot: ServeSnapshot, xml: str) -> Dict[str, Any]:
+        """Reader-thread body: parse, classify against the frozen epoch,
+        stamp the response with that epoch's version."""
+        document = parse_document(xml)
+        result = self._classifier_for(snapshot).classify(document)
+        return {
+            "snapshot_version": snapshot.version,
+            "fingerprint": snapshot.fingerprint,
+            "dtd_names": list(snapshot.dtd_names),
+            "sigma": snapshot.sigma,
+            "dtd": result.dtd_name,
+            "similarity": result.similarity,
+            "accepted": result.accepted,
+            "ranking": [[name, similarity] for name, similarity in result.ranking],
+        }
+
+    async def _handle_classify(self, request, keep_alive) -> Tuple[int, bytes]:
+        xml = self._xml_field(http.json_body(request))
+        snapshot = self.holder.current  # the lock-free epoch read
+        try:
+            body = await self._loop.run_in_executor(
+                self._reader_executor, self._classify_against, snapshot, xml
+            )
+        except Exception as error:
+            raise http.HttpError(400, f"unclassifiable document: {error}")
+        return 200, http.json_response(200, body, keep_alive=keep_alive)
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+
+    async def _submit_write(self, kind: str, payload: Any) -> Dict[str, Any]:
+        """Admission-controlled entry to the single-writer queue."""
+        if self._closing:
+            raise http.HttpError(503, "service is shutting down")
+        if self._pending_writes >= self.config.queue_limit:
+            self.registry.counter(
+                "repro_serve_rejections_total", "writes refused by admission control",
+                endpoint=f"/{kind}", reason="queue_full",
+            ).inc()
+            raise self._too_busy(
+                f"write queue full ({self.config.queue_limit} ops waiting)"
+            )
+        self._pending_writes += 1
+        self._queue_gauge.set(self._pending_writes)
+        future = self._loop.create_future()
+        self._write_queue.put_nowait(_WriteOp(kind, payload, future))
+        return await future
+
+    async def _writer_loop(self) -> None:
+        while True:
+            op = await self._write_queue.get()
+            # gate check *after* dequeue: a suspended writer holds the
+            # op un-applied (it still counts against queue_limit), so
+            # suspension never lets an extra write sneak past admission
+            await self._write_gate.wait()
+            try:
+                result = await self._loop.run_in_executor(
+                    self._writer_executor, self._apply_write, op
+                )
+                if not op.future.done():
+                    op.future.set_result(result)
+            except Exception as error:  # surfaced to the waiting handler
+                if not op.future.done():
+                    op.future.set_exception(error)
+            finally:
+                self._pending_writes -= 1
+                self._queue_gauge.set(self._pending_writes)
+                self._write_queue.task_done()
+
+    def _apply_write(self, op: _WriteOp) -> Dict[str, Any]:
+        """Writer-thread body: apply one op to the engine, refresh the
+        snapshot, stamp the serialization witness."""
+        source = self.source
+        if op.kind == "deposit":
+            outcome = source.process(op.payload)
+            result = outcome.as_json()
+            classification = self._last_classification
+            if classification is not None:
+                result["ranking"] = [
+                    [name, similarity]
+                    for name, similarity in classification.ranking
+                ]
+            self._deposit_counter.inc()
+            self._writes_since_checkpoint += 1
+            if (
+                self.config.checkpoint_every
+                and self._writes_since_checkpoint >= self.config.checkpoint_every
+            ):
+                self._checkpoint()
+        elif op.kind == "evolve":
+            event = source.evolve_now(op.payload)
+            result = {
+                "dtd": event.dtd_name,
+                "documents_recorded": event.documents_recorded,
+                "activation_score": event.activation_score,
+                "recovered": event.recovered_from_repository,
+                "changed": sorted(event.result.changed_declarations()),
+                "new_dtd": serialize_dtd(event.result.new_dtd),
+            }
+        elif op.kind == "drain":
+            result = {"recovered": source.pipeline.drain()}
+        else:  # pragma: no cover - routes only enqueue known kinds
+            raise ValueError(f"unknown write op {op.kind!r}")
+        self._applied += 1
+        snapshot = self.holder.refresh_from(source)
+        self._publish_metrics(snapshot)
+        result["applied_index"] = self._applied
+        result["snapshot_version"] = snapshot.version
+        return result
+
+    async def _handle_deposit(self, request, keep_alive) -> Tuple[int, bytes]:
+        xml = self._xml_field(http.json_body(request))
+        try:
+            document = parse_document(xml)
+        except Exception as error:
+            raise http.HttpError(400, f"unparsable document: {error}")
+        body = await self._submit_write("deposit", document)
+        return 200, http.json_response(200, body, keep_alive=keep_alive)
+
+    async def _handle_evolve(self, request, keep_alive) -> Tuple[int, bytes]:
+        payload = http.json_body(request)
+        name = payload.get("dtd") if isinstance(payload, dict) else None
+        if not isinstance(name, str):
+            raise http.HttpError(400, 'expected a JSON body like {"dtd": "name"}')
+        if name not in self.holder.current.dtd_names:
+            raise http.HttpError(404, f"no DTD named {name!r}")
+        body = await self._submit_write("evolve", name)
+        return 200, http.json_response(200, body, keep_alive=keep_alive)
+
+    async def _handle_drain(self, request, keep_alive) -> Tuple[int, bytes]:
+        body = await self._submit_write("drain", None)
+        return 200, http.json_response(200, body, keep_alive=keep_alive)
+
+    @staticmethod
+    def _xml_field(payload: Any) -> str:
+        xml = payload.get("xml") if isinstance(payload, dict) else None
+        if not isinstance(xml, str) or not xml.strip():
+            raise http.HttpError(400, 'expected a JSON body like {"xml": "<a>...</a>"}')
+        return xml
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def _checkpoint(self) -> None:
+        """Snapshot the engine to ``checkpoint_path`` (format 3),
+        surfacing — never swallowing — any warning the store raises."""
+        path = self.config.checkpoint_path
+        if not path:
+            return
+        from repro.core.persistence import save_source
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            save_source(self.source, path)
+        self._writes_since_checkpoint = 0
+        self.checkpoints += 1
+        for caught_warning in caught:
+            self.store_warnings.append(caught_warning)
+            self._store_warning_counter.inc()
+            logger.warning(
+                "checkpoint %s: %s: %s",
+                path,
+                caught_warning.category.__name__,
+                caught_warning.message,
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection endpoints
+    # ------------------------------------------------------------------
+
+    async def _handle_healthz(self, request, keep_alive) -> Tuple[int, bytes]:
+        snapshot = self.holder.current
+        body = {
+            "status": "closing" if self._closing else "ok",
+            "snapshot_version": snapshot.version,
+            "fingerprint": snapshot.fingerprint,
+            "dtd_names": list(snapshot.dtd_names),
+            "queue_depth": self._pending_writes,
+            "inflight": self._inflight,
+            "applied_writes": self._applied,
+            "documents_processed": self.source.documents_processed,
+            "repository_size": len(self.source.repository),
+            "evolutions": self.source.evolution_count,
+            "checkpoints": self.checkpoints,
+            "store_warnings": len(self.store_warnings),
+        }
+        return 200, http.json_response(200, body, keep_alive=keep_alive)
+
+    async def _handle_metrics(self, request, keep_alive) -> Tuple[int, bytes]:
+        # perf counter reads are plain int loads — safe to mirror while
+        # the writer thread increments them
+        self.registry.update_from_perf(self.source.perf_snapshot())
+        self.registry.gauge(
+            "repro_event_dead_letters",
+            "Subscriber exceptions swallowed by the event bus",
+        ).set(self.source.events.dead_letters)
+        self._queue_gauge.set(self._pending_writes)
+        return 200, http.text_response(
+            200, self.registry.expose(), keep_alive=keep_alive
+        )
+
+    def __repr__(self) -> str:
+        state = "closing" if self._closing else (
+            "listening" if self._server is not None else "stopped"
+        )
+        return (
+            f"ReproService({state}, port={self.port}, "
+            f"snapshot=v{self.holder.version}, applied={self._applied})"
+        )

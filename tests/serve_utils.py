@@ -1,0 +1,129 @@
+"""Shared helpers for the serve-mode test battery.
+
+``ServeClient`` is a tiny keep-alive JSON client over ``http.client`` —
+the tests drive :class:`~repro.serve.runner.ServiceRunner` through real
+TCP sockets, not handler calls, so the HTTP layer is exercised too.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.engine import XMLSource
+from repro.core.evolution import EvolutionConfig
+from repro.generators.scenarios import figure3_dtd
+
+
+class ServeClient:
+    """One keep-alive connection to a running service."""
+
+    def __init__(self, port: int, timeout: float = 30.0):
+        self.conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+
+    def request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Tuple[int, Dict[str, str], Any]:
+        """Returns ``(status, headers, body)`` with JSON bodies parsed."""
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        self.conn.request(method, path, body=body, headers=headers)
+        response = self.conn.getresponse()
+        raw = response.read()
+        header_map = {key.lower(): value for key, value in response.getheaders()}
+        if header_map.get("connection", "").lower() == "close":
+            self.conn.close()  # server asked; reconnect lazily next call
+        content_type = header_map.get("content-type", "")
+        parsed = (
+            json.loads(raw.decode("utf-8"))
+            if "json" in content_type
+            else raw.decode("utf-8")
+        )
+        return response.status, header_map, parsed
+
+    def get(self, path: str) -> Tuple[int, Dict[str, str], Any]:
+        return self.request("GET", path)
+
+    def post(
+        self, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Tuple[int, Dict[str, str], Any]:
+        return self.request("POST", path, payload if payload is not None else {})
+
+    def close(self) -> None:
+        self.conn.close()
+
+
+def figure3_source(store=None, auto_evolve: bool = True, **config_overrides) -> XMLSource:
+    """A fresh Figure-3 source with the serve-battery's canonical config
+    (sigma=0.3, tau=0.05, min_documents=3 — evolutions happen quickly)."""
+    config = EvolutionConfig(
+        sigma=0.3, tau=0.05, min_documents=3, **config_overrides
+    )
+    return XMLSource([figure3_dtd()], config, auto_evolve=auto_evolve, store=store)
+
+
+def wait_until(predicate, timeout: float = 10.0, interval: float = 0.01) -> None:
+    """Poll ``predicate`` until truthy (AssertionError on timeout)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise AssertionError(f"condition not reached within {timeout}s: {predicate}")
+
+
+def post_with_retry(
+    client: ServeClient,
+    path: str,
+    payload: Dict[str, Any],
+    timeout: float = 30.0,
+) -> Tuple[int, Dict[str, str], Any]:
+    """POST, retrying on 429 backpressure until accepted (or timeout)."""
+    deadline = time.monotonic() + timeout
+    while True:
+        status, headers, body = client.post(path, payload)
+        if status != 429 or time.monotonic() >= deadline:
+            return status, headers, body
+        time.sleep(min(0.05, float(headers.get("retry-after", 1))))
+
+
+def evolution_log_digest(source: XMLSource) -> List[tuple]:
+    """The evolution log as comparable value tuples (new DTDs serialized,
+    changed declarations sorted) — what the differential tests equate."""
+    from repro.dtd.serializer import serialize_dtd
+
+    return [
+        (
+            event.dtd_name,
+            event.documents_recorded,
+            event.activation_score,
+            event.recovered_from_repository,
+            sorted(event.result.changed_declarations()),
+            serialize_dtd(event.result.new_dtd),
+        )
+        for event in source.evolution_log
+    ]
+
+
+def final_state_digest(source: XMLSource) -> Dict[str, Any]:
+    """Terminal engine state as comparable values: every DTD serialized,
+    the repository's documents serialized in insertion order, and the
+    processed/evolution counters."""
+    from repro.dtd.serializer import serialize_dtd
+    from repro.xmltree.serializer import serialize_document
+
+    return {
+        "dtds": {
+            name: serialize_dtd(source.dtd(name)) for name in source.dtd_names()
+        },
+        "repository": [
+            serialize_document(document) for document in source.repository
+        ],
+        "documents_processed": source.documents_processed,
+        "evolutions": source.evolution_count,
+    }

@@ -1,0 +1,381 @@
+"""Concurrency semantics of serve mode.
+
+Four properties, each probed over real sockets with racing threads:
+
+1. **Snapshot isolation** — a classify response reflects exactly one
+   published epoch, never a mix of DTD versions, and carries that
+   epoch's version stamp.
+2. **Writer serialization** — racing deposits apply in *some* strict
+   total order: every response's ``applied_index`` is unique and the
+   set is contiguous.
+3. **Backpressure** — a full write queue answers 429 with a
+   ``Retry-After`` hint instead of queueing unboundedly.
+4. **Graceful shutdown** — every *accepted* write completes before the
+   service stops, the final checkpoint reflects it, and a disk-backed
+   store survives for crash-resume.
+
+Plus the store-warning regression: checkpoints surface (never swallow)
+the ``store_kind()`` unknown-backend ``RuntimeWarning``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.classification.stores import MemoryStore, SqliteStore
+from repro.core.persistence import load_source
+from repro.serve import ServeConfig, ServiceRunner
+from repro.xmltree.serializer import serialize_document
+
+from tests.serve_utils import (
+    ServeClient,
+    figure3_source,
+    post_with_retry,
+    wait_until,
+)
+
+PROBE = "<a><b>x</b><c>y</c><d>z</d><d>z</d></a>"
+
+
+def _suspended(runner):
+    """Clear the write gate *and confirm it ran on the loop* before
+    returning (``suspend_writes`` alone only schedules the clear)."""
+
+    async def clear():
+        runner.service._write_gate.clear()
+
+    runner.submit(clear()).result(timeout=5)
+
+
+# ----------------------------------------------------------------------
+# 1. Snapshot isolation
+# ----------------------------------------------------------------------
+
+def test_classify_sees_exactly_one_epoch():
+    """Concurrent classify responses during an evolution each match one
+    of the two epoch states exactly — never a blend — and the version
+    stamp identifies which."""
+    source = figure3_source(auto_evolve=False)
+    try:
+        with ServiceRunner(source, ServeConfig(reader_threads=4)) as runner:
+            setup = ServeClient(runner.port)
+            for doc in [
+                "<a><b>x</b><c>y</c><d>z</d></a>",
+                "<a><b>x</b><c>y</c><d>z</d><d>z</d></a>",
+                "<a><b>x</b><b>x</b><c>y</c><d>z</d></a>",
+            ] * 2:
+                status, _, _ = setup.post("/deposit", {"xml": doc})
+                assert status == 200
+            status, _, before = setup.post("/classify", {"xml": PROBE})
+            assert status == 200
+
+            responses = []
+            lock = threading.Lock()
+            saw_after = threading.Event()
+            stop = threading.Event()
+
+            def reader():
+                client = ServeClient(runner.port)
+                try:
+                    while not stop.is_set():
+                        status, _, body = client.post("/classify", {"xml": PROBE})
+                        assert status == 200
+                        with lock:
+                            responses.append(body)
+                        if body["snapshot_version"] > before["snapshot_version"]:
+                            saw_after.set()
+                finally:
+                    client.close()
+
+            threads = [threading.Thread(target=reader) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            status, _, evolved = setup.post("/evolve", {"dtd": "figure3"})
+            assert status == 200
+            # keep reading until every epoch has demonstrably been seen
+            wait_until(saw_after.is_set, timeout=10)
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10)
+            status, _, after = setup.post("/classify", {"xml": PROBE})
+            assert status == 200
+            setup.close()
+
+        # the evolution genuinely changed the probe's classification, so
+        # "matches one epoch exactly" below is a real distinction
+        assert before["similarity"] != after["similarity"]
+        assert after["snapshot_version"] == evolved["snapshot_version"]
+        assert after["snapshot_version"] > before["snapshot_version"]
+
+        seen_versions = set()
+        for body in responses:
+            assert body in (before, after), (
+                f"response mixes epochs: {body}\n"
+                f"  epoch {before['snapshot_version']}: {before}\n"
+                f"  epoch {after['snapshot_version']}: {after}"
+            )
+            seen_versions.add(body["snapshot_version"])
+        assert seen_versions == {
+            before["snapshot_version"], after["snapshot_version"]
+        }
+    finally:
+        source.close()
+
+
+# ----------------------------------------------------------------------
+# 2. Writer serialization
+# ----------------------------------------------------------------------
+
+def test_racing_deposits_apply_in_a_strict_total_order():
+    source = figure3_source()
+    threads_n, per_thread = 4, 10
+    try:
+        with ServiceRunner(source, ServeConfig()) as runner:
+            indices = []
+            lock = threading.Lock()
+
+            def depositor(worker):
+                client = ServeClient(runner.port)
+                try:
+                    for i in range(per_thread):
+                        xml = f"<alien><w>{worker}</w><i>{i}</i></alien>"
+                        status, _, body = post_with_retry(
+                            client, "/deposit", {"xml": xml}
+                        )
+                        assert status == 200, body
+                        with lock:
+                            indices.append(body["applied_index"])
+                finally:
+                    client.close()
+
+            threads = [
+                threading.Thread(target=depositor, args=(w,))
+                for w in range(threads_n)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+
+        total = threads_n * per_thread
+        # unique and contiguous: the single writer imposed a total order
+        assert sorted(indices) == list(range(1, total + 1))
+        assert source.documents_processed == total
+        # aliens never classify, so they all sit in the repository
+        assert len(source.repository) == total
+    finally:
+        source.close()
+
+
+# ----------------------------------------------------------------------
+# 3. Backpressure
+# ----------------------------------------------------------------------
+
+def test_full_write_queue_answers_429_with_retry_after():
+    source = figure3_source()
+    queue_limit = 2
+    try:
+        with ServiceRunner(
+            source, ServeConfig(queue_limit=queue_limit, retry_after=3)
+        ) as runner:
+            _suspended(runner)
+
+            statuses = []
+            lock = threading.Lock()
+
+            def blocked_deposit(i):
+                client = ServeClient(runner.port, timeout=60)
+                try:
+                    status, _, _ = client.post(
+                        "/deposit", {"xml": f"<alien><x>{i}</x></alien>"}
+                    )
+                    with lock:
+                        statuses.append(status)
+                finally:
+                    client.close()
+
+            # a suspended writer applies nothing, so exactly queue_limit
+            # deposits are admitted; every further one must reject
+            blocked = [
+                threading.Thread(target=blocked_deposit, args=(i,))
+                for i in range(queue_limit)
+            ]
+            for thread in blocked:
+                thread.start()
+
+            probe = ServeClient(runner.port)
+            wait_until(
+                lambda: probe.get("/healthz")[2]["queue_depth"] == queue_limit
+            )
+            status, headers, body = probe.post(
+                "/deposit", {"xml": "<alien><x>late</x></alien>"}
+            )
+            assert status == 429
+            assert int(headers["retry-after"]) == 3
+            assert "queue full" in body["error"]
+            # reads stay available under write backpressure
+            assert probe.post("/classify", {"xml": PROBE})[0] == 200
+            status, _, metrics = probe.get("/metrics")
+            assert status == 200
+            assert 'repro_serve_rejections_total{endpoint="/deposit"' in metrics
+
+            runner.service.resume_writes()
+            for thread in blocked:
+                thread.join(timeout=30)
+            probe.close()
+            assert statuses == [200] * queue_limit
+        assert source.documents_processed == queue_limit
+    finally:
+        source.close()
+
+
+# ----------------------------------------------------------------------
+# 4. Graceful shutdown
+# ----------------------------------------------------------------------
+
+def test_graceful_shutdown_loses_no_accepted_deposit(tmp_path):
+    """Deposits queued behind a suspended writer still apply during
+    shutdown, land in the final checkpoint, and persist in the sqlite
+    file even without a clean store close (crash-resume)."""
+    db_path = str(tmp_path / "repository.db")
+    checkpoint = str(tmp_path / "state.json")
+    source = figure3_source(store=SqliteStore(db_path))
+    runner = ServiceRunner(
+        source, ServeConfig(checkpoint_path=checkpoint, shutdown_grace=5.0)
+    ).start()
+    try:
+        client = ServeClient(runner.port)
+        for i in range(3):
+            status, _, _ = client.post("/deposit", {"xml": f"<alien><x>{i}</x></alien>"})
+            assert status == 200
+
+        _suspended(runner)
+        results = []
+        lock = threading.Lock()
+
+        def late_deposit(i):
+            late = ServeClient(runner.port, timeout=60)
+            try:
+                status, _, body = late.post(
+                    "/deposit", {"xml": f"<alien><late>{i}</late></alien>"}
+                )
+                with lock:
+                    results.append((status, body))
+            finally:
+                late.close()
+
+        late_threads = [
+            threading.Thread(target=late_deposit, args=(i,)) for i in range(3)
+        ]
+        for thread in late_threads:
+            thread.start()
+        # all three are admitted (suspended writer applies none of them)
+        wait_until(lambda: client.get("/healthz")[2]["queue_depth"] == 3)
+        client.close()
+    finally:
+        runner.stop()  # graceful: drains the queued deposits
+    for thread in late_threads:
+        thread.join(timeout=30)
+
+    # every accepted-but-suspended deposit completed with a real result
+    assert [status for status, _ in results] == [200, 200, 200]
+    assert {body["applied_index"] for _, body in results} == {4, 5, 6}
+    assert source.documents_processed == 6
+    assert runner.service.checkpoints == 1
+
+    # the final checkpoint saw all six documents
+    restored = load_source(checkpoint)
+    try:
+        assert restored.documents_processed == 6
+        assert len(restored.repository) == 6
+    finally:
+        restored.close()
+
+    # crash-resume: the sqlite file itself retains every deposit even
+    # though the store was never close()d by the service
+    resumed = SqliteStore(db_path)
+    try:
+        assert len(resumed) == 6
+        tails = [doc.root.tag for doc in resumed]
+        assert tails == ["alien"] * 6
+    finally:
+        resumed.close()
+    source.close()
+
+
+# ----------------------------------------------------------------------
+# Store-warning surfacing (regression)
+# ----------------------------------------------------------------------
+
+class _ThirdPartyStore:
+    """An unknown backend: delegates to a MemoryStore without being one
+    (``store_kind()`` must warn, not guess)."""
+
+    def __init__(self):
+        self._inner = MemoryStore()
+
+    def add(self, document):
+        self._inner.add(document)
+
+    def __len__(self):
+        return len(self._inner)
+
+    def __iter__(self):
+        return iter(self._inner)
+
+    def drain(self, accepts=None):
+        return self._inner.drain(accepts)
+
+    def clear(self):
+        self._inner.clear()
+
+
+def test_checkpoint_surfaces_unknown_store_warning(tmp_path):
+    """A checkpoint over an unknown store backend records the snapshot
+    as 'memory' AND surfaces the RuntimeWarning: kept on
+    ``service.store_warnings``, counted in the metrics registry,
+    visible on /healthz — never swallowed."""
+    checkpoint = str(tmp_path / "state.json")
+    source = figure3_source(store=_ThirdPartyStore())
+    try:
+        with ServiceRunner(
+            source,
+            ServeConfig(checkpoint_path=checkpoint, checkpoint_every=1),
+        ) as runner:
+            client = ServeClient(runner.port)
+            status, _, _ = client.post(
+                "/deposit", {"xml": "<alien><x>0</x></alien>"}
+            )
+            assert status == 200
+            # checkpoint_every=1 → the deposit already checkpointed
+            service = runner.service
+            assert service.checkpoints == 1
+            assert len(service.store_warnings) == 1
+            warning = service.store_warnings[0]
+            assert warning.category is RuntimeWarning
+            assert "unknown document-store backend" in str(warning.message)
+
+            status, _, health = client.get("/healthz")
+            assert health["store_warnings"] == 1
+            status, _, metrics = client.get("/metrics")
+            assert "repro_serve_store_warnings_total 1" in metrics
+            client.close()
+
+        # shutdown checkpointed once more, surfacing the warning again
+        assert runner.service.checkpoints == 2
+        assert len(runner.service.store_warnings) == 2
+
+        # the snapshot fell back to 'memory' and still carries the data
+        restored = load_source(checkpoint)
+        try:
+            assert isinstance(restored.repository.store, MemoryStore)
+            assert len(restored.repository) == 1
+            assert [serialize_document(d) for d in restored.repository] == [
+                serialize_document(d) for d in source.repository
+            ]
+        finally:
+            restored.close()
+    finally:
+        source.close()

@@ -1,0 +1,227 @@
+"""Differential harness: served traffic is bit-identical to batch runs.
+
+The same interleaved op sequence — deposits, classify probes, a forced
+evolution, a standalone drain — is driven once through a running
+:class:`~repro.serve.runner.ServiceRunner` over real HTTP and once
+through a fresh batch :class:`~repro.core.engine.XMLSource`.  Every
+response must equal the batch result *exactly*: same DTD choices, same
+float similarities (JSON round-trips floats bit-exactly), same rankings,
+same evolution log (including the evolved DTDs' serializations), same
+repository contents in the same drain order.
+
+This is the serve-mode analogue of ``test_parallel_differential.py``:
+the single-writer queue imposes the same total order a batch
+``process_many`` would, so nothing may diverge.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.generators.scenarios import figure3_workload
+from repro.pipeline.events import DocumentClassified
+from repro.serve import ServeConfig, ServiceRunner
+from repro.xmltree.parser import parse_document
+from repro.xmltree.serializer import serialize_document
+
+from tests.serve_utils import (
+    ServeClient,
+    evolution_log_digest,
+    figure3_source,
+    final_state_digest,
+)
+
+
+def _workload_ops():
+    """A deterministic interleaved op sequence over the Figure-3 drift
+    families plus alien documents no DTD describes (they must survive in
+    the repository, in deposit order, until drained)."""
+    documents = [
+        serialize_document(doc, xml_declaration=False)
+        for doc in figure3_workload(count_d1=8, count_d2=8, seed=7)
+    ]
+    aliens = [f"<alien><x>{i}</x><x>{i}</x></alien>" for i in range(3)]
+    probe = "<a><b>x</b><c>y</c><d>z</d><d>z</d></a>"
+    ops = []
+    for index, xml in enumerate(documents):
+        ops.append(("deposit", xml))
+        if index % 3 == 2:
+            ops.append(("classify", probe))
+        if index == 4:
+            ops.append(("deposit", aliens[0]))
+        if index == 5:
+            ops.append(("evolve", "figure3"))
+        if index == 10:
+            ops.append(("deposit", aliens[1]))
+            ops.append(("deposit", aliens[2]))
+    ops.append(("classify", probe))
+    ops.append(("drain", None))
+    return ops
+
+
+def _run_served(source, ops):
+    """Drive the op sequence over HTTP; returns per-op response bodies
+    (write-only bookkeeping fields stripped for comparison)."""
+    responses = []
+    with ServiceRunner(source, ServeConfig()) as runner:
+        client = ServeClient(runner.port)
+        try:
+            for kind, arg in ops:
+                if kind == "deposit" or kind == "classify":
+                    status, _, body = client.post(f"/{kind}", {"xml": arg})
+                elif kind == "evolve":
+                    status, _, body = client.post("/evolve", {"dtd": arg})
+                else:
+                    status, _, body = client.post("/drain")
+                assert status == 200, f"{kind} failed: {body}"
+                for key in ("applied_index", "snapshot_version", "fingerprint",
+                            "dtd_names", "sigma"):
+                    body.pop(key, None)
+                responses.append(body)
+        finally:
+            client.close()
+    return responses
+
+
+def _run_batch(source, ops):
+    """Replay the same ops directly on a batch engine, shaping each
+    result exactly like the serve wire format (via one JSON round-trip,
+    which is float-exact)."""
+    last = {}
+
+    def remember(event):
+        last["result"] = event.result
+
+    source.events.subscribe(DocumentClassified, remember)
+    responses = []
+    for kind, arg in ops:
+        if kind == "deposit":
+            outcome = source.process(parse_document(arg))
+            body = outcome.as_json()
+            body["ranking"] = [[n, s] for n, s in last["result"].ranking]
+        elif kind == "classify":
+            result = source.classify(parse_document(arg))
+            body = {
+                "dtd": result.dtd_name,
+                "similarity": result.similarity,
+                "accepted": result.accepted,
+                "ranking": [[n, s] for n, s in result.ranking],
+            }
+        elif kind == "evolve":
+            from repro.dtd.serializer import serialize_dtd
+
+            event = source.evolve_now(arg)
+            body = {
+                "dtd": event.dtd_name,
+                "documents_recorded": event.documents_recorded,
+                "activation_score": event.activation_score,
+                "recovered": event.recovered_from_repository,
+                "changed": sorted(event.result.changed_declarations()),
+                "new_dtd": serialize_dtd(event.result.new_dtd),
+            }
+        else:
+            body = {"recovered": source.pipeline.drain()}
+        responses.append(json.loads(json.dumps(body)))
+    return responses
+
+
+@pytest.mark.parametrize("store_kind", ["memory", "sqlite"])
+def test_served_ops_bit_identical_to_batch(tmp_path, store_kind):
+    ops = _workload_ops()
+
+    def store_for(name):
+        if store_kind == "memory":
+            return None
+        from repro.classification.stores import SqliteStore
+
+        return SqliteStore(str(tmp_path / f"{name}.db"))
+
+    served_source = figure3_source(store=store_for("served"))
+    batch_source = figure3_source(store=store_for("batch"))
+    try:
+        served = _run_served(served_source, ops)
+        batch = _run_batch(batch_source, ops)
+
+        assert len(served) == len(batch)
+        for index, (kind, _) in enumerate(ops):
+            assert served[index] == batch[index], (
+                f"op {index} ({kind}) diverged:\n"
+                f"  served: {served[index]}\n  batch:  {batch[index]}"
+            )
+
+        # the engines themselves converged: same evolution history (same
+        # evolved DTDs declaration-for-declaration), same repository in
+        # the same insertion order, same counters
+        assert evolution_log_digest(served_source) == evolution_log_digest(
+            batch_source
+        )
+        assert final_state_digest(served_source) == final_state_digest(batch_source)
+        # the drift workload actually evolved something, so the equality
+        # above compared real evolutions rather than two no-ops
+        assert served_source.evolution_count >= 2
+        assert any(op[0] == "deposit" and "alien" in op[1] for op in ops)
+    finally:
+        served_source.close()
+        batch_source.close()
+
+
+def test_served_classify_is_read_only():
+    """Classify probes never perturb the engine: a served run with many
+    interleaved probes leaves the same terminal state as one without."""
+    documents = [
+        serialize_document(doc, xml_declaration=False)
+        for doc in figure3_workload(count_d1=5, count_d2=5, seed=3)
+    ]
+    probe = "<a><b>x</b><c>y</c><e>w</e></a>"
+
+    def run(probe_heavy):
+        source = figure3_source()
+        try:
+            with ServiceRunner(source, ServeConfig()) as runner:
+                client = ServeClient(runner.port)
+                try:
+                    for xml in documents:
+                        if probe_heavy:
+                            for _ in range(3):
+                                status, _, _ = client.post("/classify", {"xml": probe})
+                                assert status == 200
+                        status, _, _ = client.post("/deposit", {"xml": xml})
+                        assert status == 200
+                finally:
+                    client.close()
+            return evolution_log_digest(source), final_state_digest(source)
+        finally:
+            source.close()
+
+    assert run(probe_heavy=False) == run(probe_heavy=True)
+
+
+def test_served_error_paths_leave_engine_untouched():
+    """Malformed requests answer 4xx and apply nothing."""
+    source = figure3_source()
+    try:
+        with ServiceRunner(source, ServeConfig()) as runner:
+            client = ServeClient(runner.port)
+            try:
+                status, _, body = client.post("/deposit", {"xml": "<broken"})
+                assert status == 400 and "error" in body
+                status, _, body = client.post("/deposit", {"nope": 1})
+                assert status == 400
+                status, _, body = client.post("/evolve", {"dtd": "missing"})
+                assert status == 404
+                status, _, body = client.post("/nonsense")
+                assert status == 404
+                status, _, body = client.get("/deposit")
+                assert status == 405
+                status, _, health = client.get("/healthz")
+                assert status == 200
+                assert health["applied_writes"] == 0
+                assert health["documents_processed"] == 0
+            finally:
+                client.close()
+        assert source.documents_processed == 0
+        assert source.evolution_count == 0
+    finally:
+        source.close()

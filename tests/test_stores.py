@@ -367,3 +367,91 @@ class TestRepositoryDelegation:
         repository = Repository()
         repository.add(parse_document("<a/>"))
         assert "1 documents" in repr(repository)
+
+
+class TestUnknownBackendPersistence:
+    """End-to-end regression for the ``store_kind()`` fallback: a source
+    over an unrecognised third-party store still snapshots completely —
+    the documents inline, the kind recorded as ``memory`` — and loads
+    back into a working MemoryStore-backed source."""
+
+    class _ThirdParty:
+        """Delegates to a MemoryStore without *being* one."""
+
+        def __init__(self):
+            self._inner = MemoryStore()
+
+        def add(self, document):
+            self._inner.add(document)
+
+        def __len__(self):
+            return len(self._inner)
+
+        def __iter__(self):
+            return iter(self._inner)
+
+        def drain(self, accepts=None):
+            return self._inner.drain(accepts)
+
+        def clear(self):
+            self._inner.clear()
+
+    def test_save_load_round_trip_falls_back_to_memory(self, tmp_path):
+        from repro.core.engine import XMLSource
+        from repro.core.persistence import load_source, save_source
+        from repro.dtd.parser import parse_dtd
+
+        dtd = parse_dtd("<!ELEMENT a (b)>\n<!ELEMENT b (#PCDATA)>", name="only")
+        source = XMLSource([dtd], store=self._ThirdParty())
+        source.repository.add(parse_document("<q><r>1</r></q>"))
+        source.repository.add(parse_document("<q><r>2</r></q>"))
+        path = str(tmp_path / "snapshot.json")
+
+        with pytest.warns(RuntimeWarning, match="unknown document-store backend"):
+            save_source(source, path)
+
+        import json
+
+        with open(path, "r", encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+        assert snapshot["repository"]["store"] == "memory"
+
+        restored = load_source(path)
+        try:
+            assert isinstance(restored.repository.store, MemoryStore)
+            assert [serialize_document(d) for d in restored.repository] == [
+                serialize_document(d) for d in source.repository
+            ]
+        finally:
+            restored.close()
+        source.close()
+
+
+class TestSqliteThreadHandoff:
+    def test_connection_may_move_between_serialized_threads(self, tmp_path):
+        """Serve mode creates the store on the main thread and applies
+        every write on the single writer thread; sqlite's per-thread
+        pinning must not forbid that externally serialized handoff."""
+        import threading
+
+        store = SqliteStore(str(tmp_path / "handoff.sqlite"))
+        store.add(parse_document("<a><b>main</b></a>"))
+        failures = []
+
+        def worker():
+            try:
+                store.add(parse_document("<a><b>worker</b></a>"))
+                assert len(store) == 2
+                assert [doc.root.children[0].text() for doc in store] == [
+                    "main", "worker",
+                ]
+            except Exception as error:  # pragma: no cover - failure path
+                failures.append(error)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join(timeout=30)
+        assert failures == []
+        drained = store.drain()
+        assert len(drained) == 2
+        store.close()
