@@ -19,6 +19,10 @@ meaningful on a multi-core box, so it is marked ``unreliable`` below
 two CPUs and judged by the ``--gate-parallel`` CI gate only on four
 or more (where workers=4 must beat serial above ``GATE_MIN_DOCS``
 documents; the gate exits nonzero after writing the JSON otherwise).
+``--sharded`` builds the engines sharded and mixes in vocabulary-
+disjoint structure-only DTD families so the parallel leg measures the
+shard fan-out path (per-shard snapshots, single-shard routing) and
+asserts it actually fired.
 It then re-runs the engine batch with a live tracer (``repro.obs``),
 asserts the traced outcomes are identical, the span tree is singly
 rooted, and the traced/untraced ratio stays under 2x (the decision-10
@@ -33,9 +37,11 @@ pruned post-evolution drain at growing repository sizes against every
 document-store backend (memory, jsonl, sqlite), asserts the recovered
 documents agree everywhere and that sqlite took the indexed path, and
 records per-size drain latencies — the scan backends are linear in
-repository size, the sqlite index query is sub-linear.  The JSON
-carries ``schema_version`` 2 and a ``run_metadata`` block (python,
-platform, cpu_count, commit).
+repository size, the sqlite index query is sub-linear — plus an
+``ingestion`` subsection comparing per-row commits against one
+``add_many`` batch per backend (the sqlite batch must win by at least
+5x).  The JSON carries ``schema_version`` 2 and a ``run_metadata``
+block (python, platform, cpu_count, commit).
 """
 
 import json
@@ -219,13 +225,14 @@ def _engine_corpus(makers, per_scenario):
 GATE_MIN_DOCS = 600
 
 
-def _engine_run(dtds, documents, workers):
+def _engine_run(dtds, documents, workers, sharded=False):
     from repro.core.engine import XMLSource
     from repro.core.evolution import EvolutionConfig
 
     source = XMLSource(
         [dtd.copy() for dtd in dtds],
         EvolutionConfig(sigma=0.4, tau=0.05, min_documents=25),
+        sharded=sharded,
     )
     start = time.perf_counter()
     outcomes = source.process_many(
@@ -239,12 +246,36 @@ def _engine_run(dtds, documents, workers):
     return view, elapsed, source
 
 
-def _engine_compare(dtds, documents, workers):
+def _shard_corpus(per_dtd):
+    """Vocabulary-disjoint, text-free DTD families — the only workload
+    shape the shard screen can route to a single shard (any ``#PCDATA``
+    shard overlaps every text-bearing document), so the ``--sharded``
+    leg measures real fan-out rather than the full-snapshot fallback."""
+    dtds, documents = [], []
+    for index in range(4):
+        dtds.append(
+            parse_dtd(
+                f"<!ELEMENT r{index} (m{index}+)>"
+                f"<!ELEMENT m{index} (l{index}*)>"
+                f"<!ELEMENT l{index} EMPTY>",
+                name=f"struct{index}",
+            )
+        )
+        for doc_index in range(per_dtd):
+            leaves = f"<l{index}/>" * (doc_index % 4)
+            members = f"<m{index}>{leaves}</m{index}>" * (1 + doc_index % 3)
+            documents.append(parse_document(f"<r{index}>{members}</r{index}>"))
+    return dtds, documents
+
+
+def _engine_compare(dtds, documents, workers, sharded=False):
     from repro.parallel import wire_overhead
 
-    serial_view, serial_time, serial_source = _engine_run(dtds, documents, 0)
+    serial_view, serial_time, serial_source = _engine_run(
+        dtds, documents, 0, sharded=sharded
+    )
     parallel_view, parallel_time, parallel_source = _engine_run(
-        dtds, documents, workers
+        dtds, documents, workers, sharded=sharded
     )
     if serial_view != parallel_view:
         raise AssertionError("engine_parallel: serial and parallel outcomes diverge")
@@ -264,10 +295,20 @@ def _engine_compare(dtds, documents, workers):
         snapshot_reuses=perf["snapshot_reuses"],
         snapshot_bytes_total=perf["snapshot_bytes_total"],
     )
+    if sharded:
+        overhead.update(
+            shard_fanout_epochs=perf["shard_fanout_epochs"],
+            shard_skips=perf["shard_skips"],
+        )
+        if perf["shard_fanout_epochs"] < 1:
+            raise AssertionError(
+                "engine_parallel: sharded run never took the fan-out path"
+            )
     parallel_source.close()
     serial_source.close()
+    label = "engine_parallel" + ("/sharded" if sharded else "")
     print(
-        f"{'engine_parallel':<18} {len(documents):>4} docs   "
+        f"{label:<18} {len(documents):>4} docs   "
         f"serial {serial_time * 1000:8.1f} ms   "
         f"workers={workers} {parallel_time * 1000:8.1f} ms   "
         f"speedup {speedup:5.2f}x  (cpus {cpu_count})"
@@ -287,6 +328,7 @@ def _engine_compare(dtds, documents, workers):
         # a speedup measured without at least two real cores says
         # nothing about the driver (the seed's 0.45x was a 1-core box)
         "unreliable": cpu_count < 2,
+        "sharded": sharded,
         "evolutions": serial_source.evolution_count,
         "serial_seconds": serial_time,
         "parallel_seconds": parallel_time,
@@ -580,6 +622,72 @@ def _store_scale_compare(sizes):
     return per_kind
 
 
+def _store_ingest_compare(count):
+    """Ingestion throughput: per-row commits vs one batched window.
+
+    The sqlite backend must show the write-path win that justifies the
+    ``add_many`` contract — one transaction for the whole batch beats a
+    commit per insert by at least 5x on tiny documents (the commit is
+    the fixed cost the batch amortizes).  The jsonl numbers (flush per
+    add vs one bulk flush) are recorded without a gate: appends are
+    cheap enough that the win is real but modest.
+    """
+    import tempfile
+
+    from repro.classification.stores import JsonlStore, SqliteStore
+
+    documents = [parse_document("<a><b/></a>") for _ in range(count)]
+    entry = {"documents": count}
+    with tempfile.TemporaryDirectory() as tmp_dir:
+        slow = SqliteStore(os.path.join(tmp_dir, "perrow.sqlite"))
+        start = time.perf_counter()
+        for document in documents:
+            slow.add(document)
+        per_row = time.perf_counter() - start
+        slow.close()
+        fast = SqliteStore(os.path.join(tmp_dir, "batched.sqlite"))
+        start = time.perf_counter()
+        fast.add_many(documents)
+        batched = time.perf_counter() - start
+        if len(fast) != count:
+            raise AssertionError("store_ingest: add_many lost documents")
+        fast.close()
+        sqlite_speedup = per_row / batched if batched > 0 else float("inf")
+        entry["sqlite"] = {
+            "per_row_commit_seconds": per_row,
+            "add_many_seconds": batched,
+            "speedup": sqlite_speedup,
+        }
+
+        slow = JsonlStore(os.path.join(tmp_dir, "perrow.jsonl"))
+        start = time.perf_counter()
+        for document in documents:
+            slow.add(document)
+        per_add = time.perf_counter() - start
+        fast = JsonlStore(os.path.join(tmp_dir, "batched.jsonl"))
+        start = time.perf_counter()
+        fast.add_many(documents)
+        bulk = time.perf_counter() - start
+        if len(fast) != count:
+            raise AssertionError("store_ingest: jsonl add_many lost documents")
+        entry["jsonl"] = {
+            "per_add_seconds": per_add,
+            "add_many_seconds": bulk,
+            "speedup": per_add / bulk if bulk > 0 else float("inf"),
+        }
+    print(
+        f"{'store_ingest':<18} {count:>4} docs   "
+        f"sqlite per-row {per_row * 1000:8.1f} ms   "
+        f"add_many {batched * 1000:8.1f} ms   "
+        f"speedup {sqlite_speedup:5.1f}x"
+    )
+    if sqlite_speedup < 5.0:
+        raise AssertionError(
+            f"store_ingest: sqlite add_many speedup {sqlite_speedup:.1f}x < 5x"
+        )
+    return entry
+
+
 # ----------------------------------------------------------------------
 # Script mode: machine-readable fast-path comparison
 # ----------------------------------------------------------------------
@@ -632,6 +740,7 @@ def main(argv=None):
     smoke = "--smoke" in argv
     emit_metrics = "--emit-metrics" in argv
     gate_parallel = "--gate-parallel" in argv
+    sharded = "--sharded" in argv
     per_scenario, distinct, repeats = (2, 3, 3) if smoke else (10, 8, 25)
     dtds, makers = _five_dtds()
     workloads = {
@@ -653,15 +762,27 @@ def main(argv=None):
     # even under --smoke so the CI gate always judges a real batch
     engine_per_scenario = 125 if (gate_parallel or not smoke) else 15
     engine_corpus = _engine_corpus(makers, engine_per_scenario)
-    results["engine_parallel"] = _engine_compare(dtds, engine_corpus, workers=4)
+    engine_dtds = dtds
+    if sharded:
+        # interleave routable structure-only families so the sharded
+        # engine fans out instead of falling back on every epoch
+        import random
+
+        shard_dtds, shard_docs = _shard_corpus(per_dtd=engine_per_scenario)
+        engine_dtds = dtds + shard_dtds
+        engine_corpus = engine_corpus + shard_docs
+        random.Random(19).shuffle(engine_corpus)
+    results["engine_parallel"] = _engine_compare(
+        engine_dtds, engine_corpus, workers=4, sharded=sharded
+    )
     if gate_parallel:
         verdict = _gate_parallel(results["engine_parallel"])
         results["engine_parallel"]["gate"] = verdict
         print(f"{'gate_parallel':<18} {verdict['status']}: {verdict['reason']}")
     tracing_corpus = (
         engine_corpus
-        if not (smoke and gate_parallel)
-        else _engine_corpus(makers, 15)
+        if not (smoke and gate_parallel) and not sharded
+        else _engine_corpus(makers, 15 if smoke else engine_per_scenario)
     )
     results["tracing_overhead"] = _tracing_overhead_compare(
         dtds, tracing_corpus, emit_metrics
@@ -673,6 +794,9 @@ def main(argv=None):
     )
     scale_sizes = (64, 256) if smoke else (256, 1024, 4096)
     results["store_scale"] = _store_scale_compare(scale_sizes)
+    # not scaled down under --smoke: the 5x gate needs enough rows for
+    # the per-commit fixed cost to dominate the measurement noise
+    results["store_scale"]["ingestion"] = _store_ingest_compare(2000)
     results_dir = os.path.join(os.path.dirname(__file__), "results")
     os.makedirs(results_dir, exist_ok=True)
     path = os.path.join(results_dir, "BENCH_micro.json")

@@ -15,6 +15,9 @@ epochs published, snapshot versions monotone per thread) and writes
 round-trips/sec, per-endpoint latency digests straight from
 ``MetricsRegistry.as_dict()`` (p50/p90/p99), snapshot/epoch counters,
 and a ``run_metadata`` block, so CI archives interpretable numbers.
+A ``bulk_deposit`` section then replays the workload through one
+client twice — single ``{"xml": ...}`` posts vs ``{"documents":
+[...]}`` batches — and records both ingestion rates.
 """
 
 from __future__ import annotations
@@ -165,6 +168,64 @@ def _soak(source, documents, depositors, readers, read_seconds):
     return observations
 
 
+def _bulk_deposit_throughput(documents, batch_size):
+    """Single-client ingestion: one-document posts vs batched posts.
+
+    Each ``{"documents": [...]}`` batch is one HTTP round-trip, one
+    admission-controlled op, and one store bulk window, so the batched
+    run amortizes all three fixed costs.  Both runs must leave the
+    engine in the same place (same applied count, same evolutions) —
+    the batch path is a throughput choice, not a semantic one.
+    """
+
+    def run(batched):
+        source = XMLSource(
+            [figure3_dtd()],
+            EvolutionConfig(sigma=0.3, tau=0.05, min_documents=3),
+        )
+        try:
+            with ServiceRunner(
+                source, ServeConfig(queue_limit=QUEUE_LIMIT)
+            ) as runner:
+                client = _Client(runner.port)
+                try:
+                    start = time.perf_counter()
+                    if batched:
+                        for offset in range(0, len(documents), batch_size):
+                            chunk = documents[offset : offset + batch_size]
+                            status, _, body = client.post(
+                                "/deposit", {"documents": chunk}
+                            )
+                            assert status == 200, body
+                            assert body["deposited"] == len(chunk)
+                    else:
+                        for xml in documents:
+                            status, _, body = client.post("/deposit", {"xml": xml})
+                            assert status == 200, body
+                    elapsed = time.perf_counter() - start
+                finally:
+                    client.close()
+            return elapsed, source.evolution_count
+        finally:
+            source.close()
+
+    single_seconds, single_evolutions = run(batched=False)
+    batch_seconds, batch_evolutions = run(batched=True)
+    assert single_evolutions == batch_evolutions, (
+        "bulk deposits diverged from single deposits"
+    )
+    return {
+        "documents": len(documents),
+        "batch_size": batch_size,
+        "single_seconds": single_seconds,
+        "batched_seconds": batch_seconds,
+        "single_deposits_per_second": len(documents) / single_seconds,
+        "batched_deposits_per_second": len(documents) / batch_seconds,
+        "speedup": single_seconds / batch_seconds if batch_seconds > 0 else 0.0,
+        "evolutions": batch_evolutions,
+    }
+
+
 def main(argv=None):
     try:  # script mode (sys.path[0] = benchmarks/) vs pytest (rootdir)
         from _harness import run_metadata
@@ -231,6 +292,10 @@ def main(argv=None):
     finally:
         source.close()
 
+    results["bulk_deposit"] = _bulk_deposit_throughput(
+        documents, batch_size=16 if smoke else 32
+    )
+
     results_dir = os.path.join(os.path.dirname(__file__), "results")
     os.makedirs(results_dir, exist_ok=True)
     path = os.path.join(results_dir, "BENCH_serve.json")
@@ -240,11 +305,18 @@ def main(argv=None):
 
     throughput = results["throughput"]
     deposit_digest = latency.get('repro_serve_request_seconds{endpoint="/deposit"}', {})
+    bulk = results["bulk_deposit"]
     print(
         f"deposits/sec {throughput['deposits_per_second']:.1f}  "
         f"classifies/sec {throughput['classifies_per_second']:.1f}  "
         f"epochs {results['epochs']['snapshot_version']}  "
         f"deposit p99 {deposit_digest.get('p99', 0.0) * 1000:.2f}ms"
+    )
+    print(
+        f"bulk deposit: single {bulk['single_deposits_per_second']:.1f}/s  "
+        f"batched(x{bulk['batch_size']}) "
+        f"{bulk['batched_deposits_per_second']:.1f}/s  "
+        f"speedup {bulk['speedup']:.1f}x"
     )
     print(f"wrote {path}")
     return results

@@ -15,7 +15,8 @@ by default, spill-to-disk via
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Tuple
+from contextlib import nullcontext
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.classification.stores import (
     CandidateRow,
@@ -63,6 +64,23 @@ class Repository:
 
     def add(self, document: Document) -> None:
         self._store.add(document)
+
+    def add_many(self, documents: Iterable[Document]) -> None:
+        """Bulk deposit: one flush/transaction on capable stores, a plain
+        loop of :meth:`add` on stores without the capability."""
+        bulk_add = getattr(self._store, "add_many", None)
+        if bulk_add is not None:
+            bulk_add(documents)
+        else:
+            for document in documents:
+                self._store.add(document)
+
+    def bulk(self):
+        """A batched-ingestion window: per-document durability work is
+        deferred until the window closes on stores that support it, and
+        a no-op context manager otherwise."""
+        window = getattr(self._store, "bulk", None)
+        return window() if window is not None else nullcontext(self)
 
     def __len__(self) -> int:
         return len(self._store)

@@ -9,7 +9,9 @@ the backing representation can vary without touching the pipeline:
 
 - :class:`MemoryStore` — a plain in-process list (the seed behaviour);
 - :class:`JsonlStore` — spill-to-disk, one JSON-encoded XML document per
-  line, so a very large repository does not live in RAM;
+  line across a compacting sequence of segment files, so a very large
+  repository neither lives in RAM nor grows without bound under
+  sustained deposit/drain churn;
 - :class:`SqliteStore` — spill-to-disk with a persistent inverted
   tag→document index, so the pruned post-evolution drain becomes an
   index lookup instead of a whole-repository scan.
@@ -17,6 +19,16 @@ the backing representation can vary without touching the pipeline:
 Drain semantics (the single, consolidated API): ``drain(accepts=None)``
 removes and returns the documents ``accepts`` matches — all of them when
 ``accepts`` is ``None`` — while non-matching documents stay, in order.
+
+Write-path throughput: every backend accepts :meth:`add_many` (the bulk
+contract — semantically a loop of :meth:`add`, but batched under one
+flush/transaction where the backend can) and a nestable ``bulk()``
+context manager that defers per-document durability work (the jsonl
+flush, the sqlite commit) until the outermost window closes.  Callers
+that only know the protocol go through
+:meth:`~repro.classification.repository.Repository.add_many` /
+``Repository.bulk``, which degrade to the per-document path for stores
+without the capability.
 
 Indexed capability (optional — duck-typed via
 ``supports_indexed_drain``): a store that persists each document's
@@ -31,17 +43,21 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import sqlite3
 import tempfile
 import warnings
+from contextlib import contextmanager
 from typing import (
     Callable,
     Dict,
+    Iterable,
     Iterator,
     List,
     NamedTuple,
     Optional,
     Sequence,
+    Set,
     TextIO,
     Tuple,
     Union,
@@ -155,6 +171,16 @@ class DocumentStore(Protocol):
     def add(self, document: Document) -> None:
         """Append one document."""
 
+    def add_many(self, documents: Iterable[Document]) -> None:
+        """Append documents in order — the bulk-ingestion contract.
+
+        Semantically identical to looping :meth:`add`; backends batch
+        the durability work (one flush, one transaction) where they
+        can.  The default loops :meth:`add`.
+        """
+        for document in documents:
+            self.add(document)
+
     def __len__(self) -> int:
         """Number of documents currently held."""
 
@@ -177,6 +203,14 @@ class MemoryStore:
 
     def add(self, document: Document) -> None:
         self._documents.append(document)
+
+    def add_many(self, documents: Iterable[Document]) -> None:
+        self._documents.extend(documents)
+
+    @contextmanager
+    def bulk(self) -> Iterator["MemoryStore"]:
+        """No deferred durability work in RAM — a no-op window."""
+        yield self
 
     def __len__(self) -> int:
         return len(self._documents)
@@ -203,26 +237,61 @@ class MemoryStore:
         return f"MemoryStore({len(self._documents)} documents)"
 
 
+class _Segment:
+    """One jsonl segment file with its live/dead record counts."""
+
+    __slots__ = ("path", "live", "dead")
+
+    def __init__(self, path: str, live: int = 0, dead: int = 0) -> None:
+        self.path = path
+        self.live = live
+        self.dead = dead
+
+    @property
+    def records(self) -> int:
+        return self.live + self.dead
+
+
 class JsonlStore:
-    """A spill-to-disk store: one JSON-encoded XML document per line.
+    """A spill-to-disk store: one ``[id, xml]`` JSON record per line
+    across a compacting sequence of segment files.
 
     Documents are serialized on :meth:`add` and re-parsed on access, so
-    only a line count lives in RAM; a million-document repository costs
-    a file, not a heap.  Opening an existing path resumes it (the line
-    count is recovered by scanning once).
+    only per-segment counts and the tombstone set live in RAM; a
+    million-document repository costs files, not a heap.  Appends land
+    in the *active* segment (``path`` itself at first, then
+    ``path.seg1``, ``path.seg2``, … sealed every ``segment_records``
+    records), through a lazily-opened handle held until :meth:`close`.
 
-    Appends go through a lazily-opened handle held until :meth:`close`
-    (or until the file is replaced by a drain), so a deposit burst does
-    not reopen the file per document.  :meth:`drain` streams the file
-    line by line — kept lines are copied verbatim to a sibling temp
-    file that atomically replaces the original — so draining never
-    materializes the whole repository in RAM.
+    Predicate drains never rewrite the whole repository: matched record
+    ids are appended to a sidecar tombstone log (``path.tombstones``)
+    and skipped on every later read.  Whenever a segment's tombstoned
+    fraction reaches ``compact_ratio`` the segment alone is rewritten —
+    kept lines copied verbatim to ``<segment>.compact-tmp``, which
+    atomically replaces the segment — and the reclaimed ids leave the
+    tombstone log, so sustained deposit/drain churn stays bounded on
+    disk.  A full ``drain()`` (or :meth:`clear`) instead resets to a
+    single empty base segment with no sidecar files at all.
+
+    Crash safety: a stale ``.compact-tmp`` is discarded on open (the
+    original segment is still intact), and tombstone ids whose records
+    are already gone (a crash between the segment replace and the log
+    rewrite) are filtered out by intersecting the log with the ids
+    actually on disk.  Record ids are embedded, monotone, and never
+    reused; legacy single-file stores (plain JSON-string lines) are
+    migrated in place on first open.
 
     When ``path`` is omitted a private temporary file is created and
-    removed again by :meth:`close`.
+    removed again by :meth:`close`.  Inside a :meth:`bulk` window the
+    per-add flush is deferred until the window closes.
     """
 
-    def __init__(self, path: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        segment_records: int = 4096,
+        compact_ratio: float = 0.5,
+    ) -> None:
         if path is None:
             handle, path = tempfile.mkstemp(prefix="repro-repository-", suffix=".jsonl")
             os.close(handle)
@@ -230,76 +299,317 @@ class JsonlStore:
         else:
             self._owns_path = False
         self.path = path
+        self.segment_records = max(1, int(segment_records))
+        self.compact_ratio = compact_ratio
         self._count = 0
+        self._next_id = 0
         self._append: Optional[TextIO] = None
-        if os.path.exists(path):
-            with open(path, "r", encoding="utf-8") as lines:
-                self._count = sum(1 for line in lines if line.strip())
-        else:  # make the file exist so iteration/drain never special-case
-            open(path, "w", encoding="utf-8").close()
+        self._bulk_depth = 0
+        self._bulk_adds = 0
+        self._counters = None
+        self._tombstones: Set[int] = set()
+        self._segments: List[_Segment] = []
+        self._load()
+
+    # -- open/resume ----------------------------------------------------
+
+    @property
+    def _tombstone_path(self) -> str:
+        return self.path + ".tombstones"
+
+    def _load(self) -> None:
+        directory = os.path.dirname(os.path.abspath(self.path))
+        base = os.path.basename(self.path)
+        seg_pattern = re.compile(re.escape(base) + r"\.seg(\d+)$")
+        numbered: List[Tuple[int, str]] = []
+        for name in os.listdir(directory):
+            full = os.path.join(directory, name)
+            if name.startswith(base) and name.endswith(".compact-tmp"):
+                # a compaction that crashed before its os.replace — the
+                # original segment is intact, the partial copy is noise
+                os.remove(full)
+            else:
+                match = seg_pattern.fullmatch(name)
+                if match:
+                    numbered.append((int(match.group(1)), full))
+        if not os.path.exists(self.path):
+            # make the base segment exist so reads never special-case
+            open(self.path, "w", encoding="utf-8").close()
+        seg_paths = [self.path] + [p for _, p in sorted(numbered)]
+
+        raw_tombstones: Set[int] = set()
+        if os.path.exists(self._tombstone_path):
+            with open(self._tombstone_path, "r", encoding="utf-8") as log:
+                for line in log:
+                    stripped = line.strip()
+                    if stripped:
+                        raw_tombstones.add(int(stripped))
+
+        segments: List[_Segment] = []
+        present: Set[int] = set()
+        max_id = -1
+        legacy = False
+        for seg_path in seg_paths:
+            segment = _Segment(seg_path)
+            with open(seg_path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    stripped = line.strip()
+                    if not stripped:
+                        continue
+                    value = json.loads(stripped)
+                    if isinstance(value, list):
+                        rec_id = int(value[0])
+                        present.add(rec_id)
+                        if rec_id > max_id:
+                            max_id = rec_id
+                        if rec_id in raw_tombstones:
+                            segment.dead += 1
+                        else:
+                            segment.live += 1
+                    else:
+                        legacy = True
+                        segment.live += 1
+            segments.append(segment)
+
+        if legacy:
+            self._assign_legacy_ids(seg_paths, max_id)
+            self._load()  # exactly one more pass: everything embedded now
+            return
+
+        self._segments = segments
+        self._tombstones = raw_tombstones & present
+        self._next_id = max_id + 1
+        self._count = sum(segment.live for segment in segments)
+        if raw_tombstones - self._tombstones:
+            # stale ids from a compaction interrupted before its log
+            # rewrite — their records are gone, drop them from the log
+            self._rewrite_tombstone_log()
+
+    def _assign_legacy_ids(self, seg_paths: Sequence[str], max_id: int) -> None:
+        """One-time migration: plain JSON-string lines gain embedded ids."""
+        next_id = max_id + 1
+        for seg_path in seg_paths:
+            entries: List[str] = []
+            dirty = False
+            with open(seg_path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    stripped = line.strip()
+                    if not stripped:
+                        continue
+                    value = json.loads(stripped)
+                    if isinstance(value, list):
+                        entries.append(stripped + "\n")
+                    else:
+                        entries.append(json.dumps([next_id, value]) + "\n")
+                        next_id += 1
+                        dirty = True
+            if dirty:
+                tmp = seg_path + ".compact-tmp"
+                with open(tmp, "w", encoding="utf-8") as out:
+                    out.writelines(entries)
+                os.replace(tmp, seg_path)
+
+    # -- write path -----------------------------------------------------
+
+    def set_counters(self, counters) -> None:
+        """Attach a :class:`~repro.perf.counters.PerfCounters` so
+        compaction and batch-flush activity is observable."""
+        self._counters = counters
 
     def _close_append(self) -> None:
         # after os.replace the old handle would write to a deleted
-        # inode, so every path that replaces/truncates the file closes
+        # inode, so every path that replaces/truncates a segment closes
         # the append handle first
         if self._append is not None:
             self._append.close()
             self._append = None
 
+    def _seal_segment(self) -> _Segment:
+        self._close_append()
+        path = f"{self.path}.seg{len(self._segments)}"
+        open(path, "w", encoding="utf-8").close()
+        segment = _Segment(path)
+        self._segments.append(segment)
+        return segment
+
     def add(self, document: Document) -> None:
         xml = serialize_document(document, xml_declaration=False)
+        segment = self._segments[-1]
+        if segment.records >= self.segment_records:
+            segment = self._seal_segment()
         if self._append is None:
-            self._append = open(self.path, "a", encoding="utf-8")
-        self._append.write(json.dumps(xml) + "\n")
-        # keep on-disk state current so concurrent readers (resume,
-        # snapshots taken via a second store on the same path) see it
-        self._append.flush()
+            self._append = open(segment.path, "a", encoding="utf-8")
+        self._append.write(json.dumps([self._next_id, xml]) + "\n")
+        if self._bulk_depth == 0:
+            # keep on-disk state current so concurrent readers (resume,
+            # snapshots taken via a second store on the same path) see it
+            self._append.flush()
+        else:
+            self._bulk_adds += 1
+        segment.live += 1
+        self._next_id += 1
         self._count += 1
+
+    def add_many(self, documents: Iterable[Document]) -> None:
+        with self.bulk():
+            for document in documents:
+                self.add(document)
+
+    @contextmanager
+    def bulk(self) -> Iterator["JsonlStore"]:
+        """Defer the per-add flush until the outermost window closes."""
+        self._bulk_depth += 1
+        try:
+            yield self
+        finally:
+            self._bulk_depth -= 1
+            if self._bulk_depth == 0:
+                if self._append is not None:
+                    self._append.flush()
+                if self._bulk_adds > 1 and self._counters is not None:
+                    self._counters.ingest_batch_commits += 1
+                self._bulk_adds = 0
+
+    # -- read path ------------------------------------------------------
 
     def __len__(self) -> int:
         return self._count
 
-    def __iter__(self) -> Iterator[Document]:
-        with open(self.path, "r", encoding="utf-8") as handle:
+    def _read_segment(self, path: str) -> Iterator[Tuple[int, str]]:
+        with open(path, "r", encoding="utf-8") as handle:
             for line in handle:
-                if line.strip():
-                    yield parse_document(json.loads(line))
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                rec_id, xml = json.loads(stripped)
+                yield int(rec_id), xml
+
+    def __iter__(self) -> Iterator[Document]:
+        if self._append is not None:
+            self._append.flush()
+        for segment in self._segments:
+            for rec_id, xml in self._read_segment(segment.path):
+                if rec_id not in self._tombstones:
+                    yield parse_document(xml)
+
+    # -- drain + compaction ---------------------------------------------
 
     def drain(self, accepts: Optional[DrainPredicate] = None) -> List[Document]:
         self._close_append()
+        if accepts is None:
+            drained = list(self)
+            self.clear()
+            return drained
         drained: List[Document] = []
-        remaining = 0
-        keep_path = self.path + ".drain-tmp"
-        with open(self.path, "r", encoding="utf-8") as lines, open(
-            keep_path, "w", encoding="utf-8"
-        ) as keep:
-            for line in lines:
-                if not line.strip():
+        fresh: List[int] = []
+        for segment in self._segments:
+            for rec_id, xml in self._read_segment(segment.path):
+                if rec_id in self._tombstones:
                     continue
-                document = parse_document(json.loads(line))
-                if accepts is None or accepts(document):
+                document = parse_document(xml)
+                if accepts(document):
                     drained.append(document)
-                else:
-                    keep.write(line)
-                    remaining += 1
-        os.replace(keep_path, self.path)
-        self._count = remaining
+                    fresh.append(rec_id)
+                    segment.live -= 1
+                    segment.dead += 1
+        if fresh:
+            # tombstones are durable before any segment is rewritten, so
+            # a crash at any point never resurrects a drained document
+            with open(self._tombstone_path, "a", encoding="utf-8") as log:
+                log.writelines(f"{rec_id}\n" for rec_id in fresh)
+            self._tombstones.update(fresh)
+            self._count -= len(fresh)
+            self._maybe_compact()
         return drained
+
+    def _maybe_compact(self) -> None:
+        compacted = False
+        for segment in self._segments:
+            if segment.dead and segment.dead / segment.records >= self.compact_ratio:
+                self._compact_segment(segment)
+                compacted = True
+        if compacted:
+            self._rewrite_tombstone_log()
+
+    def _compact_segment(self, segment: _Segment) -> None:
+        if segment is self._segments[-1]:
+            self._close_append()
+        old_size = os.path.getsize(segment.path)
+        tmp = segment.path + ".compact-tmp"
+        dropped: Set[int] = set()
+        with open(segment.path, "r", encoding="utf-8") as source, open(
+            tmp, "w", encoding="utf-8"
+        ) as keep:
+            for line in source:
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                rec_id = int(json.loads(stripped)[0])
+                if rec_id in self._tombstones:
+                    dropped.add(rec_id)
+                else:
+                    keep.write(stripped + "\n")
+        os.replace(tmp, segment.path)
+        self._tombstones -= dropped
+        segment.dead = 0
+        if self._counters is not None:
+            self._counters.segments_compacted += 1
+            self._counters.compaction_bytes_reclaimed += max(
+                0, old_size - os.path.getsize(segment.path)
+            )
+
+    def _rewrite_tombstone_log(self) -> None:
+        if not self._tombstones:
+            if os.path.exists(self._tombstone_path):
+                os.remove(self._tombstone_path)
+            return
+        tmp = self._tombstone_path + ".compact-tmp"
+        with open(tmp, "w", encoding="utf-8") as log:
+            log.writelines(f"{rec_id}\n" for rec_id in sorted(self._tombstones))
+        os.replace(tmp, self._tombstone_path)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def disk_usage(self) -> int:
+        """Total bytes across every segment and the tombstone log."""
+        total = 0
+        for segment in self._segments:
+            if os.path.exists(segment.path):
+                total += os.path.getsize(segment.path)
+        if os.path.exists(self._tombstone_path):
+            total += os.path.getsize(self._tombstone_path)
+        return total
 
     def clear(self) -> None:
         self._close_append()
+        for segment in self._segments[1:]:
+            if os.path.exists(segment.path):
+                os.remove(segment.path)
         open(self.path, "w", encoding="utf-8").close()
+        if os.path.exists(self._tombstone_path):
+            os.remove(self._tombstone_path)
+        self._segments = [_Segment(self.path)]
+        self._tombstones = set()
         self._count = 0
+        # record ids stay monotone across a clear: a resurrected
+        # tombstone from a crashed rewrite can never hit a new record
 
     def close(self) -> None:
-        """Delete the backing file if this store created it."""
+        """Delete every backing file if this store created the path."""
         self._close_append()
-        if self._owns_path and os.path.exists(self.path):
-            os.remove(self.path)
+        if self._owns_path:
+            for segment in self._segments:
+                if os.path.exists(segment.path):
+                    os.remove(segment.path)
+            if os.path.exists(self._tombstone_path):
+                os.remove(self._tombstone_path)
         self._count = 0
 
     def __repr__(self) -> str:
-        return f"JsonlStore({self._count} documents at {self.path!r})"
+        return (
+            f"JsonlStore({self._count} documents in {len(self._segments)} "
+            f"segments at {self.path!r})"
+        )
 
 
 class SqliteStore:
@@ -316,6 +626,14 @@ class SqliteStore:
     so resume costs a row count, not a rebuild.  When ``path`` is
     omitted a private temporary database is created and removed again
     by :meth:`close`.
+
+    Write-path policy: ``commit_every`` inserts share one transaction
+    (1 = the historical commit-per-add), :meth:`add_many` and
+    :meth:`bulk` windows always commit once at the end, and
+    ``vacuum_every`` > 0 runs ``VACUUM`` after every that-many removal
+    operations (``remove``/``clear``) so sustained churn hands pages
+    back to the filesystem.  Reads on this store's own connection
+    always see pending inserts, and :meth:`close` commits them.
     """
 
     #: advertises the indexed-drain capability (duck-typed by DrainStage)
@@ -347,7 +665,12 @@ class SqliteStore:
         "CREATE INDEX IF NOT EXISTS idx_documents_text ON documents(text_count)",
     )
 
-    def __init__(self, path: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        commit_every: int = 1,
+        vacuum_every: int = 0,
+    ) -> None:
         if path is None:
             handle, path = tempfile.mkstemp(prefix="repro-repository-", suffix=".sqlite")
             os.close(handle)
@@ -355,6 +678,12 @@ class SqliteStore:
         else:
             self._owns_path = False
         self.path = path
+        self.commit_every = max(1, int(commit_every))
+        self.vacuum_every = max(0, int(vacuum_every))
+        self._pending = 0
+        self._bulk_depth = 0
+        self._removal_ops = 0
+        self._counters = None
         # check_same_thread=False: the store is handed between threads
         # whose access is already externally serialized (parallel-batch
         # drains, serve mode's single-writer executor) — never used from
@@ -375,7 +704,12 @@ class SqliteStore:
 
     # -- plain DocumentStore contract ----------------------------------
 
-    def add(self, document: Document) -> None:
+    def set_counters(self, counters) -> None:
+        """Attach a :class:`~repro.perf.counters.PerfCounters` so batch
+        commits are observable."""
+        self._counters = counters
+
+    def _insert(self, document: Document) -> None:
         xml = serialize_document(document, xml_declaration=False)
         profile = profile_document(document)
         cursor = self._connection.execute(
@@ -395,8 +729,38 @@ class SqliteStore:
             "INSERT INTO tags (doc_id, tag, count) VALUES (?, ?, ?)",
             [(doc_id, tag, count) for tag, count in profile.tag_counts.items()],
         )
-        self._connection.commit()
+        self._pending += 1
         self._count += 1
+
+    def _flush(self) -> None:
+        if self._pending == 0:
+            return
+        self._connection.commit()
+        if self._pending > 1 and self._counters is not None:
+            self._counters.ingest_batch_commits += 1
+        self._pending = 0
+
+    def add(self, document: Document) -> None:
+        self._insert(document)
+        if self._bulk_depth == 0 and self._pending >= self.commit_every:
+            self._flush()
+
+    def add_many(self, documents: Iterable[Document]) -> None:
+        with self.bulk():
+            for document in documents:
+                self._insert(document)
+
+    @contextmanager
+    def bulk(self) -> Iterator["SqliteStore"]:
+        """One transaction for every insert until the outermost window
+        closes.  Reads on this connection still see the pending rows."""
+        self._bulk_depth += 1
+        try:
+            yield self
+        finally:
+            self._bulk_depth -= 1
+            if self._bulk_depth == 0:
+                self._flush()
 
     def __len__(self) -> int:
         return self._count
@@ -414,9 +778,12 @@ class SqliteStore:
             return drained
         drained: List[Document] = []
         removed: List[int] = []
+        # stream the cursor — a predicate drain holds O(matches) rows,
+        # never the whole table; deletes wait until iteration finishes
+        # so the cursor is never invalidated mid-scan
         for doc_id, xml in self._connection.execute(
             "SELECT id, xml FROM documents ORDER BY id"
-        ).fetchall():
+        ):
             document = parse_document(xml)
             if accepts(document):
                 drained.append(document)
@@ -425,14 +792,22 @@ class SqliteStore:
             self.remove(removed)
         return drained
 
+    def _after_removal(self) -> None:
+        self._removal_ops += 1
+        if self.vacuum_every and self._removal_ops % self.vacuum_every == 0:
+            self._connection.execute("VACUUM")
+
     def clear(self) -> None:
         self._connection.execute("DELETE FROM tags")
         self._connection.execute("DELETE FROM documents")
         self._connection.commit()
+        self._pending = 0
         self._count = 0
+        self._after_removal()
 
     def close(self) -> None:
-        """Close the connection; delete the file if this store owns it."""
+        """Commit pending inserts and close; delete the file if owned."""
+        self._flush()
         self._connection.close()
         if self._owns_path and os.path.exists(self.path):
             os.remove(self.path)
@@ -546,7 +921,9 @@ class SqliteStore:
             )
             removed += cursor.rowcount
         self._connection.commit()
+        self._pending = 0
         self._count -= removed
+        self._after_removal()
 
     def __repr__(self) -> str:
         return f"SqliteStore({self._count} documents at {self.path!r})"

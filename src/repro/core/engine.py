@@ -116,6 +116,9 @@ class XMLSource:
         #: ``(cache key, fingerprint, pickled snapshot)`` of the last
         #: snapshot built, so unchanged epochs skip re-pickling entirely
         self._snapshot_cache: Optional[Tuple[tuple, str, bytes]] = None
+        #: ``(cache key, shard map, [(fingerprint, payload), ...])`` of
+        #: the last per-shard snapshot set (shard fan-out epochs)
+        self._shard_snapshot_cache: Optional[Tuple[tuple, tuple, list]] = None
         #: persistent worker pools keyed by worker count (see
         #: :meth:`worker_pool`); live until :meth:`close`
         self._worker_pools: Dict[int, "WorkerPool"] = {}
@@ -128,6 +131,11 @@ class XMLSource:
         #: (``None``/``"memory"`` in RAM, ``"jsonl"`` spilled to disk, or
         #: any :class:`DocumentStore` instance)
         self.repository = Repository(make_store(store))
+        # stores that batch durability work (sqlite commit policy, jsonl
+        # segment compaction) report it through the shared counters
+        attach_counters = getattr(self.repository.store, "set_counters", None)
+        if attach_counters is not None:
+            attach_counters(self.perf)
         self.evolution_log: List[EvolutionEvent] = []
         #: check the activation condition after every document; turn off
         #: to drive evolution manually via :meth:`evolve_now`
@@ -295,12 +303,86 @@ class XMLSource:
         content fingerprint via shared memory (inline pickle fallback),
         so chunks ship only a small ref.
         """
+        fingerprint, payload = self.snapshot_payload()
+        publisher = self._publisher()
+        ref = publisher.publish(fingerprint, payload)
+        publisher.retain({fingerprint})
+        return ref
+
+    def _publisher(self) -> "SnapshotPublisher":
         from repro.parallel.snapshot import SnapshotPublisher
 
-        fingerprint, payload = self.snapshot_payload()
         if self._snapshot_publisher is None:
             self._snapshot_publisher = SnapshotPublisher()
-        return self._snapshot_publisher.publish(fingerprint, payload)
+        return self._snapshot_publisher
+
+    def shard_snapshot_payloads(self):
+        """Per-shard classification snapshots for fan-out epochs.
+
+        Returns ``(shard map, [(fingerprint, payload), ...])`` — one
+        pickled :class:`~repro.parallel.snapshot.ClassifierSnapshot`
+        per DTD shard, each holding only that shard's DTD subset (and
+        no shard map of its own: a worker classifies its subset as a
+        plain classifier) — or ``None`` when the engine is not sharded
+        or fan-out cannot be bit-identical (see
+        :meth:`~repro.classification.sharding.ShardedClassifier.fanout_eligible`).
+        Cached against the same state version key as
+        :meth:`snapshot_payload`.
+        """
+        from repro.parallel.snapshot import (
+            ClassifierSnapshot,
+            snapshot_fingerprint,
+        )
+
+        classifier = self.classifier
+        if not isinstance(classifier, ShardedClassifier):
+            return None
+        if not classifier.fanout_eligible():
+            return None
+        key = (self._state_version, self.tracer.enabled)
+        cached = self._shard_snapshot_cache
+        if cached is not None and cached[0] == key:
+            self.perf.snapshot_reuses += 1
+            return cached[1], cached[2]
+        shard_map = classifier.shard_map()
+        entries = []
+        for shard_names in shard_map:
+            start = time.perf_counter_ns()
+            payload = pickle.dumps(
+                ClassifierSnapshot(
+                    (classifier.dtd(name) for name in shard_names),
+                    classifier.threshold,
+                    self.similarity_config,
+                    self.fastpath,
+                    traced=self.tracer.enabled,
+                ),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            self.perf.snapshot_serialize_ns += time.perf_counter_ns() - start
+            self.perf.snapshot_builds += 1
+            self.perf.snapshot_bytes_total += len(payload)
+            entries.append((snapshot_fingerprint(payload), payload))
+        self._shard_snapshot_cache = (key, shard_map, entries)
+        return shard_map, entries
+
+    def shard_snapshot_wire(self):
+        """Publish the per-shard snapshots for workers.
+
+        Returns ``(shard map, [SnapshotRef, ...])`` aligned by shard
+        index, or ``None`` when fan-out is unavailable (the driver then
+        runs the ordinary full-snapshot epoch).  Publication goes
+        through the same :class:`SnapshotPublisher` as
+        :meth:`snapshot_wire`; stale fingerprints from earlier epochs
+        are released once the new set is live.
+        """
+        shards = self.shard_snapshot_payloads()
+        if shards is None:
+            return None
+        shard_map, entries = shards
+        publisher = self._publisher()
+        refs = [publisher.publish(fp, payload) for fp, payload in entries]
+        publisher.retain({fp for fp, _ in entries})
+        return shard_map, refs
 
     def close(self) -> None:
         """Release the engine's parallel resources: shut down every
@@ -408,12 +490,16 @@ class XMLSource:
                 self, workers, chunk_size=chunk_size, overlap=overlap
             ).process(list(documents), checkpoint_every, checkpoint_path)
         outcomes: List[ProcessOutcome] = []
-        for index, document in enumerate(documents, start=1):
-            outcomes.append(self.process(document))
-            if checkpoint_every and checkpoint_path and index % checkpoint_every == 0:
-                from repro.core.persistence import save_source
+        # one batched-ingestion window for the whole batch: deposits
+        # share a flush/transaction on capable stores (drains mid-batch
+        # make their own durability point, so nothing is lost to them)
+        with self.repository.bulk():
+            for index, document in enumerate(documents, start=1):
+                outcomes.append(self.process(document))
+                if checkpoint_every and checkpoint_path and index % checkpoint_every == 0:
+                    from repro.core.persistence import save_source
 
-                save_source(self, checkpoint_path)
+                    save_source(self, checkpoint_path)
         return outcomes
 
     # ------------------------------------------------------------------

@@ -25,7 +25,14 @@ Overhead posture (the reason parallelism pays):
   *before* merging each completed shard, so workers keep classifying
   upcoming shards while the parent replays merges — and an evolution
   discards at most a window of speculative work instead of the whole
-  remainder of the batch.
+  remainder of the batch;
+- on a **sharded** engine each epoch first tries *shard fan-out*:
+  documents overlapping exactly one DTD shard ship to workers that
+  rebuild only that shard's DTD subset (one per-shard snapshot, keyed
+  by its own content fingerprint), while fallback documents — zero or
+  several overlapping shards, the depth guard, or a worker result the
+  screen cannot certify — are classified serially on the parent inside
+  the in-order merge, keeping results bit-identical to serial.
 
 The evolve-serial gap between epochs is the driver's Amdahl term: every
 evolution runs on the parent while the pool idles.  Incremental
@@ -42,7 +49,7 @@ import pickle
 import time
 from collections import deque
 from concurrent.futures import BrokenExecutor, Future
-from typing import TYPE_CHECKING, Deque, List, Optional, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
 
 from repro.classification.classifier import ClassificationResult
 from repro.parallel.events import ParallelFallback, ShardRetried
@@ -128,17 +135,21 @@ class ParallelDriver:
         pool.lease()
         epoch = 0
         position = 0
-        while position < len(documents):
-            epoch += 1
-            position += self._run_epoch(
-                epoch,
-                pool,
-                documents[position:],
-                outcomes,
-                position,
-                checkpoint_every,
-                checkpoint_path,
-            )
+        # the merge deposits through the serial stages; one batched-
+        # ingestion window covers the whole parallel batch exactly as
+        # the serial path's does
+        with source.repository.bulk():
+            while position < len(documents):
+                epoch += 1
+                position += self._run_epoch(
+                    epoch,
+                    pool,
+                    documents[position:],
+                    outcomes,
+                    position,
+                    checkpoint_every,
+                    checkpoint_path,
+                )
         return outcomes
 
     # ------------------------------------------------------------------
@@ -170,6 +181,22 @@ class ParallelDriver:
         many documents were merged."""
         source = self.source
         tracer = source.tracer
+        classifier = source.classifier
+        if getattr(classifier, "fanout_eligible", None) and classifier.fanout_eligible():
+            routes = [classifier.fanout_route(document) for document in pending]
+            if any(route is not None for route in routes):
+                return self._run_fanout_epoch(
+                    epoch,
+                    pool,
+                    pending,
+                    routes,
+                    outcomes,
+                    base_index,
+                    checkpoint_every,
+                    checkpoint_path,
+                )
+            # nothing routable this epoch — fall through to the
+            # ordinary full-snapshot fan-out by document chunk
         ref = source.snapshot_wire()
         chunks = self._chunks(pending)
         window = (
@@ -245,6 +272,239 @@ class ParallelDriver:
             for _, future in in_flight:
                 future.cancel()
         return merged
+
+    # ------------------------------------------------------------------
+    # Shard fan-out epochs
+    # ------------------------------------------------------------------
+
+    def _run_fanout_epoch(
+        self,
+        epoch: int,
+        pool: "WorkerPool",
+        pending: List[Document],
+        routes: List[Optional[int]],
+        outcomes: List[ProcessOutcome],
+        base_index: int,
+        checkpoint_every: int,
+        checkpoint_path: Optional[str],
+    ) -> int:
+        """One epoch where classification fans out per DTD shard.
+
+        A document that routes to exactly one shard ships to workers
+        holding only that shard's DTD subset (a plain classifier over
+        the subset evaluates the same candidate set, in the same order,
+        as the serial sharded screen); every other document — no
+        overlapping shard, several, or the depth guard — stays on the
+        serial path, classified on the parent inside the merge.  The
+        merge walks the batch strictly in order either way, so
+        outcomes, repository contents, events and the evolution log are
+        bit-identical to serial (DESIGN.md decision 14).
+        """
+        source = self.source
+        tracer = source.tracer
+        shard_map, refs = source.shard_snapshot_wire()
+        source.perf.shard_fanout_epochs += 1
+        #: the other shards' names per route, extending each worker
+        #: payload's pruned tail exactly as the serial screen would
+        screened_by_route: Dict[int, Tuple[str, ...]] = {}
+
+        by_shard: Dict[int, List[int]] = {}
+        for position, route in enumerate(routes):
+            if route is not None:
+                by_shard.setdefault(route, []).append(position)
+        routed_total = sum(len(positions) for positions in by_shard.values())
+        size = self.chunk_size
+        if size <= 0:
+            size = max(
+                1, math.ceil(routed_total / (self.workers * _CHUNKS_PER_WORKER))
+            )
+            if self.overlap:
+                size = min(size, _MAX_OVERLAP_CHUNK)
+        chunks: List[Tuple[int, List[int]]] = []
+        for shard_index in sorted(by_shard):
+            positions = by_shard[shard_index]
+            for start in range(0, len(positions), size):
+                chunks.append((shard_index, positions[start:start + size]))
+        # submit in merge order: the chunk the merge will block on first
+        # is always the first one in flight
+        chunks.sort(key=lambda entry: entry[1][0])
+        window = (
+            self.workers * _CHUNKS_PER_WORKER if self.overlap else len(chunks)
+        )
+        next_chunk = 0
+        in_flight: Deque[Tuple[int, Future]] = deque()
+
+        def submit_next() -> None:
+            nonlocal next_chunk
+            shard_index, positions = chunks[next_chunk]
+            in_flight.append(
+                (
+                    next_chunk,
+                    pool.submit(
+                        classify_chunk,
+                        refs[shard_index],
+                        [pending[p] for p in positions],
+                    ),
+                )
+            )
+            next_chunk += 1
+
+        while next_chunk < len(chunks) and len(in_flight) < window:
+            submit_next()
+        #: position → (payload or None, spans, wire share, shard index)
+        ready: Dict[int, tuple] = {}
+        merged = 0
+        epoch_span = (
+            tracer.start(
+                "epoch",
+                epoch=epoch,
+                pending=len(pending),
+                shards=len(chunks),
+                fanout=len(shard_map),
+            )
+            if tracer.enabled
+            else None
+        )
+        try:
+            for position, document in enumerate(pending):
+                route = routes[position]
+                classification: Optional[ClassificationResult] = None
+                spans = None
+                wire_share = 0
+                shard_index = -1
+                if route is not None:
+                    while position not in ready:
+                        if not in_flight:
+                            submit_next()
+                        chunk_index, future = in_flight.popleft()
+                        # top the window up *before* resolving: workers
+                        # classify ahead while the parent merges
+                        if next_chunk < len(chunks):
+                            submit_next()
+                        self._resolve_fanout_chunk(
+                            epoch, pool, chunks[chunk_index], refs,
+                            pending, future, ready,
+                        )
+                    payload, spans, wire_share, shard_index = ready.pop(position)
+                    if payload is not None and payload[1] > 0.0:
+                        screened = screened_by_route.get(route)
+                        if screened is None:
+                            screened = tuple(
+                                name
+                                for index, shard in enumerate(shard_map)
+                                if index != route
+                                for name in shard
+                            )
+                            screened_by_route[route] = screened
+                        dtd_name, similarity, evaluated, pruned, triple, elements = payload
+                        classification = rebuild_classification(
+                            source.classifier,
+                            document,
+                            (
+                                dtd_name,
+                                similarity,
+                                evaluated,
+                                pruned + screened,
+                                triple,
+                                elements,
+                            ),
+                        )
+                        source.perf.shard_skips += len(shard_map) - 1
+                    # else: chunk fell back (payload None) or the best
+                    # similarity was 0.0 — a zero tie breaks on name
+                    # across the FULL DTD set, which may live in another
+                    # shard — so the serial classify below reproduces
+                    # the exact serial result
+                if spans and epoch_span is not None:
+                    tracer.splice(
+                        spans,
+                        parent_id=epoch_span.span_id,
+                        rebase_to=time.perf_counter_ns(),
+                        doc_id=source.documents_processed + 1,
+                        shard=shard_index,
+                        pool_gen=pool.generation,
+                        wire_bytes=wire_share,
+                    )
+                outcome = source.process(document, classification)
+                outcomes.append(outcome)
+                merged += 1
+                self._checkpoint(
+                    base_index + merged, checkpoint_every, checkpoint_path
+                )
+                if outcome.evolved:
+                    # the shard snapshots are stale; the outer loop
+                    # re-routes and re-publishes against the evolved set
+                    return merged
+        finally:
+            if epoch_span is not None:
+                epoch_span.set("merged", merged)
+                tracer.finish(epoch_span)
+            for _, future in in_flight:
+                future.cancel()
+        return merged
+
+    def _resolve_fanout_chunk(
+        self,
+        epoch: int,
+        pool: "WorkerPool",
+        chunk: Tuple[int, List[int]],
+        refs: List[SnapshotRef],
+        pending: List[Document],
+        future: Future,
+        ready: Dict[int, tuple],
+    ) -> None:
+        """Fold one fan-out chunk's results into ``ready``, with
+        retry-once; a chunk that still fails marks its positions for
+        the serial fallback (payload ``None``) instead of dying."""
+        source = self.source
+        shard_index, positions = chunk
+        documents = [pending[p] for p in positions]
+        try:
+            result = future.result()
+        except Exception as error:
+            if isinstance(error, BrokenExecutor):
+                pool.retire()
+            self._emit(
+                ShardRetried(
+                    epoch, shard_index, len(documents), repr(error), self._delta()
+                )
+            )
+            try:
+                retry = pool.submit(
+                    classify_chunk, refs[shard_index], documents
+                )
+                result = retry.result()
+            except Exception as retry_error:
+                if isinstance(retry_error, BrokenExecutor):
+                    pool.retire()
+                self._emit(
+                    ParallelFallback(
+                        epoch,
+                        shard_index,
+                        len(documents),
+                        repr(retry_error),
+                        self._delta(),
+                    )
+                )
+                for position in positions:
+                    ready[position] = (None, None, 0, shard_index)
+                return
+        source.perf.merge(result.counters, key=result.worker_key)
+        wire_share = 0
+        if source.tracer.enabled:
+            # traced runs only (see _shard_classifications)
+            wire_share = round(
+                len(pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL))
+                / max(1, len(documents))
+            )
+        spans = result.spans
+        for offset, position in enumerate(positions):
+            ready[position] = (
+                result.payloads[offset],
+                spans[offset] if spans else None,
+                wire_share,
+                shard_index,
+            )
 
     def _shard_classifications(
         self,

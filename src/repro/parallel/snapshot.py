@@ -39,7 +39,7 @@ similarities and triples (pickle round-trips floats bit-exactly).
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable, List, NamedTuple, Optional, Tuple
+from typing import Dict, Iterable, List, NamedTuple, Optional, Tuple
 
 from repro.classification.classifier import ClassificationResult, Classifier
 from repro.classification.sharding import ShardedClassifier, ShardMap
@@ -160,50 +160,57 @@ class SnapshotRef(NamedTuple):
 
 
 class SnapshotPublisher:
-    """Parent-side snapshot publication, one live snapshot at a time.
+    """Parent-side snapshot publication, any number of live snapshots.
 
-    ``publish`` is idempotent per fingerprint: re-publishing the
-    current snapshot returns the existing ref.  A new fingerprint
-    releases the predecessor's shared-memory block first (by then every
-    consumer of the old epoch has been merged or discarded).  When
-    shared memory is unavailable — or creation fails at runtime — the
-    publisher degrades permanently to inline refs, which ship the
-    pickled bytes with every chunk exactly as the pre-shared-memory
-    driver did.
+    ``publish`` is idempotent per fingerprint: re-publishing a live
+    snapshot returns the existing ref.  Several snapshots can be live
+    at once — shard fan-out publishes one per DTD shard for the same
+    epoch — and :meth:`retain` trims the set down to exactly the
+    fingerprints the next epoch still needs, unlinking everything else
+    (by then every consumer of the dropped snapshots has been merged or
+    discarded).  When shared memory is unavailable — or creation fails
+    at runtime — the publisher degrades permanently to inline refs,
+    which ship the pickled bytes with every chunk exactly as the
+    pre-shared-memory driver did.
     """
 
     def __init__(self, shared: bool = True):
         self._shared = shared
-        self._current_ref: Optional[SnapshotRef] = None
-        self._current_shm = None
+        self._refs: Dict[str, SnapshotRef] = {}
+        self._blocks: Dict[str, object] = {}
         register_for_atexit(self)
 
     def publish(self, fingerprint: str, payload: bytes) -> SnapshotRef:
-        current = self._current_ref
-        if current is not None and current.fingerprint == fingerprint:
-            return current
-        self.release()
+        ref = self._refs.get(fingerprint)
+        if ref is not None:
+            return ref
         if self._shared:
             try:
                 from multiprocessing import shared_memory
 
                 shm = shared_memory.SharedMemory(create=True, size=len(payload))
                 shm.buf[: len(payload)] = payload
-                self._current_shm = shm
-                self._current_ref = SnapshotRef(
-                    fingerprint, shm.name, len(payload), None
-                )
-                return self._current_ref
+                self._blocks[fingerprint] = shm
+                ref = SnapshotRef(fingerprint, shm.name, len(payload), None)
+                self._refs[fingerprint] = ref
+                return ref
             except Exception:
                 # no /dev/shm, SELinux denial, ... — fall back for good
                 self._shared = False
-        self._current_ref = SnapshotRef(fingerprint, None, len(payload), payload)
-        return self._current_ref
+        ref = SnapshotRef(fingerprint, None, len(payload), payload)
+        self._refs[fingerprint] = ref
+        return ref
 
-    def release(self) -> None:
-        """Unlink the current shared-memory block, if any."""
-        shm, self._current_shm = self._current_shm, None
-        self._current_ref = None
+    def retain(self, fingerprints: Iterable[str]) -> None:
+        """Release every published snapshot except ``fingerprints``."""
+        keep = set(fingerprints)
+        for fingerprint in list(self._refs):
+            if fingerprint not in keep:
+                self._release_one(fingerprint)
+
+    def _release_one(self, fingerprint: str) -> None:
+        self._refs.pop(fingerprint, None)
+        shm = self._blocks.pop(fingerprint, None)
         if shm is not None:
             try:
                 shm.close()
@@ -211,13 +218,18 @@ class SnapshotPublisher:
             except Exception:  # pragma: no cover - already gone
                 pass
 
+    def release(self) -> None:
+        """Unlink every published shared-memory block."""
+        for fingerprint in list(self._refs):
+            self._release_one(fingerprint)
+
     def close(self) -> None:
         self.release()
 
     def __repr__(self) -> str:
         mode = "shared" if self._shared else "inline"
-        current = self._current_ref.fingerprint[:8] if self._current_ref else None
-        return f"SnapshotPublisher({mode}, current={current})"
+        live = sorted(fp[:8] for fp in self._refs)
+        return f"SnapshotPublisher({mode}, live={live})"
 
 
 class ChunkResult(NamedTuple):

@@ -34,10 +34,12 @@ from repro.parallel.snapshot import (
 from repro.perf import PerfCounters
 from repro.xmltree.document import Document
 
-#: rebuilt classifiers a worker keeps warm; two is enough for the
-#: steady state (current snapshot + its predecessor during an epoch
-#: turnover) while bounding memory on long evolution-heavy runs
-_CLASSIFIER_CACHE_SIZE = 2
+#: rebuilt classifiers a worker keeps warm.  Shard fan-out epochs give
+#: every worker several live fingerprints at once (one per DTD shard
+#: it happens to serve), so the cache holds a handful of shard subsets
+#: plus the full snapshot across an epoch turnover while still
+#: bounding memory on long evolution-heavy runs
+_CLASSIFIER_CACHE_SIZE = 8
 
 #: per-process state; forked children inherit the parent's (empty)
 #: containers and populate their own copies

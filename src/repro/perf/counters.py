@@ -115,11 +115,15 @@ COUNTER_NAMES = (
     "drain_index_hits",
     "index_rows",
     "shard_skips",
+    "shard_fanout_epochs",
     "pool_spinups",
     "pool_reuses",
     "snapshot_builds",
     "snapshot_reuses",
     "snapshot_bytes_total",
+    "ingest_batch_commits",
+    "segments_compacted",
+    "compaction_bytes_reclaimed",
 ) + TIMER_NAMES
 
 
@@ -198,6 +202,9 @@ class PerfCounters:
         #: DTD shards screened out before ranking (every member provably
         #: scores 0.0 against the document)
         self.shard_skips = 0
+        #: parallel epochs that fanned classification out per DTD shard
+        #: (workers rebuilt only their shard's DTD subset)
+        self.shard_fanout_epochs = 0
         #: worker-pool executors created (a persistent pool spins up
         #: once and is reused across batches; rebuilds after a broken
         #: pool count again)
@@ -210,6 +217,14 @@ class PerfCounters:
         self.snapshot_reuses = 0
         #: cumulative pickled-snapshot bytes across all builds
         self.snapshot_bytes_total = 0
+        #: store commits that covered a whole deposit batch (``add_many``
+        #: or a ``bulk()`` window) instead of one document
+        self.ingest_batch_commits = 0
+        #: JsonlStore segments rewritten by compaction (tombstoned
+        #: records physically dropped)
+        self.segments_compacted = 0
+        #: bytes of tombstoned records reclaimed by segment compaction
+        self.compaction_bytes_reclaimed = 0
         for name in TIMER_NAMES:
             setattr(self, name, 0)
         self._sources.clear()

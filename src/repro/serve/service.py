@@ -15,7 +15,10 @@ Concurrency model (DESIGN.md decision 13):
   backed by a one-thread executor.  Engine mutations therefore run
   strictly serially, in admission order — the same total order a batch
   ``process_many`` would impose — which is what makes served traffic
-  bit-identical to batch runs.  After every applied write the writer
+  bit-identical to batch runs.  ``/deposit`` also accepts a
+  ``{"documents": [...]}`` batch: the whole batch is one queued op,
+  applied in order inside a single store bulk window (one flush/commit
+  for every below-sigma deposit it contains).  After every applied write the writer
   refreshes the snapshot holder; the engine's content-addressed pickle
   cache makes refreshes free unless an evolution actually changed the
   DTD set.
@@ -497,12 +500,17 @@ class ReproService:
                     for name, similarity in classification.ranking
                 ]
             self._deposit_counter.inc()
-            self._writes_since_checkpoint += 1
-            if (
-                self.config.checkpoint_every
-                and self._writes_since_checkpoint >= self.config.checkpoint_every
-            ):
-                self._checkpoint()
+            self._maybe_checkpoint(1)
+        elif op.kind == "deposit_many":
+            # one writer turn, one store bulk window: every below-sigma
+            # deposit in the batch shares a single flush/commit
+            outcomes = []
+            with source.repository.bulk():
+                for document in op.payload:
+                    outcomes.append(source.process(document).as_json())
+                    self._deposit_counter.inc()
+            result = {"deposited": len(outcomes), "outcomes": outcomes}
+            self._maybe_checkpoint(len(outcomes))
         elif op.kind == "evolve":
             event = source.evolve_now(op.payload)
             result = {
@@ -524,13 +532,38 @@ class ReproService:
         result["snapshot_version"] = snapshot.version
         return result
 
+    def _maybe_checkpoint(self, applied: int) -> None:
+        self._writes_since_checkpoint += applied
+        if (
+            self.config.checkpoint_every
+            and self._writes_since_checkpoint >= self.config.checkpoint_every
+        ):
+            self._checkpoint()
+
     async def _handle_deposit(self, request, keep_alive) -> Tuple[int, bytes]:
-        xml = self._xml_field(http.json_body(request))
-        try:
-            document = parse_document(xml)
-        except Exception as error:
-            raise http.HttpError(400, f"unparsable document: {error}")
-        body = await self._submit_write("deposit", document)
+        payload = http.json_body(request)
+        batch = payload.get("documents") if isinstance(payload, dict) else None
+        if batch is not None:
+            if not isinstance(batch, list) or not batch or not all(
+                isinstance(xml, str) and xml.strip() for xml in batch
+            ):
+                raise http.HttpError(
+                    400,
+                    'expected a JSON body like'
+                    ' {"documents": ["<a>...</a>", ...]}',
+                )
+            try:
+                documents = [parse_document(xml) for xml in batch]
+            except Exception as error:
+                raise http.HttpError(400, f"unparsable document: {error}")
+            body = await self._submit_write("deposit_many", documents)
+        else:
+            xml = self._xml_field(payload)
+            try:
+                document = parse_document(xml)
+            except Exception as error:
+                raise http.HttpError(400, f"unparsable document: {error}")
+            body = await self._submit_write("deposit", document)
         return 200, http.json_response(200, body, keep_alive=keep_alive)
 
     async def _handle_evolve(self, request, keep_alive) -> Tuple[int, bytes]:

@@ -391,6 +391,183 @@ def test_differential_overlap_modes():
     assert baseline["source"].evolution_count >= 1
 
 
+# ----------------------------------------------------------------------
+# Shard fan-out
+# ----------------------------------------------------------------------
+#
+# Vocabulary-disjoint, mostly text-free DTDs: three shards, and the
+# shard screen can actually route documents (any ``#PCDATA`` shard
+# overlaps every text-bearing document, so only ``charlie`` allows
+# text).  The corpus mixes cleanly routable documents with every
+# fallback class ``fanout_route`` must keep serial: multi-shard
+# overlaps, zero overlaps (a zero-score tie breaks alphabetically
+# across the FULL DTD set), and text documents.
+
+
+def _shard_dtds():
+    from repro.dtd.parser import parse_dtd
+
+    return [
+        parse_dtd(
+            "<!ELEMENT aroot (aitem+)>"
+            "<!ELEMENT aitem (aleaf*)>"
+            "<!ELEMENT aleaf EMPTY>",
+            name="alpha",
+        ),
+        parse_dtd(
+            "<!ELEMENT broot (bitem+)><!ELEMENT bitem EMPTY>",
+            name="bravo",
+        ),
+        parse_dtd(
+            "<!ELEMENT croot (citem, cnote?)>"
+            "<!ELEMENT citem EMPTY>"
+            "<!ELEMENT cnote (#PCDATA)>",
+            name="charlie",
+        ),
+    ]
+
+
+def _shard_corpus(seed):
+    import random
+
+    from repro.xmltree.parser import parse_document
+
+    rng = random.Random(seed)
+    documents = []
+    for index in range(12):
+        # routable to alpha (conforming and near-miss variants)
+        leaves = "<aleaf/>" * rng.randint(0, 3)
+        stray = f"<stray{index % 3}/>" if index % 4 == 0 else ""
+        documents.append(
+            parse_document(f"<aroot><aitem>{leaves}</aitem>{stray}</aroot>")
+        )
+        # routable to bravo; the recurring <bx/> drift feeds evolution
+        extra = "<bx/>" if index % 2 else ""
+        documents.append(
+            parse_document("<broot>" + "<bitem/>" * (1 + index % 3)
+                           + extra + "</broot>")
+        )
+        # routable to charlie via the text screen (only text-capable shard)
+        documents.append(
+            parse_document(f"<croot><citem/><cnote>n{index}</cnote></croot>")
+        )
+    # fallback: overlaps alpha AND bravo — must stay on the serial path
+    documents.append(parse_document("<mix><aitem/><bitem/></mix>"))
+    documents.append(parse_document("<broot><bitem/><aleaf/></broot>"))
+    # fallback: overlaps nothing — zero-score tie across the full set
+    documents.append(parse_document("<zroot><zzz/></zroot>"))
+    documents.append(parse_document("<q0><q1/><q2/></q0>"))
+    rng.shuffle(documents)
+    return documents
+
+
+def _sharded_builder(store_kind, tmp_path, sharded=True, sigma=0.55,
+                     min_documents=10 ** 9):
+    """A fresh-engine factory; every call gets its own store file."""
+    from itertools import count
+
+    from repro.classification.stores import make_store
+
+    serial = count()
+
+    def build():
+        store = store_kind
+        if store_kind in ("jsonl", "sqlite"):
+            store = make_store(
+                store_kind,
+                str(tmp_path / f"repo-{next(serial)}.{store_kind}"),
+            )
+        return XMLSource(
+            _shard_dtds(),
+            EvolutionConfig(sigma=sigma, tau=0.05, min_documents=min_documents),
+            store=store,
+            sharded=sharded,
+        )
+
+    return build
+
+
+@pytest.mark.parametrize("kind", ["memory", "jsonl", "sqlite"])
+def test_differential_sharded_fanout_backends(kind, tmp_path):
+    """Sharded workers=4 ≡ serial sharded ≡ serial unsharded, on every
+    store backend — and the parallel run really took the fan-out path."""
+    documents = _shard_corpus(seed=41)
+    build = _sharded_builder(kind, tmp_path)
+    serial, parallel = assert_differential(build, documents, chunk_size=3)
+    assert parallel["perf"]["shard_fanout_epochs"] >= 1
+    assert parallel["perf"]["shard_skips"] > 0
+    plain_dir = tmp_path / "plain"
+    plain_dir.mkdir()
+    unsharded = _run(
+        _sharded_builder(kind, plain_dir, sharded=False),
+        documents,
+        workers=0,
+    )
+    for key in _COMPARED:
+        assert serial[key] == unsharded[key], f"sharded/unsharded: {key}"
+    assert any(name is None for name, *_ in serial["outcomes"])  # deposits
+
+
+def test_differential_sharded_evolution_mid_batch(tmp_path):
+    """Evolution fires mid-batch on a sharded source: the driver must
+    drop the per-shard snapshots, re-shard, and resume fanning out."""
+    documents = _shard_corpus(seed=43) + _shard_corpus(seed=47)
+    build = _sharded_builder("memory", tmp_path, sigma=0.5, min_documents=6)
+    serial, parallel = assert_differential(build, documents, chunk_size=4)
+    assert serial["source"].evolution_count >= 1
+    assert parallel["source"].evolution_count == serial["source"].evolution_count
+    assert parallel["perf"]["shard_fanout_epochs"] >= 2  # epochs straddle it
+
+
+def test_differential_sharded_overlap_mode(tmp_path):
+    """Windowed submission composes with shard fan-out."""
+    documents = _shard_corpus(seed=53)
+    baseline = _run(_sharded_builder("memory", tmp_path), documents, workers=0)
+    source = _sharded_builder("memory", tmp_path)()
+    outcomes = source.process_many(
+        [document.copy() for document in documents],
+        workers=WORKERS,
+        chunk_size=2,
+        overlap=True,
+    )
+    try:
+        assert [
+            (o.dtd_name, o.similarity, tuple(o.evolved), o.recovered)
+            for o in outcomes
+        ] == baseline["outcomes"]
+        assert source.perf_snapshot()["shard_fanout_epochs"] >= 1
+    finally:
+        source.close()
+
+
+def test_fanout_route_classifies_fallback_documents(tmp_path):
+    """`fanout_route` keeps every unsound document on the serial path."""
+    from repro.xmltree.parser import parse_document
+
+    source = _sharded_builder("memory", tmp_path)()
+    classifier = source.classifier
+    assert classifier.fanout_eligible()
+    shard_map = classifier.shard_map()
+    alpha = next(i for i, s in enumerate(shard_map) if "alpha" in s)
+    charlie = next(i for i, s in enumerate(shard_map) if "charlie" in s)
+    # single-overlap documents route
+    routed = parse_document("<aroot><aitem/></aroot>")
+    assert classifier.fanout_route(routed) == alpha
+    # text overlaps the only #PCDATA-capable shard
+    assert classifier.fanout_route(parse_document("<x>t</x>")) == charlie
+    # multi-shard overlap → serial
+    assert classifier.fanout_route(
+        parse_document("<mix><aitem/><bitem/></mix>")) is None
+    # zero overlap → serial (zero-score tie needs the full DTD set)
+    assert classifier.fanout_route(parse_document("<z><zz/></z>")) is None
+    # depth guard → serial
+    deep = parse_document(
+        "<aroot>" + "<aitem>" * 70 + "<aleaf/>" + "</aitem>" * 70 + "</aroot>"
+    )
+    assert classifier.fanout_route(deep) is None
+    source.close()
+
+
 def test_differential_inline_snapshot_fallback():
     """With the shared-memory publisher degraded to inline refs (the
     spawn-platform fallback), results still match serial exactly."""

@@ -167,6 +167,88 @@ def test_served_ops_bit_identical_to_batch(tmp_path, store_kind):
         batch_source.close()
 
 
+@pytest.mark.parametrize("store_kind", ["memory", "jsonl", "sqlite"])
+def test_bulk_deposit_bit_identical_to_singles(tmp_path, store_kind):
+    """``{"documents": [...]}`` is one admission-controlled op whose
+    per-document outcomes — and the engine it leaves behind — match a
+    sequence of single deposits exactly, on every store backend."""
+    documents = [
+        serialize_document(doc, xml_declaration=False)
+        for doc in figure3_workload(count_d1=6, count_d2=6, seed=9)
+    ] + [f"<alien><x>{i}</x></alien>" for i in range(2)]
+
+    def run(bulk):
+        store = None
+        if store_kind != "memory":
+            from repro.classification.stores import make_store
+
+            store = make_store(
+                store_kind, str(tmp_path / f"{store_kind}-{bulk}.{store_kind}")
+            )
+        source = figure3_source(store=store)
+        try:
+            with ServiceRunner(source, ServeConfig()) as runner:
+                client = ServeClient(runner.port)
+                try:
+                    if bulk:
+                        status, _, body = client.post(
+                            "/deposit", {"documents": documents}
+                        )
+                        assert status == 200
+                        assert body["deposited"] == len(documents)
+                        outcomes = body["outcomes"]
+                    else:
+                        outcomes = []
+                        for xml in documents:
+                            status, _, body = client.post("/deposit", {"xml": xml})
+                            assert status == 200
+                            outcomes.append(
+                                {
+                                    key: body[key]
+                                    for key in (
+                                        "dtd", "similarity", "evolved", "recovered"
+                                    )
+                                }
+                            )
+                finally:
+                    client.close()
+            return (
+                outcomes,
+                evolution_log_digest(source),
+                final_state_digest(source),
+            )
+        finally:
+            source.close()
+
+    singles = run(bulk=False)
+    batched = run(bulk=True)
+    assert batched == singles
+    assert any(outcome["dtd"] is None for outcome in singles[0])  # deposits
+
+
+def test_bulk_deposit_rejects_malformed_batches():
+    source = figure3_source()
+    try:
+        with ServiceRunner(source, ServeConfig()) as runner:
+            client = ServeClient(runner.port)
+            try:
+                for payload in (
+                    {"documents": []},
+                    {"documents": ["<a/>", 7]},
+                    {"documents": ["<a/>", "   "]},
+                    {"documents": ["<a/>", "<unclosed>"]},
+                ):
+                    status, _, _ = client.post("/deposit", payload)
+                    assert status == 400, payload
+                # nothing was applied by the rejected batches
+                status, _, body = client.post("/deposit", {"xml": "<a><b>x</b></a>"})
+                assert status == 200 and body["applied_index"] == 1
+            finally:
+                client.close()
+    finally:
+        source.close()
+
+
 def test_served_classify_is_read_only():
     """Classify probes never perturb the engine: a served run with many
     interleaved probes leaves the same terminal state as one without."""

@@ -107,6 +107,24 @@ class TestStoreContract:
         assert len(store) == 1
         assert next(iter(store)).root.tag == "late"
 
+    def test_add_many_preserves_order(self, store):
+        documents = _documents()
+        store.add_many(documents)
+        assert len(store) == 3
+        assert [_xml(d) for d in store] == [_xml(d) for d in documents]
+
+    def test_bulk_window_nests_and_reads_through(self, store):
+        bulk = getattr(store, "bulk", None)
+        if bulk is None:
+            pytest.skip("backend has no bulk window")
+        with store.bulk():
+            store.add(parse_document("<a/>"))
+            with store.bulk():
+                store.add_many([parse_document("<b/>")])
+            # reads inside the window already see every pending add
+            assert [d.root.tag for d in store] == ["a", "b"]
+        assert [d.root.tag for d in store] == ["a", "b"]
+
 
 class TestJsonlStore:
     def test_round_trips_structure(self, tmp_path):
@@ -183,6 +201,136 @@ class TestJsonlStore:
             store.add(document)
         store.drain()
         assert os.listdir(str(tmp_path)) == ["r.jsonl"]
+
+
+class TestJsonlSegments:
+    """Segmented layout, tombstone drains, compaction, crash resume."""
+
+    @staticmethod
+    def _fill(store, count, tag="d"):
+        store.add_many(
+            parse_document(f"<{tag}><n{i % 4}/></{tag}>") for i in range(count)
+        )
+
+    def test_appends_seal_segments_and_keep_order(self, tmp_path):
+        path = str(tmp_path / "r.jsonl")
+        store = JsonlStore(path, segment_records=3)
+        documents = [parse_document(f"<a><b>x{i}</b></a>") for i in range(8)]
+        store.add_many(documents)
+        assert sorted(os.listdir(str(tmp_path))) == [
+            "r.jsonl", "r.jsonl.seg1", "r.jsonl.seg2",
+        ]
+        assert [_xml(d) for d in store] == [_xml(d) for d in documents]
+        # resume discovers the segments and the order survives
+        resumed = JsonlStore(path, segment_records=3)
+        assert [_xml(d) for d in resumed] == [_xml(d) for d in documents]
+
+    def test_predicate_drain_tombstones_instead_of_rewriting(self, tmp_path):
+        path = str(tmp_path / "r.jsonl")
+        # compact_ratio > 1 never triggers compaction: pure tombstoning
+        store = JsonlStore(path, segment_records=100, compact_ratio=2.0)
+        self._fill(store, 6, tag="keep")
+        self._fill(store, 2, tag="toss")
+        before = os.path.getsize(path)
+        drained = store.drain(lambda d: d.root.tag == "toss")
+        assert len(drained) == 2 and len(store) == 6
+        assert os.path.getsize(path) == before  # no rewrite happened
+        assert os.path.exists(path + ".tombstones")
+        assert all(d.root.tag == "keep" for d in store)
+        # a resume honours the tombstones too
+        assert len(JsonlStore(path)) == 6
+
+    def test_compaction_rewrites_segment_and_clears_tombstones(self, tmp_path):
+        from repro.perf import PerfCounters
+
+        path = str(tmp_path / "r.jsonl")
+        store = JsonlStore(path, segment_records=100, compact_ratio=0.5)
+        counters = PerfCounters()
+        store.set_counters(counters)
+        self._fill(store, 4, tag="keep")
+        self._fill(store, 4, tag="toss")
+        before = os.path.getsize(path)
+        store.drain(lambda d: d.root.tag == "toss")
+        assert counters.segments_compacted == 1
+        assert counters.compaction_bytes_reclaimed > 0
+        assert os.path.getsize(path) < before
+        assert not os.path.exists(path + ".tombstones")  # all reclaimed
+        assert len(store) == 4 and len(JsonlStore(path)) == 4
+
+    def test_resume_discards_stale_compact_tmp(self, tmp_path):
+        path = str(tmp_path / "r.jsonl")
+        store = JsonlStore(path, segment_records=2)
+        self._fill(store, 5)
+        store._close_append()
+        # a compaction that crashed before its atomic replace leaves a
+        # partial copy behind; the original segments are still intact
+        with open(path + ".compact-tmp", "w") as tmp:
+            tmp.write("[999, \"<garbage\n")
+        with open(path + ".seg1.compact-tmp", "w") as tmp:
+            tmp.write("partial")
+        resumed = JsonlStore(path, segment_records=2)
+        assert len(resumed) == 5
+        assert not any(
+            name.endswith(".compact-tmp") for name in os.listdir(str(tmp_path))
+        )
+
+    def test_resume_filters_tombstones_of_reclaimed_records(self, tmp_path):
+        path = str(tmp_path / "r.jsonl")
+        store = JsonlStore(path, segment_records=100, compact_ratio=2.0)
+        self._fill(store, 4)
+        store._close_append()
+        # ids 0..3 exist; tombstone one real record plus a stale id from
+        # a compaction that crashed between segment replace and log rewrite
+        with open(path + ".tombstones", "w") as log:
+            log.write("1\n99\n")
+        resumed = JsonlStore(path)
+        assert len(resumed) == 3
+        assert resumed._tombstones == {1}
+        with open(path + ".tombstones") as log:
+            assert [line.strip() for line in log if line.strip()] == ["1"]
+        # new records never collide with the stale id
+        resumed.add(parse_document("<fresh/>"))
+        assert resumed._next_id > 4
+
+    def test_legacy_plain_line_file_migrates_in_place(self, tmp_path):
+        import json as _json
+
+        path = str(tmp_path / "r.jsonl")
+        documents = _documents()
+        with open(path, "w") as legacy:
+            for document in documents:
+                legacy.write(_json.dumps(_xml(document)) + "\n")
+        store = JsonlStore(path)
+        assert [_xml(d) for d in store] == [_xml(d) for d in documents]
+        drained = store.drain(lambda d: d.root.tag == "b")
+        assert [d.root.tag for d in drained] == ["b"]
+        assert len(JsonlStore(path)) == 2
+
+    def test_disk_stays_bounded_under_deposit_drain_soak(self, tmp_path):
+        path = str(tmp_path / "r.jsonl")
+        store = JsonlStore(path, segment_records=8, compact_ratio=0.5)
+        peak = 0
+        for round_index in range(40):
+            self._fill(store, 8, tag=f"t{round_index % 3}")
+            store.drain(lambda d: True)
+            peak = max(peak, store.disk_usage())
+        assert len(store) == 0
+        # sustained churn never accumulates: the high-water mark stays
+        # within a couple of segments' worth of records
+        assert peak < 8 * 2 * 64
+        assert store.disk_usage() < 8 * 64
+
+    def test_disk_stays_bounded_under_predicate_drain_soak(self, tmp_path):
+        path = str(tmp_path / "r.jsonl")
+        store = JsonlStore(path, segment_records=8, compact_ratio=0.5)
+        for round_index in range(40):
+            self._fill(store, 6, tag="toss")
+            self._fill(store, 2, tag="keep")
+            store.drain(lambda d: d.root.tag == "toss")
+        assert len(store) == 80
+        live_bytes = 80 * 32
+        assert store.disk_usage() < live_bytes * 3
+        assert [d.root.tag for d in store] == ["keep"] * 80
 
 
 class TestSqliteStore:
@@ -303,6 +451,77 @@ class TestSqliteStore:
         metadata = store.index_metadata()
         assert metadata == {"kind": "tag-vocabulary", "rows": 2, "documents": 1}
         store.close()
+
+    @staticmethod
+    def _committed_rows(path):
+        """What a second connection sees — i.e. what is durably committed."""
+        import sqlite3
+
+        reader = sqlite3.connect(path)
+        try:
+            return reader.execute("SELECT COUNT(*) FROM documents").fetchone()[0]
+        finally:
+            reader.close()
+
+    def test_add_many_commits_once(self, tmp_path):
+        from repro.perf import PerfCounters
+
+        path = str(tmp_path / "r.sqlite")
+        store = SqliteStore(path)
+        counters = PerfCounters()
+        store.set_counters(counters)
+        documents = [parse_document(f"<a><b>x{i}</b></a>") for i in range(10)]
+        store.add_many(documents)
+        assert counters.ingest_batch_commits == 1
+        assert self._committed_rows(path) == 10
+        assert [_xml(d) for d in store] == [_xml(d) for d in documents]
+        store.close()
+
+    def test_commit_every_groups_transactions(self, tmp_path):
+        path = str(tmp_path / "r.sqlite")
+        store = SqliteStore(path, commit_every=5)
+        for i in range(4):
+            store.add(parse_document(f"<a><b>x{i}</b></a>"))
+        # own-connection reads see pending rows; other connections don't
+        assert len(list(store)) == 4
+        assert self._committed_rows(path) == 0
+        store.add(parse_document("<a><b>x4</b></a>"))
+        assert self._committed_rows(path) == 5
+        store.close()
+
+    def test_close_commits_pending_inserts(self, tmp_path):
+        path = str(tmp_path / "r.sqlite")
+        store = SqliteStore(path, commit_every=100)
+        store.add(parse_document("<a/>"))
+        assert self._committed_rows(path) == 0
+        store.close()
+        assert self._committed_rows(path) == 1
+
+    def test_drain_commits_pending_inserts_first(self, tmp_path):
+        path = str(tmp_path / "r.sqlite")
+        store = SqliteStore(path, commit_every=100)
+        for document in _documents():
+            store.add(document)
+        drained = store.drain(lambda d: d.root.tag == "a")
+        assert [d.root.tag for d in drained] == ["a", "a"]
+        assert len(store) == 1
+        store.close()
+        assert self._committed_rows(path) == 1
+
+    def test_vacuum_every_returns_pages_to_the_filesystem(self, tmp_path):
+        def churn(path, vacuum_every):
+            store = SqliteStore(path, vacuum_every=vacuum_every)
+            store.add_many(
+                parse_document("<a>" + "<b>some padding text</b>" * 20 + "</a>")
+                for _ in range(100)
+            )
+            store.clear()
+            store.close()
+            return os.path.getsize(path)
+
+        kept = churn(str(tmp_path / "kept.sqlite"), vacuum_every=0)
+        vacuumed = churn(str(tmp_path / "vac.sqlite"), vacuum_every=1)
+        assert vacuumed < kept
 
 
 class TestMakeStore:
