@@ -18,6 +18,15 @@ and a ``run_metadata`` block, so CI archives interpretable numbers.
 A ``bulk_deposit`` section then replays the workload through one
 client twice — single ``{"xml": ...}`` posts vs ``{"documents":
 [...]}`` batches — and records both ingestion rates.
+
+``--gate-serve`` turns the run into the CI latency-regression gate
+(the serve-mode analogue of ``bench_micro.py --gate-parallel``): the
+measured per-endpoint p50/p99 are compared against the committed
+``benchmarks/BENCH_serve_baseline.json`` — each bound is ``baseline
+percentile x tolerance``, floored per-endpoint so machine jitter on a
+sub-millisecond path can't fail the gate — the verdict is embedded in
+the results JSON (written first, so the CI artifact always exists),
+and the process exits nonzero on regression.
 """
 
 from __future__ import annotations
@@ -226,6 +235,67 @@ def _bulk_deposit_throughput(documents, batch_size):
     }
 
 
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "BENCH_serve_baseline.json")
+
+
+def _gate_serve(latency, baseline):
+    """The CI latency-regression verdict for a ``latency_seconds`` map.
+
+    Per endpoint in the committed baseline: measured p50/p99 must stay
+    within ``baseline x tolerance``, floored at ``floor_ms`` so noise
+    on a sub-millisecond path can't fail the gate.  Endpoints the run
+    never hit are skipped (a smoke run needn't exercise everything).
+    """
+    tolerance = baseline.get("tolerance", 4.0)
+    floor_ms = baseline.get("floor_ms", 5.0)
+    endpoints = {}
+    failed = []
+    for endpoint, bounds in sorted(baseline.get("endpoints", {}).items()):
+        key = f'repro_serve_request_seconds{{endpoint="{endpoint}"}}'
+        digest = latency.get(key)
+        if not digest or not digest.get("count"):
+            endpoints[endpoint] = {"status": "skipped", "reason": "not exercised"}
+            continue
+        checks = {}
+        for percentile in ("p50", "p99"):
+            measured_ms = digest[percentile] * 1000.0
+            limit_ms = max(bounds[f"{percentile}_ms"] * tolerance, floor_ms)
+            checks[percentile] = {
+                "measured_ms": measured_ms,
+                "baseline_ms": bounds[f"{percentile}_ms"],
+                "limit_ms": limit_ms,
+                "status": "passed" if measured_ms <= limit_ms else "failed",
+            }
+            if measured_ms > limit_ms:
+                failed.append(
+                    f"{endpoint} {percentile} {measured_ms:.2f}ms > "
+                    f"limit {limit_ms:.2f}ms"
+                )
+        checks["status"] = (
+            "failed"
+            if any(c.get("status") == "failed" for c in checks.values()
+                   if isinstance(c, dict))
+            else "passed"
+        )
+        endpoints[endpoint] = checks
+    judged = [e for e in endpoints.values() if e.get("status") != "skipped"]
+    if not judged:
+        status, reason = "skipped", "no baselined endpoint was exercised"
+    elif failed:
+        status, reason = "failed", "; ".join(failed)
+    else:
+        status, reason = "passed", (
+            f"{len(judged)} endpoints within {tolerance}x of baseline"
+        )
+    return {
+        "status": status,
+        "reason": reason,
+        "tolerance": tolerance,
+        "floor_ms": floor_ms,
+        "endpoints": endpoints,
+    }
+
+
 def main(argv=None):
     try:  # script mode (sys.path[0] = benchmarks/) vs pytest (rootdir)
         from _harness import run_metadata
@@ -234,6 +304,7 @@ def main(argv=None):
 
     argv = list(sys.argv[1:] if argv is None else argv)
     smoke = "--smoke" in argv
+    gate_serve = "--gate-serve" in argv
     docs, depositors, readers = (90, 2, 2) if smoke else (420, 3, 4)
     documents = _phased_workload(docs)
     source = XMLSource(
@@ -296,6 +367,19 @@ def main(argv=None):
         documents, batch_size=16 if smoke else 32
     )
 
+    gate = None
+    if gate_serve:
+        if os.path.exists(BASELINE_PATH):
+            with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
+                baseline = json.load(handle)
+            gate = _gate_serve(latency, baseline)
+        else:
+            gate = {
+                "status": "skipped",
+                "reason": f"no baseline at {BASELINE_PATH}",
+            }
+        results["gate_serve"] = gate
+
     results_dir = os.path.join(os.path.dirname(__file__), "results")
     os.makedirs(results_dir, exist_ok=True)
     path = os.path.join(results_dir, "BENCH_serve.json")
@@ -318,7 +402,12 @@ def main(argv=None):
         f"{bulk['batched_deposits_per_second']:.1f}/s  "
         f"speedup {bulk['speedup']:.1f}x"
     )
+    if gate is not None:
+        print(f"{'gate_serve':<18} {gate['status']}: {gate['reason']}")
     print(f"wrote {path}")
+    if gate is not None and gate["status"] == "failed":
+        # the JSON is already on disk for the CI artifact; now fail
+        raise SystemExit(f"gate_serve failed: {gate['reason']}")
     return results
 
 

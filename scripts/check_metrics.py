@@ -1,0 +1,275 @@
+#!/usr/bin/env python
+"""Validate a Prometheus text exposition (format 0.0.4) produced by
+``MetricsRegistry.expose()`` — the ``--metrics`` file or a ``GET
+/metrics`` scrape.
+
+Checks the contract a scraper relies on:
+
+- every non-comment line parses as ``name{labels} value`` with a valid
+  metric name and a parseable value (``+Inf``/``-Inf``/``NaN`` allowed);
+- label values are properly quoted and escaped (backslash, quote,
+  newline — an unescaped quote inside a label value is a parse error
+  here, exactly as it would be in Prometheus);
+- ``# TYPE`` and ``# HELP`` appear at most once per metric family, with
+  a known type, *before* any of that family's samples;
+- a family's samples are contiguous (no interleaving with another
+  family's);
+- histogram families emit ``_bucket``/``_sum``/``_count`` series with
+  cumulative (non-decreasing) bucket counts per label set and a
+  terminal ``le="+Inf"`` bucket equal to ``_count``;
+- no duplicate sample (same name and label set twice).
+
+Usage: ``python scripts/check_metrics.py metrics.prom [more.prom ...]``
+Exits 0 when every file passes, 1 otherwise.  Stdlib-only on purpose —
+CI runs it without PYTHONPATH.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from typing import Dict, List, Optional, Tuple
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+KNOWN_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+#: suffixes a histogram family's samples may carry
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _parse_labels(body: str, where: str, problems: List[str]) -> Optional[
+    Tuple[Tuple[str, str], ...]
+]:
+    """Parse the inside of ``{...}`` with escape-aware scanning; returns
+    the label items, or None after reporting a problem."""
+    items: List[Tuple[str, str]] = []
+    index = 0
+    length = len(body)
+    while index < length:
+        equals = body.find("=", index)
+        if equals < 0:
+            problems.append(f"{where}: malformed labels (missing '=')")
+            return None
+        name = body[index:equals]
+        if not LABEL_NAME.match(name):
+            problems.append(f"{where}: bad label name {name!r}")
+            return None
+        if equals + 1 >= length or body[equals + 1] != '"':
+            problems.append(f"{where}: label {name!r} value not quoted")
+            return None
+        # scan the quoted value, honouring backslash escapes
+        value_chars: List[str] = []
+        position = equals + 2
+        closed = False
+        while position < length:
+            char = body[position]
+            if char == "\\":
+                if position + 1 >= length:
+                    problems.append(f"{where}: dangling escape in label {name!r}")
+                    return None
+                escape = body[position + 1]
+                if escape not in ('\\', '"', "n"):
+                    problems.append(
+                        f"{where}: invalid escape '\\{escape}' in label {name!r}"
+                    )
+                    return None
+                value_chars.append("\n" if escape == "n" else escape)
+                position += 2
+                continue
+            if char == '"':
+                closed = True
+                position += 1
+                break
+            value_chars.append(char)
+            position += 1
+        if not closed:
+            problems.append(f"{where}: unterminated label value for {name!r}")
+            return None
+        items.append((name, "".join(value_chars)))
+        index = position
+        if index < length:
+            if body[index] != ",":
+                problems.append(
+                    f"{where}: expected ',' between labels, got {body[index]!r}"
+                )
+                return None
+            index += 1
+    return tuple(items)
+
+
+def _parse_value(text: str) -> Optional[float]:
+    if text in ("+Inf", "Inf"):
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def _family_of(sample_name: str, histogram_families: set) -> str:
+    """The metric family a sample belongs to (strips histogram
+    suffixes when the base family was declared a histogram)."""
+    for suffix in _HISTOGRAM_SUFFIXES:
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if base in histogram_families:
+                return base
+    return sample_name
+
+
+def check_metrics(path: str) -> List[str]:
+    """Every format violation in ``path`` (empty = valid)."""
+    problems: List[str] = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as error:
+        return [f"unreadable: {error}"]
+    if not text.strip():
+        return ["empty exposition"]
+
+    types: Dict[str, str] = {}
+    helps: Dict[str, int] = {}
+    family_order: List[str] = []
+    family_closed: set = set()
+    histogram_families: set = set()
+    seen_samples: set = set()
+    #: (family, labels-without-le) -> list of (le, cumulative count)
+    buckets: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], List[Tuple[float, float]]] = {}
+    counts: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        where = f"line {line_number}"
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("TYPE", "HELP"):
+                # free-form comments are legal; only TYPE/HELP are meta
+                continue
+            keyword, family = parts[1], parts[2]
+            if not METRIC_NAME.match(family):
+                problems.append(f"{where}: bad metric name in # {keyword}")
+                continue
+            if keyword == "TYPE":
+                kind = parts[3].strip() if len(parts) > 3 else ""
+                if kind not in KNOWN_TYPES:
+                    problems.append(f"{where}: unknown type {kind!r} for {family}")
+                if family in types:
+                    problems.append(f"{where}: duplicate # TYPE for {family}")
+                if family in family_closed or any(
+                    key[0] == family for key in seen_samples
+                ):
+                    problems.append(
+                        f"{where}: # TYPE for {family} after its samples"
+                    )
+                types[family] = kind
+                if kind == "histogram":
+                    histogram_families.add(family)
+            else:
+                if family in helps:
+                    problems.append(f"{where}: duplicate # HELP for {family}")
+                helps[family] = line_number
+            continue
+
+        # sample line: name[{labels}] value
+        match = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})?\s+(\S+)\s*$", line)
+        if match is None:
+            problems.append(f"{where}: unparseable sample line {line!r}")
+            continue
+        sample_name, _, label_body, value_text = match.groups()
+        labels = (
+            _parse_labels(label_body, where, problems)
+            if label_body is not None
+            else ()
+        )
+        if labels is None:
+            continue
+        value = _parse_value(value_text)
+        if value is None and value_text != "NaN":
+            problems.append(f"{where}: unparseable value {value_text!r}")
+            continue
+        sample_key = (sample_name, labels)
+        if sample_key in seen_samples:
+            problems.append(
+                f"{where}: duplicate sample {sample_name}{dict(labels)}"
+            )
+        seen_samples.add(sample_key)
+
+        family = _family_of(sample_name, histogram_families)
+        if family not in family_order:
+            family_order.append(family)
+        elif family_order[-1] != family:
+            problems.append(
+                f"{where}: samples of {family} are not contiguous"
+            )
+        for previous in family_order[:-1]:
+            family_closed.add(previous)
+
+        if family in histogram_families and value is not None:
+            base_labels = tuple(
+                (name, val) for name, val in labels if name != "le"
+            )
+            if sample_name.endswith("_bucket"):
+                le_value = dict(labels).get("le")
+                bound = _parse_value(le_value) if le_value is not None else None
+                if bound is None:
+                    problems.append(f"{where}: _bucket without a numeric le")
+                else:
+                    buckets.setdefault((family, base_labels), []).append(
+                        (bound, value)
+                    )
+            elif sample_name.endswith("_count"):
+                counts[(family, base_labels)] = value
+
+    for (family, base_labels), series in buckets.items():
+        cumulative = -1.0
+        for bound, count in series:  # exposition order is ascending le
+            if count < cumulative:
+                problems.append(
+                    f"{family}{dict(base_labels)}: bucket counts not "
+                    f"cumulative at le={bound}"
+                )
+            cumulative = count
+        last_bound = series[-1][0] if series else None
+        if last_bound != float("inf"):
+            problems.append(
+                f"{family}{dict(base_labels)}: no terminal le=\"+Inf\" bucket"
+            )
+        elif (family, base_labels) in counts and series[-1][1] != counts[
+            (family, base_labels)
+        ]:
+            problems.append(
+                f"{family}{dict(base_labels)}: +Inf bucket "
+                f"({series[-1][1]}) != _count ({counts[(family, base_labels)]})"
+            )
+
+    if not seen_samples:
+        problems.append("no samples")
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print(
+            "usage: check_metrics.py metrics.prom [more.prom ...]",
+            file=sys.stderr,
+        )
+        return 2
+    failed = False
+    for path in argv:
+        problems = check_metrics(path)
+        if problems:
+            failed = True
+            for problem in problems:
+                print(f"{path}: {problem}", file=sys.stderr)
+        else:
+            print(f"{path}: OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -38,12 +38,18 @@ Subcommands::
                     [--store {memory,jsonl,sqlite}] [--sharded]
                     [--queue-limit N] [--max-inflight N] [--reader-threads N]
                     [--checkpoint-every N] [--duration S]
+                    [--trace-sample RATE] [--trace-slow-ms MS]
+                    [--trace-seed N] [--trace-sink PATH] [--log-json]
         Run the async MVCC service (repro.serve): /classify, /deposit,
-        /evolve, /drain, /healthz and /metrics over JSON.  Readers
-        classify against an immutable snapshot version; writes apply
-        serially and publish the next snapshot atomically.  Graceful
-        shutdown (SIGINT/SIGTERM, or after --duration seconds) drains
-        accepted writes and checkpoints to --state.
+        /evolve, /drain, /healthz, /metrics and /debug/{vars,slow,health}
+        over JSON.  Readers classify against an immutable snapshot
+        version; writes apply serially and publish the next snapshot
+        atomically.  Graceful shutdown (SIGINT/SIGTERM, or after
+        --duration seconds) drains accepted writes and checkpoints to
+        --state.  --trace-sample keeps that fraction of requests as span
+        trees (slow/error requests always kept), streamed to the
+        --trace-sink rotating JSONL; --log-json switches the process to
+        structured log lines carrying each request's X-Request-Id.
 
     dtdevolve report trace.json [--top N] [--metrics]
         Render the latency tables of a trace dump (either export
@@ -166,6 +172,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     source = _load_or_init_source(args)
     if source is None:
         return 2
+    if args.log_json:
+        from repro.obs.logging import configure_json_logging
+
+        configure_json_logging()
+    from repro.obs.live import attach_degradation_monitor
+
+    detach_degradation = attach_degradation_monitor(source.events)
     tracer = None
     if args.trace or args.trace_jsonl or args.metrics:
         from repro.obs.tracing import Tracer
@@ -182,6 +195,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     finally:
         # shut the persistent worker pool (and any published snapshot)
         # down even when the batch dies mid-run
+        detach_degradation()
         source.close()
     for path, outcome in zip(args.documents, outcomes):
         target = outcome.dtd_name or "<repository>"
@@ -277,8 +291,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # the service announces the *bound* port (essential with --port 0)
     # and surfaced store warnings on its logger — give it a stderr
     # handler unless the embedding application configured one already
+    if args.log_json:
+        # one JSON formatter on the root "repro" logger: serve,
+        # parallel-degradation warnings, and obs all correlate by
+        # request_id through the same handler
+        from repro.obs.logging import configure_json_logging
+
+        configure_json_logging()
     serve_logger = logging.getLogger("repro.serve")
-    if not serve_logger.handlers:
+    if not serve_logger.handlers and not logging.getLogger("repro").handlers:
         handler = logging.StreamHandler(sys.stderr)
         handler.setFormatter(logging.Formatter("%(levelname)s %(message)s"))
         serve_logger.addHandler(handler)
@@ -295,6 +316,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         reader_threads=args.reader_threads,
         checkpoint_path=args.state,
         checkpoint_every=args.checkpoint_every,
+        trace_sample=args.trace_sample,
+        trace_slow_ms=args.trace_slow_ms,
+        trace_seed=args.trace_seed,
+        trace_sink=args.trace_sink,
     )
     print(
         f"serving {', '.join(source.dtd_names())} "
@@ -453,6 +478,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a Prometheus text exposition (perf counters, span "
         "latency histograms, dead-letter count)",
     )
+    run.add_argument(
+        "--log-json",
+        action="store_true",
+        dest="log_json",
+        help="emit structured JSON log lines (one object per line) on stderr",
+    )
     run.add_argument("documents", nargs="+", help="XML document files")
     run.set_defaults(handler=_cmd_run)
 
@@ -505,6 +536,34 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--duration", type=float, default=0.0, metavar="S",
         help="serve for S seconds then shut down gracefully (0 = until signalled)",
+    )
+    serve.add_argument(
+        "--trace-sample", type=float, default=0.0, dest="trace_sample",
+        metavar="RATE",
+        help="head-sampling rate in [0,1] for always-on request tracing "
+        "(slow/error requests are kept regardless; default 0.0)",
+    )
+    serve.add_argument(
+        "--trace-slow-ms", type=float, default=250.0, dest="trace_slow_ms",
+        metavar="MS",
+        help="tail-keep threshold: requests at/above MS milliseconds are "
+        "always sampled (default 250)",
+    )
+    serve.add_argument(
+        "--trace-seed", type=int, default=0, dest="trace_seed",
+        help="seed of the deterministic head-sampling hash (default 0)",
+    )
+    serve.add_argument(
+        "--trace-sink", dest="trace_sink", metavar="PATH",
+        help="rotating JSONL file kept span trees stream to "
+        "(readable with 'dtdevolve report PATH')",
+    )
+    serve.add_argument(
+        "--log-json",
+        action="store_true",
+        dest="log_json",
+        help="emit structured JSON log lines with request_id correlation "
+        "on stderr",
     )
     serve.set_defaults(handler=_cmd_serve)
 

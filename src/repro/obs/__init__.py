@@ -17,9 +17,16 @@ The layer every serving stack carries, for the Figure-1 engine:
   loader for both.
 - :mod:`repro.obs.report` — the latency tables behind
   ``dtdevolve report``.
+- :mod:`repro.obs.logging` — structured JSON logging with per-request
+  correlation ids (the ``--log-json`` formatter).
+- :mod:`repro.obs.live` — continuous-service telemetry: the sampled
+  always-on :class:`Sampler`, the :class:`SpanRing` behind
+  ``/debug/slow``, the :class:`RotatingJsonlSink`, and the
+  :class:`DriftMonitor` exporting evolution-drift health gauges.
 
-See ``docs/API.md`` ("Observability") for the span naming scheme and
-DESIGN.md decision 10 for the no-op-default rationale.
+See ``docs/API.md`` ("Observability" and "Operating the service") for
+the span naming scheme, log schema, and drift metrics; DESIGN.md
+decisions 10 and 15 for the off-the-merge-path rationale.
 """
 
 from repro.obs.export import (
@@ -28,6 +35,22 @@ from repro.obs.export import (
     span_dict,
     write_chrome_trace,
     write_jsonl,
+)
+from repro.obs.live import (
+    DriftMonitor,
+    RequestSample,
+    RotatingJsonlSink,
+    Sampler,
+    SpanRing,
+    attach_degradation_monitor,
+    build_request_spans,
+)
+from repro.obs.logging import (
+    CorrelationFilter,
+    JsonFormatter,
+    configure_json_logging,
+    current_request_id,
+    request_context,
 )
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -63,4 +86,16 @@ __all__ = [
     "load_trace",
     "render_report",
     "stage_latencies",
+    "Sampler",
+    "RequestSample",
+    "SpanRing",
+    "RotatingJsonlSink",
+    "DriftMonitor",
+    "attach_degradation_monitor",
+    "build_request_spans",
+    "JsonFormatter",
+    "CorrelationFilter",
+    "configure_json_logging",
+    "current_request_id",
+    "request_context",
 ]

@@ -147,7 +147,12 @@ def _records_from_chrome(data: Dict[str, Any]) -> Tuple[str, List[Dict[str, Any]
 def load_trace(path: str) -> Tuple[str, List[Dict[str, Any]]]:
     """Read a Chrome trace JSON or a span JSONL back into records.
 
-    Raises ``ValueError`` for content that is neither.
+    Either format loads to the same ``(trace_id, records)`` shape, so
+    ``dtdevolve report`` accepts ``--trace`` and ``--trace-jsonl``
+    output (and the serve sink's rotated generations) alike.  Raises
+    ``ValueError`` with the offending path (and line, for JSONL) for
+    content that is neither — including *mixed* files where
+    Chrome-trace events appear inside a JSONL stream.
     """
     with open(path, "r", encoding="utf-8") as handle:
         text = handle.read()
@@ -159,11 +164,20 @@ def load_trace(path: str) -> Tuple[str, List[Dict[str, Any]]]:
     except json.JSONDecodeError:
         data = None
     if isinstance(data, dict) and "traceEvents" in data:
+        if not isinstance(data["traceEvents"], list):
+            raise ValueError(
+                f"{path}: Chrome trace with a non-array traceEvents field"
+            )
         return _records_from_chrome(data)
     if data is not None and not isinstance(data, dict):
-        raise ValueError(f"{path}: not a trace (unexpected JSON shape)")
+        raise ValueError(
+            f"{path}: not a trace (top-level JSON is "
+            f"{type(data).__name__}, expected a Chrome trace object or "
+            f"JSONL span lines)"
+        )
     # JSONL: header line then one span per line
     trace_id = ""
+    saw_header = False
     records: List[Dict[str, Any]] = []
     for index, line in enumerate(stripped.splitlines()):
         line = line.strip()
@@ -174,7 +188,16 @@ def load_trace(path: str) -> Tuple[str, List[Dict[str, Any]]]:
         except json.JSONDecodeError as error:
             raise ValueError(f"{path}:{index + 1}: bad JSONL line: {error}")
         if not isinstance(entry, dict):
-            raise ValueError(f"{path}:{index + 1}: bad JSONL entry")
+            raise ValueError(
+                f"{path}:{index + 1}: bad JSONL entry "
+                f"({type(entry).__name__}, expected an object)"
+            )
+        if "traceEvents" in entry or entry.get("ph") is not None:
+            raise ValueError(
+                f"{path}:{index + 1}: mixed formats — Chrome trace-event "
+                f"content inside a JSONL stream; re-export with one of "
+                f"--trace or --trace-jsonl"
+            )
         if "name" in entry and "start_ns" in entry:
             records.append(
                 {
@@ -187,7 +210,19 @@ def load_trace(path: str) -> Tuple[str, List[Dict[str, Any]]]:
                 }
             )
         elif "trace_id" in entry:
+            if saw_header and str(entry["trace_id"]) != trace_id:
+                raise ValueError(
+                    f"{path}:{index + 1}: second JSONL header with a "
+                    f"different trace_id ({entry['trace_id']!r} after "
+                    f"{trace_id!r}) — concatenated traces are not one "
+                    f"trace"
+                )
             trace_id = str(entry["trace_id"])
+            saw_header = True
         else:
-            raise ValueError(f"{path}:{index + 1}: neither span nor header")
+            keys = ", ".join(sorted(map(str, entry))) or "no keys"
+            raise ValueError(
+                f"{path}:{index + 1}: neither span nor header "
+                f"(object with {keys})"
+            )
     return trace_id, records

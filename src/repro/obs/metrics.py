@@ -61,6 +61,11 @@ def _escape_label(value: str) -> str:
     )
 
 
+def _escape_help(text: str) -> str:
+    # format 0.0.4: HELP text escapes backslash and newline only
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _render_labels(labels: LabelItems, extra: Tuple[Tuple[str, str], ...] = ()) -> str:
     items = labels + extra
     if not items:
@@ -348,18 +353,31 @@ class MetricsRegistry:
 
     def expose(self) -> str:
         """Prometheus text exposition (format 0.0.4) of every
-        instrument, grouped by metric family in registration order."""
+        instrument, grouped by metric family in registration order.
+
+        ``# HELP`` and ``# TYPE`` appear exactly once per family —
+        HELP taken from the first instrument in the family that *has*
+        help text (a labelled child created without help must not
+        silence the family's description), escaped per the format
+        (backslash and newline); all of a family's samples are
+        contiguous under its headers."""
         lines: List[str] = []
         seen_families = set()
         for (name, _labels), instrument in self._instruments.items():
-            if name not in seen_families:
-                seen_families.add(name)
-                if instrument.help:
-                    lines.append(f"# HELP {name} {instrument.help}")
-                lines.append(f"# TYPE {name} {instrument.kind}")
-                for (other_name, _), other in self._instruments.items():
-                    if other_name == name:
-                        lines.extend(other.samples())
+            if name in seen_families:
+                continue
+            seen_families.add(name)
+            family = [
+                other
+                for (other_name, _), other in self._instruments.items()
+                if other_name == name
+            ]
+            help_text = next((m.help for m in family if m.help), "")
+            if help_text:
+                lines.append(f"# HELP {name} {_escape_help(help_text)}")
+            lines.append(f"# TYPE {name} {instrument.kind}")
+            for member in family:
+                lines.extend(member.samples())
         return "\n".join(lines) + "\n"
 
     def __repr__(self) -> str:

@@ -40,6 +40,7 @@ except ImportError:  # pragma: no cover - pre-3.8 fallback, never hit
 
 
 from repro.core.evolution import EvolutionConfig, evolve_dtd
+from repro.obs.logging import current_request_id as _current_request_id
 from repro.pipeline.context import EvolutionEvent, PipelineContext
 from repro.pipeline.events import (
     DocumentClassified,
@@ -518,11 +519,16 @@ class Pipeline:
         source = self.source
         tracer = source.tracer
         document = ctx.document
-        with tracer.span(
-            "doc",
-            doc_id=source.documents_processed,
-            root=document.root.tag if document is not None else None,
-        ) as doc_span:
+        attrs = {
+            "doc_id": source.documents_processed,
+            "root": document.root.tag if document is not None else None,
+        }
+        # the serve layer's correlation id, when this document arrived
+        # through a request (joins the span to log lines and metrics)
+        request_id = _current_request_id()
+        if request_id is not None:
+            attrs["request_id"] = request_id
+        with tracer.span("doc", **attrs) as doc_span:
             for stage in self.stages:
                 if ctx.halted:
                     break

@@ -28,6 +28,7 @@ __all__ = [
     "json_response",
     "text_response",
     "error_response",
+    "with_header",
 ]
 
 #: request-line / single-header size cap (bytes)
@@ -65,7 +66,7 @@ class HttpError(Exception):
 class Request:
     """One parsed request."""
 
-    __slots__ = ("method", "path", "version", "headers", "body")
+    __slots__ = ("method", "path", "version", "headers", "body", "query")
 
     def __init__(
         self,
@@ -74,6 +75,7 @@ class Request:
         version: str,
         headers: Dict[str, str],
         body: bytes,
+        query: str = "",
     ):
         self.method = method
         self.path = path
@@ -81,6 +83,20 @@ class Request:
         #: header names lower-cased; duplicate headers keep the last value
         self.headers = headers
         self.body = body
+        #: the raw query string (no leading ``?``); routing ignores it
+        self.query = query
+
+    def query_int(self, name: str, default: int) -> int:
+        """A single integer query parameter (``?n=25``); ``default`` on
+        absence or malformed values — debug knobs must not 400."""
+        for pair in self.query.split("&"):
+            key, separator, value = pair.partition("=")
+            if separator and key == name:
+                try:
+                    return int(value)
+                except ValueError:
+                    return default
+        return default
 
     @property
     def keep_alive(self) -> bool:
@@ -153,8 +169,8 @@ async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
     elif headers.get("transfer-encoding"):
         raise HttpError(400, "chunked transfer coding not supported")
     # strip any query string; the service routes on the bare path
-    path = target.split("?", 1)[0]
-    return Request(method, path, version, headers, body)
+    path, _, query = target.partition("?")
+    return Request(method, path, version, headers, body, query)
 
 
 def json_body(request: Request) -> Any:
@@ -206,6 +222,20 @@ def text_response(
         headers,
         keep_alive,
     )
+
+
+def with_header(response: bytes, name: str, value: str) -> bytes:
+    """Splice one header into an already built response.
+
+    Handlers return complete response byte strings; the dispatcher uses
+    this to stamp cross-cutting headers (``X-Request-Id``) without every
+    handler having to thread them through.
+    """
+    head, separator, _body = response.partition(b"\r\n")
+    if not separator:  # pragma: no cover - responses are always well-formed
+        return response
+    extra = f"{name}: {value}\r\n".encode("latin-1")
+    return head + b"\r\n" + extra + _body
 
 
 def error_response(error: HttpError, keep_alive: bool = True) -> bytes:

@@ -46,15 +46,26 @@ import logging
 import pickle
 import threading
 import time
+import uuid
 import warnings
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
+from contextvars import ContextVar
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.dtd.serializer import serialize_dtd
+from repro.obs.live import (
+    DriftMonitor,
+    RequestSample,
+    RotatingJsonlSink,
+    Sampler,
+    SpanRing,
+    build_request_spans,
+)
+from repro.obs.logging import current_request_id, request_context
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.tracing import NULL_TRACER, Tracer
+from repro.obs.tracing import NULL_TRACER, SpanCollector, Tracer
 from repro.pipeline.events import DocumentClassified, EvolutionFinished
 from repro.serve import http
 from repro.serve.holder import ServeSnapshot, SnapshotHolder
@@ -95,18 +106,60 @@ class ServeConfig:
     #: how long graceful shutdown waits for open connections to finish
     #: their in-flight request before cancelling them, seconds
     shutdown_grace: float = 1.0
+    #: head-sampling rate for always-on tracing, in ``[0, 1]`` — the
+    #: fraction of requests whose write op runs with an engine span
+    #: collector installed.  Tail keeps (slow/error requests) apply even
+    #: at 0.0, so the ring and sink are never completely blind.
+    trace_sample: float = 0.0
+    #: tail-keep latency threshold, milliseconds: any request at or
+    #: above it is kept regardless of the head decision
+    trace_slow_ms: float = 250.0
+    #: seed of the deterministic head-sampling hash (tests pin it)
+    trace_seed: int = 0
+    #: rotating JSONL file kept span trees stream to (``dtdevolve
+    #: report``-compatible); ``None`` keeps samples in the ring only
+    trace_sink: Optional[str] = None
+    #: capacity of the recent-samples ring behind ``GET /debug/slow``
+    trace_ring: int = 256
+
+
+#: the per-request trace accumulator — set by the dispatcher, filled by
+#: ``_submit_write`` with the applied op's phase spans and collected
+#: engine records; context-local, so concurrent requests never mix
+_trace_acc: "ContextVar[Optional[Dict[str, Any]]]" = ContextVar(
+    "repro_serve_trace_acc", default=None
+)
 
 
 class _WriteOp:
     """One queued write: kind, parsed payload, and the future the HTTP
-    handler awaits."""
+    handler awaits — plus the correlation id that crosses the queue
+    boundary with the op and the tracing envelope of sampled ops."""
 
-    __slots__ = ("kind", "payload", "future")
+    __slots__ = (
+        "kind", "payload", "future",
+        "request_id", "enqueued_ns", "traced", "phases", "records",
+    )
 
-    def __init__(self, kind: str, payload: Any, future: "asyncio.Future"):
+    def __init__(
+        self,
+        kind: str,
+        payload: Any,
+        future: "asyncio.Future",
+        request_id: Optional[str] = None,
+        traced: bool = False,
+    ):
         self.kind = kind
         self.payload = payload
         self.future = future
+        self.request_id = request_id
+        self.enqueued_ns = time.perf_counter_ns()
+        self.traced = traced
+        #: ``(name, start_ns, end_ns, attrs)`` phase intervals
+        #: (``queue.wait`` / ``write.apply``), filled by the writer
+        self.phases: List[Tuple[str, int, int, Dict[str, Any]]] = []
+        #: engine span records collected while applying (sampled ops)
+        self.records: List[Any] = []
 
 
 class ReproService:
@@ -130,6 +183,24 @@ class ReproService:
         self.tracer = tracer or NULL_TRACER
         self.registry = registry or MetricsRegistry()
         self.holder = SnapshotHolder()
+        #: head/tail request sampler (always constructed — tail keeps
+        #: work even at rate 0.0)
+        self.sampler = Sampler(
+            rate=config.trace_sample,
+            slow_ns=int(config.trace_slow_ms * 1e6),
+            seed=config.trace_seed,
+        )
+        #: recent kept samples, behind ``GET /debug/slow``
+        self.ring = SpanRing(max(1, config.trace_ring))
+        self.sink: Optional[RotatingJsonlSink] = (
+            RotatingJsonlSink(config.trace_sink, trace_id=uuid.uuid4().hex)
+            if config.trace_sink
+            else None
+        )
+        #: evolution-drift health telemetry, attached on :meth:`start`
+        self.drift: Optional[DriftMonitor] = None
+        self._instance_id = uuid.uuid4().hex[:8]
+        self._request_seq = 0
         #: warnings surfaced by checkpoint writes (``warnings.WarningMessage``)
         self.store_warnings: List[warnings.WarningMessage] = []
         #: completed checkpoint writes
@@ -158,11 +229,25 @@ class ReproService:
         self._routes: Dict[Tuple[str, str], Callable] = {
             ("GET", "/healthz"): self._handle_healthz,
             ("GET", "/metrics"): self._handle_metrics,
+            ("GET", "/debug/vars"): self._handle_debug_vars,
+            ("GET", "/debug/slow"): self._handle_debug_slow,
+            ("GET", "/debug/health"): self._handle_debug_health,
             ("POST", "/classify"): self._handle_classify,
             ("POST", "/deposit"): self._handle_deposit,
             ("POST", "/evolve"): self._handle_evolve,
             ("POST", "/drain"): self._handle_drain,
         }
+        #: introspection handlers bypass admission control — an operator
+        #: diagnosing an overloaded service must not be 429'd away
+        self._unmetered = frozenset(
+            (
+                self._handle_healthz,
+                self._handle_metrics,
+                self._handle_debug_vars,
+                self._handle_debug_slow,
+                self._handle_debug_health,
+            )
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -194,6 +279,10 @@ class ReproService:
         # handlers never race
         self.source.events.subscribe(DocumentClassified, self._remember_classification)
         self.source.events.subscribe(EvolutionFinished, self._count_evolution)
+        # attach drift telemetry before the writer starts: every
+        # instrument its writer-thread handlers touch is created here,
+        # on the loop thread, so the registry map never mutates off it
+        self.drift = DriftMonitor(self.registry, self.source).attach()
         self._writer_task = self._loop.create_task(self._writer_loop())
         self._server = await asyncio.start_server(
             self._on_connection, self.config.host, self.config.port
@@ -236,6 +325,10 @@ class ReproService:
         await self._loop.run_in_executor(self._writer_executor, self._checkpoint)
         self._writer_executor.shutdown(wait=True)
         self._reader_executor.shutdown(wait=True)
+        if self.drift is not None:
+            self.drift.detach()
+        if self.sink is not None:
+            self.sink.close()
         logger.info(
             "repro serve stopped (%d writes applied, %d checkpoints)",
             self._applied, self.checkpoints,
@@ -287,6 +380,23 @@ class ReproService:
             "repro_serve_store_warnings_total",
             "store warnings surfaced by checkpoint writes",
         )
+        self._snapshot_age_gauge = registry.gauge(
+            "repro_serve_snapshot_age_seconds",
+            "seconds since the current MVCC snapshot was published",
+        )
+        self._snapshot_lag_gauge = registry.gauge(
+            "repro_serve_snapshot_version_lag",
+            "engine state versions not yet published to readers "
+            "(0 = snapshot current)",
+        )
+        self._sampled_counters = {
+            reason: registry.counter(
+                "repro_serve_sampled_requests_total",
+                "requests kept by the trace sampler, by keep reason",
+                reason=reason,
+            )
+            for reason in ("head", "slow", "error")
+        }
 
     def _publish_metrics(self, snapshot: ServeSnapshot) -> None:
         self._version_gauge.set(snapshot.version)
@@ -298,8 +408,23 @@ class ReproService:
     def _count_evolution(self, event: EvolutionFinished) -> None:
         self._evolution_counter.inc()
 
+    def _next_request_id(self) -> str:
+        """A fresh correlation id (loop thread only): the service
+        instance tag plus a monotone sequence — unique, orderable, and
+        grep-friendly."""
+        self._request_seq += 1
+        return f"{self._instance_id}-{self._request_seq}"
+
     def _observe_request(
-        self, method: str, path: str, status: int, start_ns: int, end_ns: int
+        self,
+        method: str,
+        path: str,
+        status: int,
+        start_ns: int,
+        end_ns: int,
+        request_id: str,
+        head_sampled: bool,
+        acc: Dict[str, Any],
     ) -> None:
         self.registry.counter(
             "repro_serve_requests_total", "requests by endpoint and status",
@@ -309,16 +434,42 @@ class ReproService:
             "repro_serve_request_seconds", "request latency by endpoint",
             endpoint=path,
         ).observe((end_ns - start_ns) / 1e9)
+        reason = self.sampler.keep_reason(head_sampled, status, end_ns - start_ns)
+        if reason is None:
+            return
+        self._sampled_counters[reason].inc()
+        # one log line per *kept* request: volume is bounded by the
+        # sample rate, and the request_id joins the line to the span
+        # tree in the ring/sink and to the X-Request-Id a client saw
+        logger.info(
+            "sampled %s %s -> %d in %.2fms (%s)",
+            method, path, status, (end_ns - start_ns) / 1e6, reason,
+            extra={
+                "request_id": request_id,
+                "endpoint": path,
+                "status": status,
+                "duration_ms": (end_ns - start_ns) / 1e6,
+                "reason": reason,
+            },
+        )
+        spans = build_request_spans(
+            request_id, method, path, status, start_ns, end_ns,
+            phases=acc.get("phases", ()),
+            engine_records=acc.get("records", ()),
+        )
+        sample = RequestSample(
+            request_id, method, path, status, start_ns, end_ns, reason, spans
+        )
+        self.ring.append(sample)
+        if self.sink is not None:
+            try:
+                self.sink.write(sample)
+            except OSError as error:  # a full disk must not fail requests
+                logger.warning("trace sink write failed: %s", error)
         if self.tracer.enabled:
-            # a synthetic single-span record spliced in from the loop
-            # thread — the tracer's stack discipline is never touched by
-            # interleaved requests
-            self.tracer.splice(
-                [(1, None, f"request.{path}", start_ns, end_ns, {})],
-                parent_id=None,
-                method=method,
-                status=status,
-            )
+            # spliced in from the loop thread — the tracer's stack
+            # discipline is never touched by interleaved requests
+            self.tracer.splice(spans, parent_id=None, sampled=reason)
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -355,38 +506,47 @@ class ReproService:
 
     async def _dispatch(self, request: http.Request, keep_alive: bool) -> bytes:
         start_ns = time.perf_counter_ns()
+        request_id = self._next_request_id()
+        head_sampled = self.sampler.sample(request_id)
+        acc: Dict[str, Any] = {"phases": [], "records": []}
+        acc_token = _trace_acc.set(acc)
         admitted = False
         try:
-            handler = self._routes.get((request.method, request.path))
-            if handler is None:
-                if any(path == request.path for _, path in self._routes):
-                    raise http.HttpError(
-                        405, f"method {request.method} not allowed on {request.path}"
-                    )
-                raise http.HttpError(404, f"no such endpoint {request.path}")
-            if handler not in (self._handle_healthz, self._handle_metrics):
-                if self._inflight >= self.config.max_inflight:
-                    raise self._too_busy("max in-flight requests reached")
-                self._inflight += 1
-                self._inflight_gauge.set(self._inflight)
-                admitted = True
-            status, response = await handler(request, keep_alive)
+            with request_context(request_id):
+                handler = self._routes.get((request.method, request.path))
+                if handler is None:
+                    if any(path == request.path for _, path in self._routes):
+                        raise http.HttpError(
+                            405,
+                            f"method {request.method} not allowed on {request.path}",
+                        )
+                    raise http.HttpError(404, f"no such endpoint {request.path}")
+                if handler not in self._unmetered:
+                    if self._inflight >= self.config.max_inflight:
+                        raise self._too_busy("max in-flight requests reached")
+                    self._inflight += 1
+                    self._inflight_gauge.set(self._inflight)
+                    admitted = True
+                status, response = await handler(request, keep_alive)
         except http.HttpError as error:
             status, response = error.status, http.error_response(error, keep_alive)
         except Exception:
             logger.exception(
-                "unhandled error on %s %s", request.method, request.path
+                "unhandled error on %s %s", request.method, request.path,
+                extra={"request_id": request_id},
             )
             error = http.HttpError(500, "internal server error")
             status, response = 500, http.error_response(error, keep_alive)
         finally:
+            _trace_acc.reset(acc_token)
             if admitted:
                 self._inflight -= 1
                 self._inflight_gauge.set(self._inflight)
         self._observe_request(
-            request.method, request.path, status, start_ns, time.perf_counter_ns()
+            request.method, request.path, status, start_ns,
+            time.perf_counter_ns(), request_id, head_sampled, acc,
         )
-        return response
+        return http.with_header(response, "X-Request-Id", request_id)
 
     def _too_busy(self, message: str) -> http.HttpError:
         return http.HttpError(
@@ -462,8 +622,21 @@ class ReproService:
         self._pending_writes += 1
         self._queue_gauge.set(self._pending_writes)
         future = self._loop.create_future()
-        self._write_queue.put_nowait(_WriteOp(kind, payload, future))
-        return await future
+        request_id = current_request_id()
+        op = _WriteOp(
+            kind, payload, future,
+            request_id=request_id,
+            traced=request_id is not None and self.sampler.sample(request_id),
+        )
+        self._write_queue.put_nowait(op)
+        result = await future
+        # hand the applied op's trace envelope (queue.wait/write.apply
+        # phases, collected engine spans) back to the dispatcher
+        acc = _trace_acc.get()
+        if acc is not None:
+            acc["phases"] = op.phases
+            acc["records"] = op.records
+        return result
 
     async def _writer_loop(self) -> None:
         while True:
@@ -488,7 +661,47 @@ class ReproService:
 
     def _apply_write(self, op: _WriteOp) -> Dict[str, Any]:
         """Writer-thread body: apply one op to the engine, refresh the
-        snapshot, stamp the serialization witness."""
+        snapshot, stamp the serialization witness.
+
+        The op's correlation id is re-entered here, so log lines and
+        bus-event handlers running on the writer thread carry the id of
+        the request that enqueued the op — the id crosses the queue
+        boundary with the op, not the thread.  Head-sampled ops run with
+        a :class:`SpanCollector` installed on the engine; the previous
+        tracer is restored *before* the snapshot refresh, because the
+        engine's snapshot payload is cached (and fingerprinted) per
+        tracing flag — restoring first guarantees a sampled op that
+        evolved nothing republishes nothing.
+        """
+        apply_start = time.perf_counter_ns()
+        op.phases.append(("queue.wait", op.enqueued_ns, apply_start, {}))
+        with request_context(op.request_id):
+            previous_tracer = None
+            collector = None
+            if op.traced:
+                previous_tracer = self.source.tracer
+                collector = SpanCollector()
+                self.source.set_tracer(collector)
+            try:
+                result = self._apply_write_op(op)
+            finally:
+                # restore BEFORE refresh_from: the fingerprint of an
+                # unchanged engine must match the untraced one
+                if collector is not None:
+                    self.source.set_tracer(previous_tracer)
+                    op.records = collector.take_records()
+                op.phases.append(
+                    ("write.apply", apply_start, time.perf_counter_ns(),
+                     {"kind": op.kind}),
+                )
+            self._applied += 1
+            snapshot = self.holder.refresh_from(self.source)
+            self._publish_metrics(snapshot)
+            result["applied_index"] = self._applied
+            result["snapshot_version"] = snapshot.version
+        return result
+
+    def _apply_write_op(self, op: _WriteOp) -> Dict[str, Any]:
         source = self.source
         if op.kind == "deposit":
             outcome = source.process(op.payload)
@@ -525,11 +738,6 @@ class ReproService:
             result = {"recovered": source.pipeline.drain()}
         else:  # pragma: no cover - routes only enqueue known kinds
             raise ValueError(f"unknown write op {op.kind!r}")
-        self._applied += 1
-        snapshot = self.holder.refresh_from(source)
-        self._publish_metrics(snapshot)
-        result["applied_index"] = self._applied
-        result["snapshot_version"] = snapshot.version
         return result
 
     def _maybe_checkpoint(self, applied: int) -> None:
@@ -636,6 +844,17 @@ class ReproService:
         }
         return 200, http.json_response(200, body, keep_alive=keep_alive)
 
+    def _refresh_scrape_gauges(self) -> None:
+        """Pull-phase gauges recomputed on every scrape/debug hit."""
+        snapshot = self.holder.current
+        self._snapshot_age_gauge.set(max(0.0, time.time() - snapshot.published_at))
+        self._snapshot_lag_gauge.set(
+            max(0, self.source.state_version - snapshot.state_version)
+        )
+        self._queue_gauge.set(self._pending_writes)
+        if self.drift is not None:
+            self.drift.refresh()
+
     async def _handle_metrics(self, request, keep_alive) -> Tuple[int, bytes]:
         # perf counter reads are plain int loads — safe to mirror while
         # the writer thread increments them
@@ -644,10 +863,70 @@ class ReproService:
             "repro_event_dead_letters",
             "Subscriber exceptions swallowed by the event bus",
         ).set(self.source.events.dead_letters)
-        self._queue_gauge.set(self._pending_writes)
+        self._refresh_scrape_gauges()
         return 200, http.text_response(
             200, self.registry.expose(), keep_alive=keep_alive
         )
+
+    async def _handle_debug_vars(self, request, keep_alive) -> Tuple[int, bytes]:
+        """Service internals at a glance: queue/pool/snapshot state,
+        sampler tallies, and the full counters snapshot."""
+        self._refresh_scrape_gauges()
+        snapshot = self.holder.current
+        pools = getattr(self.source, "_worker_pools", {}) or {}
+        body = {
+            "queue_depth": self._pending_writes,
+            "inflight": self._inflight,
+            "applied_writes": self._applied,
+            "connections": len(self._connections),
+            "writer_suspended": (
+                self._write_gate is not None and not self._write_gate.is_set()
+            ),
+            "snapshot": {
+                "version": snapshot.version,
+                "state_version": snapshot.state_version,
+                "fingerprint": snapshot.fingerprint,
+                "age_seconds": max(0.0, time.time() - snapshot.published_at),
+                "publishes": self.holder.publishes,
+                "reuses": self.holder.reuses,
+                "dtd_names": list(snapshot.dtd_names),
+            },
+            "worker_pools": sorted(pools),
+            "reader_threads": self.config.reader_threads,
+            "sampler": self.sampler.stats(),
+            "ring": {
+                "size": len(self.ring),
+                "capacity": self.ring.capacity,
+                "appended": self.ring.appended,
+            },
+            "sink": self.sink.stats() if self.sink is not None else None,
+            "counters": self.registry.as_dict(),
+        }
+        return 200, http.json_response(200, body, keep_alive=keep_alive)
+
+    async def _handle_debug_slow(self, request, keep_alive) -> Tuple[int, bytes]:
+        """The N slowest recent kept requests, with their span trees."""
+        count = max(1, min(request.query_int("n", 10), self.ring.capacity))
+        body = {
+            "count": count,
+            "ring_size": len(self.ring),
+            "requests": [sample.as_dict() for sample in self.ring.slowest(count)],
+        }
+        return 200, http.json_response(200, body, keep_alive=keep_alive)
+
+    async def _handle_debug_health(self, request, keep_alive) -> Tuple[int, bytes]:
+        """The evolution-drift digest plus snapshot freshness."""
+        snapshot = self.holder.current
+        body = self.drift.summary() if self.drift is not None else {"status": "ok"}
+        body["snapshot"] = {
+            "version": snapshot.version,
+            "age_seconds": max(0.0, time.time() - snapshot.published_at),
+            "version_lag": max(
+                0, self.source.state_version - snapshot.state_version
+            ),
+        }
+        body["closing"] = self._closing
+        return 200, http.json_response(200, body, keep_alive=keep_alive)
 
     def __repr__(self) -> str:
         state = "closing" if self._closing else (

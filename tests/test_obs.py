@@ -216,6 +216,42 @@ class TestExport:
         with pytest.raises(ValueError):
             load_trace(str(not_a_trace))
 
+    def test_load_trace_diagnoses_mixed_and_unknown_formats(self, tmp_path):
+        """Malformed inputs fail with a message that names the problem
+        (and line), never a KeyError from deep inside the parser."""
+        header = json.dumps({"trace_id": "t1", "spans": 0})
+        span = json.dumps(
+            {"span_id": 1, "parent_id": None, "name": "doc",
+             "start_ns": 0, "end_ns": 5, "attrs": {}}
+        )
+        cases = {
+            "mixed.jsonl": (
+                header + "\n" + json.dumps({"ph": "X", "name": "doc", "ts": 0}),
+                "mixed formats",
+            ),
+            "concat.jsonl": (
+                header + "\n" + span + "\n"
+                + json.dumps({"trace_id": "t2", "spans": 0}),
+                "different trace_id",
+            ),
+            "unknown.jsonl": (
+                header + "\n" + json.dumps({"wat": 1, "nope": 2}),
+                "neither span nor header",
+            ),
+            "array.json": (json.dumps([1, 2, 3]), "not a trace"),
+            "badevents.json": (
+                json.dumps({"traceEvents": "nope"}), "non-array traceEvents",
+            ),
+            "badline.jsonl": (header + "\n{broken", "bad JSONL line"),
+        }
+        for filename, (content, needle) in cases.items():
+            target = tmp_path / filename
+            target.write_text(content)
+            with pytest.raises(ValueError) as excinfo:
+                load_trace(str(target))
+            assert needle in str(excinfo.value), filename
+            assert filename in str(excinfo.value), filename
+
 
 # ----------------------------------------------------------------------
 # Metrics

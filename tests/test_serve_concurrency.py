@@ -16,6 +16,13 @@ Four properties, each probed over real sockets with racing threads:
 
 Plus the store-warning regression: checkpoints surface (never swallow)
 the ``store_kind()`` unknown-backend ``RuntimeWarning``.
+
+5. **Observability** — the ``/debug/*`` endpoints answer with their
+   full schemas while deposits and classifies race (introspection is
+   admission-exempt and never 429s), and the correlation id a response
+   carries in ``X-Request-Id`` is the same id bus handlers observe on
+   the *writer thread* while that request's op applies — the id crosses
+   the queue boundary with the op, not with the thread.
 """
 
 from __future__ import annotations
@@ -26,6 +33,8 @@ import pytest
 
 from repro.classification.stores import MemoryStore, SqliteStore
 from repro.core.persistence import load_source
+from repro.obs import current_request_id
+from repro.pipeline.events import DocumentDeposited
 from repro.serve import ServeConfig, ServiceRunner
 from repro.xmltree.serializer import serialize_document
 
@@ -378,4 +387,170 @@ def test_checkpoint_surfaces_unknown_store_warning(tmp_path):
         finally:
             restored.close()
     finally:
+        source.close()
+
+
+# ----------------------------------------------------------------------
+# 5. Observability
+# ----------------------------------------------------------------------
+
+def test_debug_endpoints_keep_their_schemas_under_concurrent_load():
+    """/debug/vars, /debug/slow and /debug/health answer 200 with their
+    full schemas while depositors and classifiers race — and the slow
+    ring's span trees reference request ids that real responses
+    returned in ``X-Request-Id``."""
+    source = figure3_source()
+    config = ServeConfig(
+        reader_threads=2, trace_sample=1.0, trace_seed=7, trace_ring=64
+    )
+    seen_ids = set()
+    ids_lock = threading.Lock()
+    errors = []
+    stop = threading.Event()
+    try:
+        with ServiceRunner(source, config) as runner:
+
+            def depositor(worker):
+                client = ServeClient(runner.port)
+                try:
+                    for i in range(12):
+                        status, headers, body = post_with_retry(
+                            client, "/deposit",
+                            {"xml": f"<alien><w>{worker}</w><i>{i}</i></alien>"},
+                        )
+                        assert status == 200, body
+                        with ids_lock:
+                            seen_ids.add(headers["x-request-id"])
+                finally:
+                    client.close()
+
+            def prober():
+                client = ServeClient(runner.port)
+                try:
+                    while not stop.is_set():
+                        status, _, vars_body = client.get("/debug/vars")
+                        assert status == 200
+                        for key in ("sampler", "ring", "snapshot",
+                                    "queue_depth", "counters"):
+                            assert key in vars_body, key
+                        assert vars_body["sampler"]["rate"] == 1.0
+
+                        status, _, slow = client.get("/debug/slow?n=5")
+                        assert status == 200
+                        assert slow["count"] == 5
+                        durations = [
+                            r["duration_ms"] for r in slow["requests"]
+                        ]
+                        assert durations == sorted(durations, reverse=True)
+                        for kept in slow["requests"]:
+                            assert kept["reason"] in ("head", "slow", "error")
+                            assert kept["spans"][0]["attrs"]["request_id"] == (
+                                kept["request_id"]
+                            )
+
+                        status, _, health = client.get("/debug/health")
+                        assert status == 200
+                        assert health["status"] in (
+                            "ok", "drifting", "evolution-pending"
+                        )
+                        for key in ("dtds", "repository", "evolution",
+                                    "degraded_ops", "snapshot"):
+                            assert key in health, key
+                except Exception as error:  # surfaced after join
+                    errors.append(error)
+                finally:
+                    client.close()
+
+            probers = [threading.Thread(target=prober) for _ in range(2)]
+            depositors = [
+                threading.Thread(target=depositor, args=(w,)) for w in range(3)
+            ]
+            for thread in probers + depositors:
+                thread.start()
+            for thread in depositors:
+                thread.join(timeout=60)
+            stop.set()
+            for thread in probers:
+                thread.join(timeout=30)
+            assert errors == []
+
+            client = ServeClient(runner.port)
+            status, _, slow = client.get("/debug/slow?n=64")
+            assert status == 200
+            # every successful deposit the ring kept carries an id some
+            # response returned (the ring also samples the probers' own
+            # debug scrapes, so filter to the endpoint we tracked)
+            ring_ids = {
+                kept["request_id"]
+                for kept in slow["requests"]
+                if kept["endpoint"] == "/deposit" and kept["status"] == 200
+            }
+            assert ring_ids  # rate=1.0 kept the deposits
+            assert ring_ids <= seen_ids
+            # the id is stamped on every span of the sampled tree
+            for kept in slow["requests"]:
+                assert all(
+                    span["attrs"]["request_id"] == kept["request_id"]
+                    for span in kept["spans"]
+                )
+            status, _, metrics = client.get("/metrics")
+            assert 'repro_serve_sampled_requests_total{reason="head"}' in metrics
+            assert "repro_degraded_ops_total" in metrics
+            assert "repro_repository_misfits" in metrics
+            assert 'repro_dtd_activation_score{dtd="figure3"}' in metrics
+            client.close()
+    finally:
+        source.close()
+
+
+def test_request_id_crosses_the_writer_queue_boundary():
+    """A bus handler running on the writer thread during op-apply sees
+    the exact correlation id the originating response returned — for
+    every request, even when several writers race."""
+    source = figure3_source()
+    observed = []  # (request_id seen on the writer thread, thread name)
+    main_thread = threading.current_thread().name
+
+    def on_deposited(event):
+        observed.append(
+            (current_request_id(), threading.current_thread().name)
+        )
+
+    source.events.subscribe(DocumentDeposited, on_deposited)
+    returned = set()
+    lock = threading.Lock()
+    try:
+        with ServiceRunner(source, ServeConfig()) as runner:
+
+            def depositor(worker):
+                client = ServeClient(runner.port)
+                try:
+                    for i in range(8):
+                        status, headers, body = post_with_retry(
+                            client, "/deposit",
+                            {"xml": f"<alien><w>{worker}</w><i>{i}</i></alien>"},
+                        )
+                        assert status == 200, body
+                        with lock:
+                            returned.add(headers["x-request-id"])
+                finally:
+                    client.close()
+
+            threads = [
+                threading.Thread(target=depositor, args=(w,)) for w in range(3)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+
+        assert len(returned) == 24  # every response carried a unique id
+        assert len(observed) == 24
+        handler_ids = {request_id for request_id, _ in observed}
+        # the handler saw each originating request's id, on a thread
+        # that is neither the HTTP client thread nor the event loop
+        assert handler_ids == returned
+        assert all(name != main_thread for _, name in observed)
+    finally:
+        source.events.unsubscribe(DocumentDeposited, on_deposited)
         source.close()

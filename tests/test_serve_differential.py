@@ -61,11 +61,13 @@ def _workload_ops():
     return ops
 
 
-def _run_served(source, ops):
+def _run_served(source, ops, config=None):
     """Drive the op sequence over HTTP; returns per-op response bodies
-    (write-only bookkeeping fields stripped for comparison)."""
+    (write-only bookkeeping fields stripped for comparison) and the
+    final published snapshot version."""
     responses = []
-    with ServiceRunner(source, ServeConfig()) as runner:
+    final_version = 0
+    with ServiceRunner(source, config or ServeConfig()) as runner:
         client = ServeClient(runner.port)
         try:
             for kind, arg in ops:
@@ -76,13 +78,16 @@ def _run_served(source, ops):
                 else:
                     status, _, body = client.post("/drain")
                 assert status == 200, f"{kind} failed: {body}"
+                final_version = max(
+                    final_version, body.get("snapshot_version", 0)
+                )
                 for key in ("applied_index", "snapshot_version", "fingerprint",
                             "dtd_names", "sigma"):
                     body.pop(key, None)
                 responses.append(body)
         finally:
             client.close()
-    return responses
+    return responses, final_version
 
 
 def _run_batch(source, ops):
@@ -141,7 +146,7 @@ def test_served_ops_bit_identical_to_batch(tmp_path, store_kind):
     served_source = figure3_source(store=store_for("served"))
     batch_source = figure3_source(store=store_for("batch"))
     try:
-        served = _run_served(served_source, ops)
+        served, _ = _run_served(served_source, ops)
         batch = _run_batch(batch_source, ops)
 
         assert len(served) == len(batch)
@@ -247,6 +252,54 @@ def test_bulk_deposit_rejects_malformed_batches():
                 client.close()
     finally:
         source.close()
+
+
+def test_sampling_never_perturbs_outcomes(tmp_path):
+    """DESIGN decision 15 as a differential: a served run with sampling
+    fully on (every request head-sampled, every request also slow-kept,
+    spans sunk to disk) returns bit-identical bodies to the batch run
+    AND publishes exactly as many snapshot versions as an unsampled
+    served run — installing the per-op span collector must never leak
+    into the snapshot fingerprint."""
+    ops = _workload_ops()
+    sampled_source = figure3_source()
+    plain_source = figure3_source()
+    batch_source = figure3_source()
+    sink = str(tmp_path / "spans.jsonl")
+    sampled_config = ServeConfig(
+        trace_sample=1.0, trace_slow_ms=0.0, trace_seed=3, trace_sink=sink
+    )
+    try:
+        sampled, sampled_version = _run_served(
+            sampled_source, ops, sampled_config
+        )
+        plain, plain_version = _run_served(plain_source, ops)
+        batch = _run_batch(batch_source, ops)
+
+        assert sampled == batch
+        assert sampled == plain
+        # same number of published epochs: sampling added none
+        assert sampled_version == plain_version
+        assert evolution_log_digest(sampled_source) == evolution_log_digest(
+            batch_source
+        )
+        assert final_state_digest(sampled_source) == final_state_digest(
+            batch_source
+        )
+
+        # the sink captured engine spans for the sampled writes and
+        # loads with the standard trace loader (report-compatible)
+        from repro.obs import load_trace
+
+        _, records = load_trace(sink)
+        names = {record["name"] for record in records}
+        assert any(name.startswith("request./") for name in names)
+        assert "write.apply" in names
+        assert "doc" in names  # engine spans were collected and grafted
+    finally:
+        sampled_source.close()
+        plain_source.close()
+        batch_source.close()
 
 
 def test_served_classify_is_read_only():
